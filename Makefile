@@ -1,0 +1,25 @@
+# Convenience targets for the Viper reproduction.
+
+.PHONY: install test bench examples experiments clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	for ex in examples/*.py; do echo "== $$ex"; python $$ex || exit 1; done
+
+experiments:
+	python -m repro fig8
+	python -m repro fig9
+	python -m repro fig10
+	python -m repro table1
+
+clean:
+	rm -rf benchmarks/.curve_cache.npz benchmarks/results .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,101 @@
+"""Ablation: incremental (delta) checkpoints in a fine-tuning workflow.
+
+The paper's related work motivates incremental/partial checkpointing
+(Check-N-Run, DStore, EvoStore) for workloads where checkpoints change
+only partially — exactly the fine-tuning stage of the paper's §1
+workflow once the PtychoNN encoder is frozen.  This bench measures, per
+update, the bytes moved and the end-to-end latency for full vs delta
+checkpoints across the three transfer strategies.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import get_app
+from repro.core.transfer.incremental import (
+    apply_delta,
+    delta_payload_bytes,
+    encode_delta,
+)
+from repro.core.transfer.strategies import (
+    CaptureMode,
+    TransferStrategy,
+    compute_timings,
+)
+from repro.dnn.serialization import ViperSerializer, state_dict_nbytes
+from repro.substrates.profiles import POLARIS
+from benchmarks.conftest import emit
+
+
+@pytest.fixture(scope="module")
+def finetune_snapshots():
+    """Two consecutive fine-tuning checkpoints with a frozen encoder."""
+    app = get_app("ptychonn")
+    model = app.build_model()
+    model.freeze("ptycho_enc")
+    x, y, _xt, _yt = app.dataset(scale=0.05, seed=12)
+    model.fit(x, y, epochs=1, batch_size=64, seed=0)
+    before = model.state_dict()
+    model.fit(x, y, epochs=1, batch_size=64, seed=1)
+    after = model.state_dict()
+    return app, before, after
+
+
+def test_incremental_bytes_and_latency(finetune_snapshots, results_dir, benchmark):
+    app, before, after = finetune_snapshots
+    delta = encode_delta(before, after, base_version=1)
+
+    real_full = state_dict_nbytes(after)
+    real_delta = delta_payload_bytes(delta)
+    fraction = real_delta / real_full
+    # Scale the paper-size checkpoint by the measured delta fraction.
+    virtual_full = app.checkpoint_bytes
+    virtual_delta = int(virtual_full * fraction)
+    delta_tensors = max(1, len(delta) - 1)
+
+    ser = ViperSerializer()
+    rows = [
+        "Ablation: full vs delta checkpoints (PtychoNN fine-tuning, frozen "
+        "encoder)",
+        f"real payload: full {real_full / 1e3:.1f} kB, delta "
+        f"{real_delta / 1e3:.1f} kB ({fraction:.2%})",
+        f"{'strategy':<8}{'full e2e(s)':>12}{'delta e2e(s)':>13}{'speedup':>9}",
+        "-" * 42,
+    ]
+    for strategy in TransferStrategy:
+        full_t = compute_timings(
+            POLARIS, ser, strategy, CaptureMode.ASYNC,
+            virtual_full, app.checkpoint_tensors,
+        ).update_latency
+        delta_t = compute_timings(
+            POLARIS, ser, strategy, CaptureMode.ASYNC,
+            virtual_delta, delta_tensors,
+        ).update_latency
+        rows.append(
+            f"{strategy.value:<8}{full_t:>12.3f}{delta_t:>13.3f}"
+            f"{full_t / delta_t:>9.2f}"
+        )
+        assert delta_t < full_t
+    emit(results_dir, "ablation_incremental", "\n".join(rows))
+
+    # The delta must reconstruct the exact checkpoint.
+    restored = apply_delta(before, delta)
+    for key in after:
+        np.testing.assert_array_equal(restored[key], after[key])
+    # With the encoder frozen the delta carries well under the full size.
+    assert fraction < 0.8
+
+    benchmark(encode_delta, before, after, 1)
+
+
+def test_delta_roundtrip_through_serializer(finetune_snapshots, benchmark):
+    _app, before, after = finetune_snapshots
+    ser = ViperSerializer()
+    delta = encode_delta(before, after, base_version=1)
+
+    def roundtrip():
+        return apply_delta(before, ser.loads(ser.dumps(delta)))
+
+    restored = benchmark(roundtrip)
+    for key in after:
+        np.testing.assert_array_equal(restored[key], after[key])

@@ -1,0 +1,73 @@
+"""Ablation: multi-consumer fan-out and sharded producers (paper §6).
+
+The paper's future work proposes multi-producer / multi-consumer
+patterns with sharded models.  This bench measures the two scaling
+dimensions the DESIGN.md extension implements:
+
+- fan-out: per-replica inference quality is unaffected by adding
+  consumers (the push channel is one-to-many);
+- sharding: the per-producer checkpoint stall shrinks ~1/M with M
+  tensor-sharded data-parallel producers.
+"""
+
+import pytest
+
+from repro.apps import get_app
+from repro.core.predictor.schedules import epoch_schedule
+from repro.workflow.multi import run_fanout, run_sharded
+from benchmarks.conftest import emit
+
+
+@pytest.fixture(scope="module")
+def setup(loss_curves):
+    app = get_app("tc1")
+    schedule = epoch_schedule(app.warmup_iters, app.total_iters, app.iters_per_epoch)
+    return app, schedule, loss_curves["tc1"]
+
+
+def test_fanout_scaling(setup, results_dir, benchmark):
+    app, schedule, curve = setup
+    rows = [
+        "Ablation: consumer fan-out (TC1, epoch interval)",
+        f"{'consumers':>10}{'total CIL':>13}{'per-replica':>13}{'overhead(s)':>12}",
+        "-" * 48,
+    ]
+    per_replica = None
+    for k in (1, 2, 4, 8):
+        result = run_fanout(app, schedule, curve, n_consumers=k)
+        this_replica = result.total_cil / k
+        rows.append(
+            f"{k:>10}{result.total_cil:>13.1f}{this_replica:>13.1f}"
+            f"{result.training_overhead:>12.2f}"
+        )
+        if per_replica is None:
+            per_replica = this_replica
+        # Per-replica quality independent of fan-out (one-to-many push).
+        assert this_replica == pytest.approx(per_replica, rel=1e-9)
+    emit(results_dir, "ablation_fanout", "\n".join(rows))
+
+    benchmark(run_fanout, app, schedule, curve, n_consumers=4)
+
+
+def test_sharding_scaling(setup, results_dir, benchmark):
+    app, schedule, curve = setup
+    rows = [
+        "Ablation: producer sharding (TC1, epoch interval)",
+        f"{'shards':>8}{'CIL':>13}{'stall overhead(s)':>19}",
+        "-" * 40,
+    ]
+    overheads = []
+    for m in (1, 2, 4, 8):
+        result = run_sharded(app, schedule, curve, n_shards=m)
+        overheads.append(result.training_overhead)
+        rows.append(
+            f"{m:>8}{result.total_cil:>13.1f}{result.training_overhead:>19.2f}"
+        )
+    emit(results_dir, "ablation_sharding", "\n".join(rows))
+
+    # Stall overhead strictly decreases with the shard count and the
+    # 8-way split recovers most of the 1-way stall.
+    assert all(b < a for a, b in zip(overheads, overheads[1:]))
+    assert overheads[-1] < 0.5 * overheads[0]
+
+    benchmark(run_sharded, app, schedule, curve, n_shards=4)

@@ -1,0 +1,88 @@
+"""Ablation: push notifications vs repository polling (paper §4.4).
+
+Viper's broker delivers update notifications in <1 ms; Triton-style
+baselines poll the repository at a fixed interval, adding up to one
+interval of discovery delay per update.  This bench quantifies what that
+delay does to the end-to-end metric (TC1's CIL over 50k inferences) and
+reports the raw discovery-delay distribution.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import get_app
+from repro.core.notification import PUSH_LATENCY
+from repro.core.predictor.schedules import epoch_schedule
+from repro.core.transfer.strategies import CaptureMode, TransferStrategy
+from repro.serving.polling import discovery_delays, expected_discovery_delay
+from repro.workflow.runner import CoupledRunConfig, run_coupled
+from benchmarks.conftest import emit
+
+POLL_INTERVALS = (0.001, 0.1, 1.0, 5.0)
+
+
+def run_tc1(curve, poll_interval=0.0):
+    app = get_app("tc1")
+    schedule = epoch_schedule(app.warmup_iters, app.total_iters, app.iters_per_epoch)
+    return run_coupled(
+        CoupledRunConfig(
+            app=app,
+            schedule=schedule,
+            loss_curve=curve,
+            strategy=TransferStrategy.GPU_TO_GPU,
+            mode=CaptureMode.ASYNC,
+            poll_interval=poll_interval,
+        )
+    )
+
+
+def test_notification_vs_polling_cil(loss_curves, results_dir, benchmark):
+    curve = loss_curves["tc1"]
+    push = run_tc1(curve)
+    rows = [
+        "Ablation: model-update discovery (TC1, epoch interval, GPU path)",
+        f"{'discovery':<14}{'CIL':>12}{'delta vs push':>15}",
+        "-" * 41,
+        f"{'push <1ms':<14}{push.cil:>12.1f}{0.0:>15.1f}",
+    ]
+    previous = push.cil
+    for interval in POLL_INTERVALS:
+        result = run_tc1(curve, poll_interval=interval)
+        rows.append(
+            f"{f'poll {interval:g}s':<14}{result.cil:>12.1f}"
+            f"{result.cil - push.cil:>15.1f}"
+        )
+        # Slower discovery can never *reduce* the CIL.
+        assert result.cil >= push.cil - 1e-6
+        previous = result.cil
+    # A coarse poll (5 s on a ~13 s update cadence) visibly hurts.
+    worst = run_tc1(curve, poll_interval=POLL_INTERVALS[-1])
+    assert worst.cil > push.cil
+    emit(results_dir, "ablation_notification", "\n".join(rows))
+
+    benchmark(run_tc1, curve)
+
+
+def test_discovery_delay_distribution(results_dir, benchmark):
+    app = get_app("tc1")
+    window = app.iters_per_epoch * app.timing.t_train
+    publish_times = np.arange(13) * window + 0.37  # arbitrary phase
+    rows = [
+        "Ablation: discovery delay per update (13 TC1 epoch checkpoints)",
+        f"{'mechanism':<14}{'mean delay':>12}{'max delay':>12}",
+        "-" * 38,
+        f"{'push':<14}{PUSH_LATENCY:>12.4f}{PUSH_LATENCY:>12.4f}",
+    ]
+    for interval in POLL_INTERVALS:
+        delays = benchmark.pedantic(
+            discovery_delays, args=(publish_times, interval),
+            rounds=1, iterations=1,
+        ) if interval == POLL_INTERVALS[0] else discovery_delays(
+            publish_times, interval
+        )
+        rows.append(
+            f"{f'poll {interval:g}s':<14}{delays.mean():>12.4f}{delays.max():>12.4f}"
+        )
+        assert delays.max() <= interval + 1e-9
+        assert PUSH_LATENCY < expected_discovery_delay(interval) + 1e-9
+    emit(results_dir, "ablation_discovery_delay", "\n".join(rows))

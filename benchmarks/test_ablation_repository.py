@@ -1,0 +1,115 @@
+"""Ablation: whole-checkpoint files vs a fine-grained tensor repository.
+
+Paper §1: "Although there are alternative model repositories that are
+optimized for fine-grain access (e.g. DStore), they still represent an
+intermediate staging area that has higher overheads than direct
+communication".  This bench measures both sides of that sentence on the
+PtychoNN fine-tuning workload (frozen encoder):
+
+- write path: whole files re-write the full checkpoint each version;
+  the tensor repository writes only the changed tensors;
+- read path: whole files ship everything; the repository lets the
+  consumer fetch only the changed tensors — but pays a per-object cost
+  per tensor, which is why a full cold load is slower there;
+- and *both* stay well above Viper's direct GPU channel.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import get_app
+from repro.repository import TensorRepository
+from repro.core.transfer.strategies import (
+    CaptureMode,
+    TransferStrategy,
+    compute_timings,
+)
+from repro.dnn.serialization import ViperSerializer, state_dict_nbytes
+from repro.substrates.memory.storage import TierStore
+from repro.substrates.profiles import POLARIS
+from benchmarks.conftest import emit
+
+
+@pytest.fixture(scope="module")
+def finetune_versions():
+    """Three consecutive fine-tuning snapshots with a frozen encoder."""
+    app = get_app("ptychonn")
+    model = app.build_model()
+    model.freeze("ptycho_enc")
+    x, y, _xt, _yt = app.dataset(scale=0.05, seed=21)
+    versions = [model.state_dict()]
+    for epoch in range(2):
+        model.fit(x, y, epochs=1, batch_size=64, seed=epoch)
+        versions.append(model.state_dict())
+    return app, versions
+
+
+def test_repository_vs_whole_files(finetune_versions, results_dir, benchmark):
+    app, versions = finetune_versions
+    real_full = state_dict_nbytes(versions[0])
+    scale = app.checkpoint_bytes / real_full  # paper-scale virtual sizes
+
+    repo = TensorRepository(TierStore(POLARIS.pfs), virtual_scale=scale)
+    ser = ViperSerializer()
+
+    # --- write path -------------------------------------------------------
+    whole_write_costs = []
+    repo_write_costs = []
+    whole_store = TierStore(POLARIS.pfs)
+    for i, state in enumerate(versions, start=1):
+        blob = ser.dumps(state)
+        # Both sides at the same tensor granularity (the model's real
+        # tensor count); virtual bytes at paper scale.  The whole file
+        # is one object regardless of how many tensors it contains.
+        whole_write_costs.append(
+            whole_store.put(
+                f"m/v{i}", blob,
+                virtual_bytes=ser.wire_bytes(app.checkpoint_bytes),
+                nobjects=1,
+            ).total
+        )
+        _info, cost = repo.publish("m", state)
+        repo_write_costs.append(cost.total)
+
+    # --- read path ----------------------------------------------------------
+    _blob, whole_read = whole_store.get(f"m/v{len(versions)}")
+    _full_state, repo_full_read = repo.get_state("m")
+    _delta_state, repo_delta_read = repo.get_changed_since(
+        "m", base_version=len(versions) - 1
+    )
+
+    gpu = compute_timings(
+        POLARIS, ser, TransferStrategy.GPU_TO_GPU, CaptureMode.ASYNC,
+        app.checkpoint_bytes, app.checkpoint_tensors,
+    ).update_latency
+
+    rows = [
+        "Ablation: whole-file PFS repo vs fine-grained tensor repo "
+        "(PtychoNN fine-tuning)",
+        f"{'operation':<34}{'whole-file':>12}{'tensor-repo':>12}",
+        "-" * 58,
+        f"{'initial checkpoint write (s)':<34}{whole_write_costs[0]:>12.3f}"
+        f"{repo_write_costs[0]:>12.3f}",
+        f"{'incremental version write (s)':<34}{whole_write_costs[-1]:>12.3f}"
+        f"{repo_write_costs[-1]:>12.3f}",
+        f"{'full model cold load (s)':<34}{whole_read.total:>12.3f}"
+        f"{repo_full_read.total:>12.3f}",
+        f"{'partial update fetch (s)':<34}{whole_read.total:>12.3f}"
+        f"{repo_delta_read.total:>12.3f}",
+        "-" * 58,
+        f"Viper direct GPU-to-GPU update latency: {gpu:.3f}s",
+    ]
+    emit(results_dir, "ablation_repository", "\n".join(rows))
+
+    # Shape: incremental writes and partial fetches are where the
+    # fine-grained repo wins ...
+    assert repo_write_costs[-1] < whole_write_costs[-1]
+    assert repo_delta_read.total < whole_read.total
+    # ... while per-tensor overheads make its *cold* full load slower.
+    assert repo_full_read.total > whole_read.total
+    # And the paper's point: any repository staging loses to the direct
+    # memory channel.
+    assert gpu < repo_delta_read.total
+    assert gpu < whole_read.total
+
+    benchmark(repo.get_changed_since, "m", len(versions) - 1)

@@ -1,0 +1,129 @@
+"""Ablation: greedy threshold sensitivity (paper Algorithm 3).
+
+The paper sets the greedy threshold to mean+std of consecutive warm-up
+loss deltas.  DESIGN.md calls out the open question of the threshold's
+*scale*: our IPP sweeps multipliers of the base rule and keeps the one
+with minimal predicted CIL (the same argmin logic Algorithm 2 applies to
+intervals).  This bench shows the full sensitivity curve — predicted and
+actual CIL per threshold scale — and verifies the sweep lands at (or
+near) the empirical optimum.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import get_app
+from repro.core.predictor.ipp import InferencePerformancePredictor
+from repro.core.predictor.schedules import (
+    DEFAULT_THRESHOLD_SCALES,
+    greedy_schedule,
+    warmup_threshold,
+)
+from repro.core.transfer.strategies import CaptureMode, TransferStrategy
+from repro.workflow.experiments import make_cil_params
+from repro.workflow.runner import CoupledRunConfig, run_coupled
+from benchmarks.conftest import emit
+
+
+def test_threshold_scale_sensitivity(loss_curves, results_dir, benchmark):
+    app = get_app("tc1")
+    curve = loss_curves["tc1"]
+    params = make_cil_params(app, TransferStrategy.GPU_TO_GPU)
+    ipp = InferencePerformancePredictor(params)
+    ipp.observe_warmup(curve[: app.warmup_iters], 1, horizon=app.total_iters)
+    fitted = [ipp.loss_pred(i) for i in range(1, app.warmup_iters + 1)]
+    base = warmup_threshold(fitted)
+
+    rows = [
+        "Ablation: greedy threshold scale (TC1, GPU path)",
+        f"base threshold (warm-up mean+std rule): {base:.5f}",
+        f"{'scale':>8}{'ckpts':>8}{'predicted CIL':>15}{'actual CIL':>13}",
+        "-" * 44,
+    ]
+    actual_by_scale = {}
+    for scale in DEFAULT_THRESHOLD_SCALES:
+        schedule = greedy_schedule(
+            app.warmup_iters,
+            app.total_iters,
+            app.total_inferences,
+            base * scale,
+            ipp.loss_pred,
+            params,
+        )
+        if schedule.num_checkpoints == 0:
+            rows.append(f"{scale:>8.1f}{0:>8}{'-':>15}{'-':>13}")
+            continue
+        result = run_coupled(
+            CoupledRunConfig(
+                app=app,
+                schedule=schedule,
+                loss_curve=curve,
+                strategy=TransferStrategy.GPU_TO_GPU,
+                mode=CaptureMode.ASYNC,
+            )
+        )
+        actual_by_scale[scale] = result.cil
+        rows.append(
+            f"{scale:>8.1f}{schedule.num_checkpoints:>8}"
+            f"{schedule.predicted_cil:>15.1f}{result.cil:>13.1f}"
+        )
+
+    # The online Checkpoint Frequency Adapter (threshold re-tuned from
+    # observed losses each epoch) for comparison against the static grid.
+    from repro.core.predictor.schedules import Schedule
+    from repro.workflow.experiments import make_adapter
+
+    adapter = make_adapter(app)
+    online = run_coupled(
+        CoupledRunConfig(
+            app=app,
+            schedule=Schedule(
+                "adaptive", (), start_iter=app.warmup_iters,
+                end_iter=app.total_iters,
+            ),
+            loss_curve=curve,
+            strategy=TransferStrategy.GPU_TO_GPU,
+            mode=CaptureMode.ASYNC,
+            adapter=adapter,
+        )
+    )
+    rows.append("-" * 44)
+    rows.append(
+        f"{'online':>8}{online.checkpoints:>8}{'-':>15}{online.cil:>13.1f}"
+    )
+    emit(results_dir, "ablation_threshold", "\n".join(rows))
+
+    # Online adaptation beats (or matches) the best static threshold.
+    assert online.cil <= min(actual_by_scale.values()) * 1.01
+
+    # The swept choice must be close to the best actual scale: within 3%
+    # of the empirical optimum across the grid.
+    swept = ipp.schedule(
+        "greedy", end_iter=app.total_iters, total_infers=app.total_inferences
+    )
+    swept_result = run_coupled(
+        CoupledRunConfig(
+            app=app,
+            schedule=swept,
+            loss_curve=curve,
+            strategy=TransferStrategy.GPU_TO_GPU,
+            mode=CaptureMode.ASYNC,
+        )
+    )
+    # Predicted CIL is a proxy (the TLP extrapolates); the swept choice
+    # must land within 10% of the empirical optimum over the grid and
+    # strictly beat the worst grid point.
+    best_actual = min(actual_by_scale.values())
+    worst_actual = max(actual_by_scale.values())
+    assert swept_result.cil <= best_actual * 1.10
+    assert swept_result.cil < worst_actual
+
+    benchmark(
+        greedy_schedule,
+        app.warmup_iters,
+        app.total_iters,
+        app.total_inferences,
+        base,
+        ipp.loss_pred,
+        params,
+    )

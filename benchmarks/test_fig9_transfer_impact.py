@@ -1,0 +1,53 @@
+"""Figure 9: impact of low-latency updates on CIL and training overhead.
+
+TC1 at epoch-boundary update interval (216 iterations -> 13 checkpoints
+after the 3-epoch warm-up), 50,000 inferences, across GPU / Host / PFS
+transfer strategies.  Shape criteria from the paper:
+
+- training overhead: GPU (~1 s) << Host << PFS (~60 s);
+- CIL ordering: GPU < Host < PFS (fresher models serve more requests).
+"""
+
+import pytest
+
+from repro.analysis.reporting import format_fig9_table
+from repro.apps import get_app
+from repro.workflow.experiments import run_strategy_comparison
+from benchmarks.conftest import emit
+
+
+@pytest.fixture(scope="module")
+def fig9_results(loss_curves):
+    app = get_app("tc1")
+    return run_strategy_comparison(app, loss_curves["tc1"])
+
+
+def test_fig9_cil_and_overhead(fig9_results, results_dir, loss_curves, benchmark):
+    measured = {
+        key: {"cil": r.cil, "overhead": r.training_overhead}
+        for key, r in fig9_results.items()
+    }
+    emit(results_dir, "fig9_transfer_impact", format_fig9_table(measured))
+
+    gpu, host, pfs = (fig9_results[k] for k in ("gpu", "host", "pfs"))
+    # Same number of model updates in every configuration.
+    assert gpu.checkpoints == host.checkpoints == pfs.checkpoints == 13
+    # Training overhead ordering and bands.
+    assert gpu.training_overhead < host.training_overhead < pfs.training_overhead
+    assert gpu.training_overhead < 2.5            # paper: ~1 s
+    assert 40.0 < pfs.training_overhead < 80.0    # paper: ~60 s
+    # CIL ordering: faster delivery -> lower cumulative inference loss.
+    assert gpu.cil < pfs.cil
+    assert host.cil <= pfs.cil
+
+    app = get_app("tc1")
+    benchmark(run_strategy_comparison, app, loss_curves["tc1"])
+
+
+def test_fig9_every_inference_accounted(fig9_results, benchmark):
+    from repro.workflow.consumer import cil_from_switches
+
+    for result in fig9_results.values():
+        assert result.per_version_inferences.sum() == result.inferences == 50_000
+    gpu = fig9_results["gpu"]
+    benchmark(cil_from_switches, gpu.switches, 0.005, 50_000)

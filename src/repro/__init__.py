@@ -1,0 +1,39 @@
+"""Viper reproduction: a high-performance I/O framework for transparently
+updating, storing, and transferring DNN models (ICPP 2024).
+
+Public surface:
+
+- :class:`repro.Viper` — the framework facade (``save_weights`` /
+  ``load_weights``, paper Fig. 4) plus producer/consumer role views.
+- :mod:`repro.core.predictor` — the Inference Performance Predictor:
+  learning-curve fitting, CIL prediction, schedule search.
+- :mod:`repro.core.transfer` — the memory-first transfer engine.
+- :mod:`repro.dnn` — the numpy DNN training framework.
+- :mod:`repro.apps` — CANDLE NT3/TC1 and PtychoNN workload profiles.
+- :mod:`repro.serving` — inference serving (push and polling modes).
+- :mod:`repro.workflow` — the coupled producer/consumer simulation that
+  regenerates the paper's end-to-end results.
+- :mod:`repro.substrates` — the modeled HPC hardware (tiers, links,
+  nodes, simulated clock).
+"""
+
+from repro.core.api import Viper, ViperConsumer, ViperProducer
+from repro.core.callback import CheckpointCallback
+from repro.core.predictor import InferencePerformancePredictor
+from repro.core.transfer import CaptureMode, TransferStrategy
+from repro.substrates.profiles import LAPTOP, POLARIS
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Viper",
+    "ViperProducer",
+    "ViperConsumer",
+    "CheckpointCallback",
+    "InferencePerformancePredictor",
+    "CaptureMode",
+    "TransferStrategy",
+    "POLARIS",
+    "LAPTOP",
+    "__version__",
+]

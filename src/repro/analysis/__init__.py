@@ -1,0 +1,25 @@
+"""Result analysis: metrics and paper-style reporting."""
+
+from repro.analysis.metrics import (
+    LatencySummary,
+    cil_over_requests,
+    latency_summary,
+    speedup,
+)
+from repro.analysis.reporting import (
+    format_fig8_table,
+    format_fig9_table,
+    format_fig10_table,
+    format_table1,
+)
+
+__all__ = [
+    "LatencySummary",
+    "cil_over_requests",
+    "latency_summary",
+    "speedup",
+    "format_fig8_table",
+    "format_fig9_table",
+    "format_fig10_table",
+    "format_table1",
+]

@@ -1,0 +1,81 @@
+"""Machine-readable export of experiment results.
+
+The reporting module renders paper-style text tables; this module emits
+the same data as JSON so downstream tooling (plotting, regression
+tracking across commits) can consume it.  Every document carries a
+schema version and the generator name.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, Optional
+
+from repro.errors import WorkflowError
+from repro.workflow.runner import WorkflowResult
+
+__all__ = ["SCHEMA_VERSION", "workflow_result_to_dict", "export_json"]
+
+SCHEMA_VERSION = 1
+
+
+def workflow_result_to_dict(result: WorkflowResult) -> Dict[str, Any]:
+    """Flatten a coupled-run result into JSON-serializable primitives."""
+    return {
+        "cil": result.cil,
+        "inferences": result.inferences,
+        "mean_inference_loss": result.mean_inference_loss,
+        "checkpoints": result.checkpoints,
+        "superseded": result.superseded,
+        "training_overhead_s": result.training_overhead,
+        "training_end_time_s": result.training_end_time,
+        "switches": [
+            {
+                "time": s.time,
+                "version": s.version,
+                "iteration": s.iteration,
+                "loss": s.loss,
+            }
+            for s in result.switches
+        ],
+        "per_version_inferences": result.per_version_inferences.tolist(),
+    }
+
+
+def export_json(
+    path,
+    experiment: str,
+    payload: Dict[str, Any],
+    extra: Optional[Dict[str, Any]] = None,
+) -> pathlib.Path:
+    """Write one experiment's results as a schema-stamped JSON document.
+
+    ``payload`` values may be plain primitives or
+    :class:`~repro.workflow.runner.WorkflowResult` objects (converted
+    automatically).  Returns the written path.
+    """
+    if not experiment:
+        raise WorkflowError("experiment name must be non-empty")
+
+    def convert(value):
+        if isinstance(value, WorkflowResult):
+            return workflow_result_to_dict(value)
+        if isinstance(value, dict):
+            return {k: convert(v) for k, v in value.items()}
+        if isinstance(value, (list, tuple)):
+            return [convert(v) for v in value]
+        return value
+
+    document = {
+        "schema_version": SCHEMA_VERSION,
+        "generator": "repro (Viper reproduction)",
+        "experiment": experiment,
+        "results": convert(payload),
+    }
+    if extra:
+        document["extra"] = convert(extra)
+    out = pathlib.Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return out

@@ -1,0 +1,57 @@
+"""Metric computations shared by tests and benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import WorkflowError
+
+__all__ = ["LatencySummary", "latency_summary", "speedup", "cil_over_requests"]
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Distribution summary of repeated latency measurements."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    n: int
+
+
+def latency_summary(samples: Sequence[float]) -> LatencySummary:
+    """Mean/std/min/max summary of a latency sample set."""
+    arr = np.asarray(list(samples), dtype=np.float64)
+    if arr.size == 0:
+        raise WorkflowError("no latency samples")
+    return LatencySummary(
+        mean=float(arr.mean()),
+        std=float(arr.std()),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        n=int(arr.size),
+    )
+
+
+def speedup(baseline: float, improved: float) -> float:
+    """Baseline/improved ratio (the paper's "Nx lower latency")."""
+    if improved <= 0:
+        raise WorkflowError(f"non-positive improved latency {improved}")
+    return baseline / improved
+
+
+def cil_over_requests(
+    losses_per_request: Sequence[float],
+) -> Tuple[float, float]:
+    """(cumulative, mean) inference loss over served requests."""
+    arr = np.asarray(list(losses_per_request), dtype=np.float64)
+    if arr.size == 0:
+        raise WorkflowError("no requests")
+    finite = arr[np.isfinite(arr)]
+    if finite.size == 0:
+        raise WorkflowError("no scored requests")
+    return float(finite.sum()), float(finite.mean())

@@ -1,0 +1,189 @@
+"""Render experiment results in the paper's figure/table formats.
+
+Each formatter takes the reproduction's measured values (plus the paper's
+published numbers for side-by-side comparison) and emits a plain-text
+table the benchmark harness prints — the textual equivalent of the
+corresponding figure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+__all__ = [
+    "format_fig8_table",
+    "format_fig9_table",
+    "format_fig10_table",
+    "format_table1",
+    "PAPER_FIG8",
+    "PAPER_FIG9",
+    "PAPER_FIG10",
+    "PAPER_TABLE1",
+]
+
+# ---------------------------------------------------------------------------
+# Published numbers (transcribed from the paper)
+# ---------------------------------------------------------------------------
+
+#: Fig. 8: end-to-end model update latency in seconds, per app and strategy.
+PAPER_FIG8: Dict[str, Dict[str, float]] = {
+    "nt3a": {
+        "h5py-baseline": 1.507,
+        "viper-pfs": 1.145,
+        "host-sync": 0.273,
+        "host-async": 0.391,
+        "gpu-sync": 0.098,
+        "gpu-async": 0.123,
+    },
+    "tc1": {
+        "h5py-baseline": 7.96,
+        "viper-pfs": 6.977,
+        "host-sync": 2.264,
+        "host-async": 2.326,
+        "gpu-sync": 0.626,
+        "gpu-async": 0.856,
+    },
+    "ptychonn": {
+        "h5py-baseline": 8.342,
+        "viper-pfs": 6.886,
+        "host-sync": 1.636,
+        "host-async": 1.745,
+        "gpu-sync": 0.417,
+        "gpu-async": 0.541,
+    },
+}
+
+#: Fig. 9: TC1 @ epoch interval — (CIL, training overhead seconds).
+PAPER_FIG9: Dict[str, Dict[str, float]] = {
+    "gpu": {"cil": 33_000.0, "overhead": 1.0},
+    "host": {"cil": 34_500.0, "overhead": 22.0},
+    "pfs": {"cil": 38_500.0, "overhead": 60.0},
+}
+
+#: Fig. 10: CIL per app and schedule.
+PAPER_FIG10: Dict[str, Dict[str, float]] = {
+    "nt3b": {"baseline": 3_800.0, "fixed": 3_600.0, "adaptive": 3_000.0},
+    "tc1": {"baseline": 32_800.0, "fixed": 30_600.0, "adaptive": 30_400.0},
+    "ptychonn": {"baseline": 66_200.0, "fixed": 52_900.0, "adaptive": 45_100.0},
+}
+
+#: Table 1: (num checkpoints, training overhead seconds).
+PAPER_TABLE1: Dict[str, Dict[str, Dict[str, float]]] = {
+    "nt3b": {
+        "baseline": {"ckpts": 7, "overhead": 0.107},
+        "fixed": {"ckpts": 49, "overhead": 0.372},
+        "adaptive": {"ckpts": 40, "overhead": 0.353},
+    },
+    "tc1": {
+        "baseline": {"ckpts": 16, "overhead": 1.29},
+        "fixed": {"ckpts": 128, "overhead": 3.437},
+        "adaptive": {"ckpts": 63, "overhead": 2.579},
+    },
+    "ptychonn": {
+        "baseline": {"ckpts": 13, "overhead": 0.39},
+        "fixed": {"ckpts": 16, "overhead": 0.48},
+        "adaptive": {"ckpts": 6, "overhead": 0.18},
+    },
+}
+
+_FIG8_ORDER = (
+    "h5py-baseline",
+    "viper-pfs",
+    "host-sync",
+    "host-async",
+    "gpu-sync",
+    "gpu-async",
+)
+
+
+def _rule(width: int) -> str:
+    return "-" * width
+
+
+def format_fig8_table(app: str, measured: Mapping[str, float]) -> str:
+    """Fig. 8 (one panel): measured vs paper update latency per strategy."""
+    paper = PAPER_FIG8.get(app, {})
+    lines = [
+        f"Figure 8 [{app}] end-to-end model update latency (s)",
+        f"{'strategy':<16}{'measured':>10}{'paper':>10}{'ratio':>8}",
+        _rule(44),
+    ]
+    for key in _FIG8_ORDER:
+        if key not in measured:
+            continue
+        m = measured[key]
+        p = paper.get(key, float("nan"))
+        ratio = m / p if p and p == p else float("nan")
+        lines.append(f"{key:<16}{m:>10.3f}{p:>10.3f}{ratio:>8.2f}")
+    base = measured.get("h5py-baseline")
+    if base:
+        for key, label in (("gpu-async", "GPU"), ("host-async", "Host")):
+            if key in measured and measured[key] > 0:
+                lines.append(
+                    f"speedup vs baseline ({label}): {base / measured[key]:.1f}x"
+                )
+    return "\n".join(lines)
+
+
+def format_fig9_table(measured: Mapping[str, Mapping[str, float]]) -> str:
+    """Fig. 9: CIL and training overhead per transfer strategy (TC1)."""
+    lines = [
+        "Figure 9 [tc1 @ epoch interval] transfer-strategy impact",
+        f"{'strategy':<8}{'CIL':>12}{'overhead(s)':>12}"
+        f"{'paper CIL':>12}{'paper ovh':>10}",
+        _rule(54),
+    ]
+    for key in ("gpu", "host", "pfs"):
+        if key not in measured:
+            continue
+        m = measured[key]
+        p = PAPER_FIG9.get(key, {})
+        lines.append(
+            f"{key:<8}{m['cil']:>12.1f}{m['overhead']:>12.2f}"
+            f"{p.get('cil', float('nan')):>12.1f}"
+            f"{p.get('overhead', float('nan')):>10.1f}"
+        )
+    return "\n".join(lines)
+
+
+def format_fig10_table(app: str, measured: Mapping[str, float]) -> str:
+    """Fig. 10 (one panel): CIL per schedule, measured vs paper."""
+    paper = PAPER_FIG10.get(app, {})
+    lines = [
+        f"Figure 10 [{app}] cumulative inference loss by schedule",
+        f"{'schedule':<10}{'measured':>12}{'paper':>10}",
+        _rule(32),
+    ]
+    for key in ("baseline", "fixed", "adaptive"):
+        if key not in measured:
+            continue
+        lines.append(
+            f"{key:<10}{measured[key]:>12.1f}"
+            f"{paper.get(key, float('nan')):>10.1f}"
+        )
+    return "\n".join(lines)
+
+
+def format_table1(
+    measured: Mapping[str, Mapping[str, Mapping[str, float]]],
+) -> str:
+    """Table 1: checkpoints and training overhead per app and schedule."""
+    lines = [
+        "Table 1: checkpoints and training overhead",
+        f"{'app':<10}{'schedule':<10}{'ckpts':>7}{'ovh(s)':>9}"
+        f"{'paper ckpts':>12}{'paper ovh':>10}",
+        _rule(58),
+    ]
+    for app, per_sched in measured.items():
+        paper_app = PAPER_TABLE1.get(app, {})
+        for sched in ("baseline", "fixed", "adaptive"):
+            if sched not in per_sched:
+                continue
+            m = per_sched[sched]
+            p = paper_app.get(sched, {})
+            lines.append(
+                f"{app:<10}{sched:<10}{m['ckpts']:>7.0f}{m['overhead']:>9.2f}"
+                f"{p.get('ckpts', float('nan')):>12.0f}"
+                f"{p.get('overhead', float('nan')):>10.2f}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,81 @@
+"""ASCII timeline rendering of coupled-run traces.
+
+Turns a :class:`~repro.workflow.trace.Trace` into a compact textual
+timeline: one lane per actor, checkpoint/delivery/load/swap events laid
+out on simulated time.  Used by the CLI's ``timeline`` command and handy
+when debugging schedule or supersede behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import WorkflowError
+from repro.workflow.trace import Trace
+
+__all__ = ["render_timeline", "summarize_trace"]
+
+_LANE_ORDER = ("producer", "engine", "consumer")
+_GLYPHS = {
+    "ckpt_begin": "C",
+    "ckpt_stall_end": "c",
+    "delivered": "D",
+    "notified": "n",
+    "load_begin": "L",
+    "load_done": "l",
+    "swap": "S",
+    "superseded": "x",
+    "train_end": "E",
+}
+
+
+def render_timeline(
+    trace: Trace,
+    width: int = 100,
+    t_start: float = 0.0,
+    t_end: float = None,
+) -> str:
+    """Render the trace into fixed-width actor lanes.
+
+    Each event kind maps to a glyph (C ckpt begin, c stall end,
+    D delivered, n notified, L/l load begin/done, S swap, x superseded,
+    E train end); later events overwrite earlier ones in the same column.
+    Iteration events are omitted (they would saturate the lane).
+    """
+    if width < 10:
+        raise WorkflowError("timeline width must be >= 10")
+    events = [e for e in trace if e.kind in _GLYPHS]
+    if not events:
+        return "(empty trace)"
+    if t_end is None:
+        t_end = max(e.time for e in events)
+    span = max(t_end - t_start, 1e-9)
+
+    lanes: Dict[str, List[str]] = {
+        actor: [" "] * width for actor in _LANE_ORDER
+    }
+    for event in events:
+        if not t_start <= event.time <= t_end:
+            continue
+        column = min(int((event.time - t_start) / span * (width - 1)), width - 1)
+        lane = lanes.setdefault(event.actor, [" "] * width)
+        lane[column] = _GLYPHS[event.kind]
+
+    label_w = max(len(a) for a in lanes) + 2
+    lines = [
+        f"t = [{t_start:.2f}s .. {t_end:.2f}s]   "
+        "C/c ckpt begin/end  D delivered  n notified  L/l load  S swap  "
+        "x superseded  E end",
+    ]
+    for actor in _LANE_ORDER:
+        if actor in lanes:
+            lines.append(f"{actor:<{label_w}}|{''.join(lanes[actor])}|")
+    return "\n".join(lines)
+
+
+def summarize_trace(trace: Trace) -> str:
+    """One-line-per-kind event counts."""
+    counts: Dict[str, int] = {}
+    for event in trace:
+        counts[event.kind] = counts.get(event.kind, 0) + 1
+    return ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))

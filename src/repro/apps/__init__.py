@@ -1,0 +1,21 @@
+"""Application workloads from the paper's evaluation (§5.2).
+
+Three applications drive the experiments:
+
+- **CANDLE NT3** — 1-D convolutional classifier, RNA-seq profiles into
+  normal/tumor (2 classes, 1120 train / 280 test samples, SGD).
+- **CANDLE TC1** — same family, 18 balanced tumor types (4320 train / 1080
+  test samples, SGD).
+- **PtychoNN** — convolutional encoder–decoder predicting real-space
+  amplitude and phase from diffraction patterns (16100 train / 3600 test
+  samples, Adam, MAE loss).
+
+The proprietary datasets are replaced by synthetic generators with the same
+sample counts, class structure, and learnable signal (DESIGN.md §2); the
+paper's checkpoint sizes (NT3.A 600 MB, NT3.B 1.7 GB, TC1 4.7 GB, PtychoNN
+4.5 GB) ride along as *virtual* sizes for the hardware timing model.
+"""
+
+from repro.apps.registry import AppProfile, AppTiming, get_app, list_apps
+
+__all__ = ["AppProfile", "AppTiming", "get_app", "list_apps"]

@@ -1,0 +1,206 @@
+"""App registry: workload profiles tying models, data, and paper constants.
+
+An :class:`AppProfile` carries everything an experiment needs:
+
+- a model builder and a synthetic dataset generator (laptop-scale);
+- the paper's *virtual* checkpoint size and tensor count, which drive the
+  hardware timing model (a 4.7 GB TC1 checkpoint takes 4.7 GB worth of
+  simulated time even though the numpy tensors are tiny);
+- measured-on-Polaris timing constants ``t_train`` (seconds per training
+  iteration) and ``t_infer`` (seconds per inference request), which the
+  paper empirically shows to be constant (Fig. 6);
+- the experiment geometry: warm-up epochs, total epochs, iterations per
+  epoch, and the number of inferences each figure evaluates.
+
+Profiles: ``nt3a`` (Fig. 8a), ``nt3b`` (Fig. 10a / Table 1), ``tc1``
+(Fig. 8b / 9 / 10b), ``ptychonn`` (Fig. 8c / 10c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.substrates.cost import GB, MB
+from repro.apps import candle, ptychonn
+from repro.apps.datasets import make_diffraction_pairs, make_expression_profiles
+
+__all__ = ["AppTiming", "AppProfile", "get_app", "list_apps"]
+
+
+@dataclass(frozen=True)
+class AppTiming:
+    """Polaris-measured per-operation timings (paper Fig. 6)."""
+
+    t_train: float   # seconds per training iteration
+    t_infer: float   # seconds per inference request
+
+    def __post_init__(self):
+        if self.t_train <= 0 or self.t_infer <= 0:
+            raise ConfigurationError("timings must be positive")
+
+
+@dataclass(frozen=True)
+class AppProfile:
+    """A complete workload description for one paper application."""
+
+    name: str
+    display_name: str
+    build_model: Callable[[], object]
+    make_data: Callable[[float, int], Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]
+    loss_metric: str                 # "cross_entropy" | "mae"
+    checkpoint_bytes: int            # paper checkpoint size (virtual)
+    checkpoint_tensors: int          # paper-scale tensor count (virtual)
+    timing: AppTiming
+    n_train: int                     # paper training-set size
+    n_test: int
+    batch_size: int
+    epochs: int                      # baseline run length (= baseline #ckpts)
+    warmup_epochs: int
+    total_inferences: int            # M in the problem formulation
+
+    @property
+    def iters_per_epoch(self) -> int:
+        return -(-self.n_train // self.batch_size)  # ceil division
+
+    @property
+    def total_iters(self) -> int:
+        return self.iters_per_epoch * self.epochs
+
+    @property
+    def warmup_iters(self) -> int:
+        return self.iters_per_epoch * self.warmup_epochs
+
+    def dataset(self, scale: float = 1.0, seed: int = 0):
+        """Generate the synthetic dataset, optionally scaled down.
+
+        ``scale < 1`` shrinks sample counts proportionally (tests use
+        ``scale≈0.05``); iteration counts derived from the profile still
+        refer to the full-scale geometry.
+        """
+        if not 0 < scale <= 1:
+            raise ConfigurationError(f"scale must be in (0, 1], got {scale}")
+        n_train = max(2 * self.batch_size, int(self.n_train * scale))
+        n_test = max(self.batch_size, int(self.n_test * scale))
+        return self.make_data(n_train, n_test, seed)
+
+
+def _nt3_data(n_train, n_test, seed):
+    # Higher class overlap for the binary task so it converges over the
+    # full 7-epoch budget rather than inside the warm-up.
+    return make_expression_profiles(n_train, n_test, n_classes=2, noise=3.0, seed=seed)
+
+
+def _tc1_data(n_train, n_test, seed):
+    return make_expression_profiles(n_train, n_test, n_classes=18, noise=1.5, seed=seed)
+
+
+def _ptycho_data(n_train, n_test, seed):
+    return make_diffraction_pairs(n_train, n_test, seed=seed)
+
+
+_REGISTRY: Dict[str, AppProfile] = {}
+
+
+def _register(profile: AppProfile) -> AppProfile:
+    _REGISTRY[profile.name] = profile
+    return profile
+
+
+NT3A = _register(
+    AppProfile(
+        name="nt3a",
+        display_name="CANDLE-NT3.A",
+        build_model=candle.build_nt3,
+        make_data=_nt3_data,
+        loss_metric="cross_entropy",
+        checkpoint_bytes=600 * MB,
+        checkpoint_tensors=24,
+        timing=AppTiming(t_train=0.050, t_infer=0.005),
+        n_train=1120,
+        n_test=280,
+        batch_size=20,
+        epochs=7,
+        warmup_epochs=2,
+        total_inferences=25_000,
+    )
+)
+
+NT3B = _register(
+    AppProfile(
+        name="nt3b",
+        display_name="CANDLE-NT3.B",
+        build_model=candle.build_nt3,
+        make_data=_nt3_data,
+        loss_metric="cross_entropy",
+        checkpoint_bytes=int(1.7 * GB),
+        checkpoint_tensors=30,
+        timing=AppTiming(t_train=0.050, t_infer=0.005),
+        n_train=1120,
+        n_test=280,
+        batch_size=20,
+        epochs=7,
+        warmup_epochs=2,
+        total_inferences=25_000,
+    )
+)
+
+TC1 = _register(
+    AppProfile(
+        name="tc1",
+        display_name="CANDLE-TC1",
+        build_model=candle.build_tc1,
+        make_data=_tc1_data,
+        loss_metric="cross_entropy",
+        checkpoint_bytes=int(4.7 * GB),
+        checkpoint_tensors=30,
+        # Fig. 6: training ~0.04-0.1 s/iter, inference ~4-8 ms/request.
+        timing=AppTiming(t_train=0.060, t_infer=0.005),
+        n_train=4320,   # paper's TC1 training-set size; 216 iters/epoch @ 20
+        n_test=1080,
+        batch_size=20,
+        epochs=16,
+        warmup_epochs=3,
+        total_inferences=50_000,
+    )
+)
+
+PTYCHONN = _register(
+    AppProfile(
+        name="ptychonn",
+        display_name="PtychoNN",
+        build_model=ptychonn.build_ptychonn,
+        make_data=_ptycho_data,
+        loss_metric="mae",
+        checkpoint_bytes=int(4.5 * GB),
+        # Encoder + two decoders: many more, smaller tensors than the
+        # CANDLE nets — this is what makes its file-path latency higher
+        # (paper Fig. 8c discussion).
+        checkpoint_tensors=120,
+        timing=AppTiming(t_train=0.080, t_infer=0.006),
+        n_train=16_100,
+        n_test=3_600,
+        batch_size=64,
+        epochs=13,
+        warmup_epochs=2,
+        total_inferences=40_000,
+    )
+)
+
+
+def get_app(name: str) -> AppProfile:
+    """Look up an app profile by name (``nt3a``/``nt3b``/``tc1``/``ptychonn``)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown app {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def list_apps() -> Tuple[str, ...]:
+    """Names of every registered application profile."""
+    return tuple(sorted(_REGISTRY))

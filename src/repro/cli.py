@@ -1,0 +1,201 @@
+"""Command-line driver: regenerate the paper's experiments without pytest.
+
+Usage::
+
+    python -m repro fig8 [--app tc1]        # update-latency table
+    python -m repro fig9                    # transfer-strategy impact
+    python -m repro fig10 [--app tc1] [--scale 0.25]
+    python -m repro table1 [--scale 0.25]
+    python -m repro timeline [--app tc1] [--scale 0.1]
+    python -m repro apps                    # list workload profiles
+
+Figures 9/10 and Table 1 train the real model first (pass ``--scale`` to
+shrink the synthetic dataset; the loss curve is stretched back to the
+paper-scale iteration axis).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict
+
+from repro.analysis.reporting import (
+    format_fig8_table,
+    format_fig9_table,
+    format_fig10_table,
+    format_table1,
+)
+from repro.analysis.timeline import render_timeline, summarize_trace
+from repro.apps import get_app, list_apps
+
+__all__ = ["main"]
+
+
+def _curve(app_name: str, scale: float, seed: int):
+    from repro.workflow.experiments import measured_loss_curve
+
+    app = get_app(app_name)
+    print(f"training {app.display_name} (scale={scale}, seed={seed}) ...",
+          file=sys.stderr)
+    return app, measured_loss_curve(app, scale=scale, seed=seed)
+
+
+def cmd_apps(_args) -> int:
+    """``repro apps``: list the workload profiles."""
+    for name in list_apps():
+        app = get_app(name)
+        print(
+            f"{name:<10} {app.display_name:<14} ckpt={app.checkpoint_bytes / 1e9:.1f} GB "
+            f"epochs={app.epochs} iters/epoch={app.iters_per_epoch} "
+            f"M={app.total_inferences}"
+        )
+    return 0
+
+
+def cmd_fig8(args) -> int:
+    """``repro fig8``: live update-latency tables."""
+    from repro.analysis.latency import measure_latencies
+
+    for app_name in [args.app] if args.app else ["nt3a", "tc1", "ptychonn"]:
+        print(format_fig8_table(app_name, measure_latencies(app_name)))
+        print()
+    return 0
+
+
+def cmd_fig9(args) -> int:
+    """``repro fig9``: transfer-strategy impact on TC1."""
+    from repro.workflow.experiments import run_strategy_comparison
+
+    app, curve = _curve("tc1", args.scale, args.seed)
+    results = run_strategy_comparison(app, curve)
+    measured = {
+        key: {"cil": r.cil, "overhead": r.training_overhead}
+        for key, r in results.items()
+    }
+    print(format_fig9_table(measured))
+    if args.json:
+        from repro.analysis.export import export_json
+
+        export_json(args.json, "fig9", results,
+                    extra={"scale": args.scale, "seed": args.seed})
+        print(f"wrote {args.json}", file=sys.stderr)
+    return 0
+
+
+def cmd_fig10(args) -> int:
+    """``repro fig10``: CIL per checkpoint schedule."""
+    from repro.workflow.experiments import run_schedule_comparison
+
+    exported = {}
+    for app_name in [args.app] if args.app else ["nt3b", "tc1", "ptychonn"]:
+        app, curve = _curve(app_name, args.scale, args.seed)
+        results = run_schedule_comparison(app, curve)
+        exported[app_name] = results
+        print(format_fig10_table(app_name, {k: r.cil for k, r in results.items()}))
+        print()
+    if args.json:
+        from repro.analysis.export import export_json
+
+        export_json(args.json, "fig10", exported,
+                    extra={"scale": args.scale, "seed": args.seed})
+        print(f"wrote {args.json}", file=sys.stderr)
+    return 0
+
+
+def cmd_table1(args) -> int:
+    """``repro table1``: checkpoints and overheads."""
+    from repro.workflow.experiments import run_schedule_comparison
+
+    measured: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for app_name in ["nt3b", "tc1", "ptychonn"]:
+        app, curve = _curve(app_name, args.scale, args.seed)
+        results = run_schedule_comparison(app, curve)
+        measured[app_name] = {
+            sched: {"ckpts": r.checkpoints, "overhead": r.training_overhead}
+            for sched, r in results.items()
+        }
+    print(format_table1(measured))
+    if args.json:
+        from repro.analysis.export import export_json
+
+        export_json(args.json, "table1", measured,
+                    extra={"scale": args.scale, "seed": args.seed})
+        print(f"wrote {args.json}", file=sys.stderr)
+    return 0
+
+
+def cmd_timeline(args) -> int:
+    """``repro timeline``: ASCII trace of a coupled run."""
+    from repro.core.predictor.schedules import epoch_schedule
+    from repro.core.transfer.strategies import CaptureMode, TransferStrategy
+    from repro.workflow.runner import CoupledRunConfig, run_coupled
+
+    app, curve = _curve(args.app or "tc1", args.scale, args.seed)
+    schedule = epoch_schedule(app.warmup_iters, app.total_iters, app.iters_per_epoch)
+    result = run_coupled(
+        CoupledRunConfig(
+            app=app,
+            schedule=schedule,
+            loss_curve=curve,
+            strategy=TransferStrategy(args.strategy),
+            mode=CaptureMode.ASYNC,
+        )
+    )
+    print(f"events: {summarize_trace(result.trace)}")
+    print(render_timeline(result.trace, width=args.width))
+    print(
+        f"CIL={result.cil:.1f}  checkpoints={result.checkpoints}  "
+        f"training overhead={result.training_overhead:.2f}s"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Viper reproduction: regenerate the paper's experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("apps", help="list workload profiles").set_defaults(fn=cmd_apps)
+
+    p8 = sub.add_parser("fig8", help="end-to-end update latency table")
+    p8.add_argument("--app", choices=["nt3a", "tc1", "ptychonn"])
+    p8.set_defaults(fn=cmd_fig8)
+
+    for name, fn, has_app in (
+        ("fig9", cmd_fig9, False),
+        ("fig10", cmd_fig10, True),
+        ("table1", cmd_table1, False),
+    ):
+        p = sub.add_parser(name, help=f"regenerate {name}")
+        if has_app:
+            p.add_argument("--app", choices=["nt3b", "tc1", "ptychonn"])
+        p.add_argument("--scale", type=float, default=0.25,
+                       help="synthetic dataset scale (default 0.25)")
+        p.add_argument("--seed", type=int, default=3)
+        p.add_argument("--json", metavar="PATH",
+                       help="also write results as JSON")
+        p.set_defaults(fn=fn)
+
+    pt = sub.add_parser("timeline", help="ASCII timeline of a coupled run")
+    pt.add_argument("--app", choices=["nt3b", "tc1", "ptychonn"])
+    pt.add_argument("--scale", type=float, default=0.1)
+    pt.add_argument("--seed", type=int, default=3)
+    pt.add_argument("--strategy", choices=["gpu", "host", "pfs"], default="gpu")
+    pt.add_argument("--width", type=int, default=100)
+    pt.set_defaults(fn=cmd_timeline)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,88 @@
+"""Declarative experiment configuration.
+
+:class:`ViperConfig` gathers the knobs a deployment chooses — hardware
+profile, serializer, transfer strategy / capture mode, notification vs
+polling discovery, flush policy — into one serializable object, so
+examples and scripts can describe a run as data.  ``from_dict`` accepts
+the plain-dict form (e.g. parsed from JSON).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.substrates.profiles import FRONTIER, LAPTOP, POLARIS, HardwareProfile
+from repro.dnn.serialization import H5LikeSerializer, Serializer, ViperSerializer
+from repro.core.transfer.strategies import CaptureMode, TransferStrategy
+
+__all__ = ["ViperConfig"]
+
+_PROFILES = {"polaris": POLARIS, "frontier": FRONTIER, "laptop": LAPTOP}
+_SERIALIZERS = {"viper": ViperSerializer, "h5py": H5LikeSerializer}
+
+
+@dataclass
+class ViperConfig:
+    """One deployment's configuration knobs."""
+
+    profile: str = "polaris"
+    serializer: str = "viper"
+    strategy: Optional[str] = None     # None = let the selector decide
+    mode: str = "async"
+    flush_history: bool = False
+    poll_interval: float = 0.0         # 0 = push notifications
+    topic: str = "model-updates"
+
+    def __post_init__(self):
+        if self.profile not in _PROFILES:
+            raise ConfigurationError(
+                f"unknown profile {self.profile!r}; options: {sorted(_PROFILES)}"
+            )
+        if self.serializer not in _SERIALIZERS:
+            raise ConfigurationError(
+                f"unknown serializer {self.serializer!r}; "
+                f"options: {sorted(_SERIALIZERS)}"
+            )
+        if self.mode not in ("sync", "async"):
+            raise ConfigurationError(f"mode must be sync|async, not {self.mode!r}")
+        if self.strategy is not None:
+            valid = {s.value for s in TransferStrategy}
+            if self.strategy not in valid:
+                raise ConfigurationError(
+                    f"unknown strategy {self.strategy!r}; options: {sorted(valid)}"
+                )
+        if self.poll_interval < 0:
+            raise ConfigurationError("poll_interval must be non-negative")
+
+    # ------------------------------------------------------------------
+    # Resolution to live objects
+    # ------------------------------------------------------------------
+    def hardware(self) -> HardwareProfile:
+        return _PROFILES[self.profile]
+
+    def make_serializer(self) -> Serializer:
+        return _SERIALIZERS[self.serializer]()
+
+    def capture_mode(self) -> CaptureMode:
+        return CaptureMode.SYNC if self.mode == "sync" else CaptureMode.ASYNC
+
+    def transfer_strategy(self) -> Optional[TransferStrategy]:
+        if self.strategy is None:
+            return None
+        return TransferStrategy(self.strategy)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ViperConfig":
+        known = {f for f in cls.__dataclass_fields__}  # type: ignore[attr-defined]
+        extra = set(data) - known
+        if extra:
+            raise ConfigurationError(f"unknown config keys: {sorted(extra)}")
+        return cls(**data)

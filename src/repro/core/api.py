@@ -1,0 +1,200 @@
+"""Viper's public API (paper Fig. 4): ``save_weights`` / ``load_weights``.
+
+:class:`Viper` wires the whole stack together for a two-node
+producer/consumer deployment: hardware profile -> cluster -> metadata DB,
+notification broker, model weights handler.  Role views keep the usage
+honest to the paper:
+
+- :class:`ViperProducer` — the training side: ``save_weights`` plus a
+  factory for the :class:`~repro.core.callback.CheckpointCallback`.
+- :class:`ViperConsumer` — the serving side: subscribes to update
+  notifications, loads new checkpoints, and swaps them into a
+  double-buffered live model.
+
+Example::
+
+    viper = Viper()
+    producer = viper.producer()
+    consumer = viper.consumer(model_builder=build_tc1)
+
+    cb = producer.checkpoint_callback("tc1", interval=50, warmup_iters=100)
+    model.fit(x, y, epochs=5, batch_size=20, callbacks=[cb])
+
+    consumer.refresh()              # pick up the newest checkpoint
+    live = consumer.current_model() # serve inferences with it
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.errors import ServingError, ViperError
+from repro.substrates.cluster.cluster import make_producer_consumer_pair
+from repro.substrates.profiles import POLARIS, HardwareProfile
+from repro.dnn.serialization import Serializer
+from repro.core.callback import CheckpointCallback
+from repro.core.metadata import MetadataStore
+from repro.core.notification import NotificationBroker, Subscription
+from repro.core.transfer.double_buffer import DoubleBuffer
+from repro.core.transfer.handler import LoadResult, ModelWeightsHandler, UpdateResult
+from repro.core.transfer.selector import TransferSelector
+from repro.core.transfer.strategies import CaptureMode, TransferStrategy
+
+__all__ = ["Viper", "ViperProducer", "ViperConsumer"]
+
+
+class Viper:
+    """One producer/consumer deployment of the Viper I/O framework."""
+
+    def __init__(
+        self,
+        profile: HardwareProfile = POLARIS,
+        *,
+        serializer: Optional[Serializer] = None,
+        selector: Optional[TransferSelector] = None,
+        flush_history: bool = False,
+        retention=None,
+        topic: str = "model-updates",
+    ):
+        self.profile = profile
+        self.cluster, self.producer_node, self.consumer_node = (
+            make_producer_consumer_pair(profile)
+        )
+        self.metadata = MetadataStore()
+        self.broker = NotificationBroker()
+        self.handler = ModelWeightsHandler(
+            self.cluster,
+            self.producer_node,
+            self.consumer_node,
+            profile,
+            metadata=self.metadata,
+            broker=self.broker,
+            serializer=serializer,
+            selector=selector,
+            flush_history=flush_history,
+            retention=retention,
+            topic=topic,
+        )
+        self.topic = topic
+
+    # -- paper Fig. 4 API -------------------------------------------------
+    def save_weights(self, model_name: str, model_weights, **kwargs) -> UpdateResult:
+        """Save the current model state (producer interface)."""
+        return self.handler.save_weights(model_name, model_weights, **kwargs)
+
+    def load_weights(self, model_name: str, version: Optional[int] = None) -> LoadResult:
+        """Load an updated model (consumer interface)."""
+        return self.handler.load_weights(model_name, version)
+
+    # -- role views --------------------------------------------------------
+    def producer(self) -> "ViperProducer":
+        return ViperProducer(self)
+
+    def consumer(self, model_builder: Callable[[], object]) -> "ViperConsumer":
+        return ViperConsumer(self, model_builder)
+
+    # -- lifecycle ----------------------------------------------------------
+    def drain(self) -> None:
+        self.handler.drain()
+
+    def close(self) -> None:
+        self.handler.close()
+        self.broker.close()
+        self.cluster.close()
+
+    def __enter__(self) -> "Viper":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class ViperProducer:
+    """Training-side view: save checkpoints, build fit callbacks."""
+
+    def __init__(self, viper: Viper):
+        self.viper = viper
+
+    def save_weights(self, model_name: str, model_weights, **kwargs) -> UpdateResult:
+        return self.viper.save_weights(model_name, model_weights, **kwargs)
+
+    def checkpoint_callback(self, model_name: str, **kwargs) -> CheckpointCallback:
+        """A :class:`CheckpointCallback` bound to this deployment."""
+        return CheckpointCallback(self.viper, model_name, **kwargs)
+
+    def drain(self) -> None:
+        self.viper.drain()
+
+
+class ViperConsumer:
+    """Serving-side view: double-buffered live model + push updates.
+
+    ``model_builder`` constructs a fresh model instance; the consumer
+    keeps two (primary serving, alternate staging) and swaps atomically
+    on every update, so inference never observes a half-loaded model.
+    """
+
+    def __init__(self, viper: Viper, model_builder: Callable[[], object]):
+        self.viper = viper
+        self._builder = model_builder
+        self._spare = model_builder()
+        self._buffer: DoubleBuffer = DoubleBuffer(model_builder(), version=0)
+        self._sub: Optional[Subscription] = None
+        self._lock = threading.Lock()
+        self.updates_applied = 0
+        self.load_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    def subscribe(self) -> Subscription:
+        """Register for push notifications of new checkpoints."""
+        if self._sub is None:
+            self._sub = self.viper.broker.subscribe(self.viper.topic)
+        return self._sub
+
+    def current_model(self):
+        """The live model for serving (never torn, possibly stale)."""
+        return self._buffer.acquire().model
+
+    @property
+    def current_version(self) -> int:
+        return self._buffer.version
+
+    # ------------------------------------------------------------------
+    def apply_update(self, model_name: str, version: Optional[int] = None) -> LoadResult:
+        """Load a checkpoint and atomically swap it into serving."""
+        with self._lock:
+            result = self.viper.load_weights(model_name, version)
+            if result.version <= self._buffer.version:
+                raise ServingError(
+                    f"update {result.version} is not newer than live "
+                    f"{self._buffer.version}"
+                )
+            # Stage into the spare replica, then swap; the displaced
+            # primary becomes the next spare (classic double buffering).
+            self._spare.load_state_dict(result.state)
+            displaced = self._buffer.acquire().model
+            self._buffer.update(self._spare, result.version)
+            self._spare = displaced
+            self.updates_applied += 1
+            self.load_seconds += result.cost.total
+            return result
+
+    def refresh(self, model_name: Optional[str] = None) -> Optional[LoadResult]:
+        """Pick up the newest checkpoint if it is newer than the live one.
+
+        With a subscription active, drains queued notifications first
+        (keeping only the newest, as Viper's memory channels hold only
+        the latest model).  Returns None when already current.
+        """
+        if model_name is None:
+            notes = self._sub.drain() if self._sub is not None else []
+            if not notes:
+                return None
+            model_name = notes[-1].model_name
+        record, _cost = self.viper.metadata.latest(model_name)
+        if record is None or record.version <= self._buffer.version:
+            return None
+        return self.apply_update(model_name)

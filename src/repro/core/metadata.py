@@ -1,0 +1,166 @@
+"""Shared metadata store for model checkpoints.
+
+The paper uses Redis as "a shared in-memory database" holding, per model:
+name, version, size, location (memory or storage), and saving path (Fig. 3,
+"Metadata Manager").  :class:`MetadataStore` reproduces those semantics as a
+thread-safe, versioned key-value store:
+
+- ``publish_version`` registers a new checkpoint's record and bumps the
+  model's latest version atomically (monotonic; concurrent writers cannot
+  regress the latest pointer).
+- ``latest`` / ``record`` are wait-free reads.
+- ``compare_and_swap`` supports optimistic concurrency for components that
+  update a record in place (e.g. the flusher marking a version durable).
+
+The store charges a small simulated access latency per operation to model
+the Redis round trip.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import MetadataError, StaleVersionError
+from repro.substrates.cost import Cost
+
+__all__ = ["ModelRecord", "MetadataStore"]
+
+#: Simulated one-way latency of a metadata-DB operation (an in-memory
+#: Redis round trip on the same fabric is tens of microseconds).
+DB_ACCESS_LATENCY = 50e-6
+
+
+@dataclass(frozen=True)
+class ModelRecord:
+    """One checkpoint version's metadata (paper Fig. 3)."""
+
+    model_name: str
+    version: int
+    nbytes: int              # virtual (paper-scale) checkpoint size
+    location: str            # primary tier key: "gpu", "host_dram", "pfs"
+    path: str                # object key within the location
+    ntensors: int = 1
+    durable: bool = False    # flushed to the PFS for fault tolerance
+    created_at: float = 0.0  # simulated timestamp
+    train_iteration: int = 0 # producer iteration the checkpoint captures
+    train_loss: float = float("nan")
+    #: every location holding a replica of this checkpoint (the Stats
+    #: Manager's raw material); always includes ``location``.
+    replicas: Tuple[str, ...] = ()
+
+    def __post_init__(self):
+        if self.version < 0:
+            raise MetadataError(f"negative version {self.version}")
+        if self.nbytes < 0:
+            raise MetadataError(f"negative size {self.nbytes}")
+        if self.location not in self.replicas:
+            object.__setattr__(
+                self, "replicas", tuple(self.replicas) + (self.location,)
+            )
+
+
+class MetadataStore:
+    """Thread-safe versioned metadata for every model Viper manages."""
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._records: Dict[Tuple[str, int], ModelRecord] = {}
+        self._latest: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def publish_version(self, record: ModelRecord) -> Cost:
+        """Register a checkpoint version and advance the latest pointer.
+
+        Versions may arrive out of order from concurrent producers; the
+        latest pointer only moves forward.
+        """
+        key = (record.model_name, record.version)
+        with self._lock:
+            if key in self._records:
+                raise MetadataError(
+                    f"version {record.version} of {record.model_name!r} "
+                    f"already published"
+                )
+            self._records[key] = record
+            current = self._latest.get(record.model_name, -1)
+            if record.version > current:
+                self._latest[record.model_name] = record.version
+        return Cost.of("metadata.write", DB_ACCESS_LATENCY)
+
+    def compare_and_swap(
+        self, updated: ModelRecord, expected_durable: Optional[bool] = None
+    ) -> Cost:
+        """Replace a record in place; optionally guard on ``durable``."""
+        key = (updated.model_name, updated.version)
+        with self._lock:
+            old = self._records.get(key)
+            if old is None:
+                raise MetadataError(
+                    f"no record for {updated.model_name!r} v{updated.version}"
+                )
+            if expected_durable is not None and old.durable != expected_durable:
+                raise StaleVersionError(
+                    f"durable flag changed for {key}",
+                    expected=int(expected_durable),
+                    actual=int(old.durable),
+                )
+            self._records[key] = updated
+        return Cost.of("metadata.write", DB_ACCESS_LATENCY)
+
+    def drop_version(self, model_name: str, version: int) -> None:
+        """Remove one version's record (GC path).  Dropping the latest
+        version rewinds the latest pointer to the newest survivor."""
+        with self._lock:
+            if (model_name, version) not in self._records:
+                raise MetadataError(f"no record for {model_name!r} v{version}")
+            del self._records[(model_name, version)]
+            if self._latest.get(model_name) == version:
+                survivors = [
+                    v for (name, v) in self._records if name == model_name
+                ]
+                if survivors:
+                    self._latest[model_name] = max(survivors)
+                else:
+                    del self._latest[model_name]
+
+    def drop_model(self, model_name: str) -> int:
+        """Remove every version of a model; returns how many were dropped."""
+        with self._lock:
+            keys = [k for k in self._records if k[0] == model_name]
+            for k in keys:
+                del self._records[k]
+            self._latest.pop(model_name, None)
+            return len(keys)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def latest(self, model_name: str) -> Tuple[Optional[ModelRecord], Cost]:
+        """The newest published record for a model (None if absent)."""
+        with self._lock:
+            version = self._latest.get(model_name)
+            rec = self._records.get((model_name, version)) if version is not None else None
+        return rec, Cost.of("metadata.read", DB_ACCESS_LATENCY)
+
+    def record(self, model_name: str, version: int) -> Tuple[ModelRecord, Cost]:
+        with self._lock:
+            rec = self._records.get((model_name, version))
+        if rec is None:
+            raise MetadataError(f"no record for {model_name!r} v{version}")
+        return rec, Cost.of("metadata.read", DB_ACCESS_LATENCY)
+
+    def versions(self, model_name: str) -> List[int]:
+        with self._lock:
+            return sorted(v for (name, v) in self._records if name == model_name)
+
+    def models(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._latest))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)

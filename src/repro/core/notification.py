@@ -1,0 +1,179 @@
+"""Publish-subscribe notification module.
+
+Instead of the fixed-interval polling that TensorFlow-Serving and Triton
+use to watch a model repository (minimum ~1 ms poll interval, plus the load
+polling puts on the storage system), Viper pushes an update message to
+subscribed consumers the moment a new checkpoint is published (paper §4.4,
+"less than 1 ms notification latency").
+
+:class:`NotificationBroker` reproduces the Redis pub/sub semantics
+in-process: topics, fan-out to all current subscribers, per-subscriber
+FIFO queues, and fire-and-forget publishes.  Delivery latency is charged
+as simulated time on each message (`PUSH_LATENCY`), so the workflow layer
+can compare push-based discovery against polling baselines quantitatively.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import NotificationError
+
+__all__ = ["Notification", "Subscription", "NotificationBroker", "PUSH_LATENCY"]
+
+#: Simulated publish->deliver latency (paper: "less than 1 ms").
+PUSH_LATENCY = 0.0005
+
+
+@dataclass(frozen=True)
+class Notification:
+    """One update message: which model, which version, where it lives."""
+
+    topic: str
+    model_name: str
+    version: int
+    location: str
+    published_at: float   # simulated publish timestamp
+    deliver_at: float     # published_at + PUSH_LATENCY
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+
+class Subscription:
+    """A consumer's handle on a topic: a FIFO of notifications.
+
+    Supports both blocking :meth:`get` (live mode — the consumer's update
+    thread parks here) and non-blocking :meth:`poll` (DES mode).
+    An optional callback fires synchronously on publish for push-driven
+    consumers.
+    """
+
+    def __init__(self, topic: str, callback: Optional[Callable[[Notification], None]] = None):
+        self.topic = topic
+        self.callback = callback
+        self._queue: "queue.Queue[Notification]" = queue.Queue()
+        self._closed = False
+        self.delivered = 0
+
+    def _push(self, note: Notification) -> None:
+        if self._closed:
+            return
+        self._queue.put(note)
+        self.delivered += 1
+        if self.callback is not None:
+            self.callback(note)
+
+    def get(self, timeout: Optional[float] = None) -> Notification:
+        """Block until the next notification arrives."""
+        if self._closed and self._queue.empty():
+            raise NotificationError(f"subscription to {self.topic!r} is closed")
+        try:
+            note = self._queue.get(timeout=timeout)
+        except queue.Empty:
+            raise NotificationError(
+                f"no notification on {self.topic!r} within {timeout}s"
+            ) from None
+        if note is _CLOSE:
+            raise NotificationError(f"subscription to {self.topic!r} closed")
+        return note
+
+    def poll(self) -> Optional[Notification]:
+        """Non-blocking fetch; None when the queue is empty."""
+        try:
+            note = self._queue.get_nowait()
+        except queue.Empty:
+            return None
+        if note is _CLOSE:
+            return None
+        return note
+
+    def drain(self) -> List[Notification]:
+        """Fetch everything currently queued (newest model wins logic is
+        the caller's: Viper consumers typically keep only the last one)."""
+        out: List[Notification] = []
+        while True:
+            note = self.poll()
+            if note is None:
+                return out
+            out.append(note)
+
+    def close(self) -> None:
+        self._closed = True
+        self._queue.put(_CLOSE)
+
+
+_CLOSE = object()  # type: ignore[assignment]
+
+
+class NotificationBroker:
+    """Topic-based fan-out broker (the Redis pub/sub stand-in)."""
+
+    def __init__(self, push_latency: float = PUSH_LATENCY):
+        if push_latency < 0:
+            raise NotificationError("push latency must be non-negative")
+        self.push_latency = push_latency
+        self._lock = threading.RLock()
+        self._subs: Dict[str, List[Subscription]] = {}
+        self.published = 0
+
+    def subscribe(
+        self,
+        topic: str,
+        callback: Optional[Callable[[Notification], None]] = None,
+    ) -> Subscription:
+        sub = Subscription(topic, callback)
+        with self._lock:
+            self._subs.setdefault(topic, []).append(sub)
+        return sub
+
+    def unsubscribe(self, sub: Subscription) -> None:
+        with self._lock:
+            subs = self._subs.get(sub.topic, [])
+            if sub in subs:
+                subs.remove(sub)
+        sub.close()
+
+    def publish(
+        self,
+        topic: str,
+        *,
+        model_name: str,
+        version: int,
+        location: str,
+        now: float,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> Notification:
+        """Fan a notification out to every subscriber of ``topic``.
+
+        Returns the notification (with its simulated delivery timestamp)
+        even when there are no subscribers — publishes are fire-and-forget,
+        matching Redis semantics.
+        """
+        note = Notification(
+            topic=topic,
+            model_name=model_name,
+            version=version,
+            location=location,
+            published_at=now,
+            deliver_at=now + self.push_latency,
+            payload=dict(payload or {}),
+        )
+        with self._lock:
+            subs = list(self._subs.get(topic, ()))
+            self.published += 1
+        for sub in subs:
+            sub._push(note)
+        return note
+
+    def subscriber_count(self, topic: str) -> int:
+        with self._lock:
+            return len(self._subs.get(topic, ()))
+
+    def close(self) -> None:
+        with self._lock:
+            all_subs = [s for subs in self._subs.values() for s in subs]
+            self._subs.clear()
+        for sub in all_subs:
+            sub.close()

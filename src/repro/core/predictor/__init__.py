@@ -1,0 +1,54 @@
+"""Inference Performance Predictor (IPP) — paper §4.3.
+
+Pipeline:
+
+1. :mod:`curves` — the four parametric learning-curve families the paper
+   fits (Exp2, Exp3, Lin2, Expd3).
+2. :mod:`tlp` — the Training Loss Predictor: fit all candidates on warm-up
+   losses, keep the one with minimal MSE.
+3. :mod:`cilp` — Eq. 1 (time -> iteration mapping), Eq. 2 and Algorithm 1
+   (cumulative inference loss accounting).
+4. :mod:`schedules` — Algorithm 2 (fixed interval), Algorithm 3 (greedy
+   irregular interval), the epoch-boundary baseline, and the warm-up
+   threshold rule (mean + std of consecutive loss deltas).
+5. :mod:`ipp` — the facade gluing 1-4 into "give me a near-optimal
+   checkpoint schedule before training finishes".
+"""
+
+from repro.core.predictor.curves import (
+    CurveModel,
+    Exp2,
+    Exp3,
+    Expd3,
+    Lin2,
+    fit_all_curves,
+)
+from repro.core.predictor.tlp import TrainingLossPredictor
+from repro.core.predictor.cilp import CILParams, CILPredictor, cil_window
+from repro.core.predictor.schedules import (
+    Schedule,
+    epoch_schedule,
+    fixed_interval_schedule,
+    greedy_schedule,
+    warmup_threshold,
+)
+from repro.core.predictor.ipp import InferencePerformancePredictor
+
+__all__ = [
+    "CurveModel",
+    "Exp2",
+    "Exp3",
+    "Lin2",
+    "Expd3",
+    "fit_all_curves",
+    "TrainingLossPredictor",
+    "CILParams",
+    "CILPredictor",
+    "cil_window",
+    "Schedule",
+    "epoch_schedule",
+    "fixed_interval_schedule",
+    "greedy_schedule",
+    "warmup_threshold",
+    "InferencePerformancePredictor",
+]

@@ -1,0 +1,156 @@
+"""Cumulative Inference Loss Predictor (CILP) — paper Eq. 1, Eq. 2, Alg. 1.
+
+The CILP estimates, before training finishes, the total inference loss a
+consumer will accumulate over a window, given:
+
+- ``t_train``: seconds per training iteration (constant — Fig. 6);
+- ``t_p``: producer stall per checkpoint, ``s_model / bw_write``;
+- ``t_c``: consumer model-load time, ``s_model / bw_read``;
+- ``t_infer``: seconds per inference request (constant — Fig. 6);
+- a training-loss predictor mapping iteration -> loss (the TLP), with the
+  paper's assumption 2 treating a checkpoint's training loss as its
+  inference loss.
+
+Key accounting detail from Algorithm 1: only the *first* model update's
+window includes ``t_c`` on the critical path; afterwards the consumer
+loads the next model concurrently with serving, so subsequent windows are
+``inter * t_train + t_p`` long.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+from repro.errors import ConfigurationError, ScheduleError
+
+__all__ = ["CILParams", "cil_window", "CILPredictor"]
+
+
+@dataclass(frozen=True)
+class CILParams:
+    """The constant timing parameters feeding Eq. 1/2 and Algorithms 1-3."""
+
+    t_train: float   # seconds per training iteration
+    t_p: float       # producer checkpoint stall (s_model / bw_write)
+    t_c: float       # consumer load time (s_model / bw_read)
+    t_infer: float   # seconds per inference request
+
+    def __post_init__(self):
+        if self.t_train <= 0 or self.t_infer <= 0:
+            raise ConfigurationError("t_train and t_infer must be positive")
+        if self.t_p < 0 or self.t_c < 0:
+            raise ConfigurationError("t_p and t_c must be non-negative")
+
+    def window_seconds(self, ckpt_interval: int) -> float:
+        """t'_train in the paper: one checkpoint window's wall time."""
+        return ckpt_interval * self.t_train + self.t_p
+
+
+def cil_window(
+    inter: int,
+    loss: float,
+    ckpt_ver: int,
+    rem_infers: int,
+    params: CILParams,
+) -> Tuple[float, int]:
+    """Algorithm 1: total inference loss within one checkpoint window.
+
+    ``inter`` training iterations pass before the next model update; the
+    consumer serves every request in that window with the model whose
+    (predicted) loss is ``loss``.  The first update (``ckpt_ver == 1``)
+    additionally pays the model-load time ``t_c`` on the serving path.
+    Returns ``(accumulated_inference_loss, inferences_served)``.
+    """
+    if inter <= 0:
+        raise ScheduleError(f"checkpoint interval must be positive, got {inter}")
+    if ckpt_ver < 1:
+        raise ScheduleError(f"checkpoint version must be >= 1, got {ckpt_ver}")
+    if rem_infers < 0:
+        raise ScheduleError(f"negative remaining inferences {rem_infers}")
+    window = inter * params.t_train + params.t_p
+    if ckpt_ver == 1:
+        window += params.t_c
+    infers = int(window / params.t_infer)
+    infers = min(infers, rem_infers)
+    return loss * infers, infers
+
+
+class CILPredictor:
+    """Closed-form Eq. 2 accounting over a fixed duration ``t_max``."""
+
+    def __init__(self, loss_pred: Callable[[float], float], params: CILParams):
+        self.loss_pred = loss_pred
+        self.params = params
+
+    # ------------------------------------------------------------------
+    # Eq. 1: map a wall-clock time to the training iteration reached.
+    # ------------------------------------------------------------------
+    def iters_at_time(self, t_k: float, ckpt_interval: int) -> int:
+        """``get_iters(t_k, ckpt_i)``: training iteration reached by t_k.
+
+        Training alternates ``ckpt_interval`` iterations of ``t_train``
+        with a stall ``t_p``; whole windows contribute ``ckpt_interval``
+        iterations each, the remainder contributes ``t_rem / t_train``.
+        """
+        if t_k < 0:
+            raise ScheduleError(f"negative time {t_k}")
+        if ckpt_interval <= 0:
+            raise ScheduleError(f"interval must be positive, got {ckpt_interval}")
+        p = self.params
+        window = p.window_seconds(ckpt_interval)
+        full = int(t_k / window)
+        rem_time = min(t_k - full * window, window)
+        return ckpt_interval * full + min(int(rem_time / p.t_train), ckpt_interval)
+
+    def loss_at_time(self, t_k: float, ckpt_interval: int) -> float:
+        """Predicted training loss at wall-clock time ``t_k`` (Eq. 1 + TLP)."""
+        return self.loss_pred(self.iters_at_time(t_k, ckpt_interval))
+
+    # ------------------------------------------------------------------
+    # Eq. 2: cumulative inference loss over [0, t_max].
+    # ------------------------------------------------------------------
+    def acc_loss(self, ckpt_interval: int, t_max: float) -> float:
+        """``accLoss(ckpt_i, t_max)``: predicted CIL over a duration.
+
+        Checkpoint ``k`` (k = 0 is the warm-up model) serves the window
+        until checkpoint ``k+1`` is live.  ``cnm`` counts completed model
+        updates within ``t_max``.
+        """
+        if t_max <= 0:
+            raise ScheduleError(f"t_max must be positive, got {t_max}")
+        if ckpt_interval <= 0:
+            raise ScheduleError(f"interval must be positive, got {ckpt_interval}")
+        p = self.params
+        window = p.window_seconds(ckpt_interval)
+        cnm = int((t_max - p.t_c) / window)
+        if cnm <= 0:
+            return self.loss_pred(0) * (t_max / p.t_infer)
+        total = 0.0
+        for cid in range(cnm + 1):
+            if cid == 0:
+                span = (window + p.t_c) / p.t_infer
+            elif cid < cnm:
+                span = window / p.t_infer
+            else:
+                span = (t_max - (cid * window + p.t_c)) / p.t_infer
+            span = max(span, 0.0)
+            total += self.loss_pred(cid * ckpt_interval) * span
+        return total
+
+    def best_fixed_interval(self, t_max: float, max_interval: int) -> Tuple[int, float]:
+        """Eq. 3: argmin over intervals of ``acc_loss`` (the closed form).
+
+        The iterative Algorithm 2 in :mod:`schedules` is the inference-count
+        -bounded version used in practice; this closed form exists for
+        validation and for quick what-if analysis.
+        """
+        if max_interval < 1:
+            raise ScheduleError("max_interval must be >= 1")
+        best_i, best_v = 1, float("inf")
+        for i in range(1, max_interval + 1):
+            v = self.acc_loss(i, t_max)
+            if v < best_v:
+                best_i, best_v = i, v
+        return best_i, best_v

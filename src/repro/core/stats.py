@@ -1,0 +1,92 @@
+"""Stats Manager: load-source accounting (paper Fig. 3, optional).
+
+The architecture figure lists an optional *Stats Manager* holding
+"cached models on each producer ... used when selecting where to load
+the model".  :class:`StatsManager` implements that role for the Model
+Weights Handler's location-aware load path: it records, per location,
+how many loads were served, the simulated bytes and time spent, and how
+often the preferred (cheapest) replica was missing so the load fell back
+to a slower tier.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+__all__ = ["LocationStats", "StatsManager", "LOCATION_RANK"]
+
+#: Cheapest-first order of checkpoint locations (the load path prefers
+#: the fastest tier that still holds the replica).
+LOCATION_RANK: Dict[str, int] = {"gpu": 0, "host_dram": 1, "pfs": 2}
+
+
+@dataclass
+class LocationStats:
+    """Counters for one location."""
+
+    loads: int = 0
+    bytes_loaded: int = 0
+    seconds: float = 0.0
+
+
+class StatsManager:
+    """Thread-safe load-source counters."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._per_location: Dict[str, LocationStats] = {}
+        self.fallbacks = 0   # preferred replica missing, used a slower one
+        self.misses = 0      # no replica present anywhere
+
+    def rank(self, location: str) -> int:
+        return LOCATION_RANK.get(location, len(LOCATION_RANK))
+
+    def order(self, replicas) -> Tuple[str, ...]:
+        """Replicas sorted cheapest-first."""
+        return tuple(sorted(replicas, key=self.rank))
+
+    # ------------------------------------------------------------------
+    def record_load(
+        self,
+        location: str,
+        nbytes: int,
+        seconds: float,
+        fallback: bool = False,
+    ) -> None:
+        with self._lock:
+            stats = self._per_location.setdefault(location, LocationStats())
+            stats.loads += 1
+            stats.bytes_loaded += int(nbytes)
+            stats.seconds += float(seconds)
+            if fallback:
+                self.fallbacks += 1
+
+    def record_miss(self) -> None:
+        with self._lock:
+            self.misses += 1
+
+    # ------------------------------------------------------------------
+    def loads_from(self, location: str) -> int:
+        with self._lock:
+            stats = self._per_location.get(location)
+            return stats.loads if stats else 0
+
+    def snapshot(self) -> Dict[str, LocationStats]:
+        with self._lock:
+            return {
+                loc: LocationStats(s.loads, s.bytes_loaded, s.seconds)
+                for loc, s in self._per_location.items()
+            }
+
+    def summary(self) -> str:
+        parts = []
+        for loc in sorted(self._per_location, key=self.rank):
+            stats = self._per_location[loc]
+            parts.append(
+                f"{loc}: {stats.loads} loads, {stats.bytes_loaded} B, "
+                f"{stats.seconds:.3f}s"
+            )
+        parts.append(f"fallbacks: {self.fallbacks}, misses: {self.misses}")
+        return "; ".join(parts)

@@ -1,0 +1,41 @@
+"""The memory-first model transfer engine (paper §4.4, Fig. 7).
+
+- :mod:`strategies` — the three transfer strategies (GPU-to-GPU,
+  Host-to-Host, PFS) × two capture modes (sync, async) and their timing
+  laws over a hardware profile.
+- :mod:`selector` — the Transfer Selector choosing a strategy per save
+  request (GPU-direct preferred, host RDMA fallback, PFS last).
+- :mod:`double_buffer` — the consumer-side double buffer with an atomic
+  primary/alternate swap.
+- :mod:`flush` — the background thread flushing historical checkpoints
+  to the PFS for fault tolerance.
+- :mod:`engine` — the producer-side asynchronous capture/transfer worker.
+- :mod:`handler` — the Model Weights Handler facade processing
+  save/load requests end to end.
+"""
+
+from repro.core.transfer.strategies import (
+    CaptureMode,
+    StrategyTimings,
+    TransferStrategy,
+    compute_timings,
+)
+from repro.core.transfer.selector import TransferSelector
+from repro.core.transfer.double_buffer import DoubleBuffer
+from repro.core.transfer.flush import BackgroundFlusher
+from repro.core.transfer.engine import AsyncTransferEngine
+from repro.core.transfer.handler import ModelWeightsHandler, UpdateResult, LoadResult
+
+__all__ = [
+    "TransferStrategy",
+    "CaptureMode",
+    "StrategyTimings",
+    "compute_timings",
+    "TransferSelector",
+    "DoubleBuffer",
+    "BackgroundFlusher",
+    "AsyncTransferEngine",
+    "ModelWeightsHandler",
+    "UpdateResult",
+    "LoadResult",
+]

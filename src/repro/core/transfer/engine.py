@@ -1,0 +1,117 @@
+"""Asynchronous capture/transfer worker (paper §4.4, "Viper-ASync").
+
+In async mode the producer's training loop only pays for the local
+snapshot copy; the wire movement, metadata publish, and notification run
+on this engine's worker thread.  The engine serializes jobs (one worker —
+checkpoints are totally ordered per producer, like the paper's
+single background stream), tracks the simulated background time, and
+surfaces worker exceptions to the caller on :meth:`drain` rather than
+swallowing them.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.errors import TransferError
+from repro.substrates.cost import Cost
+
+__all__ = ["TransferJob", "AsyncTransferEngine"]
+
+
+@dataclass
+class TransferJob:
+    """One queued model update; ``action`` performs the actual movement
+    and returns the simulated background cost it incurred."""
+
+    description: str
+    action: Callable[[], Cost]
+    done: threading.Event = field(default_factory=threading.Event)
+    cost: Cost = field(default_factory=Cost.zero)
+    error: Optional[BaseException] = None
+
+
+class AsyncTransferEngine:
+    """Single-worker background queue for model updates."""
+
+    def __init__(self, name: str = "viper-engine"):
+        self.name = name
+        self._queue: "queue.Queue[Optional[TransferJob]]" = queue.Queue()
+        self._lock = threading.Lock()
+        self._completed: List[TransferJob] = []
+        self._errors: List[TransferJob] = []
+        self._background_cost = Cost.zero()
+        self._thread = threading.Thread(target=self._run, daemon=True, name=name)
+        self._started = False
+
+    def start(self) -> "AsyncTransferEngine":
+        if not self._started:
+            self._thread.start()
+            self._started = True
+        return self
+
+    def submit(self, job: TransferJob) -> TransferJob:
+        if not self._started:
+            raise TransferError(f"{self.name}: engine not started")
+        self._queue.put(job)
+        return job
+
+    def drain(self, timeout: float = 60.0, raise_on_error: bool = True) -> None:
+        """Wait for all queued jobs; re-raise the first worker error."""
+        with self._queue.all_tasks_done:
+            while self._queue.unfinished_tasks:
+                if not self._queue.all_tasks_done.wait(timeout):
+                    raise TransferError(f"{self.name}: drain timed out")
+        if raise_on_error:
+            with self._lock:
+                failed = list(self._errors)
+            if failed:
+                raise TransferError(
+                    f"{self.name}: {len(failed)} background job(s) failed; "
+                    f"first: {failed[0].description}: {failed[0].error!r}"
+                ) from failed[0].error
+
+    def stop(self, timeout: float = 60.0) -> None:
+        if not self._started:
+            return
+        self._queue.put(None)
+        self._thread.join(timeout)
+
+    # ------------------------------------------------------------------
+    @property
+    def background_cost(self) -> Cost:
+        with self._lock:
+            return self._background_cost
+
+    @property
+    def completed(self) -> int:
+        with self._lock:
+            return len(self._completed)
+
+    @property
+    def failures(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(j.description for j in self._errors)
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                self._queue.task_done()
+                return
+            try:
+                job.cost = job.action()
+                with self._lock:
+                    self._completed.append(job)
+                    self._background_cost = self._background_cost + job.cost
+            except BaseException as exc:  # noqa: BLE001 - surfaced on drain
+                job.error = exc
+                with self._lock:
+                    self._errors.append(job)
+            finally:
+                job.done.set()
+                self._queue.task_done()

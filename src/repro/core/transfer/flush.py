@@ -1,0 +1,146 @@
+"""Background flush of historical checkpoints to the PFS.
+
+Paper §4.4: "For fault tolerance, all historical DNN models are flushed to
+the PFS through a background thread to minimize the impact on training."
+
+:class:`BackgroundFlusher` owns a worker thread draining a queue of flush
+jobs.  Each job writes the serialized checkpoint into the shared PFS store
+and then marks the metadata record durable via compare-and-swap.  A
+failure-injection hook supports the fault-tolerance tests; failed flushes
+are retried up to ``max_retries`` and then recorded in ``failed_keys``.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, replace
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import StorageError
+from repro.substrates.cost import Cost
+from repro.substrates.memory.storage import TierStore
+from repro.core.metadata import MetadataStore, ModelRecord
+
+__all__ = ["FlushJob", "BackgroundFlusher"]
+
+
+@dataclass
+class FlushJob:
+    """One checkpoint to persist: payload plus its metadata record."""
+
+    key: str
+    blob: bytes
+    record: ModelRecord
+
+
+class BackgroundFlusher:
+    """Worker thread persisting checkpoints off the training path."""
+
+    def __init__(
+        self,
+        pfs: TierStore,
+        metadata: MetadataStore,
+        *,
+        max_retries: int = 2,
+        fail_hook: Optional[Callable[[FlushJob, int], bool]] = None,
+    ):
+        self.pfs = pfs
+        self.metadata = metadata
+        self.max_retries = max_retries
+        self.fail_hook = fail_hook
+        self._queue: "queue.Queue[Optional[FlushJob]]" = queue.Queue()
+        self._lock = threading.Lock()
+        self._flushed: List[str] = []
+        self._failed: List[str] = []
+        self._background_cost = Cost.zero()
+        self._thread = threading.Thread(
+            target=self._run, daemon=True, name="viper-flusher"
+        )
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> "BackgroundFlusher":
+        if not self._started:
+            self._thread.start()
+            self._started = True
+        return self
+
+    def submit(self, job: FlushJob) -> None:
+        if not self._started:
+            raise StorageError("flusher not started")
+        self._queue.put(job)
+
+    def drain(self, timeout: float = 30.0) -> None:
+        """Block until every queued flush has been processed."""
+        with self._queue.all_tasks_done:
+            deadline = timeout
+            while self._queue.unfinished_tasks:
+                if not self._queue.all_tasks_done.wait(deadline):
+                    raise StorageError("flusher drain timed out")
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if not self._started:
+            return
+        self._queue.put(None)
+        self._thread.join(timeout)
+
+    # ------------------------------------------------------------------
+    @property
+    def flushed_keys(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(self._flushed)
+
+    @property
+    def failed_keys(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(self._failed)
+
+    @property
+    def background_cost(self) -> Cost:
+        """Total simulated time spent flushing (off the training path)."""
+        with self._lock:
+            return self._background_cost
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                self._queue.task_done()
+                return
+            try:
+                self._flush_one(job)
+            finally:
+                self._queue.task_done()
+
+    def _flush_one(self, job: FlushJob) -> None:
+        for attempt in range(self.max_retries + 1):
+            try:
+                if self.fail_hook is not None and self.fail_hook(job, attempt):
+                    raise StorageError(f"injected flush failure for {job.key}")
+                cost = self.pfs.put(
+                    job.key,
+                    job.blob,
+                    virtual_bytes=job.record.nbytes,
+                    nobjects=job.record.ntensors,
+                    version=job.record.version,
+                )
+                current, _ = self.metadata.record(
+                    job.record.model_name, job.record.version
+                )
+                cost = cost + self.metadata.compare_and_swap(
+                    replace(
+                        current,
+                        durable=True,
+                        replicas=tuple(dict.fromkeys(current.replicas + ("pfs",))),
+                    )
+                )
+                with self._lock:
+                    self._flushed.append(job.key)
+                    self._background_cost = self._background_cost + cost
+                return
+            except StorageError:
+                continue
+        with self._lock:
+            self._failed.append(job.key)

@@ -1,0 +1,356 @@
+"""Model Weights Handler: the memory-first save/load facade (paper Fig. 7).
+
+The handler processes the producer's *save* requests and the consumer's
+*load* requests end to end:
+
+save path (producer node)
+    serialize -> select strategy -> stage the blob into the destination
+    (a one-sided put into the consumer's GPU/host memory, or a PFS write)
+    -> publish metadata -> publish a notification.  In async mode
+    everything past the local snapshot runs on the
+    :class:`~repro.core.transfer.engine.AsyncTransferEngine` worker.
+
+load path (consumer node)
+    read the latest metadata record -> fetch the blob from its location
+    -> deserialize -> hand the state dict to the caller (who stages it
+    into the double buffer).
+
+The destination tier stores hold the *real* serialized bytes; the
+simulated time for each phase comes from the strategy timing laws in
+:mod:`repro.core.transfer.strategies`.  Writing into the consumer's
+:class:`~repro.substrates.memory.storage.TierStore` models the one-sided
+RDMA put the paper's MPI/GPUDirect path performs — no receiver CPU
+involvement, data lands directly in remote memory.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import MetadataError, ObjectNotFoundError, TransferError
+from repro.core.stats import StatsManager
+from repro.substrates.cost import Cost
+from repro.substrates.cluster.cluster import Cluster
+from repro.substrates.cluster.node import ComputeNode
+from repro.substrates.memory.storage import TierStore
+from repro.substrates.profiles import HardwareProfile
+from repro.dnn.serialization import Serializer, ViperSerializer, state_dict_nbytes
+from repro.core.metadata import MetadataStore, ModelRecord
+from repro.core.notification import NotificationBroker
+from repro.core.transfer.engine import AsyncTransferEngine, TransferJob
+from repro.core.transfer.flush import BackgroundFlusher, FlushJob
+from repro.core.transfer.selector import TransferSelector
+from repro.core.transfer.strategies import (
+    CaptureMode,
+    StrategyTimings,
+    TransferStrategy,
+    compute_timings,
+    load_cost_for_location,
+)
+
+__all__ = ["UpdateResult", "LoadResult", "ModelWeightsHandler"]
+
+_LOCATION_OF = {
+    TransferStrategy.GPU_TO_GPU: "gpu",
+    TransferStrategy.HOST_TO_HOST: "host_dram",
+    TransferStrategy.PFS: "pfs",
+}
+
+
+@dataclass(frozen=True)
+class UpdateResult:
+    """Outcome of one save request."""
+
+    model_name: str
+    version: int
+    strategy: TransferStrategy
+    mode: CaptureMode
+    stall: Cost          # charged to the producer's training loop
+    background: Cost     # charged to the engine thread (async only)
+    load: Cost           # what the consumer will pay to pick this up
+    record: ModelRecord
+
+    @property
+    def update_latency(self) -> float:
+        """Figure 8's end-to-end latency for this update."""
+        return self.stall.total + self.background.total + self.load.total
+
+
+@dataclass(frozen=True)
+class LoadResult:
+    """Outcome of one load request."""
+
+    model_name: str
+    version: int
+    state: Dict[str, np.ndarray]
+    cost: Cost
+    record: ModelRecord
+    #: which replica actually served this load (may differ from the
+    #: record's primary location after eviction or node loss).
+    location: str = ""
+
+
+class ModelWeightsHandler:
+    """Save/load engine shared by one producer/consumer pair.
+
+    One handler instance is producer-side (owns the engine and flusher);
+    the consumer side may share the same object (same process in this
+    reproduction) and only calls :meth:`load_weights`.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        producer: ComputeNode,
+        consumer: ComputeNode,
+        profile: HardwareProfile,
+        *,
+        metadata: Optional[MetadataStore] = None,
+        broker: Optional[NotificationBroker] = None,
+        serializer: Optional[Serializer] = None,
+        selector: Optional[TransferSelector] = None,
+        flush_history: bool = False,
+        retention=None,
+        topic: str = "model-updates",
+    ):
+        self.cluster = cluster
+        self.producer = producer
+        self.consumer = consumer
+        self.profile = profile
+        self.metadata = metadata if metadata is not None else MetadataStore()
+        self.broker = broker if broker is not None else NotificationBroker()
+        self.serializer = serializer if serializer is not None else ViperSerializer()
+        self.selector = selector if selector is not None else TransferSelector(
+            gpu_direct_available=True,
+            gpu_staging_budget=consumer.gpu.spec.capacity_bytes // 2,
+            host_staging_budget=consumer.dram.spec.capacity_bytes // 2,
+        )
+        self.topic = topic
+        self.flush_history = flush_history
+        self.retention = retention
+        self.stats = StatsManager()
+        self.engine = AsyncTransferEngine().start()
+        self.flusher = BackgroundFlusher(cluster.pfs, self.metadata).start()
+        self._clock_lock = threading.Lock()
+        self._sim_now = 0.0
+        self._versions: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Simulated wall clock for metadata timestamps
+    # ------------------------------------------------------------------
+    def _advance_now(self, dt: float) -> float:
+        with self._clock_lock:
+            self._sim_now += dt
+            return self._sim_now
+
+    @property
+    def sim_now(self) -> float:
+        with self._clock_lock:
+            return self._sim_now
+
+    # ------------------------------------------------------------------
+    # Save path
+    # ------------------------------------------------------------------
+    def next_version(self, model_name: str) -> int:
+        with self._clock_lock:
+            v = self._versions.get(model_name, 0) + 1
+            self._versions[model_name] = v
+            return v
+
+    def _dest_store(self, strategy: TransferStrategy) -> TierStore:
+        if strategy is TransferStrategy.GPU_TO_GPU:
+            return self.consumer.gpu
+        if strategy is TransferStrategy.HOST_TO_HOST:
+            return self.consumer.dram
+        return self.cluster.pfs
+
+    def save_weights(
+        self,
+        model_name: str,
+        state: Dict[str, np.ndarray],
+        *,
+        mode: CaptureMode = CaptureMode.ASYNC,
+        version: Optional[int] = None,
+        virtual_bytes: Optional[int] = None,
+        virtual_tensors: Optional[int] = None,
+        train_iteration: int = 0,
+        train_loss: float = float("nan"),
+        strategy: Optional[TransferStrategy] = None,
+    ) -> UpdateResult:
+        """Capture and deliver one checkpoint of ``state``.
+
+        ``virtual_bytes`` / ``virtual_tensors`` scale the *timing* to the
+        paper-scale checkpoint while the real (small) tensors flow through
+        the data path.  They default to the actual payload size.
+        """
+        if not state:
+            raise TransferError("save_weights: empty state dict")
+        payload_bytes = state_dict_nbytes(state)
+        vbytes = payload_bytes if virtual_bytes is None else int(virtual_bytes)
+        vtensors = len(state) if virtual_tensors is None else int(virtual_tensors)
+        chosen = strategy if strategy is not None else self.selector.select(vbytes)
+        timings = compute_timings(
+            self.profile, self.serializer, chosen, mode, vbytes, vtensors
+        )
+        ver = self.next_version(model_name) if version is None else version
+        blob = self.serializer.dumps(state)
+        key = f"{model_name}/v{ver}"
+        record = ModelRecord(
+            model_name=model_name,
+            version=ver,
+            nbytes=vbytes,
+            location=_locname(chosen),
+            path=key,
+            ntensors=vtensors,
+            durable=(chosen is TransferStrategy.PFS),
+            created_at=self._advance_now(timings.stall.total),
+            train_iteration=train_iteration,
+            train_loss=train_loss,
+        )
+
+        wire = self.serializer.wire_bytes(vbytes)
+
+        def _publish() -> Cost:
+            dest = self._dest_store(chosen)
+            dest.put(
+                key,
+                blob,
+                virtual_bytes=wire,
+                nobjects=vtensors,
+                version=ver,
+            )
+            cost = self.metadata.publish_version(record)
+            self.broker.publish(
+                self.topic,
+                model_name=model_name,
+                version=ver,
+                location=record.location,
+                now=self.sim_now,
+                payload={"path": key, "nbytes": vbytes},
+            )
+            if self.flush_history and chosen is not TransferStrategy.PFS:
+                self.flusher.submit(FlushJob(key=key, blob=blob, record=record))
+            return timings.deliver + cost
+
+        if mode is CaptureMode.SYNC:
+            background = _publish()
+            # In sync mode the wire time is already inside the stall; the
+            # only background component is the metadata write.
+            background = background.only(("metadata",))
+            return UpdateResult(
+                model_name,
+                ver,
+                chosen,
+                mode,
+                timings.stall,
+                background,
+                timings.load,
+                record,
+            )
+
+        job = TransferJob(description=f"save {key} via {chosen.value}", action=_publish)
+        self.engine.submit(job)
+        return UpdateResult(
+            model_name,
+            ver,
+            chosen,
+            mode,
+            timings.stall,
+            timings.deliver,
+            timings.load,
+            record,
+        )
+
+    # ------------------------------------------------------------------
+    # Load path
+    # ------------------------------------------------------------------
+    def load_weights(
+        self,
+        model_name: str,
+        version: Optional[int] = None,
+    ) -> LoadResult:
+        """Fetch the latest (or a specific) checkpoint for a model.
+
+        The load is location-aware (paper Fig. 3's Stats Manager role):
+        among the record's replicas, the cheapest tier that still holds
+        the blob serves the request — e.g. the consumer-memory copy when
+        present, the durable PFS copy after eviction or node loss.
+        """
+        if version is None:
+            record, meta_cost = self.metadata.latest(model_name)
+            if record is None:
+                raise MetadataError(f"no published checkpoint for {model_name!r}")
+        else:
+            record, meta_cost = self.metadata.record(model_name, version)
+        candidates = self.stats.order(record.replicas)
+        chosen = None
+        blob = None
+        for location in candidates:
+            store = self._store_for_location(location)
+            if record.path in store:
+                blob, _store_cost = store.get(record.path)
+                chosen = location
+                break
+        if chosen is None or blob is None:
+            self.stats.record_miss()
+            raise ObjectNotFoundError(
+                f"no replica of {record.path!r} present in any of "
+                f"{candidates} (evicted before load?)"
+            )
+        state = self.serializer.loads(blob)
+        cost = meta_cost + load_cost_for_location(
+            self.profile,
+            self.serializer,
+            _strategy_key(chosen),
+            record.nbytes,
+            record.ntensors,
+        )
+        self._advance_now(cost.total)
+        self.stats.record_load(
+            chosen, record.nbytes, cost.total, fallback=(chosen != candidates[0])
+        )
+        return LoadResult(
+            model_name, record.version, state, cost, record, location=chosen
+        )
+
+    def _store_for_location(self, location: str) -> TierStore:
+        if location == "gpu":
+            return self.consumer.gpu
+        if location == "host_dram":
+            return self.consumer.dram
+        if location == "pfs":
+            return self.cluster.pfs
+        raise TransferError(f"unknown checkpoint location {location!r}")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def drain(self, timeout: float = 60.0) -> None:
+        """Wait for async saves and flushes to settle, then apply the
+        retention policy (if configured) to every model's history."""
+        self.engine.drain(timeout)
+        self.flusher.drain(timeout)
+        if self.retention is not None:
+            from repro.core.transfer.retention import collect_garbage
+
+            for model_name in self.metadata.models():
+                collect_garbage(
+                    self.metadata, self.cluster.pfs, model_name, self.retention
+                )
+
+    def close(self) -> None:
+        self.engine.stop()
+        self.flusher.stop()
+
+
+def _locname(strategy: TransferStrategy) -> str:
+    return _LOCATION_OF[strategy]
+
+
+def _strategy_key(location: str) -> str:
+    """Map a metadata location back to the load-cost key."""
+    return {"gpu": "gpu", "host_dram": "dram", "pfs": "pfs"}[location]

@@ -1,0 +1,86 @@
+"""Checkpoint retention and garbage collection.
+
+The paper keeps only the latest checkpoint in the memory channels and
+flushes "all historical DNN models" to the PFS.  Unbounded history
+eventually exhausts even a PFS quota, so production deployments need a
+retention policy.  :class:`RetentionPolicy` implements the standard
+tiered rule:
+
+- always keep the newest ``keep_latest`` versions (hot restart window);
+- additionally keep every ``keep_every``-th version for history
+  (coarse-grained provenance / rollback);
+- version 1 (the warm-up model) is always retained as the lineage root.
+
+:func:`collect_garbage` applies a policy to a model's history: dropped
+versions lose their PFS objects and metadata records; memory replicas
+are left to the tier stores' own eviction (they only ever hold the
+latest anyway).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Set, Tuple
+
+from repro.errors import ConfigurationError, ObjectNotFoundError
+from repro.substrates.memory.storage import TierStore
+from repro.core.metadata import MetadataStore
+
+__all__ = ["RetentionPolicy", "collect_garbage"]
+
+
+@dataclass(frozen=True)
+class RetentionPolicy:
+    """Which checkpoint versions survive garbage collection."""
+
+    keep_latest: int = 3
+    keep_every: int = 0   # 0 disables the historical stride
+
+    def __post_init__(self):
+        if self.keep_latest < 1:
+            raise ConfigurationError("keep_latest must be >= 1")
+        if self.keep_every < 0:
+            raise ConfigurationError("keep_every must be >= 0")
+
+    def retained(self, versions: Sequence[int]) -> Set[int]:
+        """Subset of ``versions`` the policy keeps."""
+        ordered = sorted(versions)
+        if not ordered:
+            return set()
+        keep: Set[int] = set(ordered[-self.keep_latest:])
+        keep.add(ordered[0])  # lineage root
+        if self.keep_every > 0:
+            keep.update(v for v in ordered if v % self.keep_every == 0)
+        return keep
+
+
+def collect_garbage(
+    metadata: MetadataStore,
+    pfs: TierStore,
+    model_name: str,
+    policy: RetentionPolicy,
+) -> Tuple[List[int], int]:
+    """Apply ``policy`` to one model's checkpoint history.
+
+    Returns ``(dropped_versions, bytes_reclaimed)`` (virtual bytes on
+    the PFS).  The latest pointer is never collected (``keep_latest >=
+    1`` guarantees it survives).
+    """
+    versions = metadata.versions(model_name)
+    keep = policy.retained(versions)
+    dropped: List[int] = []
+    reclaimed = 0
+    for version in versions:
+        if version in keep:
+            continue
+        record, _cost = metadata.record(model_name, version)
+        if "pfs" in record.replicas:
+            try:
+                reclaimed += pfs.stat(record.path).virtual_bytes
+                pfs.delete(record.path)
+            except ObjectNotFoundError:
+                pass  # already evicted
+        # Drop the record entirely: the version is gone from history.
+        metadata.drop_version(model_name, version)
+        dropped.append(version)
+    return dropped, reclaimed

@@ -1,0 +1,77 @@
+"""Transfer Selector: choose where a checkpoint should travel.
+
+Paper Fig. 7: "When processing the save request from the producer, Model
+Weights Handler first utilizes the Transfer Selector to select a proper
+transfer strategy based on the existing workload on the storage".  The
+policy implemented here follows §4.4:
+
+1. prefer direct GPU-to-GPU when a GPU-direct path exists and the
+   checkpoint fits the consumer-side GPU staging budget;
+2. fall back to Host-to-Host RDMA when host memory has room;
+3. fall back to the PFS otherwise (always available, always slowest).
+
+Capacity checks use virtual (paper-scale) sizes against the staging
+budget, so a 40 GB GPU holding a 4.7 GB double-buffered checkpoint pair
+behaves like the real thing.  A pluggable ``veto`` hook lets deployments
+add workload-aware logic (e.g. skip the GPU path while inference batches
+saturate HBM bandwidth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import ConfigurationError
+from repro.core.transfer.strategies import TransferStrategy
+
+__all__ = ["TransferSelector"]
+
+VetoFn = Callable[[TransferStrategy, int], bool]
+
+
+@dataclass
+class TransferSelector:
+    """Strategy-selection policy for the Model Weights Handler.
+
+    Attributes:
+        gpu_direct_available: whether a GPU-to-GPU path exists (NVIDIA
+            GPUDirect RDMA / P2P, AMD ROCm RDMA — paper §4.4).
+        gpu_staging_budget: bytes of GPU memory the consumer grants for
+            staging (double buffering needs 2x the model size).
+        host_staging_budget: bytes of host memory for staging.
+        forced: pin a strategy regardless of policy (micro-benchmarks).
+        veto: optional hook returning True to skip a candidate strategy.
+    """
+
+    gpu_direct_available: bool = True
+    gpu_staging_budget: int = 0
+    host_staging_budget: int = 0
+    forced: Optional[TransferStrategy] = None
+    veto: Optional[VetoFn] = None
+
+    def __post_init__(self):
+        if self.gpu_staging_budget < 0 or self.host_staging_budget < 0:
+            raise ConfigurationError("staging budgets must be non-negative")
+
+    def select(self, nbytes: int) -> TransferStrategy:
+        """Pick the strategy for a checkpoint of ``nbytes`` (virtual)."""
+        if nbytes < 0:
+            raise ConfigurationError(f"negative checkpoint size {nbytes}")
+        if self.forced is not None:
+            return self.forced
+        # Double buffering on the receiving side needs two copies resident.
+        if (
+            self.gpu_direct_available
+            and 2 * nbytes <= self.gpu_staging_budget
+            and not self._vetoed(TransferStrategy.GPU_TO_GPU, nbytes)
+        ):
+            return TransferStrategy.GPU_TO_GPU
+        if 2 * nbytes <= self.host_staging_budget and not self._vetoed(
+            TransferStrategy.HOST_TO_HOST, nbytes
+        ):
+            return TransferStrategy.HOST_TO_HOST
+        return TransferStrategy.PFS
+
+    def _vetoed(self, strategy: TransferStrategy, nbytes: int) -> bool:
+        return self.veto is not None and self.veto(strategy, nbytes)

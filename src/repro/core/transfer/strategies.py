@@ -1,0 +1,168 @@
+"""Transfer strategies and their timing laws.
+
+A model update's simulated time decomposes into three phases:
+
+- **stall** — what blocks the producer's training loop (paper: "training
+  has to be interrupted due to checkpointing");
+- **deliver** — background work off the training path (the async engine's
+  extra staging copy plus the wire/PFS time);
+- **load** — the consumer-side read + deserialize + upload before the
+  double-buffer swap.
+
+The end-to-end *model update latency* of Figure 8 is the sum of all
+three; the *training overhead* of Figure 9 / Table 1 counts only the
+stall.  Timing laws per strategy (sizes are wire bytes, i.e. payload ×
+the serializer's byte-overhead factor):
+
+====================  ========================================  =======================
+strategy              sync stall / async stall                  deliver (async) | load
+====================  ========================================  =======================
+GPU-to-GPU            ser + d2d [+ nvlink if sync]              d2d' + nvlink | gpu_read + deser
+Host-to-Host          ser + d2h [+ ib if sync]                  dram' + ib    | dram_read + h2d + deser
+PFS                   ser + d2h [+ pfs_write if sync]           pfs_write     | pfs_read + h2d + deser
+====================  ========================================  =======================
+
+(`'` marks the async engine's extra staging copy; `ser`/`deser` include
+the serializer's fixed and per-tensor overheads, which is where the h5py
+baseline loses to Viper's compact format.)
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.substrates.cost import Cost
+from repro.substrates.profiles import HardwareProfile
+from repro.dnn.serialization import Serializer
+
+__all__ = [
+    "TransferStrategy",
+    "CaptureMode",
+    "StrategyTimings",
+    "compute_timings",
+    "load_cost_for_location",
+]
+
+
+class TransferStrategy(enum.Enum):
+    """Where the checkpoint travels (paper Fig. 7's transfer selector)."""
+
+    GPU_TO_GPU = "gpu"
+    HOST_TO_HOST = "host"
+    PFS = "pfs"
+
+
+class CaptureMode(enum.Enum):
+    """Whether the movement blocks training or runs on the engine thread."""
+
+    SYNC = "sync"
+    ASYNC = "async"
+
+
+@dataclass(frozen=True)
+class StrategyTimings:
+    """The three phases of one model update, as simulated costs."""
+
+    strategy: TransferStrategy
+    mode: CaptureMode
+    stall: Cost     # blocks the producer's training loop
+    deliver: Cost   # background (empty for sync modes)
+    load: Cost      # consumer-side critical path
+
+    @property
+    def update_latency(self) -> float:
+        """Figure 8's end-to-end model update latency."""
+        return self.stall.total + self.deliver.total + self.load.total
+
+    @property
+    def training_overhead(self) -> float:
+        """Figure 9's per-checkpoint training overhead."""
+        return self.stall.total
+
+
+def compute_timings(
+    profile: HardwareProfile,
+    serializer: Serializer,
+    strategy: TransferStrategy,
+    mode: CaptureMode,
+    payload_bytes: int,
+    ntensors: int,
+) -> StrategyTimings:
+    """Evaluate the timing law for one (strategy, mode) combination."""
+    if payload_bytes < 0 or ntensors < 1:
+        raise ConfigurationError(
+            f"payload_bytes={payload_bytes}, ntensors={ntensors} out of range"
+        )
+    wire = serializer.wire_bytes(payload_bytes)
+    ser = Cost.of("serialize", serializer.serialize_seconds(ntensors))
+    deser = Cost.of("deserialize", serializer.deserialize_seconds(ntensors))
+
+    if strategy is TransferStrategy.GPU_TO_GPU:
+        snapshot = profile.hbm_copy.transfer_cost(wire)
+        wire_cost = profile.nvlink.transfer_cost(wire)
+        load = Cost.of("gpu_hbm.read", profile.gpu_hbm.read_time(wire)) + deser
+        if mode is CaptureMode.SYNC:
+            return StrategyTimings(strategy, mode, ser + snapshot + wire_cost, Cost.zero(), load)
+        extra = profile.hbm_copy.transfer_cost(wire)
+        return StrategyTimings(strategy, mode, ser + snapshot, extra + wire_cost, load)
+
+    if strategy is TransferStrategy.HOST_TO_HOST:
+        d2h = profile.pcie.transfer_cost(wire)
+        wire_cost = profile.infiniband.transfer_cost(wire)
+        load = (
+            Cost.of("host_dram.read", profile.host_dram.read_time(wire))
+            + profile.pcie.transfer_cost(wire)
+            + deser
+        )
+        if mode is CaptureMode.SYNC:
+            return StrategyTimings(strategy, mode, ser + d2h + wire_cost, Cost.zero(), load)
+        extra = profile.dram_copy.transfer_cost(wire)
+        return StrategyTimings(strategy, mode, ser + d2h, extra + wire_cost, load)
+
+    if strategy is TransferStrategy.PFS:
+        d2h = profile.pcie.transfer_cost(wire)
+        write = Cost.of("pfs.write", profile.pfs.write_time(wire, ntensors))
+        load = (
+            Cost.of("pfs.read", profile.pfs.read_time(wire, ntensors))
+            + profile.pcie.transfer_cost(wire)
+            + deser
+        )
+        if mode is CaptureMode.SYNC:
+            return StrategyTimings(strategy, mode, ser + d2h + write, Cost.zero(), load)
+        extra = profile.dram_copy.transfer_cost(wire)
+        return StrategyTimings(strategy, mode, ser + d2h + extra, write, load)
+
+    raise ConfigurationError(f"unknown strategy {strategy!r}")
+
+
+def load_cost_for_location(
+    profile: HardwareProfile,
+    serializer: Serializer,
+    location: str,
+    payload_bytes: int,
+    ntensors: int,
+) -> Cost:
+    """Consumer-side load cost given where the checkpoint resides.
+
+    ``location`` is the metadata record's location field: ``"gpu"``,
+    ``"dram"``, or ``"pfs"`` — the same keys the strategies stage into.
+    """
+    wire = serializer.wire_bytes(payload_bytes)
+    deser = Cost.of("deserialize", serializer.deserialize_seconds(ntensors))
+    if location == "gpu":
+        return Cost.of("gpu_hbm.read", profile.gpu_hbm.read_time(wire)) + deser
+    if location == "dram":
+        return (
+            Cost.of("host_dram.read", profile.host_dram.read_time(wire))
+            + profile.pcie.transfer_cost(wire)
+            + deser
+        )
+    if location == "pfs":
+        return (
+            Cost.of("pfs.read", profile.pfs.read_time(wire, ntensors))
+            + profile.pcie.transfer_cost(wire)
+            + deser
+        )
+    raise ConfigurationError(f"unknown checkpoint location {location!r}")

@@ -1,0 +1,105 @@
+"""Full training-state checkpoints: weights + optimizer + progress.
+
+The paper (§2, "DNN Model Checkpointing") notes a checkpoint "typically
+includ[es] model parameters (i.e., weights and bias) and potentially
+containing the optimizer state, and other intermediate states for
+resuming training".  Model updates to the consumer ship weights only
+(:meth:`Sequential.state_dict`), but the fault-tolerance path — the
+background flush to the PFS — can carry the full training state so a
+crashed producer resumes exactly where it stopped.
+
+The packed representation stays a flat ``Dict[str, np.ndarray]`` so the
+existing serializers, tier stores, and transfer strategies all apply
+unchanged; reserved key prefixes separate the sections:
+
+- ``model/<layer>/<param>`` — the weights;
+- ``optim/<slot>/<layer>/<param>`` — optimizer slot variables;
+- ``progress/...`` — scalar counters (iteration, optimizer steps).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.errors import StorageError
+
+__all__ = ["pack_training_state", "unpack_training_state", "is_full_state"]
+
+_MODEL = "model/"
+_OPTIM = "optim/"
+_RNG = "rng/"
+_PROGRESS_ITER = "progress/iteration"
+_PROGRESS_STEPS = "progress/optimizer_steps"
+
+
+def _encode_rng(rng: np.random.Generator) -> np.ndarray:
+    """Bit-generator state as a uint8 array (JSON bytes)."""
+    return np.frombuffer(
+        json.dumps(rng.bit_generator.state).encode("utf-8"), dtype=np.uint8
+    ).copy()
+
+
+def _decode_rng(blob: np.ndarray) -> dict:
+    return json.loads(bytes(blob.tobytes()).decode("utf-8"))
+
+
+def pack_training_state(model, optimizer, iteration: int) -> Dict[str, np.ndarray]:
+    """Capture everything needed to resume training at ``iteration``."""
+    if iteration < 0:
+        raise StorageError(f"negative iteration {iteration}")
+    state: Dict[str, np.ndarray] = {}
+    for key, value in model.state_dict().items():
+        state[_MODEL + key] = value
+    for key, value in optimizer.state_dict().items():
+        state[_OPTIM + key] = np.asarray(value)
+    # Stochastic layers (Dropout) advance private RNGs during training;
+    # exact resume needs their bit-generator state too.
+    for layer in getattr(model, "layers", ()):
+        rng = getattr(layer, "_rng", None)
+        if isinstance(rng, np.random.Generator):
+            state[_RNG + layer.name] = _encode_rng(rng)
+    state[_PROGRESS_ITER] = np.asarray(iteration, dtype=np.int64)
+    state[_PROGRESS_STEPS] = np.asarray(optimizer.iterations, dtype=np.int64)
+    return state
+
+
+def is_full_state(state: Dict[str, np.ndarray]) -> bool:
+    """True when ``state`` is a packed training state (not bare weights)."""
+    return _PROGRESS_ITER in state
+
+
+def unpack_training_state(
+    state: Dict[str, np.ndarray], model, optimizer
+) -> int:
+    """Restore model weights and optimizer slots; returns the iteration.
+
+    The optimizer's update counter is restored too, so schedules that
+    depend on it (inverse-time lr decay, Adam bias correction) continue
+    seamlessly.
+    """
+    if not is_full_state(state):
+        raise StorageError("not a full training state (missing progress keys)")
+    model_state = {
+        key[len(_MODEL):]: value
+        for key, value in state.items()
+        if key.startswith(_MODEL)
+    }
+    if not model_state:
+        raise StorageError("training state has no model section")
+    model.load_state_dict(model_state)
+    optim_state = {
+        key[len(_OPTIM):]: value
+        for key, value in state.items()
+        if key.startswith(_OPTIM)
+    }
+    optimizer.load_state_dict(optim_state)
+    optimizer.iterations = int(state[_PROGRESS_STEPS])
+    for layer in getattr(model, "layers", ()):
+        blob = state.get(_RNG + layer.name)
+        rng = getattr(layer, "_rng", None)
+        if blob is not None and isinstance(rng, np.random.Generator):
+            rng.bit_generator.state = _decode_rng(blob)
+    return int(state[_PROGRESS_ITER])

@@ -1,0 +1,34 @@
+"""Weight initializers.
+
+Glorot/He schemes keep the loss curves of the reproduction's synthetic
+CANDLE/PtychoNN models in the stable, monotonically-decreasing regime the
+paper's learning-curve predictor assumes (§4.3 assumption 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["glorot_uniform", "he_normal", "zeros", "normal"]
+
+
+def glorot_uniform(rng: np.random.Generator, shape, fan_in: int, fan_out: int):
+    """Glorot/Xavier uniform: U(-limit, limit), limit = sqrt(6/(fi+fo))."""
+    limit = np.sqrt(6.0 / float(fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(np.float32)
+
+
+def he_normal(rng: np.random.Generator, shape, fan_in: int):
+    """He normal: N(0, sqrt(2/fan_in)); the default for ReLU stacks."""
+    std = np.sqrt(2.0 / float(fan_in))
+    return (rng.standard_normal(shape) * std).astype(np.float32)
+
+
+def normal(rng: np.random.Generator, shape, std: float = 0.01):
+    """Plain Gaussian init with the given standard deviation."""
+    return (rng.standard_normal(shape) * std).astype(np.float32)
+
+
+def zeros(shape):
+    """All-zeros init (the conventional bias initializer)."""
+    return np.zeros(shape, dtype=np.float32)

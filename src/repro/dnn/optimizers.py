@@ -1,0 +1,147 @@
+"""Optimizers: SGD (the CANDLE Pilot1 choice) and Adam (PtychoNN's).
+
+An optimizer owns per-parameter slot state keyed the same way the model's
+state dict is; checkpoints can therefore optionally capture optimizer state
+alongside the weights (paper §2, "DNN Model Checkpointing").
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Optimizer", "SGD", "Adam"]
+
+
+class Optimizer:
+    """Base: apply an update given named params and named grads.
+
+    ``decay`` applies Keras-style inverse-time learning-rate decay:
+    ``lr_t = lr / (1 + decay * t)`` with ``t`` the update count.  The
+    CANDLE-style workloads use it so their loss curves plateau the way
+    the paper's learning-curve predictor assumes.
+    """
+
+    def __init__(self, lr: float, decay: float = 0.0):
+        if lr <= 0:
+            raise ConfigurationError(f"learning rate must be positive, got {lr}")
+        if decay < 0:
+            raise ConfigurationError(f"decay must be non-negative, got {decay}")
+        self.lr = lr
+        self.decay = decay
+        self.iterations = 0
+
+    @property
+    def current_lr(self) -> float:
+        return self.lr / (1.0 + self.decay * self.iterations)
+
+    def step(
+        self, params: Dict[str, np.ndarray], grads: Dict[str, np.ndarray]
+    ) -> None:
+        self.iterations += 1
+        self._apply(params, grads)
+
+    def _apply(self, params, grads) -> None:
+        raise NotImplementedError
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Slot variables for checkpointing; empty for stateless updates."""
+        return {}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Restore slot variables captured by :meth:`state_dict`."""
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(self, lr: float = 0.01, momentum: float = 0.0, decay: float = 0.0):
+        super().__init__(lr, decay)
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigurationError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self._velocity: Dict[str, np.ndarray] = {}
+
+    def _apply(self, params, grads):
+        lr = self.current_lr
+        for key, grad in grads.items():
+            if self.momentum > 0.0:
+                v = self._velocity.get(key)
+                if v is None:
+                    v = np.zeros_like(params[key])
+                v = self.momentum * v - lr * grad
+                self._velocity[key] = v
+                params[key] += v
+            else:
+                params[key] -= lr * grad
+
+    def state_dict(self):
+        return {f"momentum/{k}": v.copy() for k, v in self._velocity.items()}
+
+    def load_state_dict(self, state):
+        self._velocity = {
+            k[len("momentum/"):]: np.array(v)
+            for k, v in state.items()
+            if k.startswith("momentum/")
+        }
+
+
+class Adam(Optimizer):
+    """Adam with bias correction (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        decay: float = 0.0,
+    ):
+        super().__init__(lr, decay)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ConfigurationError("betas must be in [0, 1)")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m: Dict[str, np.ndarray] = {}
+        self._v: Dict[str, np.ndarray] = {}
+
+    def _apply(self, params, grads):
+        t = self.iterations
+        lr = self.current_lr
+        b1, b2 = self.beta1, self.beta2
+        bias1 = 1.0 - b1**t
+        bias2 = 1.0 - b2**t
+        for key, grad in grads.items():
+            m = self._m.get(key)
+            v = self._v.get(key)
+            if m is None:
+                m = np.zeros_like(params[key])
+                v = np.zeros_like(params[key])
+            m = b1 * m + (1.0 - b1) * grad
+            v = b2 * v + (1.0 - b2) * (grad * grad)
+            self._m[key] = m
+            self._v[key] = v
+            m_hat = m / bias1
+            v_hat = v / bias2
+            params[key] -= lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self):
+        out = {f"adam_m/{k}": v.copy() for k, v in self._m.items()}
+        out.update({f"adam_v/{k}": v.copy() for k, v in self._v.items()})
+        return out
+
+    def load_state_dict(self, state):
+        self._m = {
+            k[len("adam_m/"):]: np.array(v)
+            for k, v in state.items()
+            if k.startswith("adam_m/")
+        }
+        self._v = {
+            k[len("adam_v/"):]: np.array(v)
+            for k, v in state.items()
+            if k.startswith("adam_v/")
+        }

@@ -1,0 +1,158 @@
+"""Training loop, history, and the Keras-style callback protocol.
+
+``run_fit_loop`` is deliberately framework-shaped: epochs of shuffled
+mini-batches, with ``on_train_begin`` / ``on_epoch_begin`` /
+``on_batch_end`` / ``on_epoch_end`` / ``on_train_end`` hooks.  Viper's
+checkpoint callback (paper Fig. 3) attaches here and observes the
+training loss of every iteration, which feeds the learning-curve fit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Callback", "History", "run_fit_loop"]
+
+
+class Callback:
+    """Base callback; subclasses override any subset of the hooks.
+
+    ``model`` is set by the loop before ``on_train_begin``.  The iteration
+    counter is global across epochs (1-based after the first batch), which
+    is the indexing the paper's Eq. 1 and Algorithms 1–3 use.
+    """
+
+    def __init__(self):
+        self.model = None
+
+    def set_model(self, model) -> None:
+        self.model = model
+
+    def on_train_begin(self, logs: Dict[str, Any]) -> None:
+        pass
+
+    def on_epoch_begin(self, epoch: int, logs: Dict[str, Any]) -> None:
+        pass
+
+    def on_batch_end(self, iteration: int, logs: Dict[str, Any]) -> None:
+        pass
+
+    def on_epoch_end(self, epoch: int, logs: Dict[str, Any]) -> None:
+        pass
+
+    def on_train_end(self, logs: Dict[str, Any]) -> None:
+        pass
+
+
+@dataclass
+class History(Callback):
+    """Records per-iteration and per-epoch training losses (and, for
+    classification models, per-iteration training accuracy — the other
+    training-quality metric the paper's predictor accepts)."""
+
+    iteration_loss: List[float] = field(default_factory=list)
+    iteration_accuracy: List[float] = field(default_factory=list)
+    epoch_loss: List[float] = field(default_factory=list)
+    epochs_run: int = 0
+
+    def __post_init__(self):
+        super().__init__()
+
+    def on_batch_end(self, iteration, logs):
+        self.iteration_loss.append(float(logs["loss"]))
+        if "accuracy" in logs:
+            self.iteration_accuracy.append(float(logs["accuracy"]))
+
+    def on_epoch_end(self, epoch, logs):
+        self.epoch_loss.append(float(logs["loss"]))
+        self.epochs_run = epoch + 1
+
+
+def run_fit_loop(
+    model,
+    x: np.ndarray,
+    y: np.ndarray,
+    *,
+    epochs: int,
+    batch_size: int,
+    callbacks: List[Callback],
+    shuffle: bool = True,
+    seed: int = 0,
+    verbose: bool = False,
+) -> History:
+    """Execute the mini-batch training loop; returns the History.
+
+    A :class:`History` callback is always appended so the caller gets the
+    full per-iteration loss trace back even with no explicit callbacks.
+    """
+    if epochs <= 0:
+        raise ConfigurationError(f"epochs must be positive, got {epochs}")
+    if batch_size <= 0:
+        raise ConfigurationError(f"batch_size must be positive, got {batch_size}")
+    if x.shape[0] != np.asarray(y).shape[0]:
+        raise ConfigurationError(
+            f"x and y disagree on sample count: {x.shape[0]} vs "
+            f"{np.asarray(y).shape[0]}"
+        )
+    if x.shape[0] == 0:
+        raise ConfigurationError("cannot fit on an empty dataset")
+
+    history = History()
+    all_callbacks = list(callbacks) + [history]
+    for cb in all_callbacks:
+        cb.set_model(model)
+
+    rng = np.random.default_rng(seed)
+    n = x.shape[0]
+    model.stop_training = False
+
+    logs: Dict[str, Any] = {"n_samples": n, "batch_size": batch_size}
+    for cb in all_callbacks:
+        cb.on_train_begin(logs)
+
+    iteration = 0
+    for epoch in range(epochs):
+        order = rng.permutation(n) if shuffle else np.arange(n)
+        epoch_logs: Dict[str, Any] = {"epoch": epoch}
+        for cb in all_callbacks:
+            cb.on_epoch_begin(epoch, epoch_logs)
+
+        losses = []
+        for start in range(0, n, batch_size):
+            idx = order[start : start + batch_size]
+            loss_value = model.train_batch(x[idx], y[idx])
+            iteration += 1
+            losses.append(loss_value)
+            batch_logs = {
+                "loss": loss_value,
+                "epoch": epoch,
+                "iteration": iteration,
+                "size": len(idx),
+            }
+            accuracy_fn = getattr(model.loss, "accuracy", None)
+            if accuracy_fn is not None:
+                batch_logs["accuracy"] = accuracy_fn(
+                    model.last_batch_pred, y[idx]
+                )
+            for cb in all_callbacks:
+                cb.on_batch_end(iteration, batch_logs)
+            if model.stop_training:
+                break
+
+        epoch_logs["loss"] = float(np.mean(losses)) if losses else float("nan")
+        epoch_logs["iterations"] = iteration
+        for cb in all_callbacks:
+            cb.on_epoch_end(epoch, epoch_logs)
+        if verbose:  # pragma: no cover - console nicety
+            print(f"epoch {epoch + 1}/{epochs}: loss={epoch_logs['loss']:.5f}")
+        if model.stop_training:
+            break
+
+    for cb in all_callbacks:
+        cb.on_train_end({"iterations": iteration})
+    return history

@@ -1,0 +1,79 @@
+"""Exception hierarchy for the Viper reproduction.
+
+Every error raised by the library derives from :class:`ViperError`, so a
+caller embedding Viper in a larger workflow can catch one base class.  The
+subclasses mirror the major subsystems: storage tiers, network transfer,
+metadata coordination, scheduling, and configuration.
+"""
+
+from __future__ import annotations
+
+
+class ViperError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ViperError):
+    """A configuration object is inconsistent or out of range."""
+
+
+class CapacityError(ViperError):
+    """A storage tier does not have room for the requested object."""
+
+    def __init__(self, message: str, *, requested: int = 0, available: int = 0):
+        super().__init__(message)
+        self.requested = int(requested)
+        self.available = int(available)
+
+
+class StorageError(ViperError):
+    """A read or write against a storage tier failed."""
+
+
+class ObjectNotFoundError(StorageError, KeyError):
+    """The requested object key does not exist in the tier."""
+
+
+class TransferError(ViperError):
+    """A point-to-point model transfer failed."""
+
+
+class ChannelClosedError(TransferError):
+    """The communication channel was closed while an operation was pending."""
+
+
+class MetadataError(ViperError):
+    """The metadata store rejected an operation."""
+
+
+class StaleVersionError(MetadataError):
+    """A compare-and-swap style metadata update observed a newer version."""
+
+    def __init__(self, message: str, *, expected: int = -1, actual: int = -1):
+        super().__init__(message)
+        self.expected = int(expected)
+        self.actual = int(actual)
+
+
+class NotificationError(ViperError):
+    """The publish-subscribe notification module failed."""
+
+
+class ScheduleError(ViperError):
+    """A checkpoint schedule could not be computed or is invalid."""
+
+
+class FitError(ScheduleError):
+    """A learning-curve function could not be fitted to warm-up losses."""
+
+
+class ServingError(ViperError):
+    """The inference serving substrate failed."""
+
+
+class WorkflowError(ViperError):
+    """A coupled producer/consumer workflow run failed."""
+
+
+class SimulationError(ViperError):
+    """The discrete-event simulation reached an inconsistent state."""

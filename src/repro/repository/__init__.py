@@ -1,0 +1,18 @@
+"""Model repositories: coarse files vs fine-grained tensor storage.
+
+The paper contrasts Viper's direct memory channels against repository
+staging, and cites DStore/EvoStore — repositories "optimized for partial
+capture and retrieval of DNN model tensors" — as the fine-grained
+alternative (§1, §2).  This package implements that alternative so the
+trade-off is measurable:
+
+- :mod:`repro.repository.tensor_store` — a versioned, per-tensor
+  repository with structural sharing: a new version stores only the
+  tensors that changed and back-references the rest, so partial updates
+  cost bytes proportional to the change and partial reads fetch single
+  tensors.
+"""
+
+from repro.repository.tensor_store import TensorRepository, TensorVersionInfo
+
+__all__ = ["TensorRepository", "TensorVersionInfo"]

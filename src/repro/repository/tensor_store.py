@@ -1,0 +1,197 @@
+"""A fine-grained, versioned tensor repository (the DStore stand-in).
+
+Layout: each stored object is a single tensor blob keyed
+``<model>/<tensor>/v<version>``.  A model *version manifest* maps every
+tensor name to the version that last wrote it, giving structural
+sharing across versions — publishing a version where only the decoder
+changed stores only decoder tensors and points the rest at their
+previous blobs.
+
+Compared to Viper's whole-checkpoint objects this trades:
+
+- **writes**: bytes proportional to the change (good), but one
+  per-object overhead per *changed tensor* (bad on a PFS);
+- **reads**: partial retrieval of single tensors (good), but a full
+  model load pays one per-object overhead per tensor (bad on a PFS —
+  exactly the "abundance of uncoordinated, small I/O accesses" of
+  paper §3).
+
+The ``ablation_repository`` benchmark quantifies both sides.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import MetadataError, ObjectNotFoundError, StorageError
+from repro.substrates.cost import Cost
+from repro.substrates.memory.storage import TierStore
+from repro.dnn.serialization import ViperSerializer
+
+__all__ = ["TensorVersionInfo", "TensorRepository"]
+
+
+@dataclass(frozen=True)
+class TensorVersionInfo:
+    """Metadata of one published model version."""
+
+    model_name: str
+    version: int
+    manifest: Dict[str, int]      # tensor name -> version holding its blob
+    changed: Tuple[str, ...]      # tensors written by this version
+    payload_bytes: int            # bytes written by this version
+
+
+class TensorRepository:
+    """Versioned per-tensor storage with structural sharing."""
+
+    def __init__(self, store: TierStore, virtual_scale: float = 1.0):
+        """``virtual_scale`` multiplies real tensor bytes into virtual
+        bytes for the timing model (paper-scale checkpoints)."""
+        if virtual_scale <= 0:
+            raise StorageError("virtual_scale must be positive")
+        self.store = store
+        self.virtual_scale = virtual_scale
+        self._serializer = ViperSerializer()
+        self._lock = threading.RLock()
+        self._versions: Dict[str, Dict[int, TensorVersionInfo]] = {}
+        self._latest: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Publishing
+    # ------------------------------------------------------------------
+    def publish(
+        self, model_name: str, state: Dict[str, np.ndarray]
+    ) -> Tuple[TensorVersionInfo, Cost]:
+        """Store a new version; only changed tensors are written.
+
+        Returns the version info and the simulated write cost (one store
+        write per changed tensor — per-object overheads included, which
+        is the fine-grained trade-off).
+        """
+        if not state:
+            raise StorageError("refusing to publish an empty state")
+        with self._lock:
+            prev_version = self._latest.get(model_name, 0)
+            prev = (
+                self._versions[model_name][prev_version]
+                if prev_version
+                else None
+            )
+            if prev is not None and set(prev.manifest) != set(state):
+                raise StorageError(
+                    f"tensor set changed for {model_name!r}; "
+                    "republish under a new model name"
+                )
+            version = prev_version + 1
+            manifest: Dict[str, int] = {}
+            changed: List[str] = []
+            cost = Cost.zero()
+            payload = 0
+            for name in sorted(state):
+                tensor = state[name]
+                if prev is not None:
+                    old = self._read_tensor(model_name, name, prev.manifest[name])
+                    if np.array_equal(old, tensor):
+                        manifest[name] = prev.manifest[name]
+                        continue
+                blob = self._serializer.dumps({name: tensor})
+                vbytes = int(tensor.nbytes * self.virtual_scale)
+                cost = cost + self.store.put(
+                    f"{model_name}/{name}/v{version}",
+                    blob,
+                    virtual_bytes=vbytes,
+                    nobjects=1,
+                    version=version,
+                )
+                manifest[name] = version
+                changed.append(name)
+                payload += vbytes
+            info = TensorVersionInfo(
+                model_name=model_name,
+                version=version,
+                manifest=manifest,
+                changed=tuple(changed),
+                payload_bytes=payload,
+            )
+            self._versions.setdefault(model_name, {})[version] = info
+            self._latest[model_name] = version
+            return info, cost
+
+    # ------------------------------------------------------------------
+    # Retrieval
+    # ------------------------------------------------------------------
+    def latest_version(self, model_name: str) -> int:
+        with self._lock:
+            if model_name not in self._latest:
+                raise MetadataError(f"unknown model {model_name!r}")
+            return self._latest[model_name]
+
+    def info(self, model_name: str, version: Optional[int] = None) -> TensorVersionInfo:
+        with self._lock:
+            v = self.latest_version(model_name) if version is None else version
+            try:
+                return self._versions[model_name][v]
+            except KeyError:
+                raise MetadataError(
+                    f"no version {v} of {model_name!r}"
+                ) from None
+
+    def get_tensor(
+        self, model_name: str, tensor_name: str, version: Optional[int] = None
+    ) -> Tuple[np.ndarray, Cost]:
+        """Partial retrieval: one tensor of one version."""
+        info = self.info(model_name, version)
+        if tensor_name not in info.manifest:
+            raise ObjectNotFoundError(
+                f"{model_name!r} has no tensor {tensor_name!r}"
+            )
+        blob, cost = self.store.get(
+            f"{model_name}/{tensor_name}/v{info.manifest[tensor_name]}"
+        )
+        return self._serializer.loads(blob)[tensor_name], cost
+
+    def get_state(
+        self, model_name: str, version: Optional[int] = None
+    ) -> Tuple[Dict[str, np.ndarray], Cost]:
+        """Full model load: one store read per tensor."""
+        info = self.info(model_name, version)
+        state: Dict[str, np.ndarray] = {}
+        cost = Cost.zero()
+        for name in info.manifest:
+            tensor, c = self.get_tensor(model_name, name, info.version)
+            state[name] = tensor
+            cost = cost + c
+        return state, cost
+
+    def get_changed_since(
+        self, model_name: str, base_version: int, version: Optional[int] = None
+    ) -> Tuple[Dict[str, np.ndarray], Cost]:
+        """Fetch only tensors that changed after ``base_version`` —
+        the consumer-side partial update (EvoStore's retrieval pattern)."""
+        info = self.info(model_name, version)
+        base = self.info(model_name, base_version)
+        state: Dict[str, np.ndarray] = {}
+        cost = Cost.zero()
+        for name, holder in info.manifest.items():
+            if base.manifest.get(name) == holder:
+                continue  # unchanged — consumer already has it
+            tensor, c = self.get_tensor(model_name, name, info.version)
+            state[name] = tensor
+            cost = cost + c
+        return state, cost
+
+    # ------------------------------------------------------------------
+    def _read_tensor(self, model_name: str, name: str, version: int) -> np.ndarray:
+        blob, _cost = self.store.get(f"{model_name}/{name}/v{version}")
+        return self._serializer.loads(blob)[name]
+
+    def stored_objects(self, model_name: str) -> int:
+        """Number of tensor blobs currently held for a model."""
+        with self._lock:
+            prefix = f"{model_name}/"
+            return sum(1 for key in self.store.keys() if key.startswith(prefix))

@@ -1,0 +1,23 @@
+"""Inference serving substrate.
+
+- :mod:`repro.serving.server` — a live inference server wrapping a
+  double-buffered model: handles real predict() requests, applies pushed
+  model updates, tracks which version served each request.
+- :mod:`repro.serving.client` — fixed-rate request generation from a
+  test set (the paper's consumer issues inferences "at a fixed rate").
+- :mod:`repro.serving.polling` — the Triton / TensorFlow-Serving style
+  repository poller baseline, plus the analytic discovery-delay model
+  used by the notification-vs-polling ablation.
+"""
+
+from repro.serving.server import InferenceServer, ServedRequest
+from repro.serving.client import RequestGenerator
+from repro.serving.polling import RepositoryPoller, expected_discovery_delay
+
+__all__ = [
+    "InferenceServer",
+    "ServedRequest",
+    "RequestGenerator",
+    "RepositoryPoller",
+    "expected_discovery_delay",
+]

@@ -1,0 +1,75 @@
+"""Fixed-rate inference request generation.
+
+The paper's problem formulation (§3) has the consumer execute M
+inferences "issued at a fixed rate (i.e., continually)".
+:class:`RequestGenerator` draws request payloads from a test set in a
+deterministic order and stamps each with its issue time ``k * t_infer``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ServingError
+
+__all__ = ["RequestGenerator"]
+
+
+@dataclass(frozen=True)
+class _Request:
+    index: int
+    issue_time: float
+    x: np.ndarray
+    y: Optional[np.ndarray]
+
+
+class RequestGenerator:
+    """Deterministic fixed-rate request stream over a test set.
+
+    Requests cycle through the test set (shuffled once with ``seed``);
+    each yields a single-sample batch plus ground truth for loss scoring.
+    """
+
+    def __init__(
+        self,
+        x_test: np.ndarray,
+        y_test: Optional[np.ndarray] = None,
+        *,
+        rate_t_infer: float = 0.005,
+        seed: int = 0,
+    ):
+        if x_test.shape[0] == 0:
+            raise ServingError("empty test set")
+        if y_test is not None and y_test.shape[0] != x_test.shape[0]:
+            raise ServingError("x_test / y_test length mismatch")
+        if rate_t_infer <= 0:
+            raise ServingError("rate_t_infer must be positive")
+        self.x_test = x_test
+        self.y_test = y_test
+        self.t_infer = rate_t_infer
+        self._order = np.random.default_rng(seed).permutation(x_test.shape[0])
+
+    def stream(self, total: int) -> Iterator[_Request]:
+        """Yield ``total`` requests with issue times ``k * t_infer``."""
+        if total < 0:
+            raise ServingError("total must be non-negative")
+        n = self.x_test.shape[0]
+        for k in range(total):
+            idx = self._order[k % n]
+            yield _Request(
+                index=k,
+                issue_time=k * self.t_infer,
+                x=self.x_test[idx : idx + 1],
+                y=None if self.y_test is None else self.y_test[idx : idx + 1],
+            )
+
+    def batch(self, total: int) -> Tuple[list, list]:
+        """Materialize ``total`` requests as (xs, ys) lists."""
+        xs, ys = [], []
+        for req in self.stream(total):
+            xs.append(req.x)
+            ys.append(req.y)
+        return xs, ys

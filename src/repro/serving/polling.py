@@ -1,0 +1,107 @@
+"""Repository polling: the discovery baseline Viper replaces.
+
+TensorFlow-Serving and NVIDIA Triton monitor the model repository with a
+fixed-interval pull (paper §2/§3; Triton's minimum poll interval is
+~1 ms).  Two tools here:
+
+- :class:`RepositoryPoller` — a live poller thread checking the metadata
+  store every ``interval`` (wall-clock) seconds and invoking a callback
+  when a newer version appears; used by the polling-mode example and the
+  live ablation test.
+- :func:`expected_discovery_delay` — the analytic model: for updates
+  published at arbitrary phase relative to the poll ticks, the discovery
+  delay is Uniform(0, interval), expected interval/2; with Viper's push
+  notification it is the constant ``PUSH_LATENCY``.  The ablation bench
+  compares both on real publish timestamps.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import NotificationError
+from repro.core.metadata import MetadataStore
+
+__all__ = ["RepositoryPoller", "expected_discovery_delay", "discovery_delays"]
+
+
+def discovery_delays(
+    publish_times: Sequence[float],
+    poll_interval: float,
+    first_poll: float = 0.0,
+) -> np.ndarray:
+    """Per-update discovery delay under fixed-interval polling.
+
+    An update published at ``t`` is discovered at the first poll tick
+    ``>= t``; the delay is that tick minus ``t``.
+    """
+    if poll_interval <= 0:
+        raise NotificationError("poll interval must be positive")
+    t = np.asarray(publish_times, dtype=np.float64)
+    ticks = first_poll + np.ceil(
+        np.maximum(t - first_poll, 0.0) / poll_interval
+    ) * poll_interval
+    return ticks - t
+
+
+def expected_discovery_delay(poll_interval: float) -> float:
+    """Expected delay for a uniformly-phased update: interval / 2."""
+    if poll_interval <= 0:
+        raise NotificationError("poll interval must be positive")
+    return poll_interval / 2.0
+
+
+class RepositoryPoller:
+    """Live polling thread over the metadata store (Triton-style)."""
+
+    def __init__(
+        self,
+        metadata: MetadataStore,
+        model_name: str,
+        on_new_version: Callable[[int], None],
+        *,
+        interval: float = 0.001,
+    ):
+        if interval <= 0:
+            raise NotificationError("poll interval must be positive")
+        self.metadata = metadata
+        self.model_name = model_name
+        self.on_new_version = on_new_version
+        self.interval = interval
+        self.polls = 0
+        self.discovered: List[int] = []
+        self._seen = -1
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def poll_once(self) -> Optional[int]:
+        """One poll; returns a newly-discovered version or None."""
+        self.polls += 1
+        record, _cost = self.metadata.latest(self.model_name)
+        if record is not None and record.version > self._seen:
+            self._seen = record.version
+            self.discovered.append(record.version)
+            self.on_new_version(record.version)
+            return record.version
+        return None
+
+    def start(self) -> "RepositoryPoller":
+        if self._thread is not None:
+            raise NotificationError("poller already started")
+        self._thread = threading.Thread(
+            target=self._run, daemon=True, name=f"poller-{self.model_name}"
+        )
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.poll_once()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout)

@@ -1,0 +1,137 @@
+"""A live inference server over a double-buffered model.
+
+The server exposes the consumer side of the paper's workflow for real
+(in-process) use: inference requests run an actual ``model.predict`` on
+the current double-buffer primary while model updates arrive through a
+:class:`~repro.core.api.ViperConsumer`.  Each served request records the
+model version that produced it and, when ground truth is supplied, the
+achieved loss — the live counterpart of the DES consumer's accounting.
+
+Updates can be applied in two discovery modes:
+
+- ``push``: a broker subscription; :meth:`poll_updates` drains it and
+  applies the newest checkpoint (Viper's mode);
+- ``pull``: a repository poller checks the metadata store at a fixed
+  interval (the Triton/TF-Serving baseline).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ServingError
+from repro.dnn.losses import Loss
+from repro.core.api import ViperConsumer
+
+__all__ = ["ServedRequest", "InferenceServer"]
+
+
+@dataclass(frozen=True)
+class ServedRequest:
+    """Accounting for one handled inference request."""
+
+    request_id: int
+    model_version: int
+    loss: float            # NaN when no ground truth was provided
+    sim_time: float        # simulated completion time
+
+
+class InferenceServer:
+    """Serve real inferences with seamless model updates.
+
+    ``loss_fn`` (optional) scores each response against ground truth so
+    cumulative inference loss can be measured live.  ``t_infer`` is the
+    simulated per-request service time (paper Fig. 6 shows it constant).
+    """
+
+    def __init__(
+        self,
+        consumer: ViperConsumer,
+        model_name: str,
+        *,
+        loss_fn: Optional[Loss] = None,
+        t_infer: float = 0.005,
+    ):
+        if t_infer <= 0:
+            raise ServingError("t_infer must be positive")
+        self.consumer = consumer
+        self.model_name = model_name
+        self.loss_fn = loss_fn
+        self.t_infer = t_infer
+        self.requests: List[ServedRequest] = []
+        self._sim_time = 0.0
+        self._lock = threading.Lock()
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # Model updates (the "model updating thread" of §4.3)
+    # ------------------------------------------------------------------
+    def poll_updates(self) -> bool:
+        """Apply the newest pushed checkpoint if any; True if swapped."""
+        result = self.consumer.refresh(self.model_name)
+        return result is not None
+
+    # ------------------------------------------------------------------
+    # Serving (the "inference serving thread")
+    # ------------------------------------------------------------------
+    def handle(
+        self,
+        x: np.ndarray,
+        y_true: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, ServedRequest]:
+        """Serve one request batch with the current primary model."""
+        snapshot = self.consumer._buffer.acquire()
+        pred = snapshot.model.predict(x)
+        loss = float("nan")
+        if y_true is not None and self.loss_fn is not None:
+            loss = self.loss_fn.forward(pred, y_true)
+        with self._lock:
+            self._sim_time += self.t_infer
+            req = ServedRequest(
+                request_id=self._next_id,
+                model_version=snapshot.version,
+                loss=loss,
+                sim_time=self._sim_time,
+            )
+            self._next_id += 1
+            self.requests.append(req)
+        return pred, req
+
+    def serve_batch(
+        self,
+        xs: Sequence[np.ndarray],
+        ys: Optional[Sequence[np.ndarray]] = None,
+        refresh_between: bool = True,
+    ) -> List[ServedRequest]:
+        """Serve a sequence of requests, optionally applying updates
+        between requests (as the segregated update thread would)."""
+        served = []
+        for i, x in enumerate(xs):
+            if refresh_between:
+                self.poll_updates()
+            y = ys[i] if ys is not None else None
+            _, req = self.handle(x, y)
+            served.append(req)
+        return served
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    @property
+    def cumulative_loss(self) -> float:
+        """Sum of losses over scored requests (the live CIL)."""
+        scored = [r.loss for r in self.requests if not np.isnan(r.loss)]
+        return float(np.sum(scored)) if scored else 0.0
+
+    def versions_served(self) -> List[int]:
+        return [r.model_version for r in self.requests]
+
+    def requests_per_version(self) -> dict:
+        out: dict = {}
+        for r in self.requests:
+            out[r.model_version] = out.get(r.model_version, 0) + 1
+        return out

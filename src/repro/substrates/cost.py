@@ -1,0 +1,82 @@
+"""Simulated-time cost accounting.
+
+Every operation against the hardware model (tier read/write, link transfer,
+serialization) returns a :class:`Cost` describing how much simulated time it
+consumed, broken into named components.  Costs compose with ``+`` so a
+multi-hop transfer can report ``capture + link + load`` as one object while
+preserving the breakdown for analysis and for the paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Tuple
+
+__all__ = ["Cost", "GB", "MB", "KB"]
+
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+
+
+@dataclass(frozen=True)
+class Cost:
+    """An immutable simulated duration with a per-component breakdown.
+
+    Components are free-form labels such as ``"pfs.write"`` or
+    ``"link.nvlink"``.  ``Cost.zero()`` is the additive identity.
+    """
+
+    components: Tuple[Tuple[str, float], ...] = ()
+
+    @staticmethod
+    def zero() -> "Cost":
+        return Cost(())
+
+    @staticmethod
+    def of(label: str, seconds: float) -> "Cost":
+        if seconds < 0:
+            raise ValueError(f"negative cost {seconds!r} for {label!r}")
+        return Cost(((label, float(seconds)),))
+
+    @staticmethod
+    def from_mapping(mapping: Mapping[str, float]) -> "Cost":
+        return Cost(tuple((k, float(v)) for k, v in mapping.items()))
+
+    @property
+    def total(self) -> float:
+        """Total simulated seconds across all components."""
+        return sum(v for _, v in self.components)
+
+    def breakdown(self) -> Dict[str, float]:
+        """Merge duplicate labels into a single dict."""
+        out: Dict[str, float] = {}
+        for k, v in self.components:
+            out[k] = out.get(k, 0.0) + v
+        return out
+
+    def __add__(self, other: "Cost") -> "Cost":
+        if not isinstance(other, Cost):
+            return NotImplemented
+        return Cost(self.components + other.components)
+
+    def __radd__(self, other) -> "Cost":
+        # Support sum() over an iterable of costs.
+        if other == 0:
+            return self
+        return self.__add__(other)
+
+    def scaled(self, factor: float) -> "Cost":
+        """Return a cost with every component multiplied by ``factor``."""
+        if factor < 0:
+            raise ValueError(f"negative scale factor {factor!r}")
+        return Cost(tuple((k, v * factor) for k, v in self.components))
+
+    def only(self, prefixes: Iterable[str]) -> "Cost":
+        """Keep only components whose label starts with one of ``prefixes``."""
+        pref = tuple(prefixes)
+        return Cost(tuple((k, v) for k, v in self.components if k.startswith(pref)))
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{k}={v:.4f}" for k, v in self.components)
+        return f"Cost(total={self.total:.4f}s; {parts})"

@@ -1,0 +1,238 @@
+"""A real byte store per tier, with simulated timing.
+
+:class:`TierStore` holds actual ``bytes`` objects keyed by name while
+charging simulated time according to its :class:`TierSpec`.  This is the
+"it really moves the bytes" half of the substitution documented in
+DESIGN.md: the transfer engine genuinely serializes, stages, and copies
+checkpoints through these stores, while the *timing* can be driven by a
+virtual object size (e.g. the paper's 4.7 GB TC1 checkpoint) that is far
+larger than the laptop-sized test tensors.
+
+Capacity is accounted against the virtual size, so eviction and
+out-of-space behaviour match what the modeled hardware would do.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import CapacityError, ObjectNotFoundError, StorageError
+from repro.substrates.cost import Cost
+from repro.substrates.memory.tiers import TierSpec
+
+__all__ = ["EvictionPolicy", "StoredObject", "TierStore"]
+
+
+class EvictionPolicy(enum.Enum):
+    """What to do when a write does not fit (paper Fig. 3, "Cached Models")."""
+
+    NONE = "none"          # raise CapacityError
+    LRU = "lru"            # evict least-recently-used unpinned objects
+    OLDEST_VERSION = "oldest_version"  # evict lowest-version unpinned objects
+
+
+@dataclass
+class StoredObject:
+    """One object resident in a tier."""
+
+    key: str
+    data: bytes
+    virtual_bytes: int
+    nobjects: int = 1
+    version: int = 0
+    pinned: bool = False
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def real_bytes(self) -> int:
+        return len(self.data)
+
+
+class TierStore:
+    """Thread-safe keyed byte store with simulated-time accounting.
+
+    Every :meth:`put` / :meth:`get` returns ``(result, Cost)``; callers add
+    the cost to whatever timeline they maintain (a :class:`SimClock`, a
+    latency accumulator, ...).  The store itself never sleeps.
+    """
+
+    def __init__(
+        self,
+        spec: TierSpec,
+        eviction: EvictionPolicy = EvictionPolicy.NONE,
+    ):
+        self.spec = spec
+        self.eviction = eviction
+        self._objects: "OrderedDict[str, StoredObject]" = OrderedDict()
+        self._used = 0
+        self._lock = threading.RLock()
+        self._evictions: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def used_bytes(self) -> int:
+        with self._lock:
+            return self._used
+
+    @property
+    def free_bytes(self) -> int:
+        with self._lock:
+            return self.spec.capacity_bytes - self._used
+
+    @property
+    def eviction_log(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(self._evictions)
+
+    def keys(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(self._objects.keys())
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._objects
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._objects)
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+    def put(
+        self,
+        key: str,
+        data: bytes,
+        *,
+        virtual_bytes: Optional[int] = None,
+        nobjects: int = 1,
+        version: int = 0,
+        pinned: bool = False,
+        meta: Optional[Dict[str, object]] = None,
+    ) -> Cost:
+        """Store ``data`` under ``key``, evicting per policy if needed.
+
+        ``virtual_bytes`` drives both timing and capacity accounting and
+        defaults to the real payload length.  Overwriting an existing key
+        releases its old allocation first.
+        """
+        if not isinstance(data, (bytes, bytearray, memoryview)):
+            raise StorageError(f"put({key!r}): payload must be bytes-like")
+        data = bytes(data)
+        vbytes = len(data) if virtual_bytes is None else int(virtual_bytes)
+        if vbytes < 0:
+            raise StorageError(f"put({key!r}): negative virtual size {vbytes}")
+        with self._lock:
+            old = self._objects.pop(key, None)
+            if old is not None:
+                self._used -= old.virtual_bytes
+            try:
+                self._make_room(vbytes)
+            except CapacityError:
+                if old is not None:  # restore the displaced old object
+                    self._objects[key] = old
+                    self._used += old.virtual_bytes
+                raise
+            obj = StoredObject(
+                key=key,
+                data=data,
+                virtual_bytes=vbytes,
+                nobjects=nobjects,
+                version=version,
+                pinned=pinned,
+                meta=dict(meta or {}),
+            )
+            self._objects[key] = obj
+            self._used += vbytes
+        return self.spec.write_cost(vbytes, nobjects)
+
+    def get(self, key: str) -> Tuple[bytes, Cost]:
+        """Read the payload stored under ``key`` (marks it recently used)."""
+        with self._lock:
+            obj = self._objects.get(key)
+            if obj is None:
+                raise ObjectNotFoundError(f"{self.spec.name}: no object {key!r}")
+            self._objects.move_to_end(key)
+            data = obj.data
+            cost = self.spec.read_cost(obj.virtual_bytes, obj.nobjects)
+        return data, cost
+
+    def stat(self, key: str) -> StoredObject:
+        """Return the stored object's descriptor without charging a read."""
+        with self._lock:
+            obj = self._objects.get(key)
+            if obj is None:
+                raise ObjectNotFoundError(f"{self.spec.name}: no object {key!r}")
+            return obj
+
+    def delete(self, key: str) -> None:
+        with self._lock:
+            obj = self._objects.pop(key, None)
+            if obj is None:
+                raise ObjectNotFoundError(f"{self.spec.name}: no object {key!r}")
+            self._used -= obj.virtual_bytes
+
+    def pin(self, key: str, pinned: bool = True) -> None:
+        """Protect / unprotect an object from eviction."""
+        with self._lock:
+            self.stat(key).pinned = pinned
+
+    def clear(self) -> None:
+        with self._lock:
+            self._objects.clear()
+            self._used = 0
+
+    # ------------------------------------------------------------------
+    # Eviction
+    # ------------------------------------------------------------------
+    def _make_room(self, needed: int) -> None:
+        """Evict unpinned objects until ``needed`` bytes fit (lock held)."""
+        if needed > self.spec.capacity_bytes:
+            raise CapacityError(
+                f"{self.spec.name}: object of {needed} B exceeds tier capacity",
+                requested=needed,
+                available=self.spec.capacity_bytes,
+            )
+        if self._used + needed <= self.spec.capacity_bytes:
+            return
+        if self.eviction is EvictionPolicy.NONE:
+            raise CapacityError(
+                f"{self.spec.name}: out of space and eviction disabled",
+                requested=needed,
+                available=self.spec.capacity_bytes - self._used,
+            )
+        victims = self._victim_order()
+        for key in victims:
+            if self._used + needed <= self.spec.capacity_bytes:
+                break
+            obj = self._objects.pop(key)
+            self._used -= obj.virtual_bytes
+            self._evictions.append(key)
+        if self._used + needed > self.spec.capacity_bytes:
+            raise CapacityError(
+                f"{self.spec.name}: eviction could not free enough space "
+                f"(pinned objects remain)",
+                requested=needed,
+                available=self.spec.capacity_bytes - self._used,
+            )
+
+    def _victim_order(self) -> List[str]:
+        """Unpinned keys in eviction order (lock held)."""
+        unpinned = [o for o in self._objects.values() if not o.pinned]
+        if self.eviction is EvictionPolicy.LRU:
+            return [o.key for o in unpinned]  # OrderedDict is LRU-ordered
+        if self.eviction is EvictionPolicy.OLDEST_VERSION:
+            return [o.key for o in sorted(unpinned, key=lambda o: o.version)]
+        return []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TierStore({self.spec.name}, {len(self)} objects, "
+            f"{self.used_bytes}/{self.spec.capacity_bytes} B)"
+        )

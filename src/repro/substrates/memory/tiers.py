@@ -1,0 +1,112 @@
+"""Storage-tier performance models.
+
+A :class:`TierSpec` captures the performance envelope of one tier of the
+multi-tiered storage hierarchy on a Polaris-class compute node: GPU HBM,
+host DRAM, node-local SSD, and the shared parallel file system (Lustre in
+the paper).  The model is the classic latency + size/bandwidth law, with an
+optional per-object fixed overhead that captures file-system metadata costs
+(open/close, attribute writes) — the term that makes many-small-tensor
+checkpoints disproportionately expensive on a PFS (paper §3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.substrates.cost import Cost, GB
+
+__all__ = ["TierKind", "TierSpec"]
+
+
+class TierKind(enum.Enum):
+    """The four tiers Viper can stage a checkpoint in (paper Fig. 7)."""
+
+    GPU_HBM = "gpu_hbm"
+    HOST_DRAM = "host_dram"
+    LOCAL_SSD = "local_ssd"
+    PFS = "pfs"
+
+    @property
+    def is_memory(self) -> bool:
+        """True for byte-addressable tiers (no file metadata costs)."""
+        return self in (TierKind.GPU_HBM, TierKind.HOST_DRAM)
+
+    @property
+    def is_shared(self) -> bool:
+        """True if the tier is reachable from every node (the PFS)."""
+        return self is TierKind.PFS
+
+
+@dataclass(frozen=True)
+class TierSpec:
+    """Performance and capacity description of one storage tier.
+
+    Attributes:
+        name: human-readable identifier, e.g. ``"polaris.lustre"``.
+        kind: which hierarchy level this tier sits at.
+        capacity_bytes: usable capacity for checkpoint staging.
+        read_bw: sustained single-client read bandwidth, bytes/second.
+        write_bw: sustained single-client write bandwidth, bytes/second.
+        read_latency: fixed per-operation read latency, seconds.
+        write_latency: fixed per-operation write latency, seconds.
+        per_object_overhead: extra seconds charged per stored object
+            (file create/open/attr cost on file-backed tiers; ~0 for memory).
+    """
+
+    name: str
+    kind: TierKind
+    capacity_bytes: int
+    read_bw: float
+    write_bw: float
+    read_latency: float = 0.0
+    write_latency: float = 0.0
+    per_object_overhead: float = 0.0
+
+    def __post_init__(self):
+        if self.capacity_bytes <= 0:
+            raise ConfigurationError(f"{self.name}: capacity must be positive")
+        if self.read_bw <= 0 or self.write_bw <= 0:
+            raise ConfigurationError(f"{self.name}: bandwidths must be positive")
+        if min(self.read_latency, self.write_latency, self.per_object_overhead) < 0:
+            raise ConfigurationError(f"{self.name}: latencies must be non-negative")
+
+    # ------------------------------------------------------------------
+    # Timing laws
+    # ------------------------------------------------------------------
+    def write_time(self, nbytes: int, nobjects: int = 1) -> float:
+        """Seconds to write ``nbytes`` split across ``nobjects`` objects."""
+        if nbytes < 0 or nobjects < 1:
+            raise ConfigurationError(
+                f"write_time: nbytes={nbytes}, nobjects={nobjects} out of range"
+            )
+        return (
+            self.write_latency
+            + nbytes / self.write_bw
+            + self.per_object_overhead * nobjects
+        )
+
+    def read_time(self, nbytes: int, nobjects: int = 1) -> float:
+        """Seconds to read ``nbytes`` split across ``nobjects`` objects."""
+        if nbytes < 0 or nobjects < 1:
+            raise ConfigurationError(
+                f"read_time: nbytes={nbytes}, nobjects={nobjects} out of range"
+            )
+        return (
+            self.read_latency
+            + nbytes / self.read_bw
+            + self.per_object_overhead * nobjects
+        )
+
+    def write_cost(self, nbytes: int, nobjects: int = 1) -> Cost:
+        return Cost.of(f"{self.kind.value}.write", self.write_time(nbytes, nobjects))
+
+    def read_cost(self, nbytes: int, nobjects: int = 1) -> Cost:
+        return Cost.of(f"{self.kind.value}.read", self.read_time(nbytes, nobjects))
+
+    def describe(self) -> str:
+        return (
+            f"{self.name} [{self.kind.value}] cap={self.capacity_bytes / GB:.1f} GB "
+            f"r={self.read_bw / GB:.2f} GB/s w={self.write_bw / GB:.2f} GB/s"
+        )

@@ -1,0 +1,6 @@
+"""Interconnect substrate: link models and mpi4py-style channels."""
+
+from repro.substrates.network.links import LinkKind, LinkSpec
+from repro.substrates.network.channels import Fabric, Endpoint, Message, Request
+
+__all__ = ["LinkKind", "LinkSpec", "Fabric", "Endpoint", "Message", "Request"]

@@ -1,0 +1,303 @@
+"""An in-process message fabric with mpi4py-style point-to-point semantics.
+
+The paper's transfer engine uses ``MPI_Send`` / ``MPI_Recv`` over
+vendor-optimized GPU-direct paths.  We reproduce the *interface* — blocking
+``send`` / ``recv`` plus non-blocking ``isend`` / ``irecv`` returning
+:class:`Request` handles, matched by ``(source, tag)`` — on top of Python
+queues, and we reproduce the *performance* via the :class:`LinkSpec` cost
+model.  Payloads are real bytes-like buffers: the consumer receives exactly
+the bytes the producer sent, so serialization bugs cannot hide behind the
+simulation.
+
+Following the mpi4py idiom from the domain guides, the buffer-based API
+avoids pickling: callers pass ``bytes`` / ``memoryview`` / numpy buffers and
+get ``bytes`` back.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ChannelClosedError, TransferError
+from repro.substrates.cost import Cost
+from repro.substrates.network.links import LinkSpec
+
+__all__ = ["Message", "Request", "Endpoint", "Fabric", "ANY_TAG", "ANY_SOURCE"]
+
+ANY_TAG = -1
+ANY_SOURCE = "*"
+
+
+@dataclass
+class Message:
+    """A delivered message: payload plus envelope and simulated cost."""
+
+    source: str
+    dest: str
+    tag: int
+    payload: bytes
+    cost: Cost
+    virtual_bytes: int
+    seq: int = 0
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+
+class Request:
+    """Completion handle for a non-blocking operation (mpi4py style)."""
+
+    def __init__(self, kind: str):
+        self._kind = kind
+        self._event = threading.Event()
+        self._result: Optional[Message] = None
+        self._error: Optional[BaseException] = None
+
+    def _complete(self, result: Optional[Message]) -> None:
+        self._result = result
+        self._event.set()
+
+    def _fail(self, exc: BaseException) -> None:
+        self._error = exc
+        self._event.set()
+
+    def test(self) -> bool:
+        """True if the operation has completed (never blocks)."""
+        return self._event.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> Optional[Message]:
+        """Block until completion; returns the message for receives."""
+        if not self._event.wait(timeout):
+            raise TransferError(f"{self._kind} request timed out after {timeout}s")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+
+class Endpoint:
+    """One addressable party on the fabric (a node-side engine thread)."""
+
+    def __init__(self, fabric: "Fabric", name: str):
+        self.fabric = fabric
+        self.name = name
+        self._inbox: "queue.Queue[Message]" = queue.Queue()
+        self._unmatched: list = []  # messages popped but not matched yet
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        dest: str,
+        payload,
+        tag: int = 0,
+        *,
+        virtual_bytes: Optional[int] = None,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> Cost:
+        """Blocking send of a bytes-like payload; returns the link cost.
+
+        "Blocking" in the MPI sense: the call returns once the payload has
+        been handed to the fabric (buffered send); the simulated cost is the
+        full wire time, which the caller charges to its own timeline.
+        """
+        return self.fabric.deliver(self.name, dest, payload, tag, virtual_bytes, meta)
+
+    def isend(
+        self,
+        dest: str,
+        payload,
+        tag: int = 0,
+        *,
+        virtual_bytes: Optional[int] = None,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> Tuple[Request, Cost]:
+        """Non-blocking send; the returned request completes immediately
+        after the fabric accepts the message (buffered semantics)."""
+        req = Request("isend")
+        try:
+            cost = self.send(dest, payload, tag, virtual_bytes=virtual_bytes, meta=meta)
+        except BaseException as exc:  # propagate through the request too
+            req._fail(exc)
+            raise
+        req._complete(None)
+        return req, cost
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+    def recv(
+        self,
+        source: str = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        timeout: Optional[float] = None,
+    ) -> Message:
+        """Blocking receive matched on ``(source, tag)``."""
+        if self._closed:
+            raise ChannelClosedError(f"endpoint {self.name!r} is closed")
+        deadline = None
+        with self._lock:
+            msg = self._match_unlocked(source, tag)
+            if msg is not None:
+                return msg
+        while True:
+            try:
+                msg = self._inbox.get(timeout=timeout)
+            except queue.Empty:
+                raise TransferError(
+                    f"recv on {self.name!r} timed out waiting for "
+                    f"source={source!r} tag={tag}"
+                ) from None
+            if msg is _CLOSE_SENTINEL:
+                raise ChannelClosedError(f"endpoint {self.name!r} closed during recv")
+            if _matches(msg, source, tag):
+                return msg
+            with self._lock:
+                self._unmatched.append(msg)
+            # loop again; deadline handling is coarse (per-get timeout)
+            del deadline
+
+    def irecv(
+        self,
+        source: str = ANY_SOURCE,
+        tag: int = ANY_TAG,
+    ) -> Request:
+        """Non-blocking receive; completes when a matching message arrives."""
+        req = Request("irecv")
+
+        def _worker():
+            try:
+                req._complete(self.recv(source, tag))
+            except BaseException as exc:
+                req._fail(exc)
+
+        threading.Thread(target=_worker, daemon=True, name=f"irecv-{self.name}").start()
+        return req
+
+    def probe(self, source: str = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
+        """True if a matching message is already available (no dequeue)."""
+        with self._lock:
+            if any(_matches(m, source, tag) for m in self._unmatched):
+                return True
+        # Drain the inbox into the unmatched list without blocking.
+        while True:
+            try:
+                msg = self._inbox.get_nowait()
+            except queue.Empty:
+                return False
+            if msg is _CLOSE_SENTINEL:
+                self._closed = True
+                return False
+            with self._lock:
+                self._unmatched.append(msg)
+            if _matches(msg, source, tag):
+                return True
+
+    def _match_unlocked(self, source: str, tag: int) -> Optional[Message]:
+        for i, msg in enumerate(self._unmatched):
+            if _matches(msg, source, tag):
+                return self._unmatched.pop(i)
+        return None
+
+    def _enqueue(self, msg) -> None:
+        self._inbox.put(msg)
+
+    def close(self) -> None:
+        self._closed = True
+        self._inbox.put(_CLOSE_SENTINEL)
+
+
+_CLOSE_SENTINEL = object()
+
+
+def _matches(msg: Message, source: str, tag: int) -> bool:
+    return (source == ANY_SOURCE or msg.source == source) and (
+        tag == ANY_TAG or msg.tag == tag
+    )
+
+
+class Fabric:
+    """Routes messages between named endpoints over configured links.
+
+    A link is registered per ordered endpoint pair (or with a default);
+    :meth:`deliver` copies the payload (modelling the wire), charges the
+    link's cost, and enqueues the message at the destination endpoint.
+    """
+
+    def __init__(self, default_link: Optional[LinkSpec] = None):
+        self._endpoints: Dict[str, Endpoint] = {}
+        self._links: Dict[Tuple[str, str], LinkSpec] = {}
+        self._default_link = default_link
+        self._seq = itertools.count(1)
+        self._lock = threading.Lock()
+        self.delivered = 0
+        self.bytes_moved = 0
+
+    def endpoint(self, name: str) -> Endpoint:
+        """Create (or fetch) the endpoint with this name."""
+        with self._lock:
+            ep = self._endpoints.get(name)
+            if ep is None:
+                ep = Endpoint(self, name)
+                self._endpoints[name] = ep
+            return ep
+
+    def connect(self, src: str, dest: str, link: LinkSpec, *, both_ways: bool = True):
+        """Associate a link model with the ``src -> dest`` route."""
+        with self._lock:
+            self._links[(src, dest)] = link
+            if both_ways:
+                self._links[(dest, src)] = link
+
+    def link_for(self, src: str, dest: str) -> LinkSpec:
+        with self._lock:
+            link = self._links.get((src, dest), self._default_link)
+        if link is None:
+            raise TransferError(f"no link configured for route {src!r} -> {dest!r}")
+        return link
+
+    def deliver(
+        self,
+        src: str,
+        dest: str,
+        payload,
+        tag: int,
+        virtual_bytes: Optional[int] = None,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> Cost:
+        if not isinstance(payload, (bytes, bytearray, memoryview)):
+            raise TransferError("payload must be bytes-like (no pickling on the wire)")
+        data = bytes(payload)  # the wire copy
+        vbytes = len(data) if virtual_bytes is None else int(virtual_bytes)
+        link = self.link_for(src, dest)
+        cost = link.transfer_cost(vbytes)
+        with self._lock:
+            ep = self._endpoints.get(dest)
+            seq = next(self._seq)
+        if ep is None:
+            raise TransferError(f"unknown destination endpoint {dest!r}")
+        msg = Message(
+            source=src,
+            dest=dest,
+            tag=tag,
+            payload=data,
+            cost=cost,
+            virtual_bytes=vbytes,
+            seq=seq,
+            meta=dict(meta or {}),
+        )
+        ep._enqueue(msg)
+        with self._lock:
+            self.delivered += 1
+            self.bytes_moved += vbytes
+        return cost
+
+    def close(self) -> None:
+        with self._lock:
+            eps = list(self._endpoints.values())
+        for ep in eps:
+            ep.close()

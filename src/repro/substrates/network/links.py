@@ -1,0 +1,84 @@
+"""Point-to-point interconnect performance models.
+
+A :class:`LinkSpec` models one hop of the checkpoint's journey with the
+standard alpha-beta law: ``time = latency + nbytes / bandwidth`` plus an
+optional per-message overhead (protocol setup, registration of RDMA
+buffers).  The Viper transfer engine composes hops:
+
+- GPU-to-GPU: one NVLink/GPUDirect-RDMA hop.
+- Host-to-Host: PCIe device-to-host, InfiniBand host-to-host, PCIe
+  host-to-device.
+- PFS: the tier model in :mod:`repro.substrates.memory.tiers` covers the
+  storage side; the fabric hop to the PFS servers is folded into the tier
+  bandwidth the way the paper folds it into measured Lustre throughput.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.substrates.cost import Cost, GB
+
+__all__ = ["LinkKind", "LinkSpec"]
+
+
+class LinkKind(enum.Enum):
+    """The interconnect families a checkpoint hop can traverse."""
+
+    NVLINK = "nvlink"            # intra/inter-node GPU-direct path
+    PCIE = "pcie"                # GPU <-> host staging copies
+    INFINIBAND = "infiniband"    # host <-> host RDMA
+    DRAM_COPY = "dram_copy"      # host-memory staging memcpy
+    HBM_COPY = "hbm_copy"        # device-memory snapshot memcpy
+    LOOPBACK = "loopback"        # same-process testing link
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Performance description of one interconnect hop.
+
+    Attributes:
+        name: identifier, e.g. ``"polaris.ib"``.
+        kind: link family (used for cost labels and selection policy).
+        bandwidth: sustained bytes/second for large messages.
+        latency: one-way startup latency in seconds.
+        per_message_overhead: extra seconds per message (rendezvous,
+            memory registration); charged once per transfer.
+    """
+
+    name: str
+    kind: LinkKind
+    bandwidth: float
+    latency: float = 0.0
+    per_message_overhead: float = 0.0
+
+    def __post_init__(self):
+        if self.bandwidth <= 0:
+            raise ConfigurationError(f"{self.name}: bandwidth must be positive")
+        if self.latency < 0 or self.per_message_overhead < 0:
+            raise ConfigurationError(f"{self.name}: latencies must be non-negative")
+
+    def transfer_time(self, nbytes: int, nmessages: int = 1) -> float:
+        """Seconds to move ``nbytes`` as ``nmessages`` messages."""
+        if nbytes < 0 or nmessages < 1:
+            raise ConfigurationError(
+                f"transfer_time: nbytes={nbytes}, nmessages={nmessages} out of range"
+            )
+        return (
+            self.latency
+            + nbytes / self.bandwidth
+            + self.per_message_overhead * nmessages
+        )
+
+    def transfer_cost(self, nbytes: int, nmessages: int = 1) -> Cost:
+        return Cost.of(
+            f"link.{self.kind.value}", self.transfer_time(nbytes, nmessages)
+        )
+
+    def describe(self) -> str:
+        return (
+            f"{self.name} [{self.kind.value}] {self.bandwidth / GB:.2f} GB/s "
+            f"lat={self.latency * 1e6:.1f} us"
+        )

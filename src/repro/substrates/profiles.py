@@ -1,0 +1,248 @@
+"""Hardware profiles: calibrated performance constants.
+
+:data:`POLARIS` models ALCF Polaris as used in the paper's evaluation
+(§5.1): AMD Milan CPU, 4x A100-40GB with NVLink, Slingshot-10 interconnect,
+InfiniBand-class host RDMA, and Lustre as the shared PFS.  The constants
+are *effective* end-to-end bandwidths, calibrated so that the latency law
+(tier/link alpha-beta model) reproduces the paper's Figure 8 numbers:
+
+- h5py baseline for NT3.A (600 MB) lands near 1.5 s, TC1 (4.7 GB) near 8 s;
+- Viper Host-to-Host sync lands near 0.27 s / 2.3 s;
+- Viper GPU-to-GPU sync lands near 0.1 s / 0.63 s;
+- per-checkpoint producer stall matches Figure 9's overheads
+  (GPU ≈ 1 s, PFS ≈ 60 s over 16 checkpoints of TC1).
+
+Effective bandwidths are well below peak hardware numbers, exactly as the
+measured end-to-end paths in the paper are (e.g. a 25 GB/s NVLink moving a
+checkpoint end-to-end at ~8 GB/s once framing, registration and driver
+overheads are paid).
+
+Two further profiles exercise Viper's portability claims:
+
+- :data:`FRONTIER` — an AMD-GPU system (MI250X-class, ROCm RDMA,
+  Slingshot-11, larger per-client Lustre bandwidth).  The paper stresses
+  that Viper "is designed to be generic, ensuring compatibility across
+  various GPU vendors" (§4.4); the Figure 8 orderings must hold here too
+  (tested in ``tests/substrates/test_profiles_portability.py``).
+- :data:`LAPTOP` — small numbers so tests and examples can exercise
+  capacity pressure and eviction cheaply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.substrates.cost import GB, MB
+from repro.substrates.memory.tiers import TierKind, TierSpec
+from repro.substrates.network.links import LinkKind, LinkSpec
+
+__all__ = ["HardwareProfile", "POLARIS", "FRONTIER", "LAPTOP"]
+
+
+@dataclass(frozen=True)
+class HardwareProfile:
+    """All tier and link models needed to instantiate a two-node cluster."""
+
+    name: str
+    gpu_hbm: TierSpec
+    host_dram: TierSpec
+    pfs: TierSpec
+    nvlink: LinkSpec       # GPU-to-GPU inter-node (GPUDirect RDMA path)
+    infiniband: LinkSpec   # Host-to-Host inter-node RDMA
+    pcie: LinkSpec         # GPU <-> host staging hop
+    hbm_copy: LinkSpec     # device-to-device snapshot memcpy
+    dram_copy: LinkSpec    # host staging memcpy
+
+
+POLARIS = HardwareProfile(
+    name="polaris",
+    gpu_hbm=TierSpec(
+        name="polaris.a100-hbm",
+        kind=TierKind.GPU_HBM,
+        capacity_bytes=40 * GB,
+        # Staging reads/writes within HBM for cached checkpoints.
+        read_bw=75.0 * GB,
+        write_bw=75.0 * GB,
+        read_latency=10e-6,
+        write_latency=10e-6,
+    ),
+    host_dram=TierSpec(
+        name="polaris.ddr4",
+        kind=TierKind.HOST_DRAM,
+        capacity_bytes=512 * GB,
+        read_bw=20.0 * GB,
+        write_bw=20.0 * GB,
+        read_latency=1e-6,
+        write_latency=1e-6,
+    ),
+    pfs=TierSpec(
+        name="polaris.lustre",
+        kind=TierKind.PFS,
+        capacity_bytes=100_000 * GB,
+        # Effective single-client bandwidth, not the 650 GB/s aggregate.
+        read_bw=1.7 * GB,
+        write_bw=1.25 * GB,
+        read_latency=0.010,
+        write_latency=0.020,
+        # Per-file/tensor metadata cost: uncoordinated small I/O is what
+        # makes checkpoint traffic hard on a PFS (paper §3).
+        per_object_overhead=0.002,
+    ),
+    nvlink=LinkSpec(
+        name="polaris.gpudirect",
+        kind=LinkKind.NVLINK,
+        bandwidth=8.0 * GB,
+        latency=10e-6,
+        per_message_overhead=0.005,
+    ),
+    infiniband=LinkSpec(
+        name="polaris.ib",
+        kind=LinkKind.INFINIBAND,
+        bandwidth=3.2 * GB,
+        latency=5e-6,
+        per_message_overhead=0.002,
+    ),
+    pcie=LinkSpec(
+        name="polaris.pcie4",
+        kind=LinkKind.PCIE,
+        bandwidth=11.0 * GB,
+        latency=30e-6,
+        per_message_overhead=0.001,
+    ),
+    hbm_copy=LinkSpec(
+        name="polaris.hbm-copy",
+        kind=LinkKind.HBM_COPY,
+        bandwidth=75.0 * GB,
+        latency=10e-6,
+    ),
+    dram_copy=LinkSpec(
+        name="polaris.dram-copy",
+        kind=LinkKind.DRAM_COPY,
+        bandwidth=20.0 * GB,
+        latency=1e-6,
+    ),
+)
+
+
+FRONTIER = HardwareProfile(
+    name="frontier",
+    gpu_hbm=TierSpec(
+        name="frontier.mi250x-hbm",
+        kind=TierKind.GPU_HBM,
+        capacity_bytes=64 * GB,
+        read_bw=100.0 * GB,
+        write_bw=100.0 * GB,
+        read_latency=10e-6,
+        write_latency=10e-6,
+    ),
+    host_dram=TierSpec(
+        name="frontier.ddr4",
+        kind=TierKind.HOST_DRAM,
+        capacity_bytes=512 * GB,
+        read_bw=25.0 * GB,
+        write_bw=25.0 * GB,
+        read_latency=1e-6,
+        write_latency=1e-6,
+    ),
+    pfs=TierSpec(
+        name="frontier.orion",
+        kind=TierKind.PFS,
+        capacity_bytes=500_000 * GB,
+        read_bw=2.5 * GB,
+        write_bw=2.0 * GB,
+        read_latency=0.008,
+        write_latency=0.015,
+        per_object_overhead=0.002,
+    ),
+    nvlink=LinkSpec(
+        # ROCm RDMA over Slingshot-11: the AMD GPU-direct path §4.4 names.
+        name="frontier.rocm-rdma",
+        kind=LinkKind.NVLINK,
+        bandwidth=12.0 * GB,
+        latency=10e-6,
+        per_message_overhead=0.004,
+    ),
+    infiniband=LinkSpec(
+        name="frontier.ss11-host",
+        kind=LinkKind.INFINIBAND,
+        bandwidth=5.0 * GB,
+        latency=5e-6,
+        per_message_overhead=0.002,
+    ),
+    pcie=LinkSpec(
+        name="frontier.infinity-fabric",
+        kind=LinkKind.PCIE,
+        bandwidth=18.0 * GB,
+        latency=20e-6,
+        per_message_overhead=0.001,
+    ),
+    hbm_copy=LinkSpec(
+        name="frontier.hbm-copy",
+        kind=LinkKind.HBM_COPY,
+        bandwidth=100.0 * GB,
+        latency=10e-6,
+    ),
+    dram_copy=LinkSpec(
+        name="frontier.dram-copy",
+        kind=LinkKind.DRAM_COPY,
+        bandwidth=25.0 * GB,
+        latency=1e-6,
+    ),
+)
+
+
+LAPTOP = HardwareProfile(
+    name="laptop",
+    gpu_hbm=TierSpec(
+        name="laptop.vram",
+        kind=TierKind.GPU_HBM,
+        capacity_bytes=256 * MB,
+        read_bw=20.0 * GB,
+        write_bw=20.0 * GB,
+    ),
+    host_dram=TierSpec(
+        name="laptop.dram",
+        kind=TierKind.HOST_DRAM,
+        capacity_bytes=1 * GB,
+        read_bw=10.0 * GB,
+        write_bw=10.0 * GB,
+    ),
+    pfs=TierSpec(
+        name="laptop.nfs",
+        kind=TierKind.PFS,
+        capacity_bytes=50 * GB,
+        read_bw=0.2 * GB,
+        write_bw=0.1 * GB,
+        read_latency=0.005,
+        write_latency=0.010,
+        per_object_overhead=0.001,
+    ),
+    nvlink=LinkSpec(
+        name="laptop.gpu-p2p",
+        kind=LinkKind.NVLINK,
+        bandwidth=4.0 * GB,
+        latency=20e-6,
+    ),
+    infiniband=LinkSpec(
+        name="laptop.tcp",
+        kind=LinkKind.INFINIBAND,
+        bandwidth=1.0 * GB,
+        latency=50e-6,
+    ),
+    pcie=LinkSpec(
+        name="laptop.pcie3",
+        kind=LinkKind.PCIE,
+        bandwidth=6.0 * GB,
+        latency=50e-6,
+    ),
+    hbm_copy=LinkSpec(
+        name="laptop.vram-copy",
+        kind=LinkKind.HBM_COPY,
+        bandwidth=20.0 * GB,
+    ),
+    dram_copy=LinkSpec(
+        name="laptop.dram-copy",
+        kind=LinkKind.DRAM_COPY,
+        bandwidth=10.0 * GB,
+    ),
+)

@@ -1,0 +1,239 @@
+"""Simulated time and a minimal discrete-event engine.
+
+All latency results in this reproduction are *simulated*: operations against
+the hardware model compute their duration from bandwidth/latency constants
+and advance a :class:`SimClock` instead of sleeping.  This keeps benchmark
+runs fast and deterministic while preserving the arithmetic that drives the
+paper's figures.
+
+Two abstractions live here:
+
+- :class:`SimClock` — a monotonic, thread-safe simulated clock.  Components
+  charge time with :meth:`SimClock.advance` and read it with
+  :meth:`SimClock.now`.
+- :class:`EventLoop` — a priority-queue discrete-event engine used by
+  :mod:`repro.workflow` to interleave training iterations, checkpoint stalls,
+  transfers, model loads, and inference requests on a single timeline.
+
+The event loop is deliberately small (schedule / cancel / run-until); the
+workflow layer builds producer/consumer actors on top of it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+__all__ = ["SimClock", "Event", "EventLoop"]
+
+
+class SimClock:
+    """A monotonic simulated clock measured in seconds.
+
+    The clock never goes backwards: :meth:`advance` rejects negative
+    durations and :meth:`advance_to` rejects timestamps in the past.  All
+    operations are thread-safe so that live-mode components (background
+    flush threads, notification subscribers) can charge time concurrently.
+    """
+
+    __slots__ = ("_now", "_lock")
+
+    def __init__(self, start: float = 0.0):
+        if start < 0:
+            raise SimulationError(f"clock cannot start at negative time {start!r}")
+        self._now = float(start)
+        self._lock = threading.Lock()
+
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        with self._lock:
+            return self._now
+
+    def advance(self, dt: float) -> float:
+        """Advance the clock by ``dt`` seconds and return the new time."""
+        if dt < 0:
+            raise SimulationError(f"cannot advance clock by negative dt {dt!r}")
+        with self._lock:
+            self._now += dt
+            return self._now
+
+    def advance_to(self, t: float) -> float:
+        """Move the clock forward to absolute time ``t`` (no-op if past)."""
+        with self._lock:
+            if t > self._now:
+                self._now = t
+            return self._now
+
+    def reset(self, start: float = 0.0) -> None:
+        """Reset the clock (used between benchmark repetitions)."""
+        if start < 0:
+            raise SimulationError(f"clock cannot reset to negative time {start!r}")
+        with self._lock:
+            self._now = float(start)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock(t={self.now():.6f}s)"
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    """Internal heap entry; ordering is (time, sequence) for FIFO ties."""
+
+    time: float
+    seq: int
+    event: "Event" = field(compare=False)
+
+
+@dataclass
+class Event:
+    """A scheduled callback on the simulated timeline.
+
+    Attributes:
+        time: absolute simulated time at which the event fires.
+        action: zero-argument callable run when the event fires.
+        name: human-readable label used in traces and error messages.
+        payload: optional arbitrary data carried for tracing.
+    """
+
+    time: float
+    action: Callable[[], None]
+    name: str = ""
+    payload: Any = None
+    _cancelled: bool = field(default=False, repr=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the loop skips it when popped."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+
+class EventLoop:
+    """A single-threaded discrete-event simulation loop.
+
+    Events are executed in timestamp order (FIFO among equal timestamps).
+    Event actions may schedule further events, including at the current
+    time.  The loop drives a :class:`SimClock` forward; user code observes
+    time exclusively through that clock.
+    """
+
+    def __init__(self, clock: Optional[SimClock] = None):
+        self.clock = clock if clock is not None else SimClock()
+        self._heap: List[_QueueEntry] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._executed = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule_at(
+        self,
+        time: float,
+        action: Callable[[], None],
+        name: str = "",
+        payload: Any = None,
+    ) -> Event:
+        """Schedule ``action`` at absolute simulated time ``time``."""
+        now = self.clock.now()
+        if time < now:
+            raise SimulationError(
+                f"cannot schedule event {name!r} at t={time:.6f} before now={now:.6f}"
+            )
+        ev = Event(time=time, action=action, name=name, payload=payload)
+        heapq.heappush(self._heap, _QueueEntry(time, next(self._seq), ev))
+        return ev
+
+    def schedule_after(
+        self,
+        delay: float,
+        action: Callable[[], None],
+        name: str = "",
+        payload: Any = None,
+    ) -> Event:
+        """Schedule ``action`` ``delay`` seconds after the current time."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r} for event {name!r}")
+        return self.schedule_at(self.clock.now() + delay, action, name, payload)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._heap)
+
+    @property
+    def executed(self) -> int:
+        """Number of events executed so far."""
+        return self._executed
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next live event, or ``None`` if drained."""
+        while self._heap and self._heap[0].event.cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> Optional[Event]:
+        """Execute the next event; return it, or ``None`` if drained."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            if entry.event.cancelled:
+                continue
+            self.clock.advance_to(entry.time)
+            entry.event.action()
+            self._executed += 1
+            return entry.event
+        return None
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: int = 10_000_000,
+    ) -> int:
+        """Run events until the queue drains or ``until`` is reached.
+
+        Returns the number of events executed by this call.  ``until`` is an
+        absolute simulated time; events scheduled strictly after it remain
+        queued and the clock is advanced exactly to ``until``.
+        """
+        if self._running:
+            raise SimulationError("event loop is not reentrant")
+        self._running = True
+        executed = 0
+        try:
+            while executed < max_events:
+                t = self.peek_time()
+                if t is None:
+                    break
+                if until is not None and t > until:
+                    break
+                self.step()
+                executed += 1
+            else:
+                raise SimulationError(
+                    f"event loop exceeded max_events={max_events}; likely a "
+                    f"runaway self-scheduling actor"
+                )
+        finally:
+            self._running = False
+        if until is not None:
+            self.clock.advance_to(until)
+        return executed
+
+    def drain(self) -> Dict[str, int]:
+        """Discard all pending events (used when tearing a workflow down)."""
+        dropped: Dict[str, int] = {}
+        for entry in self._heap:
+            key = entry.event.name or "<anonymous>"
+            dropped[key] = dropped.get(key, 0) + 1
+        self._heap.clear()
+        return dropped

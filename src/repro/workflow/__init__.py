@@ -1,0 +1,29 @@
+"""Coupled producer/consumer workflow simulation.
+
+The paper's end-to-end experiments (Fig. 9, Fig. 10, Table 1) couple a
+training producer with an inference-serving consumer over a model-update
+channel.  This package runs that coupling as a discrete-event simulation
+on the paper-scale timeline:
+
+- :mod:`producer` — training iterations, checkpoint stalls, and the async
+  engine's delivery pipeline;
+- :mod:`consumer` — model loads (latest-wins supersede), double-buffer
+  swaps, and fixed-rate inference accounting;
+- :mod:`runner` — configuration + orchestration, producing a
+  :class:`~repro.workflow.runner.WorkflowResult` with the CIL, training
+  overhead, and the full version-switch timeline;
+- :mod:`trace` — structured event traces for tests and debugging;
+- :mod:`multi` — the paper's future-work extension: multiple producers /
+  consumers sharing the update fabric.
+"""
+
+from repro.workflow.runner import CoupledRunConfig, WorkflowResult, run_coupled
+from repro.workflow.trace import Trace, TraceEvent
+
+__all__ = [
+    "CoupledRunConfig",
+    "WorkflowResult",
+    "run_coupled",
+    "Trace",
+    "TraceEvent",
+]

@@ -1,0 +1,159 @@
+"""Consumer-side actor: model loads, swaps, and inference accounting.
+
+The consumer's update thread is modeled separately from its serving
+thread, as in the implementation the paper describes ("Viper segregates
+the inference serving thread from the model updating thread"):
+
+- Serving runs continuously at one request per ``t_infer`` seconds and
+  always uses the current double-buffer primary.
+- On a notification, the update thread loads the checkpoint (``t_c``
+  seconds) and then swaps atomically.  If notifications arrive while a
+  load is in flight, only the *newest* is loaded next (latest-wins),
+  matching Viper's only-buffer-the-latest channels.
+
+Inference losses are accounted analytically from the version-switch
+timeline (requests are at fixed, known times), which is exact and keeps
+the event count independent of the number of inferences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import WorkflowError
+from repro.substrates.simclock import EventLoop
+from repro.workflow.producer import CheckpointAnnouncement
+from repro.workflow.trace import Trace
+
+__all__ = ["VersionSwitch", "ConsumerSim", "cil_from_switches"]
+
+
+@dataclass(frozen=True)
+class VersionSwitch:
+    """The serving model changed at ``time`` to ``version`` with ``loss``."""
+
+    time: float
+    version: int
+    iteration: int
+    loss: float
+
+
+def cil_from_switches(
+    switches: List[VersionSwitch],
+    t_infer: float,
+    total_inferences: int,
+    start_time: float = 0.0,
+) -> Tuple[float, np.ndarray]:
+    """Cumulative inference loss over fixed-rate requests.
+
+    Request ``k`` fires at ``start_time + k * t_infer`` and is served by
+    the newest switch at or before that instant.  Returns ``(CIL,
+    per-switch inference counts)``.  Requests before the first switch are
+    an error — the consumer always starts with the warm-up model switch
+    at the simulation origin.
+    """
+    if t_infer <= 0:
+        raise WorkflowError("t_infer must be positive")
+    if total_inferences < 0:
+        raise WorkflowError("total_inferences must be non-negative")
+    if not switches:
+        raise WorkflowError("no version switches: consumer never had a model")
+    times = np.asarray([s.time for s in switches])
+    if np.any(np.diff(times) < 0):
+        raise WorkflowError("switches must be time-ordered")
+    losses = np.asarray([s.loss for s in switches])
+    request_times = start_time + t_infer * np.arange(total_inferences)
+    if total_inferences and request_times[0] < times[0]:
+        raise WorkflowError(
+            f"first request at {request_times[0]} precedes first model at "
+            f"{times[0]}"
+        )
+    idx = np.searchsorted(times, request_times, side="right") - 1
+    counts = np.bincount(idx, minlength=len(switches))
+    cil = float(np.dot(counts, losses))
+    return cil, counts
+
+
+class ConsumerSim:
+    """Discrete-event inference consumer."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        trace: Trace,
+        *,
+        t_load: float,
+        initial_loss: float,
+        initial_iteration: int = 0,
+    ):
+        if t_load < 0:
+            raise WorkflowError("t_load must be non-negative")
+        self.loop = loop
+        self.trace = trace
+        self.t_load = t_load
+        # The warm-up model is live from the simulation origin.
+        self.switches: List[VersionSwitch] = [
+            VersionSwitch(loop.clock.now(), 0, initial_iteration, initial_loss)
+        ]
+        self._loading: Optional[CheckpointAnnouncement] = None
+        self._pending: Optional[CheckpointAnnouncement] = None
+        self.loads_started = 0
+        self.loads_superseded = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def current_version(self) -> int:
+        return self.switches[-1].version
+
+    def on_notify(self, ann: CheckpointAnnouncement) -> None:
+        """Notification handler wired into the producer."""
+        now = self.loop.clock.now()
+        if ann.version <= self.current_version:
+            self.trace.add(now, "superseded", "consumer", version=ann.version)
+            self.loads_superseded += 1
+            return
+        if self._loading is not None:
+            # Update thread busy: remember only the newest.
+            if self._pending is not None and self._pending.version < ann.version:
+                self.trace.add(
+                    now, "superseded", "consumer", version=self._pending.version
+                )
+                self.loads_superseded += 1
+                self._pending = ann
+            elif self._pending is None:
+                self._pending = ann
+            else:
+                self.trace.add(now, "superseded", "consumer", version=ann.version)
+                self.loads_superseded += 1
+            return
+        self._begin_load(ann)
+
+    def _begin_load(self, ann: CheckpointAnnouncement) -> None:
+        now = self.loop.clock.now()
+        self._loading = ann
+        self.loads_started += 1
+        self.trace.add(now, "load_begin", "consumer", version=ann.version)
+
+        def _load_done():
+            t = self.loop.clock.now()
+            self.trace.add(t, "load_done", "consumer", version=ann.version)
+            # Double-buffer swap: atomic, negligible cost.
+            self.switches.append(VersionSwitch(t, ann.version, ann.iteration, ann.loss))
+            self.trace.add(t, "swap", "consumer", version=ann.version)
+            self._loading = None
+            if self._pending is not None:
+                nxt, self._pending = self._pending, None
+                if nxt.version > self.current_version:
+                    self._begin_load(nxt)
+
+        self.loop.schedule_after(self.t_load, _load_done, "load")
+
+    # ------------------------------------------------------------------
+    def cumulative_inference_loss(
+        self, t_infer: float, total_inferences: int
+    ) -> Tuple[float, np.ndarray]:
+        """CIL over the run's switch timeline (call after loop.run())."""
+        return cil_from_switches(self.switches, t_infer, total_inferences)

@@ -1,0 +1,196 @@
+"""Multi-producer / multi-consumer coupling (paper §6, future work).
+
+The paper's conclusion sketches an extension "in which we allow the DNN
+model to be sharded in different ways during the training and inferences
+(e.g. by mixing tensor, pipeline, and data parallelism)".  This module
+implements the two simplest members of that family on the DES substrate:
+
+- **1 producer -> K consumers**: every checkpoint fans out to K serving
+  replicas; each replica loads independently (its own ``t_c``) and serves
+  its own fixed-rate stream.  Total CIL aggregates across replicas.
+- **M sharded producers -> 1 consumer**: the model is sharded M ways
+  (data-parallel training with tensor-sharded checkpoints); each shard is
+  1/M of the bytes, so per-checkpoint stall and load shrink accordingly,
+  but a model update is complete only when *all* shards have arrived
+  (the max over shard delivery times).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import WorkflowError
+from repro.substrates.profiles import POLARIS, HardwareProfile
+from repro.substrates.simclock import EventLoop
+from repro.dnn.serialization import Serializer, ViperSerializer
+from repro.apps.registry import AppProfile
+from repro.core.notification import PUSH_LATENCY
+from repro.core.predictor.schedules import Schedule
+from repro.core.transfer.strategies import (
+    CaptureMode,
+    TransferStrategy,
+    compute_timings,
+)
+from repro.workflow.consumer import ConsumerSim, cil_from_switches
+from repro.workflow.producer import ProducerSim
+from repro.workflow.runner import LossCurve, loss_curve_lookup
+from repro.workflow.trace import Trace
+
+__all__ = ["MultiResult", "run_fanout", "run_sharded"]
+
+
+@dataclass(frozen=True)
+class MultiResult:
+    """Aggregate outcome of a multi-party coupled run."""
+
+    total_cil: float
+    per_consumer_cil: Dict[str, float]
+    checkpoints: int
+    training_overhead: float
+    training_end_time: float
+
+
+def run_fanout(
+    app: AppProfile,
+    schedule: Schedule,
+    loss_curve: LossCurve,
+    *,
+    n_consumers: int = 2,
+    strategy: TransferStrategy = TransferStrategy.GPU_TO_GPU,
+    mode: CaptureMode = CaptureMode.ASYNC,
+    serializer: Optional[Serializer] = None,
+    profile: HardwareProfile = POLARIS,
+    notify_latency: float = PUSH_LATENCY,
+    consumer_rates: Optional[Sequence[float]] = None,
+) -> MultiResult:
+    """One producer feeding ``n_consumers`` independent serving replicas.
+
+    ``consumer_rates`` optionally sets a per-replica ``t_infer`` (a
+    heterogeneous serving fleet — e.g. edge devices of different speed);
+    defaults to the app's rate for every replica.
+    """
+    if n_consumers < 1:
+        raise WorkflowError("need at least one consumer")
+    if consumer_rates is not None and len(consumer_rates) != n_consumers:
+        raise WorkflowError("consumer_rates length must match n_consumers")
+    ser = serializer if serializer is not None else ViperSerializer()
+    loss_at = loss_curve_lookup(loss_curve)
+    timings = compute_timings(
+        profile, ser, strategy, mode, app.checkpoint_bytes, app.checkpoint_tensors
+    )
+    loop = EventLoop()
+    trace = Trace()
+    consumers = [
+        ConsumerSim(
+            loop,
+            trace,
+            t_load=timings.load.total,
+            initial_loss=loss_at(schedule.start_iter),
+            initial_iteration=schedule.start_iter,
+        )
+        for _ in range(n_consumers)
+    ]
+
+    def fanout(ann):
+        for consumer in consumers:
+            consumer.on_notify(ann)
+
+    producer = ProducerSim(
+        loop,
+        trace,
+        schedule=schedule,
+        timings=timings,
+        t_train=app.timing.t_train,
+        total_iters=schedule.end_iter,
+        start_iter=schedule.start_iter,
+        loss_at=loss_at,
+        notify_latency=notify_latency,
+        on_notify=fanout,
+    )
+    producer.start()
+    loop.run()
+
+    per_consumer: Dict[str, float] = {}
+    total = 0.0
+    for i, consumer in enumerate(consumers):
+        rate = (
+            consumer_rates[i] if consumer_rates is not None else app.timing.t_infer
+        )
+        cil, _ = consumer.cumulative_inference_loss(rate, app.total_inferences)
+        per_consumer[f"consumer-{i}"] = cil
+        total += cil
+    return MultiResult(
+        total_cil=total,
+        per_consumer_cil=per_consumer,
+        checkpoints=producer.checkpoints_completed,
+        training_overhead=producer.training_overhead,
+        training_end_time=producer.training_end_time or 0.0,
+    )
+
+
+def run_sharded(
+    app: AppProfile,
+    schedule: Schedule,
+    loss_curve: LossCurve,
+    *,
+    n_shards: int = 2,
+    strategy: TransferStrategy = TransferStrategy.GPU_TO_GPU,
+    mode: CaptureMode = CaptureMode.ASYNC,
+    serializer: Optional[Serializer] = None,
+    profile: HardwareProfile = POLARIS,
+    notify_latency: float = PUSH_LATENCY,
+) -> MultiResult:
+    """``n_shards`` data-parallel producers, tensor-sharded checkpoints.
+
+    Each shard carries ``1/n_shards`` of the bytes and tensors; shard
+    deliveries run in parallel (each producer has its own engine), and
+    the consumer's update is live once the slowest shard has loaded.
+    Modeled by scaling the timing law: stall is per-shard (producers
+    stall simultaneously), delivery/load take the per-shard time (they
+    run concurrently across shards over independent links).
+    """
+    if n_shards < 1:
+        raise WorkflowError("need at least one shard")
+    ser = serializer if serializer is not None else ViperSerializer()
+    loss_at = loss_curve_lookup(loss_curve)
+    shard_bytes = -(-app.checkpoint_bytes // n_shards)
+    shard_tensors = max(1, app.checkpoint_tensors // n_shards)
+    timings = compute_timings(profile, ser, strategy, mode, shard_bytes, shard_tensors)
+
+    loop = EventLoop()
+    trace = Trace()
+    consumer = ConsumerSim(
+        loop,
+        trace,
+        t_load=timings.load.total,
+        initial_loss=loss_at(schedule.start_iter),
+        initial_iteration=schedule.start_iter,
+    )
+    producer = ProducerSim(
+        loop,
+        trace,
+        schedule=schedule,
+        timings=timings,
+        t_train=app.timing.t_train,
+        total_iters=schedule.end_iter,
+        start_iter=schedule.start_iter,
+        loss_at=loss_at,
+        notify_latency=notify_latency,
+        on_notify=consumer.on_notify,
+    )
+    producer.start()
+    loop.run()
+
+    cil, _ = consumer.cumulative_inference_loss(
+        app.timing.t_infer, app.total_inferences
+    )
+    return MultiResult(
+        total_cil=cil,
+        per_consumer_cil={"consumer-0": cil},
+        checkpoints=producer.checkpoints_completed,
+        training_overhead=producer.training_overhead,
+        training_end_time=producer.training_end_time or 0.0,
+    )

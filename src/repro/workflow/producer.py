@@ -1,0 +1,182 @@
+"""Producer-side actor of the coupled simulation.
+
+Simulates the training loop on the paper-scale timeline: each iteration
+takes ``t_train`` seconds; at scheduled iterations the loop stalls for the
+strategy's capture time, then (sync) the delivery completes within the
+stall or (async) a delivery job is handed to the background engine.
+
+The engine pipeline models the paper's "memory channels only buffer and
+transfer the latest DNN model": if deliveries back up, queued-but-unsent
+checkpoints are superseded by newer ones — only the newest pending
+checkpoint is ever shipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.errors import WorkflowError
+from repro.substrates.simclock import EventLoop
+from repro.core.predictor.schedules import Schedule
+from repro.core.transfer.strategies import CaptureMode, StrategyTimings
+from repro.workflow.trace import Trace
+
+__all__ = ["CheckpointAnnouncement", "ProducerSim"]
+
+
+@dataclass(frozen=True)
+class CheckpointAnnouncement:
+    """What the consumer learns about one completed delivery."""
+
+    version: int
+    iteration: int
+    loss: float
+    delivered_at: float   # simulated time the blob is in consumer-side reach
+
+
+class ProducerSim:
+    """Discrete-event training producer."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        trace: Trace,
+        *,
+        schedule: Schedule,
+        timings: StrategyTimings,
+        t_train: float,
+        total_iters: int,
+        start_iter: int,
+        loss_at: Callable[[int], float],
+        notify_latency: float,
+        on_notify: Callable[[CheckpointAnnouncement], None],
+        adapter=None,
+    ):
+        if total_iters <= start_iter:
+            raise WorkflowError(
+                f"total_iters ({total_iters}) must exceed start_iter ({start_iter})"
+            )
+        self.loop = loop
+        self.trace = trace
+        self.schedule = schedule
+        self.timings = timings
+        self.t_train = t_train
+        self.total_iters = total_iters
+        self.start_iter = start_iter
+        self.loss_at = loss_at
+        self.notify_latency = notify_latency
+        self.on_notify = on_notify
+        self.adapter = adapter
+
+        self._schedule_set = frozenset(schedule.iterations)
+        self._iteration = start_iter
+        self._version = 0
+        self._engine_free_at = 0.0
+        self._pending: Optional[CheckpointAnnouncement] = None
+
+        self.checkpoints_completed = 0
+        self.superseded = 0
+        self.training_overhead = 0.0
+        self.training_end_time: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Schedule the first iteration at the current simulated time."""
+        self.loop.schedule_after(self.t_train, self._iteration_done, "iteration")
+
+    # ------------------------------------------------------------------
+    def _iteration_done(self) -> None:
+        self._iteration += 1
+        now = self.loop.clock.now()
+        self.trace.add(now, "iteration", "producer", iteration=self._iteration)
+
+        if self.adapter is not None:
+            take = self.adapter.observe(self._iteration, self.loss_at(self._iteration))
+        else:
+            take = self._iteration in self._schedule_set
+        if take:
+            self._begin_checkpoint()
+        elif self._iteration < self.total_iters:
+            self.loop.schedule_after(self.t_train, self._iteration_done, "iteration")
+        else:
+            self._finish_training()
+
+    def _begin_checkpoint(self) -> None:
+        now = self.loop.clock.now()
+        iteration = self._iteration
+        self._version += 1
+        version = self._version
+        loss = self.loss_at(iteration)
+        stall = self.timings.stall.total
+        self.training_overhead += stall
+        self.trace.add(now, "ckpt_begin", "producer", version=version, iteration=iteration)
+
+        def _stall_over():
+            t = self.loop.clock.now()
+            self.trace.add(t, "ckpt_stall_end", "producer", version=version)
+            ann = CheckpointAnnouncement(version, iteration, loss, delivered_at=t)
+            if self.timings.mode is CaptureMode.SYNC:
+                # Delivery completed within the stall; notify immediately.
+                self._deliver(ann, extra_delay=0.0)
+            else:
+                self._enqueue_async(ann)
+            # Training resumes right after the stall.
+            if self._iteration < self.total_iters:
+                self.loop.schedule_after(
+                    self.t_train, self._iteration_done, "iteration"
+                )
+            else:
+                self._finish_training()
+
+        self.loop.schedule_after(stall, _stall_over, "ckpt_stall")
+
+    # ------------------------------------------------------------------
+    # Async engine pipeline: one delivery in flight, latest-wins queue.
+    # ------------------------------------------------------------------
+    def _enqueue_async(self, ann: CheckpointAnnouncement) -> None:
+        now = self.loop.clock.now()
+        if now >= self._engine_free_at:
+            self._start_delivery(ann)
+        else:
+            if self._pending is not None:
+                self.trace.add(
+                    now, "superseded", "engine", version=self._pending.version
+                )
+                self.superseded += 1
+            self._pending = ann
+
+    def _start_delivery(self, ann: CheckpointAnnouncement) -> None:
+        deliver = self.timings.deliver.total
+        self._engine_free_at = self.loop.clock.now() + deliver
+
+        def _delivered():
+            t = self.loop.clock.now()
+            self.trace.add(t, "delivered", "engine", version=ann.version)
+            self._deliver(
+                CheckpointAnnouncement(ann.version, ann.iteration, ann.loss, t),
+                extra_delay=0.0,
+            )
+            if self._pending is not None:
+                nxt, self._pending = self._pending, None
+                self._start_delivery(nxt)
+
+        self.loop.schedule_after(deliver, _delivered, "delivery")
+
+    def _deliver(self, ann: CheckpointAnnouncement, extra_delay: float) -> None:
+        """Publish the notification ``notify_latency`` after delivery."""
+        self.checkpoints_completed += 1
+
+        def _notify():
+            t = self.loop.clock.now()
+            self.trace.add(t, "notified", "producer", version=ann.version)
+            self.on_notify(ann)
+
+        self.loop.schedule_after(
+            self.notify_latency + extra_delay, _notify, "notify"
+        )
+
+    def _finish_training(self) -> None:
+        now = self.loop.clock.now()
+        self.training_end_time = now
+        self.trace.add(now, "train_end", "producer", iteration=self._iteration)

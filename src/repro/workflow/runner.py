@@ -1,0 +1,194 @@
+"""Coupled-run orchestration: configuration, execution, results.
+
+:func:`run_coupled` wires a :class:`~repro.workflow.producer.ProducerSim`
+and a :class:`~repro.workflow.consumer.ConsumerSim` onto one event loop
+and runs the paper's end-to-end experiment:
+
+1. training resumes after the warm-up (iteration ``schedule.start_iter``)
+   while the consumer starts serving with the warm-up checkpoint;
+2. checkpoints follow the given schedule and transfer strategy;
+3. the consumer accumulates inference loss at one request per
+   ``t_infer``, always serving with its newest swapped-in model;
+4. the result reports CIL, checkpoint counts, and training overhead —
+   the quantities behind Fig. 9, Fig. 10, and Table 1.
+
+The loss of each checkpoint comes from a real measured (or predicted)
+training-loss curve supplied by the caller, indexed by iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import WorkflowError
+from repro.substrates.profiles import POLARIS, HardwareProfile
+from repro.substrates.simclock import EventLoop
+from repro.dnn.serialization import Serializer, ViperSerializer
+from repro.apps.registry import AppProfile
+from repro.core.notification import PUSH_LATENCY
+from repro.core.predictor.schedules import Schedule
+from repro.core.transfer.strategies import (
+    CaptureMode,
+    TransferStrategy,
+    compute_timings,
+)
+from repro.workflow.consumer import ConsumerSim, VersionSwitch
+from repro.workflow.producer import ProducerSim
+from repro.workflow.trace import Trace
+
+__all__ = ["CoupledRunConfig", "WorkflowResult", "run_coupled", "loss_curve_lookup"]
+
+LossCurve = Union[Sequence[float], Callable[[int], float]]
+
+
+def loss_curve_lookup(curve: LossCurve) -> Callable[[int], float]:
+    """Normalize a loss curve into an iteration->loss callable.
+
+    A sequence is treated as 1-indexed per-iteration losses (``curve[i-1]``
+    is the loss after iteration ``i``); iterations past the end clamp to
+    the final value, iteration 0 clamps to the first.
+    """
+    if callable(curve):
+        return curve
+    arr = np.asarray(list(curve), dtype=np.float64)
+    if arr.size == 0:
+        raise WorkflowError("empty loss curve")
+
+    def lookup(iteration: int) -> float:
+        idx = min(max(int(iteration) - 1, 0), arr.size - 1)
+        return float(arr[idx])
+
+    return lookup
+
+
+@dataclass
+class CoupledRunConfig:
+    """Everything one coupled run needs."""
+
+    app: AppProfile
+    schedule: Schedule
+    loss_curve: LossCurve
+    strategy: TransferStrategy = TransferStrategy.GPU_TO_GPU
+    mode: CaptureMode = CaptureMode.ASYNC
+    serializer: Serializer = field(default_factory=ViperSerializer)
+    profile: HardwareProfile = POLARIS
+    total_inferences: Optional[int] = None      # defaults to the app's M
+    notify_latency: float = PUSH_LATENCY
+    # Online scheduling: a CheckpointFrequencyAdapter deciding checkpoints
+    # from observed losses at run time; the static schedule's iteration
+    # list is ignored (its start/end bounds still frame the run).
+    adapter: Optional[object] = None
+    # Polling-discovery ablation: with a positive poll interval the
+    # consumer only notices updates at poll boundaries (Triton-style),
+    # adding up to one interval of discovery delay per update.
+    poll_interval: float = 0.0
+
+
+@dataclass(frozen=True)
+class WorkflowResult:
+    """Outcome of one coupled run."""
+
+    cil: float
+    inferences: int
+    checkpoints: int
+    superseded: int
+    training_overhead: float
+    training_end_time: float
+    switches: List[VersionSwitch]
+    per_version_inferences: np.ndarray
+    trace: Trace
+
+    @property
+    def mean_inference_loss(self) -> float:
+        return self.cil / self.inferences if self.inferences else float("nan")
+
+
+def run_coupled(config: CoupledRunConfig) -> WorkflowResult:
+    """Execute one coupled producer/consumer run on the DES timeline."""
+    app = config.app
+    schedule = config.schedule
+    loss_at = loss_curve_lookup(config.loss_curve)
+    timings = compute_timings(
+        config.profile,
+        config.serializer,
+        config.strategy,
+        config.mode,
+        app.checkpoint_bytes,
+        app.checkpoint_tensors,
+    )
+    total_inferences = (
+        app.total_inferences
+        if config.total_inferences is None
+        else config.total_inferences
+    )
+    if total_inferences <= 0:
+        raise WorkflowError("total_inferences must be positive")
+
+    loop = EventLoop()
+    trace = Trace()
+
+    consumer = ConsumerSim(
+        loop,
+        trace,
+        t_load=timings.load.total,
+        initial_loss=loss_at(schedule.start_iter),
+        initial_iteration=schedule.start_iter,
+    )
+
+    if config.poll_interval > 0:
+
+        def notify(ann):
+            # Polling discovery: the consumer notices at the next poll tick.
+            now = loop.clock.now()
+            next_poll = (
+                np.ceil(now / config.poll_interval) * config.poll_interval
+            )
+            loop.schedule_at(
+                float(next_poll), lambda: consumer.on_notify(ann), "poll-discover"
+            )
+
+    else:
+        notify = consumer.on_notify
+
+    if config.adapter is not None:
+        # Feed the warm-up losses so the adapter can fit and set its
+        # threshold before live iterations begin.
+        for i in range(1, schedule.start_iter + 1):
+            config.adapter.observe(i, loss_at(i))
+
+    producer = ProducerSim(
+        loop,
+        trace,
+        schedule=schedule,
+        timings=timings,
+        t_train=app.timing.t_train,
+        total_iters=schedule.end_iter,
+        start_iter=schedule.start_iter,
+        loss_at=loss_at,
+        notify_latency=config.notify_latency,
+        on_notify=notify,
+        adapter=config.adapter,
+    )
+    producer.start()
+    loop.run()
+
+    if producer.training_end_time is None:
+        raise WorkflowError("training never finished; schedule/iters mismatch")
+
+    cil, counts = consumer.cumulative_inference_loss(
+        app.timing.t_infer, total_inferences
+    )
+    return WorkflowResult(
+        cil=cil,
+        inferences=total_inferences,
+        checkpoints=producer.checkpoints_completed,
+        superseded=producer.superseded + consumer.loads_superseded,
+        training_overhead=producer.training_overhead,
+        training_end_time=producer.training_end_time,
+        switches=list(consumer.switches),
+        per_version_inferences=counts,
+        trace=trace,
+    )

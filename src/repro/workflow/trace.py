@@ -1,0 +1,54 @@
+"""Structured traces of coupled-run events.
+
+Every actor appends :class:`TraceEvent` records; tests assert causality
+invariants on the trace (a version can't be served before it was loaded,
+loads can't start before their notification, ...), and the reporting
+layer renders human-readable timelines from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Tuple
+
+__all__ = ["TraceEvent", "Trace"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped event in a coupled run."""
+
+    time: float
+    kind: str          # "iteration" | "ckpt_begin" | "ckpt_stall_end" |
+                       # "delivered" | "notified" | "load_begin" |
+                       # "load_done" | "swap" | "superseded" | "train_end"
+    actor: str         # "producer" | "consumer" | "engine"
+    data: Dict[str, Any] = field(default_factory=dict)
+
+
+class Trace:
+    """Append-only event log ordered by append time."""
+
+    def __init__(self):
+        self._events: List[TraceEvent] = []
+
+    def add(self, time: float, kind: str, actor: str, **data: Any) -> None:
+        self._events.append(TraceEvent(time, kind, actor, dict(data)))
+
+    def events(self, kind: str = "") -> Tuple[TraceEvent, ...]:
+        """All events, or only those of one kind."""
+        if not kind:
+            return tuple(self._events)
+        return tuple(e for e in self._events if e.kind == kind)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def last(self, kind: str) -> TraceEvent:
+        for event in reversed(self._events):
+            if event.kind == kind:
+                return event
+        raise KeyError(f"no event of kind {kind!r} in trace")

@@ -1,0 +1,107 @@
+"""Synthetic dataset generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.apps.datasets import make_diffraction_pairs, make_expression_profiles
+
+
+class TestExpressionProfiles:
+    def test_shapes(self):
+        x_tr, y_tr, x_te, y_te = make_expression_profiles(100, 20, 5, length=32)
+        assert x_tr.shape == (100, 32, 1)
+        assert y_tr.shape == (100,)
+        assert x_te.shape == (20, 32, 1)
+        assert y_te.shape == (20,)
+
+    def test_dtypes(self):
+        x_tr, y_tr, _x, _y = make_expression_profiles(10, 5, 2)
+        assert x_tr.dtype == np.float32
+        assert y_tr.dtype == np.int64
+
+    def test_labels_in_range(self):
+        _x, y_tr, _xt, y_te = make_expression_profiles(200, 50, 7)
+        assert set(np.unique(y_tr)) <= set(range(7))
+        assert y_tr.min() >= 0 and y_tr.max() < 7
+
+    def test_deterministic_per_seed(self):
+        a = make_expression_profiles(20, 5, 3, seed=9)
+        b = make_expression_profiles(20, 5, 3, seed=9)
+        for arr_a, arr_b in zip(a, b):
+            np.testing.assert_array_equal(arr_a, arr_b)
+
+    def test_seed_changes_data(self):
+        a = make_expression_profiles(20, 5, 3, seed=1)[0]
+        b = make_expression_profiles(20, 5, 3, seed=2)[0]
+        assert not np.array_equal(a, b)
+
+    def test_classes_are_separable(self):
+        """Per-class means differ: a centroid classifier beats chance."""
+        x, y, xt, yt = make_expression_profiles(400, 100, 3, noise=0.5, seed=4)
+        centroids = np.stack([x[y == k].mean(axis=0) for k in range(3)])
+        dists = ((xt[:, None] - centroids[None]) ** 2).sum(axis=(2, 3))
+        acc = (dists.argmin(axis=1) == yt).mean()
+        assert acc > 0.6
+
+    def test_noise_controls_overlap(self):
+        def centroid_acc(noise):
+            x, y, xt, yt = make_expression_profiles(
+                400, 100, 3, noise=noise, seed=4
+            )
+            centroids = np.stack([x[y == k].mean(axis=0) for k in range(3)])
+            dists = ((xt[:, None] - centroids[None]) ** 2).sum(axis=(2, 3))
+            return (dists.argmin(axis=1) == yt).mean()
+
+        assert centroid_acc(0.3) > centroid_acc(3.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            make_expression_profiles(10, 5, 1)
+        with pytest.raises(ConfigurationError):
+            make_expression_profiles(0, 5, 2)
+
+
+class TestDiffractionPairs:
+    def test_shapes(self):
+        x_tr, y_tr, x_te, y_te = make_diffraction_pairs(50, 10, size=16)
+        assert x_tr.shape == (50, 16, 16, 2)
+        assert y_tr.shape == (50, 16, 16, 2)
+        assert x_te.shape == (10, 16, 16, 2)
+
+    def test_amplitude_in_unit_range(self):
+        _x, y, _xt, _yt = make_diffraction_pairs(20, 5)
+        amplitude = y[..., 0]
+        assert amplitude.min() >= -1e-6
+        assert amplitude.max() <= 1.0 + 1e-6
+
+    def test_phase_bounded(self):
+        _x, y, _xt, _yt = make_diffraction_pairs(20, 5)
+        phase = y[..., 1]
+        assert np.abs(phase).max() <= np.pi / 2 + 1e-6
+
+    def test_deterministic_per_seed(self):
+        a = make_diffraction_pairs(10, 2, seed=3)
+        b = make_diffraction_pairs(10, 2, seed=3)
+        np.testing.assert_array_equal(a[0], b[0])
+
+    def test_task_is_learnable_linearly(self):
+        """A ridge regression from the sensor to the amplitude channel
+        beats predicting the mean — i.e. the inverse map exists."""
+        x, y, xt, yt = make_diffraction_pairs(300, 60, size=8, seed=5)
+        a = x.reshape(300, -1)
+        b = y[..., 0].reshape(300, -1)
+        at = xt.reshape(60, -1)
+        bt = yt[..., 0].reshape(60, -1)
+        reg = 1e-3 * np.eye(a.shape[1])
+        w = np.linalg.solve(a.T @ a + reg, a.T @ b)
+        pred = at @ w
+        mse_model = np.mean((pred - bt) ** 2)
+        mse_mean = np.mean((b.mean(axis=0) - bt) ** 2)
+        # A linear probe beats the mean predictor decisively (the conv net
+        # does much better; this only establishes the signal exists).
+        assert mse_model < 0.75 * mse_mean
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            make_diffraction_pairs(0, 5)

@@ -1,0 +1,96 @@
+"""App registry tests: paper geometry and model construction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.substrates.cost import GB, MB
+from repro.apps import get_app, list_apps
+from repro.apps.registry import AppTiming
+
+
+class TestRegistry:
+    def test_all_apps_present(self):
+        assert set(list_apps()) == {"nt3a", "nt3b", "tc1", "ptychonn"}
+
+    def test_unknown_app(self):
+        with pytest.raises(ConfigurationError):
+            get_app("resnet")
+
+    def test_paper_checkpoint_sizes(self):
+        assert get_app("nt3a").checkpoint_bytes == 600 * MB
+        assert get_app("nt3b").checkpoint_bytes == int(1.7 * GB)
+        assert get_app("tc1").checkpoint_bytes == int(4.7 * GB)
+        assert get_app("ptychonn").checkpoint_bytes == int(4.5 * GB)
+
+    def test_paper_sample_counts(self):
+        assert get_app("tc1").n_train == 4320
+        assert get_app("tc1").n_test == 1080
+        assert get_app("nt3a").n_train == 1120
+        assert get_app("ptychonn").n_train == 16_100
+
+    def test_tc1_iteration_geometry(self):
+        """Paper: TC1 epoch boundary = 216 iterations."""
+        tc1 = get_app("tc1")
+        assert tc1.iters_per_epoch == 216
+        assert tc1.total_iters == 216 * 16
+
+    def test_total_inferences_per_figure(self):
+        assert get_app("nt3b").total_inferences == 25_000
+        assert get_app("tc1").total_inferences == 50_000
+        assert get_app("ptychonn").total_inferences == 40_000
+
+    def test_warmup_iters(self):
+        tc1 = get_app("tc1")
+        assert tc1.warmup_iters == tc1.warmup_epochs * tc1.iters_per_epoch
+
+    def test_ptychonn_has_many_tensors(self):
+        """Many small tensors is what penalizes its file path (Fig. 8c)."""
+        assert get_app("ptychonn").checkpoint_tensors > get_app("tc1").checkpoint_tensors
+
+
+class TestModels:
+    @pytest.mark.parametrize("name", ["nt3a", "nt3b", "tc1", "ptychonn"])
+    def test_model_builds_and_predicts(self, name):
+        app = get_app(name)
+        model = app.build_model()
+        x, y, _xt, _yt = app.dataset(scale=0.05, seed=0)
+        pred = model.predict(x[:4])
+        assert pred.shape[0] == 4
+        assert np.all(np.isfinite(pred))
+
+    @pytest.mark.parametrize("name", ["nt3a", "tc1", "ptychonn"])
+    def test_one_epoch_reduces_loss(self, name):
+        app = get_app(name)
+        model = app.build_model()
+        x, y, _xt, _yt = app.dataset(scale=0.05, seed=1)
+        history = model.fit(x, y, epochs=2, batch_size=app.batch_size, seed=0)
+        assert history.epoch_loss[-1] < history.epoch_loss[0]
+
+    def test_nt3_outputs_two_classes(self):
+        assert get_app("nt3a").build_model().output_shape == (2,)
+
+    def test_tc1_outputs_eighteen_classes(self):
+        assert get_app("tc1").build_model().output_shape == (18,)
+
+    def test_ptychonn_outputs_two_channels(self):
+        assert get_app("ptychonn").build_model().output_shape == (16, 16, 2)
+
+
+class TestDatasetScaling:
+    def test_scale_shrinks_counts(self):
+        app = get_app("tc1")
+        x_full, *_ = app.dataset(scale=1.0, seed=0)
+        x_small, *_ = app.dataset(scale=0.1, seed=0)
+        assert x_small.shape[0] < x_full.shape[0]
+        assert x_small.shape[0] >= 2 * app.batch_size
+
+    def test_invalid_scale(self):
+        with pytest.raises(ConfigurationError):
+            get_app("tc1").dataset(scale=0.0)
+        with pytest.raises(ConfigurationError):
+            get_app("tc1").dataset(scale=1.5)
+
+    def test_invalid_timing(self):
+        with pytest.raises(ConfigurationError):
+            AppTiming(t_train=0.0, t_infer=0.01)

@@ -1,0 +1,185 @@
+"""Checkpoint callback tests: scheduling modes within model.fit."""
+
+import numpy as np
+import pytest
+
+from repro import CaptureMode, Viper
+from repro.errors import ScheduleError
+from repro.core.callback import CheckpointCallback
+from repro.core.predictor.cilp import CILParams
+from repro.core.predictor.schedules import Schedule
+from repro.dnn.layers import Dense
+from repro.dnn.losses import MSELoss
+from repro.dnn.models import Sequential
+from repro.dnn.optimizers import SGD
+
+
+def make_model():
+    model = Sequential([Dense(1, name="d")], input_shape=(2,), seed=2)
+    model.compile(SGD(lr=0.05), MSELoss())
+    return model
+
+
+def make_data(n=100):
+    rng = np.random.default_rng(1)
+    x = rng.standard_normal((n, 2)).astype(np.float32)
+    y = (x @ np.array([[1.0], [-1.0]])).astype(np.float32)
+    return x, y
+
+
+class TestIntervalMode:
+    def test_checkpoints_at_interval_after_warmup(self):
+        with Viper() as viper:
+            cb = CheckpointCallback(viper, "m", interval=3, warmup_iters=4)
+            model = make_model()
+            x, y = make_data(100)  # 10 iterations/epoch @ batch 10
+            model.fit(x, y, epochs=2, batch_size=10, callbacks=[cb])
+            # warm-up save at 4, then 7, 10, 13, 16, 19
+            assert cb.checkpoints_taken == [4, 7, 10, 13, 16, 19]
+
+    def test_no_initial_save(self):
+        with Viper() as viper:
+            cb = CheckpointCallback(
+                viper, "m", interval=5, warmup_iters=5, save_initial=False
+            )
+            model = make_model()
+            x, y = make_data(100)
+            model.fit(x, y, epochs=1, batch_size=10, callbacks=[cb])
+            assert cb.checkpoints_taken == [10]
+
+    def test_initial_save_at_train_begin_when_no_warmup(self):
+        with Viper() as viper:
+            cb = CheckpointCallback(viper, "m", interval=5, warmup_iters=0)
+            model = make_model()
+            x, y = make_data(100)
+            model.fit(x, y, epochs=1, batch_size=10, callbacks=[cb])
+            assert cb.checkpoints_taken[0] == 0
+
+    def test_stall_seconds_accumulate(self):
+        with Viper() as viper:
+            cb = CheckpointCallback(
+                viper, "m", interval=2, warmup_iters=0,
+                virtual_bytes=10**9, virtual_tensors=10,
+            )
+            model = make_model()
+            x, y = make_data(100)
+            model.fit(x, y, epochs=1, batch_size=10, callbacks=[cb])
+            assert cb.stall_seconds > 0
+
+    def test_losses_tracked_every_iteration(self):
+        with Viper() as viper:
+            cb = CheckpointCallback(viper, "m", interval=100, warmup_iters=0)
+            model = make_model()
+            x, y = make_data(100)
+            model.fit(x, y, epochs=2, batch_size=10, callbacks=[cb])
+            assert len(cb.iteration_losses) == 20
+
+
+class TestExplicitSchedule:
+    def test_follows_given_schedule(self):
+        schedule = Schedule("fixed", (6, 9, 15), start_iter=3, end_iter=20)
+        with Viper() as viper:
+            cb = CheckpointCallback(viper, "m", schedule=schedule, warmup_iters=3)
+            model = make_model()
+            x, y = make_data(100)
+            model.fit(x, y, epochs=2, batch_size=10, callbacks=[cb])
+            assert cb.checkpoints_taken == [3, 6, 9, 15]
+
+
+class TestAlgorithmMode:
+    def test_ipp_schedule_computed_at_warmup_end(self):
+        params = CILParams(t_train=0.05, t_p=0.02, t_c=0.02, t_infer=0.005)
+        with Viper() as viper:
+            cb = CheckpointCallback(
+                viper,
+                "m",
+                algorithm="fixed",
+                cil_params=params,
+                total_iters=40,
+                total_inferences=1000,
+                warmup_iters=20,
+            )
+            model = make_model()
+            x, y = make_data(200)  # 20 iters/epoch
+            model.fit(x, y, epochs=2, batch_size=10, callbacks=[cb])
+            assert cb.schedule is not None
+            assert cb.schedule.kind == "fixed"
+            assert cb.ipp is not None
+            # Checkpoints taken beyond the warm-up follow the schedule.
+            assert set(cb.checkpoints_taken[1:]).issubset(cb.schedule.iterations)
+
+    def test_greedy_algorithm_mode(self):
+        params = CILParams(t_train=0.05, t_p=0.02, t_c=0.02, t_infer=0.005)
+        with Viper() as viper:
+            cb = CheckpointCallback(
+                viper,
+                "m",
+                algorithm="greedy",
+                cil_params=params,
+                total_iters=40,
+                total_inferences=1000,
+                warmup_iters=20,
+            )
+            model = make_model()
+            x, y = make_data(200)
+            model.fit(x, y, epochs=2, batch_size=10, callbacks=[cb])
+            assert cb.schedule.kind == "greedy"
+
+
+class TestAdaptiveMode:
+    def test_online_adapter_drives_checkpoints(self):
+        params = CILParams(t_train=0.05, t_p=0.02, t_c=0.02, t_infer=0.005)
+        with Viper() as viper:
+            cb = CheckpointCallback(
+                viper,
+                "m",
+                algorithm="adaptive",
+                cil_params=params,
+                total_iters=100,
+                total_inferences=2000,
+                warmup_iters=20,
+                iters_per_epoch=20,
+            )
+            model = make_model()
+            x, y = make_data(200)  # 20 iters/epoch
+            model.fit(x, y, epochs=5, batch_size=10, callbacks=[cb])
+            assert cb.adapter is not None
+            # warm-up save plus whatever the adapter triggered
+            assert cb.checkpoints_taken[0] == 20
+            assert cb.checkpoints_taken[1:] == cb.adapter.checkpoints
+            assert cb.adapter.refits >= 1
+
+    def test_adaptive_needs_enough_warmup(self):
+        params = CILParams(t_train=0.05, t_p=0.02, t_c=0.02, t_infer=0.005)
+        with Viper() as viper:
+            with pytest.raises(ScheduleError):
+                CheckpointCallback(
+                    viper, "m",
+                    algorithm="adaptive",
+                    cil_params=params,
+                    total_iters=100,
+                    total_inferences=2000,
+                    warmup_iters=2,
+                )
+
+
+class TestValidation:
+    def test_exactly_one_mode_required(self):
+        with Viper() as viper:
+            with pytest.raises(ScheduleError):
+                CheckpointCallback(viper, "m")  # none
+            with pytest.raises(ScheduleError):
+                CheckpointCallback(
+                    viper, "m", interval=5,
+                    schedule=Schedule("epoch", (), start_iter=0, end_iter=1),
+                )
+
+    def test_algorithm_mode_needs_parameters(self):
+        with Viper() as viper:
+            with pytest.raises(ScheduleError):
+                CheckpointCallback(viper, "m", algorithm="fixed")
+
+    def test_negative_warmup_rejected(self):
+        with Viper() as viper:
+            with pytest.raises(ScheduleError):
+                CheckpointCallback(viper, "m", interval=5, warmup_iters=-1)

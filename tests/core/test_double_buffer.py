@@ -1,0 +1,92 @@
+"""Double-buffer tests: atomic swap, staleness, thread safety."""
+
+import threading
+
+import pytest
+
+from repro.errors import ServingError
+from repro.core.transfer.double_buffer import DoubleBuffer
+
+
+class TestBasicSwap:
+    def test_initial_state(self):
+        buf = DoubleBuffer("model-0", version=0)
+        snap = buf.acquire()
+        assert snap.model == "model-0" and snap.version == 0
+        assert buf.swaps == 0
+
+    def test_stage_then_commit(self):
+        buf = DoubleBuffer("m0", version=0)
+        buf.stage("m1", 1)
+        assert buf.staging
+        assert buf.acquire().model == "m0"  # readers still on primary
+        snap = buf.commit()
+        assert snap.model == "m1" and snap.version == 1
+        assert buf.swaps == 1
+        assert not buf.staging
+
+    def test_update_convenience(self):
+        buf = DoubleBuffer("m0", version=0)
+        snap = buf.update("m2", 2)
+        assert snap.version == 2
+
+    def test_commit_without_stage(self):
+        buf = DoubleBuffer("m0")
+        with pytest.raises(ServingError):
+            buf.commit()
+
+    def test_stale_stage_rejected(self):
+        buf = DoubleBuffer("m0", version=5)
+        with pytest.raises(ServingError):
+            buf.stage("old", 5)
+        with pytest.raises(ServingError):
+            buf.stage("older", 3)
+
+    def test_stage_must_beat_staged_version(self):
+        buf = DoubleBuffer("m0", version=0)
+        buf.stage("m2", 2)
+        with pytest.raises(ServingError):
+            buf.stage("m1", 1)
+
+    def test_newer_stage_replaces_staged(self):
+        buf = DoubleBuffer("m0", version=0)
+        buf.stage("m1", 1)
+        buf.stage("m2", 2)
+        assert buf.commit().version == 2
+
+    def test_version_property(self):
+        buf = DoubleBuffer("m0", version=3)
+        assert buf.version == 3
+
+
+class TestAtomicity:
+    def test_readers_never_see_torn_state(self):
+        """Readers observe monotone versions and matching model labels."""
+        buf = DoubleBuffer(("model", 0), version=0)
+        stop = threading.Event()
+        errors = []
+
+        def reader():
+            last = -1
+            while not stop.is_set():
+                snap = buf.acquire()
+                label, v = snap.model
+                if label != "model" or v != snap.version or snap.version < last:
+                    errors.append((snap.model, snap.version, last))
+                    return
+                last = snap.version
+
+        def writer():
+            for v in range(1, 500):
+                buf.update(("model", v), v)
+
+        readers = [threading.Thread(target=reader) for _ in range(4)]
+        for t in readers:
+            t.start()
+        writer()
+        stop.set()
+        for t in readers:
+            t.join(2.0)
+        assert not errors
+        assert buf.version == 499
+        assert buf.swaps == 499

@@ -1,0 +1,125 @@
+"""Background flusher tests: durability and failure injection."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.substrates.memory.storage import TierStore
+from repro.substrates.memory.tiers import TierKind, TierSpec
+from repro.core.metadata import MetadataStore, ModelRecord
+from repro.core.transfer.flush import BackgroundFlusher, FlushJob
+
+
+def make_pfs():
+    spec = TierSpec(
+        name="pfs",
+        kind=TierKind.PFS,
+        capacity_bytes=10**9,
+        read_bw=10**6,
+        write_bw=10**6,
+        per_object_overhead=0.001,
+    )
+    return TierStore(spec)
+
+
+def make_job(version=1):
+    record = ModelRecord(
+        model_name="m",
+        version=version,
+        nbytes=1000,
+        location="gpu",
+        path=f"m/v{version}",
+        ntensors=3,
+    )
+    return FlushJob(key=f"m/v{version}", blob=b"checkpoint-bytes", record=record)
+
+
+class TestFlushing:
+    def test_flush_writes_and_marks_durable(self):
+        pfs, meta = make_pfs(), MetadataStore()
+        meta.publish_version(make_job().record)
+        flusher = BackgroundFlusher(pfs, meta).start()
+        flusher.submit(make_job())
+        flusher.drain()
+        assert pfs.get("m/v1")[0] == b"checkpoint-bytes"
+        record, _ = meta.record("m", 1)
+        assert record.durable
+        # The memory copy stays primary; the PFS joins the replica set.
+        assert record.location == "gpu"
+        assert "pfs" in record.replicas
+        assert flusher.flushed_keys == ("m/v1",)
+        flusher.stop()
+
+    def test_multiple_jobs_processed_in_order(self):
+        pfs, meta = make_pfs(), MetadataStore()
+        flusher = BackgroundFlusher(pfs, meta).start()
+        for v in (1, 2, 3):
+            meta.publish_version(make_job(v).record)
+            flusher.submit(make_job(v))
+        flusher.drain()
+        assert flusher.flushed_keys == ("m/v1", "m/v2", "m/v3")
+        flusher.stop()
+
+    def test_background_cost_accumulates(self):
+        pfs, meta = make_pfs(), MetadataStore()
+        meta.publish_version(make_job().record)
+        flusher = BackgroundFlusher(pfs, meta).start()
+        flusher.submit(make_job())
+        flusher.drain()
+        assert flusher.background_cost.total > 0
+        flusher.stop()
+
+    def test_submit_before_start_rejected(self):
+        flusher = BackgroundFlusher(make_pfs(), MetadataStore())
+        with pytest.raises(StorageError):
+            flusher.submit(make_job())
+
+    def test_stop_before_start_is_noop(self):
+        BackgroundFlusher(make_pfs(), MetadataStore()).stop()
+
+
+class TestFailureInjection:
+    def test_transient_failure_retried(self):
+        pfs, meta = make_pfs(), MetadataStore()
+        meta.publish_version(make_job().record)
+        attempts = []
+
+        def fail_once(job, attempt):
+            attempts.append(attempt)
+            return attempt == 0
+
+        flusher = BackgroundFlusher(pfs, meta, fail_hook=fail_once).start()
+        flusher.submit(make_job())
+        flusher.drain()
+        assert attempts == [0, 1]
+        assert flusher.flushed_keys == ("m/v1",)
+        assert flusher.failed_keys == ()
+        flusher.stop()
+
+    def test_persistent_failure_recorded(self):
+        pfs, meta = make_pfs(), MetadataStore()
+        meta.publish_version(make_job().record)
+        flusher = BackgroundFlusher(
+            pfs, meta, max_retries=1, fail_hook=lambda j, a: True
+        ).start()
+        flusher.submit(make_job())
+        flusher.drain()
+        assert flusher.failed_keys == ("m/v1",)
+        assert "m/v1" not in pfs
+        record, _ = meta.record("m", 1)
+        assert not record.durable
+        flusher.stop()
+
+    def test_failure_does_not_block_later_jobs(self):
+        pfs, meta = make_pfs(), MetadataStore()
+        for v in (1, 2):
+            meta.publish_version(make_job(v).record)
+        flusher = BackgroundFlusher(
+            pfs, meta, max_retries=0,
+            fail_hook=lambda job, a: job.record.version == 1,
+        ).start()
+        flusher.submit(make_job(1))
+        flusher.submit(make_job(2))
+        flusher.drain()
+        assert flusher.failed_keys == ("m/v1",)
+        assert flusher.flushed_keys == ("m/v2",)
+        flusher.stop()

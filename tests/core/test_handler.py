@@ -1,0 +1,170 @@
+"""Model Weights Handler: end-to-end save/load over every strategy."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MetadataError, TransferError
+from repro.substrates.cluster.cluster import make_producer_consumer_pair
+from repro.substrates.cost import GB
+from repro.substrates.profiles import POLARIS
+from repro.dnn.serialization import H5LikeSerializer
+from repro.core.transfer.handler import ModelWeightsHandler
+from repro.core.transfer.selector import TransferSelector
+from repro.core.transfer.strategies import CaptureMode, TransferStrategy
+
+RNG = np.random.default_rng(21)
+
+
+def sample_state():
+    return {
+        "layer/W": RNG.standard_normal((8, 4)).astype(np.float32),
+        "layer/b": RNG.standard_normal(4).astype(np.float32),
+    }
+
+
+@pytest.fixture
+def handler():
+    cluster, producer, consumer = make_producer_consumer_pair(POLARIS)
+    h = ModelWeightsHandler(cluster, producer, consumer, POLARIS)
+    yield h
+    h.close()
+
+
+class TestSaveLoad:
+    @pytest.mark.parametrize("strategy", list(TransferStrategy))
+    @pytest.mark.parametrize("mode", list(CaptureMode))
+    def test_roundtrip(self, handler, strategy, mode):
+        state = sample_state()
+        result = handler.save_weights("m", state, mode=mode, strategy=strategy)
+        handler.drain()
+        loaded = handler.load_weights("m")
+        assert loaded.version == result.version
+        for key in state:
+            np.testing.assert_array_equal(loaded.state[key], state[key])
+
+    def test_versions_increment(self, handler):
+        state = sample_state()
+        r1 = handler.save_weights("m", state, mode=CaptureMode.SYNC)
+        r2 = handler.save_weights("m", state, mode=CaptureMode.SYNC)
+        assert (r1.version, r2.version) == (1, 2)
+
+    def test_load_latest_by_default(self, handler):
+        s1, s2 = sample_state(), sample_state()
+        handler.save_weights("m", s1, mode=CaptureMode.SYNC)
+        handler.save_weights("m", s2, mode=CaptureMode.SYNC)
+        loaded = handler.load_weights("m")
+        np.testing.assert_array_equal(loaded.state["layer/W"], s2["layer/W"])
+
+    def test_load_specific_version(self, handler):
+        s1, s2 = sample_state(), sample_state()
+        handler.save_weights("m", s1, mode=CaptureMode.SYNC)
+        handler.save_weights("m", s2, mode=CaptureMode.SYNC)
+        loaded = handler.load_weights("m", version=1)
+        np.testing.assert_array_equal(loaded.state["layer/W"], s1["layer/W"])
+
+    def test_load_unknown_model(self, handler):
+        with pytest.raises(MetadataError):
+            handler.load_weights("ghost")
+
+    def test_empty_state_rejected(self, handler):
+        with pytest.raises(TransferError):
+            handler.save_weights("m", {})
+
+    def test_async_stall_smaller_than_sync(self, handler):
+        state = sample_state()
+        sync = handler.save_weights(
+            "a", state, mode=CaptureMode.SYNC,
+            strategy=TransferStrategy.HOST_TO_HOST,
+            virtual_bytes=int(4.7 * GB), virtual_tensors=30,
+        )
+        asyn = handler.save_weights(
+            "b", state, mode=CaptureMode.ASYNC,
+            strategy=TransferStrategy.HOST_TO_HOST,
+            virtual_bytes=int(4.7 * GB), virtual_tensors=30,
+        )
+        handler.drain()
+        assert asyn.stall.total < sync.stall.total
+        assert asyn.background.total > 0
+
+    def test_virtual_bytes_scale_costs(self, handler):
+        state = sample_state()
+        small = handler.save_weights(
+            "a", state, mode=CaptureMode.SYNC,
+            strategy=TransferStrategy.GPU_TO_GPU, virtual_bytes=GB,
+        )
+        big = handler.save_weights(
+            "b", state, mode=CaptureMode.SYNC,
+            strategy=TransferStrategy.GPU_TO_GPU, virtual_bytes=4 * GB,
+        )
+        assert big.update_latency > small.update_latency
+
+    def test_metadata_record_fields(self, handler):
+        state = sample_state()
+        handler.save_weights(
+            "m", state, mode=CaptureMode.SYNC, train_iteration=42, train_loss=0.37
+        )
+        record, _ = handler.metadata.latest("m")
+        assert record.train_iteration == 42
+        assert record.train_loss == pytest.approx(0.37)
+        assert record.path == "m/v1"
+
+    def test_notification_published(self, handler):
+        sub = handler.broker.subscribe(handler.topic)
+        handler.save_weights("m", sample_state(), mode=CaptureMode.SYNC)
+        note = sub.get(timeout=2.0)
+        assert note.model_name == "m" and note.version == 1
+
+    def test_async_notification_after_delivery(self, handler):
+        sub = handler.broker.subscribe(handler.topic)
+        handler.save_weights("m", sample_state(), mode=CaptureMode.ASYNC)
+        note = sub.get(timeout=2.0)
+        # By notification time the blob must be loadable.
+        loaded = handler.load_weights("m", version=note.version)
+        assert loaded.version == 1
+
+    def test_selector_policy_used_when_no_strategy_given(self):
+        cluster, producer, consumer = make_producer_consumer_pair(POLARIS)
+        handler = ModelWeightsHandler(
+            cluster, producer, consumer, POLARIS,
+            selector=TransferSelector(forced=TransferStrategy.PFS),
+        )
+        try:
+            result = handler.save_weights("m", sample_state(), mode=CaptureMode.SYNC)
+            assert result.strategy is TransferStrategy.PFS
+            assert "m/v1" in cluster.pfs
+        finally:
+            handler.close()
+
+    def test_destination_stores_per_strategy(self, handler):
+        state = sample_state()
+        handler.save_weights(
+            "g", state, mode=CaptureMode.SYNC, strategy=TransferStrategy.GPU_TO_GPU
+        )
+        handler.save_weights(
+            "h", state, mode=CaptureMode.SYNC, strategy=TransferStrategy.HOST_TO_HOST
+        )
+        handler.save_weights(
+            "p", state, mode=CaptureMode.SYNC, strategy=TransferStrategy.PFS
+        )
+        assert "g/v1" in handler.consumer.gpu
+        assert "h/v1" in handler.consumer.dram
+        assert "p/v1" in handler.cluster.pfs
+
+
+class TestFlushHistory:
+    def test_memory_checkpoints_flushed_to_pfs(self):
+        cluster, producer, consumer = make_producer_consumer_pair(POLARIS)
+        handler = ModelWeightsHandler(
+            cluster, producer, consumer, POLARIS, flush_history=True
+        )
+        try:
+            handler.save_weights(
+                "m", sample_state(), mode=CaptureMode.SYNC,
+                strategy=TransferStrategy.GPU_TO_GPU,
+            )
+            handler.drain()
+            assert "m/v1" in cluster.pfs  # durable copy
+            record, _ = handler.metadata.latest("m")
+            assert record.durable
+        finally:
+            handler.close()

@@ -1,0 +1,160 @@
+"""Incremental (delta) checkpoint tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.core.transfer.incremental import (
+    apply_delta,
+    delta_base_version,
+    delta_payload_bytes,
+    encode_delta,
+    is_delta,
+)
+from repro.dnn.serialization import ViperSerializer
+
+RNG = np.random.default_rng(31)
+
+
+def snapshot():
+    return {
+        "enc/W": RNG.standard_normal((16, 8)).astype(np.float32),
+        "enc/b": RNG.standard_normal(8).astype(np.float32),
+        "dec/W": RNG.standard_normal((8, 4)).astype(np.float32),
+        "dec/b": RNG.standard_normal(4).astype(np.float32),
+    }
+
+
+class TestEncodeApply:
+    def test_identical_snapshots_empty_delta(self):
+        state = snapshot()
+        delta = encode_delta(state, state, base_version=1)
+        assert is_delta(delta)
+        assert delta_payload_bytes(delta) == 8  # just the version marker
+        restored = apply_delta(state, delta)
+        for key in state:
+            np.testing.assert_array_equal(restored[key], state[key])
+
+    def test_partial_change_roundtrip(self):
+        prev = snapshot()
+        curr = {k: v.copy() for k, v in prev.items()}
+        curr["dec/W"] += 0.5
+        curr["dec/b"] += 0.1
+        delta = encode_delta(prev, curr, base_version=3)
+        restored = apply_delta(prev, delta, expected_base_version=3)
+        for key in curr:
+            np.testing.assert_array_equal(restored[key], curr[key])
+
+    def test_unchanged_tensors_not_in_delta(self):
+        prev = snapshot()
+        curr = {k: v.copy() for k, v in prev.items()}
+        curr["dec/b"] += 1.0
+        delta = encode_delta(prev, curr, base_version=1)
+        assert not any("enc/W" in k for k in delta)
+
+    def test_sparse_rows_encoding(self):
+        prev = snapshot()
+        curr = {k: v.copy() for k, v in prev.items()}
+        curr["enc/W"][3] += 1.0  # one row of sixteen
+        delta = encode_delta(prev, curr, base_version=1)
+        assert "rows_idx/enc/W" in delta
+        assert delta["rows_idx/enc/W"].tolist() == [3]
+        restored = apply_delta(prev, delta)
+        np.testing.assert_array_equal(restored["enc/W"], curr["enc/W"])
+
+    def test_dense_change_ships_whole_tensor(self):
+        prev = snapshot()
+        curr = {k: v.copy() for k, v in prev.items()}
+        curr["enc/W"] += 1.0  # every row changed
+        delta = encode_delta(prev, curr, base_version=1)
+        assert "full/enc/W" in delta
+
+    def test_delta_smaller_than_full_for_partial_update(self):
+        prev = snapshot()
+        curr = {k: v.copy() for k, v in prev.items()}
+        curr["dec/b"] += 1.0
+        full_bytes = sum(int(t.nbytes) for t in curr.values())
+        assert delta_payload_bytes(encode_delta(prev, curr, 1)) < 0.2 * full_bytes
+
+    def test_serializes_through_standard_path(self):
+        prev = snapshot()
+        curr = {k: v.copy() for k, v in prev.items()}
+        curr["dec/W"][2] += 1.0
+        delta = encode_delta(prev, curr, base_version=7)
+        ser = ViperSerializer()
+        back = ser.loads(ser.dumps(delta))
+        assert is_delta(back)
+        assert delta_base_version(back) == 7
+        restored = apply_delta(prev, back)
+        np.testing.assert_array_equal(restored["dec/W"], curr["dec/W"])
+
+    def test_chained_deltas(self):
+        v1 = snapshot()
+        v2 = {k: v.copy() for k, v in v1.items()}
+        v2["dec/b"] += 1.0
+        v3 = {k: v.copy() for k, v in v2.items()}
+        v3["dec/W"][0] += 2.0
+        d12 = encode_delta(v1, v2, base_version=1)
+        d23 = encode_delta(v2, v3, base_version=2)
+        restored = apply_delta(apply_delta(v1, d12), d23)
+        for key in v3:
+            np.testing.assert_array_equal(restored[key], v3[key])
+
+
+class TestValidation:
+    def test_mismatched_tensor_sets(self):
+        prev = snapshot()
+        curr = dict(list(prev.items())[:-1])
+        with pytest.raises(StorageError):
+            encode_delta(prev, curr, 1)
+
+    def test_shape_change_rejected(self):
+        prev = snapshot()
+        curr = {k: v.copy() for k, v in prev.items()}
+        curr["dec/b"] = np.zeros(9, dtype=np.float32)
+        with pytest.raises(StorageError):
+            encode_delta(prev, curr, 1)
+
+    def test_wrong_base_version_rejected(self):
+        prev = snapshot()
+        curr = {k: v.copy() for k, v in prev.items()}
+        curr["dec/b"] += 1.0
+        delta = encode_delta(prev, curr, base_version=5)
+        with pytest.raises(StorageError):
+            apply_delta(prev, delta, expected_base_version=4)
+
+    def test_apply_non_delta_rejected(self):
+        with pytest.raises(StorageError):
+            apply_delta(snapshot(), snapshot())
+
+    def test_is_delta_on_plain_weights(self):
+        assert not is_delta(snapshot())
+
+    def test_invalid_threshold(self):
+        state = snapshot()
+        with pytest.raises(StorageError):
+            encode_delta(state, state, 1, row_fraction_threshold=0.0)
+
+
+class TestFineTuningScenario:
+    def test_frozen_encoder_yields_small_deltas(self):
+        """Freeze the PtychoNN encoder; only decoder tensors change."""
+        from repro.apps import get_app
+
+        app = get_app("ptychonn")
+        model = app.build_model()
+        frozen = model.freeze("ptycho_enc")
+        assert frozen > 0
+        x, y, _xt, _yt = app.dataset(scale=0.02, seed=8)
+        before = model.state_dict()
+        model.fit(x, y, epochs=1, batch_size=32, seed=0)
+        after = model.state_dict()
+
+        delta = encode_delta(before, after, base_version=1)
+        full_bytes = sum(int(t.nbytes) for t in after.values())
+        assert delta_payload_bytes(delta) < 0.8 * full_bytes
+        # Encoder tensors unchanged -> absent from the delta.
+        assert not any("ptycho_enc" in key for key in delta)
+        restored = apply_delta(before, delta)
+        for key in after:
+            np.testing.assert_array_equal(restored[key], after[key])

@@ -1,0 +1,141 @@
+"""Metadata store tests: versioning, CAS, concurrency."""
+
+import threading
+from dataclasses import replace
+
+import pytest
+
+from repro.errors import MetadataError, StaleVersionError
+from repro.core.metadata import MetadataStore, ModelRecord
+
+
+def rec(version=1, **overrides):
+    base = dict(
+        model_name="m",
+        version=version,
+        nbytes=1000,
+        location="gpu",
+        path=f"m/v{version}",
+        ntensors=4,
+        created_at=1.5,
+        train_iteration=100,
+        train_loss=0.5,
+    )
+    base.update(overrides)
+    return ModelRecord(**base)
+
+
+class TestPublish:
+    def test_publish_and_latest(self):
+        store = MetadataStore()
+        store.publish_version(rec(1))
+        latest, cost = store.latest("m")
+        assert latest.version == 1
+        assert cost.total > 0
+
+    def test_latest_of_unknown_model_is_none(self):
+        latest, _cost = MetadataStore().latest("ghost")
+        assert latest is None
+
+    def test_latest_pointer_moves_forward(self):
+        store = MetadataStore()
+        store.publish_version(rec(1))
+        store.publish_version(rec(3))
+        store.publish_version(rec(2))  # out-of-order arrival
+        latest, _ = store.latest("m")
+        assert latest.version == 3
+
+    def test_duplicate_version_rejected(self):
+        store = MetadataStore()
+        store.publish_version(rec(1))
+        with pytest.raises(MetadataError):
+            store.publish_version(rec(1))
+
+    def test_record_by_version(self):
+        store = MetadataStore()
+        store.publish_version(rec(1, train_loss=0.9))
+        store.publish_version(rec(2, train_loss=0.4))
+        record, _ = store.record("m", 1)
+        assert record.train_loss == 0.9
+
+    def test_record_missing_raises(self):
+        with pytest.raises(MetadataError):
+            MetadataStore().record("m", 1)
+
+    def test_versions_sorted(self):
+        store = MetadataStore()
+        for v in (3, 1, 2):
+            store.publish_version(rec(v))
+        assert store.versions("m") == [1, 2, 3]
+
+    def test_models_listing(self):
+        store = MetadataStore()
+        store.publish_version(rec(1, model_name="b"))
+        store.publish_version(rec(1, model_name="a"))
+        assert store.models() == ("a", "b")
+
+    def test_len(self):
+        store = MetadataStore()
+        store.publish_version(rec(1))
+        store.publish_version(rec(2))
+        assert len(store) == 2
+
+    def test_invalid_record(self):
+        with pytest.raises(MetadataError):
+            rec(-1)
+        with pytest.raises(MetadataError):
+            rec(1, nbytes=-1)
+
+
+class TestCompareAndSwap:
+    def test_cas_updates_in_place(self):
+        store = MetadataStore()
+        store.publish_version(rec(1))
+        store.compare_and_swap(rec(1, durable=True))
+        record, _ = store.record("m", 1)
+        assert record.durable
+
+    def test_cas_guard_on_durable(self):
+        store = MetadataStore()
+        store.publish_version(rec(1, durable=True))
+        with pytest.raises(StaleVersionError):
+            store.compare_and_swap(rec(1), expected_durable=False)
+
+    def test_cas_missing_record(self):
+        with pytest.raises(MetadataError):
+            MetadataStore().compare_and_swap(rec(1))
+
+
+class TestDropAndConcurrency:
+    def test_drop_model(self):
+        store = MetadataStore()
+        store.publish_version(rec(1))
+        store.publish_version(rec(2))
+        store.publish_version(rec(1, model_name="other"))
+        assert store.drop_model("m") == 2
+        assert store.latest("m")[0] is None
+        assert store.latest("other")[0] is not None
+
+    def test_concurrent_publishes_monotone_latest(self):
+        store = MetadataStore()
+        errors = []
+
+        def publisher(versions):
+            try:
+                for v in versions:
+                    store.publish_version(rec(v))
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=publisher, args=(range(i, 400, 4),))
+            for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        latest, _ = store.latest("m")
+        assert latest.version == 399
+        assert len(store) == 400

@@ -1,0 +1,150 @@
+"""Notification broker tests: pub/sub semantics and latency stamps."""
+
+import threading
+
+import pytest
+
+from repro.errors import NotificationError
+from repro.core.notification import PUSH_LATENCY, NotificationBroker
+
+
+def publish(broker, version=1, topic="t", now=10.0):
+    return broker.publish(
+        topic,
+        model_name="m",
+        version=version,
+        location="gpu",
+        now=now,
+        payload={"path": f"m/v{version}"},
+    )
+
+
+class TestPubSub:
+    def test_subscriber_receives(self):
+        broker = NotificationBroker()
+        sub = broker.subscribe("t")
+        publish(broker, 1)
+        note = sub.get(timeout=1.0)
+        assert note.model_name == "m" and note.version == 1
+
+    def test_fanout_to_all_subscribers(self):
+        broker = NotificationBroker()
+        subs = [broker.subscribe("t") for _ in range(3)]
+        publish(broker)
+        for sub in subs:
+            assert sub.get(timeout=1.0).version == 1
+
+    def test_topic_isolation(self):
+        broker = NotificationBroker()
+        a = broker.subscribe("a")
+        b = broker.subscribe("b")
+        publish(broker, topic="a")
+        assert a.poll() is not None
+        assert b.poll() is None
+
+    def test_publish_without_subscribers_ok(self):
+        broker = NotificationBroker()
+        note = publish(broker)
+        assert note.version == 1
+        assert broker.published == 1
+
+    def test_delivery_latency_stamp(self):
+        broker = NotificationBroker()
+        note = publish(broker, now=5.0)
+        assert note.published_at == 5.0
+        assert note.deliver_at == pytest.approx(5.0 + PUSH_LATENCY)
+
+    def test_custom_latency(self):
+        broker = NotificationBroker(push_latency=0.01)
+        note = publish(broker, now=1.0)
+        assert note.deliver_at == pytest.approx(1.01)
+
+    def test_push_latency_below_1ms(self):
+        """The paper's claim: push beats the 1 ms polling floor."""
+        assert PUSH_LATENCY < 0.001
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(NotificationError):
+            NotificationBroker(push_latency=-0.1)
+
+    def test_payload_travels(self):
+        broker = NotificationBroker()
+        sub = broker.subscribe("t")
+        publish(broker, 7)
+        assert sub.get(timeout=1.0).payload["path"] == "m/v7"
+
+
+class TestSubscription:
+    def test_poll_nonblocking(self):
+        broker = NotificationBroker()
+        sub = broker.subscribe("t")
+        assert sub.poll() is None
+        publish(broker)
+        assert sub.poll().version == 1
+        assert sub.poll() is None
+
+    def test_drain_returns_all_in_order(self):
+        broker = NotificationBroker()
+        sub = broker.subscribe("t")
+        for v in (1, 2, 3):
+            publish(broker, v)
+        notes = sub.drain()
+        assert [n.version for n in notes] == [1, 2, 3]
+
+    def test_callback_fires_on_publish(self):
+        broker = NotificationBroker()
+        seen = []
+        broker.subscribe("t", callback=lambda n: seen.append(n.version))
+        publish(broker, 9)
+        assert seen == [9]
+
+    def test_get_timeout(self):
+        broker = NotificationBroker()
+        sub = broker.subscribe("t")
+        with pytest.raises(NotificationError):
+            sub.get(timeout=0.05)
+
+    def test_delivered_counter(self):
+        broker = NotificationBroker()
+        sub = broker.subscribe("t")
+        publish(broker, 1)
+        publish(broker, 2)
+        assert sub.delivered == 2
+
+    def test_blocking_get_across_threads(self):
+        broker = NotificationBroker()
+        sub = broker.subscribe("t")
+        got = []
+
+        def waiter():
+            got.append(sub.get(timeout=2.0).version)
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        publish(broker, 4)
+        t.join(2.0)
+        assert got == [4]
+
+
+class TestLifecycle:
+    def test_unsubscribe_stops_delivery(self):
+        broker = NotificationBroker()
+        sub = broker.subscribe("t")
+        broker.unsubscribe(sub)
+        publish(broker)
+        assert broker.subscriber_count("t") == 0
+
+    def test_closed_subscription_raises(self):
+        broker = NotificationBroker()
+        sub = broker.subscribe("t")
+        sub.close()
+        with pytest.raises(NotificationError):
+            sub.get(timeout=0.5)
+
+    def test_broker_close_closes_all(self):
+        broker = NotificationBroker()
+        sub = broker.subscribe("t")
+        broker.close()
+        with pytest.raises(NotificationError):
+            sub.get(timeout=0.5)
+        assert broker.subscriber_count("t") == 0

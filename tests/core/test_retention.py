@@ -1,0 +1,119 @@
+"""Retention-policy and garbage-collection tests."""
+
+import pytest
+
+from repro import CaptureMode, TransferStrategy, Viper
+from repro.errors import ConfigurationError, MetadataError
+from repro.core.transfer.retention import RetentionPolicy, collect_garbage
+from repro.dnn.layers import Dense
+from repro.dnn.models import Sequential
+
+
+def tiny_state():
+    return Sequential([Dense(2, name="d")], input_shape=(3,), seed=1).state_dict()
+
+
+class TestPolicy:
+    def test_keeps_latest_k(self):
+        policy = RetentionPolicy(keep_latest=3)
+        assert policy.retained(range(1, 11)) == {1, 8, 9, 10}
+
+    def test_lineage_root_always_kept(self):
+        policy = RetentionPolicy(keep_latest=1)
+        assert 1 in policy.retained([1, 2, 3, 4])
+
+    def test_stride_retention(self):
+        policy = RetentionPolicy(keep_latest=2, keep_every=5)
+        kept = policy.retained(range(1, 13))
+        assert {5, 10} <= kept          # every 5th
+        assert {11, 12} <= kept         # latest two
+        assert 7 not in kept
+
+    def test_fewer_versions_than_k(self):
+        policy = RetentionPolicy(keep_latest=10)
+        assert policy.retained([1, 2]) == {1, 2}
+
+    def test_empty(self):
+        assert RetentionPolicy().retained([]) == set()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetentionPolicy(keep_latest=0)
+        with pytest.raises(ConfigurationError):
+            RetentionPolicy(keep_every=-1)
+
+
+class TestGarbageCollection:
+    def make_history(self, viper, n=6):
+        state = tiny_state()
+        for _ in range(n):
+            viper.save_weights(
+                "m", state,
+                mode=CaptureMode.SYNC, strategy=TransferStrategy.GPU_TO_GPU,
+                virtual_bytes=1000,
+            )
+        viper.drain()
+
+    def test_gc_reclaims_pfs_space(self):
+        with Viper(flush_history=True) as viper:
+            self.make_history(viper, 6)
+            before = viper.cluster.pfs.used_bytes
+            dropped, reclaimed = collect_garbage(
+                viper.metadata, viper.cluster.pfs, "m",
+                RetentionPolicy(keep_latest=2),
+            )
+            assert sorted(dropped) == [2, 3, 4]  # 1 is the root, 5-6 latest
+            assert reclaimed > 0
+            assert viper.cluster.pfs.used_bytes < before
+
+    def test_latest_survives_and_loads(self):
+        with Viper(flush_history=True) as viper:
+            self.make_history(viper, 5)
+            collect_garbage(
+                viper.metadata, viper.cluster.pfs, "m",
+                RetentionPolicy(keep_latest=1),
+            )
+            loaded = viper.load_weights("m")
+            assert loaded.version == 5
+
+    def test_dropped_version_unloadable(self):
+        with Viper(flush_history=True) as viper:
+            self.make_history(viper, 5)
+            collect_garbage(
+                viper.metadata, viper.cluster.pfs, "m",
+                RetentionPolicy(keep_latest=1),
+            )
+            with pytest.raises(MetadataError):
+                viper.load_weights("m", version=3)
+
+    def test_gc_idempotent(self):
+        with Viper(flush_history=True) as viper:
+            self.make_history(viper, 6)
+            policy = RetentionPolicy(keep_latest=2)
+            collect_garbage(viper.metadata, viper.cluster.pfs, "m", policy)
+            dropped, reclaimed = collect_garbage(
+                viper.metadata, viper.cluster.pfs, "m", policy
+            )
+            assert dropped == [] and reclaimed == 0
+
+    def test_handler_applies_retention_on_drain(self):
+        with Viper(
+            flush_history=True, retention=RetentionPolicy(keep_latest=2)
+        ) as viper:
+            self.make_history(viper, 6)
+            viper.drain()  # GC runs here
+            versions = viper.metadata.versions("m")
+            assert versions == [1, 5, 6]  # root + latest two
+            assert viper.load_weights("m").version == 6
+
+    def test_drop_version_rewinds_latest(self):
+        with Viper() as viper:
+            state = tiny_state()
+            for _ in range(3):
+                viper.save_weights(
+                    "m", state, mode=CaptureMode.SYNC,
+                    strategy=TransferStrategy.GPU_TO_GPU,
+                )
+            viper.metadata.drop_version("m", 3)
+            latest, _ = viper.metadata.latest("m")
+            assert latest.version == 2

@@ -1,0 +1,70 @@
+"""Transfer-selector policy tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core.transfer.selector import TransferSelector
+from repro.core.transfer.strategies import TransferStrategy
+
+GB = 10**9
+
+
+class TestPolicy:
+    def test_prefers_gpu_when_it_fits(self):
+        sel = TransferSelector(
+            gpu_direct_available=True,
+            gpu_staging_budget=20 * GB,
+            host_staging_budget=100 * GB,
+        )
+        assert sel.select(5 * GB) is TransferStrategy.GPU_TO_GPU
+
+    def test_double_buffering_needs_twice_the_size(self):
+        sel = TransferSelector(gpu_staging_budget=9 * GB, host_staging_budget=100 * GB)
+        # 2 * 5 GB > 9 GB -> GPU path rejected
+        assert sel.select(5 * GB) is TransferStrategy.HOST_TO_HOST
+
+    def test_falls_back_to_host_without_gpu_direct(self):
+        sel = TransferSelector(
+            gpu_direct_available=False,
+            gpu_staging_budget=100 * GB,
+            host_staging_budget=100 * GB,
+        )
+        assert sel.select(1 * GB) is TransferStrategy.HOST_TO_HOST
+
+    def test_falls_back_to_pfs_when_nothing_fits(self):
+        sel = TransferSelector(gpu_staging_budget=1 * GB, host_staging_budget=1 * GB)
+        assert sel.select(5 * GB) is TransferStrategy.PFS
+
+    def test_forced_strategy_wins(self):
+        sel = TransferSelector(
+            forced=TransferStrategy.PFS,
+            gpu_staging_budget=100 * GB,
+            host_staging_budget=100 * GB,
+        )
+        assert sel.select(1) is TransferStrategy.PFS
+
+    def test_veto_hook_skips_candidates(self):
+        vetoed = []
+
+        def veto(strategy, nbytes):
+            vetoed.append(strategy)
+            return strategy is TransferStrategy.GPU_TO_GPU
+
+        sel = TransferSelector(
+            gpu_staging_budget=100 * GB,
+            host_staging_budget=100 * GB,
+            veto=veto,
+        )
+        assert sel.select(1 * GB) is TransferStrategy.HOST_TO_HOST
+        assert TransferStrategy.GPU_TO_GPU in vetoed
+
+    def test_zero_budgets_mean_pfs(self):
+        assert TransferSelector().select(1) is TransferStrategy.PFS
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TransferSelector().select(-1)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TransferSelector(gpu_staging_budget=-1)

@@ -1,0 +1,100 @@
+"""Stats Manager and location-aware load tests."""
+
+import numpy as np
+import pytest
+
+from repro import CaptureMode, TransferStrategy, Viper
+from repro.errors import ObjectNotFoundError
+from repro.core.stats import LOCATION_RANK, StatsManager
+from repro.dnn.layers import Dense
+from repro.dnn.models import Sequential
+
+
+def tiny_state():
+    return Sequential([Dense(2, name="d")], input_shape=(3,), seed=1).state_dict()
+
+
+class TestStatsManager:
+    def test_rank_order(self):
+        stats = StatsManager()
+        assert stats.order(("pfs", "gpu", "host_dram")) == (
+            "gpu", "host_dram", "pfs",
+        )
+
+    def test_unknown_location_ranks_last(self):
+        stats = StatsManager()
+        assert stats.order(("tape", "pfs")) == ("pfs", "tape")
+
+    def test_counters(self):
+        stats = StatsManager()
+        stats.record_load("gpu", 100, 0.5)
+        stats.record_load("gpu", 200, 0.25)
+        stats.record_load("pfs", 50, 1.0, fallback=True)
+        stats.record_miss()
+        assert stats.loads_from("gpu") == 2
+        assert stats.loads_from("pfs") == 1
+        assert stats.fallbacks == 1
+        assert stats.misses == 1
+        snap = stats.snapshot()
+        assert snap["gpu"].bytes_loaded == 300
+        assert snap["gpu"].seconds == pytest.approx(0.75)
+
+    def test_summary_renders(self):
+        stats = StatsManager()
+        stats.record_load("gpu", 10, 0.1)
+        text = stats.summary()
+        assert "gpu" in text and "fallbacks" in text
+
+    def test_rank_table_covers_all_tiers(self):
+        assert set(LOCATION_RANK) == {"gpu", "host_dram", "pfs"}
+
+
+class TestLocationAwareLoad:
+    def test_load_prefers_memory_replica(self):
+        with Viper(flush_history=True) as viper:
+            viper.save_weights(
+                "m", tiny_state(),
+                mode=CaptureMode.SYNC, strategy=TransferStrategy.GPU_TO_GPU,
+            )
+            viper.drain()
+            loaded = viper.load_weights("m")
+            # Both gpu and pfs replicas exist; the gpu one is cheaper.
+            assert loaded.location == "gpu"
+            assert viper.handler.stats.loads_from("gpu") == 1
+            assert viper.handler.stats.fallbacks == 0
+
+    def test_fallback_to_pfs_recorded(self):
+        with Viper(flush_history=True) as viper:
+            viper.save_weights(
+                "m", tiny_state(),
+                mode=CaptureMode.SYNC, strategy=TransferStrategy.GPU_TO_GPU,
+            )
+            viper.drain()
+            viper.consumer_node.gpu.clear()
+            loaded = viper.load_weights("m")
+            assert loaded.location == "pfs"
+            assert viper.handler.stats.fallbacks == 1
+
+    def test_pfs_load_costs_more_than_memory_load(self):
+        with Viper(flush_history=True) as viper:
+            viper.save_weights(
+                "m", tiny_state(),
+                mode=CaptureMode.SYNC, strategy=TransferStrategy.GPU_TO_GPU,
+                virtual_bytes=10**9,
+            )
+            viper.drain()
+            fast = viper.load_weights("m")
+            viper.consumer_node.gpu.clear()
+            slow = viper.load_weights("m")
+            assert slow.cost.total > fast.cost.total
+
+    def test_total_loss_of_replicas_raises_and_counts_miss(self):
+        with Viper(flush_history=False) as viper:
+            viper.save_weights(
+                "m", tiny_state(),
+                mode=CaptureMode.SYNC, strategy=TransferStrategy.GPU_TO_GPU,
+            )
+            viper.consumer_node.gpu.clear()
+            with pytest.raises(ObjectNotFoundError):
+                viper.load_weights("m")
+            assert viper.handler.stats.misses == 1

@@ -1,0 +1,125 @@
+"""Transfer-strategy timing-law tests: the arithmetic behind Fig. 8/9."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.substrates.cost import GB
+from repro.substrates.profiles import POLARIS
+from repro.dnn.serialization import H5LikeSerializer, ViperSerializer
+from repro.core.transfer.strategies import (
+    CaptureMode,
+    TransferStrategy,
+    compute_timings,
+    load_cost_for_location,
+)
+
+SER = ViperSerializer()
+TC1 = int(4.7 * GB)
+
+
+def timings(strategy, mode, serializer=SER, nbytes=TC1, ntensors=30):
+    return compute_timings(POLARIS, serializer, strategy, mode, nbytes, ntensors)
+
+
+class TestOrdering:
+    @pytest.mark.parametrize("mode", list(CaptureMode))
+    def test_gpu_beats_host_beats_pfs(self, mode):
+        gpu = timings(TransferStrategy.GPU_TO_GPU, mode).update_latency
+        host = timings(TransferStrategy.HOST_TO_HOST, mode).update_latency
+        pfs = timings(TransferStrategy.PFS, mode).update_latency
+        assert gpu < host < pfs
+
+    @pytest.mark.parametrize("strategy", list(TransferStrategy))
+    def test_async_stall_below_sync_stall(self, strategy):
+        sync = timings(strategy, CaptureMode.SYNC)
+        asyn = timings(strategy, CaptureMode.ASYNC)
+        assert asyn.stall.total < sync.stall.total
+
+    @pytest.mark.parametrize("strategy", list(TransferStrategy))
+    def test_async_latency_at_least_sync(self, strategy):
+        """The paper: async is slightly slower end-to-end (extra copy)."""
+        sync = timings(strategy, CaptureMode.SYNC)
+        asyn = timings(strategy, CaptureMode.ASYNC)
+        assert asyn.update_latency >= sync.update_latency
+
+    def test_sync_has_no_background(self):
+        for strategy in TransferStrategy:
+            assert timings(strategy, CaptureMode.SYNC).deliver.total == 0.0
+
+    def test_larger_model_costs_more(self):
+        small = timings(TransferStrategy.GPU_TO_GPU, CaptureMode.SYNC, nbytes=GB)
+        large = timings(TransferStrategy.GPU_TO_GPU, CaptureMode.SYNC, nbytes=4 * GB)
+        assert large.update_latency > small.update_latency
+
+    def test_h5py_slower_than_viper_on_pfs(self):
+        viper = timings(TransferStrategy.PFS, CaptureMode.SYNC)
+        h5 = timings(TransferStrategy.PFS, CaptureMode.SYNC, serializer=H5LikeSerializer())
+        assert h5.update_latency > viper.update_latency
+
+    def test_many_tensors_hurt_pfs_most(self):
+        few = timings(TransferStrategy.PFS, CaptureMode.SYNC, ntensors=30)
+        many = timings(TransferStrategy.PFS, CaptureMode.SYNC, ntensors=120)
+        gpu_few = timings(TransferStrategy.GPU_TO_GPU, CaptureMode.SYNC, ntensors=30)
+        gpu_many = timings(TransferStrategy.GPU_TO_GPU, CaptureMode.SYNC, ntensors=120)
+        assert (many.update_latency - few.update_latency) > (
+            gpu_many.update_latency - gpu_few.update_latency
+        )
+
+
+class TestPaperShape:
+    """Calibration checks against the paper's Figure 8 numbers (TC1)."""
+
+    def test_baseline_latency_near_8s(self):
+        baseline = timings(
+            TransferStrategy.PFS, CaptureMode.SYNC, serializer=H5LikeSerializer()
+        )
+        assert 6.0 < baseline.update_latency < 11.0
+
+    def test_gpu_speedup_factor(self):
+        baseline = timings(
+            TransferStrategy.PFS, CaptureMode.SYNC, serializer=H5LikeSerializer()
+        ).update_latency
+        gpu = timings(TransferStrategy.GPU_TO_GPU, CaptureMode.SYNC).update_latency
+        assert 7.0 < baseline / gpu < 16.0  # paper: ~9-15x
+
+    def test_host_speedup_factor(self):
+        baseline = timings(
+            TransferStrategy.PFS, CaptureMode.SYNC, serializer=H5LikeSerializer()
+        ).update_latency
+        host = timings(TransferStrategy.HOST_TO_HOST, CaptureMode.SYNC).update_latency
+        assert 2.5 < baseline / host < 5.5  # paper: ~3-4x
+
+    def test_fig9_stall_ordering(self):
+        """GPU(async) ~1s/16ckpts << Host(async) << PFS(sync) ~60s."""
+        gpu = timings(TransferStrategy.GPU_TO_GPU, CaptureMode.ASYNC).stall.total
+        host = timings(TransferStrategy.HOST_TO_HOST, CaptureMode.ASYNC).stall.total
+        pfs = timings(TransferStrategy.PFS, CaptureMode.SYNC).stall.total
+        assert 16 * gpu < 2.5          # paper: ~1 s
+        assert 16 * host < 16 * pfs
+        assert 45 < 16 * pfs < 80      # paper: ~60 s
+
+
+class TestLoadCosts:
+    def test_load_matches_strategy(self):
+        for strategy, location in [
+            (TransferStrategy.GPU_TO_GPU, "gpu"),
+            (TransferStrategy.HOST_TO_HOST, "dram"),
+            (TransferStrategy.PFS, "pfs"),
+        ]:
+            t = timings(strategy, CaptureMode.SYNC)
+            load = load_cost_for_location(POLARIS, SER, location, TC1, 30)
+            assert load.total == pytest.approx(t.load.total)
+
+    def test_unknown_location_rejected(self):
+        with pytest.raises(ConfigurationError):
+            load_cost_for_location(POLARIS, SER, "tape", TC1, 30)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            compute_timings(
+                POLARIS, SER, TransferStrategy.PFS, CaptureMode.SYNC, -1, 3
+            )
+        with pytest.raises(ConfigurationError):
+            compute_timings(
+                POLARIS, SER, TransferStrategy.PFS, CaptureMode.SYNC, 10, 0
+            )

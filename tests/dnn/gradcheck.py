@@ -1,0 +1,62 @@
+"""Numerical gradient checking helpers for layer tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def numerical_grad(f, x: np.ndarray, eps: float = 1e-3) -> np.ndarray:
+    """Central-difference gradient of scalar f w.r.t. array x."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        hi = f()
+        flat[i] = orig - eps
+        lo = f()
+        flat[i] = orig
+        gflat[i] = (hi - lo) / (2 * eps)
+    return grad
+
+
+def check_layer_input_grad(layer, x: np.ndarray, rtol=1e-2, atol=1e-3):
+    """Verify layer.backward's input gradient against finite differences.
+
+    Uses the scalar objective sum(forward(x) * W_rand) so every output
+    element contributes with a distinct weight.
+    """
+    rng = np.random.default_rng(0)
+    out = layer.forward(x.copy(), training=False)
+    weights = rng.standard_normal(out.shape)
+
+    def objective():
+        return float((layer.forward(x, training=False) * weights).sum())
+
+    # analytic
+    layer.forward(x, training=False)
+    analytic = layer.backward(weights.astype(np.float64))
+    numeric = numerical_grad(objective, x)
+    np.testing.assert_allclose(analytic, numeric, rtol=rtol, atol=atol)
+
+
+def check_layer_param_grads(layer, x: np.ndarray, rtol=1e-2, atol=1e-3):
+    """Verify layer.backward's parameter gradients against finite diffs."""
+    rng = np.random.default_rng(1)
+    out = layer.forward(x, training=False)
+    weights = rng.standard_normal(out.shape)
+
+    layer.forward(x, training=False)
+    layer.backward(weights.astype(np.float64))
+    for pname, param in layer.params.items():
+        analytic = layer.grads[pname]
+
+        def objective():
+            return float((layer.forward(x, training=False) * weights).sum())
+
+        numeric = numerical_grad(objective, param)
+        np.testing.assert_allclose(
+            analytic, numeric, rtol=rtol, atol=atol,
+            err_msg=f"param {pname}",
+        )

@@ -1,0 +1,155 @@
+"""Full training-state checkpoint tests: pack/unpack and exact resume."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.dnn.checkpointing import (
+    is_full_state,
+    pack_training_state,
+    unpack_training_state,
+)
+from repro.dnn.layers import Dense, ReLU
+from repro.dnn.losses import MSELoss
+from repro.dnn.models import Sequential
+from repro.dnn.optimizers import SGD, Adam
+from repro.dnn.serialization import ViperSerializer
+
+
+def make_model(optimizer, seed=5):
+    model = Sequential(
+        [Dense(4, name="d1"), ReLU(name="r"), Dense(1, name="d2")],
+        input_shape=(3,),
+        seed=seed,
+    )
+    model.compile(optimizer, MSELoss())
+    return model
+
+
+def make_data(n=64, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, 3)).astype(np.float32)
+    y = (x @ np.array([[0.5], [-1.0], [2.0]])).astype(np.float32)
+    return x, y
+
+
+@pytest.mark.parametrize("opt_factory", [lambda: SGD(0.05, momentum=0.9),
+                                         lambda: Adam(0.01)],
+                         ids=["sgd-momentum", "adam"])
+class TestPackUnpack:
+    def test_roundtrip_restores_everything(self, opt_factory):
+        model = make_model(opt_factory())
+        x, y = make_data()
+        for _ in range(10):
+            model.train_batch(x, y)
+        state = pack_training_state(model, model.optimizer, iteration=10)
+        assert is_full_state(state)
+
+        fresh = make_model(opt_factory(), seed=99)
+        iteration = unpack_training_state(state, fresh, fresh.optimizer)
+        assert iteration == 10
+        assert fresh.optimizer.iterations == model.optimizer.iterations
+        for key, value in model.state_dict().items():
+            np.testing.assert_array_equal(fresh.state_dict()[key], value)
+        for key, value in model.optimizer.state_dict().items():
+            np.testing.assert_array_equal(
+                fresh.optimizer.state_dict()[key], value
+            )
+
+    def test_resumed_training_matches_uninterrupted(self, opt_factory):
+        """Train 20 steps straight vs 10 + checkpoint/restore + 10."""
+        x, y = make_data()
+        straight = make_model(opt_factory())
+        for _ in range(20):
+            straight.train_batch(x, y)
+
+        first = make_model(opt_factory())
+        for _ in range(10):
+            first.train_batch(x, y)
+        blob = ViperSerializer().dumps(
+            pack_training_state(first, first.optimizer, 10)
+        )
+
+        resumed = make_model(opt_factory(), seed=123)
+        unpack_training_state(
+            ViperSerializer().loads(blob), resumed, resumed.optimizer
+        )
+        for _ in range(10):
+            resumed.train_batch(x, y)
+
+        for key, value in straight.state_dict().items():
+            np.testing.assert_allclose(
+                resumed.state_dict()[key], value, rtol=1e-5, atol=1e-6
+            )
+
+    def test_serializer_roundtrip(self, opt_factory):
+        model = make_model(opt_factory())
+        x, y = make_data()
+        model.train_batch(x, y)
+        state = pack_training_state(model, model.optimizer, 1)
+        ser = ViperSerializer()
+        back = ser.loads(ser.dumps(state))
+        assert set(back) == set(state)
+
+
+class TestValidation:
+    def test_weights_only_is_not_full_state(self):
+        model = make_model(SGD(0.01))
+        assert not is_full_state(model.state_dict())
+
+    def test_unpack_rejects_bare_weights(self):
+        model = make_model(SGD(0.01))
+        with pytest.raises(StorageError):
+            unpack_training_state(model.state_dict(), model, model.optimizer)
+
+    def test_negative_iteration_rejected(self):
+        model = make_model(SGD(0.01))
+        with pytest.raises(StorageError):
+            pack_training_state(model, model.optimizer, -1)
+
+    def test_dropout_rng_state_restored(self):
+        """Exact resume must include stochastic-layer RNG state."""
+        from repro.dnn.layers import Dropout
+
+        def build():
+            model = Sequential(
+                [Dense(8, name="d1"), Dropout(0.5, name="drop", seed=3),
+                 Dense(1, name="d2")],
+                input_shape=(3,),
+                seed=6,
+            )
+            model.compile(SGD(0.05), MSELoss())
+            return model
+
+        x, y = make_data()
+        straight = build()
+        for _ in range(12):
+            straight.train_batch(x, y)
+
+        first = build()
+        for _ in range(6):
+            first.train_batch(x, y)
+        state = pack_training_state(first, first.optimizer, 6)
+        resumed = build()
+        unpack_training_state(state, resumed, resumed.optimizer)
+        for _ in range(6):
+            resumed.train_batch(x, y)
+
+        for key, value in straight.state_dict().items():
+            np.testing.assert_allclose(
+                resumed.state_dict()[key], value, rtol=1e-6, atol=1e-7
+            )
+
+    def test_lr_decay_continues_after_resume(self):
+        opt = SGD(1.0, decay=0.5)
+        model = make_model(opt)
+        x, y = make_data()
+        for _ in range(4):
+            model.train_batch(x, y)
+        lr_before = opt.current_lr
+        state = pack_training_state(model, opt, 4)
+
+        fresh_opt = SGD(1.0, decay=0.5)
+        fresh = make_model(fresh_opt)
+        unpack_training_state(state, fresh, fresh_opt)
+        assert fresh_opt.current_lr == pytest.approx(lr_before)

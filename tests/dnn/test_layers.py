@@ -1,0 +1,251 @@
+"""Layer forward/backward correctness, including numerical grad checks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.dnn.layers import (
+    Conv1D,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    GlobalAveragePooling1D,
+    MaxPool1D,
+    MaxPool2D,
+    ReLU,
+    Sigmoid,
+    Tanh,
+    UpSampling2D,
+)
+from tests.dnn.gradcheck import check_layer_input_grad, check_layer_param_grads
+
+RNG = np.random.default_rng(42)
+
+
+def build(layer, shape):
+    layer.build(shape, np.random.default_rng(7))
+    return layer
+
+
+class TestDense:
+    def test_forward_matches_matmul(self):
+        layer = build(Dense(3), (4,))
+        x = RNG.standard_normal((2, 4)).astype(np.float64)
+        out = layer.forward(x)
+        np.testing.assert_allclose(out, x @ layer.params["W"] + layer.params["b"])
+
+    def test_output_shape(self):
+        assert Dense(7).output_shape((4,)) == (7,)
+
+    def test_input_grad(self):
+        layer = build(Dense(3), (4,))
+        check_layer_input_grad(layer, RNG.standard_normal((2, 4)))
+
+    def test_param_grads(self):
+        layer = build(Dense(3), (4,))
+        check_layer_param_grads(layer, RNG.standard_normal((2, 4)))
+
+    def test_invalid_units(self):
+        with pytest.raises(ConfigurationError):
+            Dense(0)
+
+    def test_num_params(self):
+        layer = build(Dense(3), (4,))
+        assert layer.num_params == 4 * 3 + 3
+
+
+class TestConv1D:
+    def test_valid_output_shape(self):
+        assert Conv1D(8, 3, padding="valid").output_shape((10, 2)) == (8, 8)
+
+    def test_same_output_shape(self):
+        assert Conv1D(8, 3, padding="same").output_shape((10, 2)) == (10, 8)
+
+    def test_forward_matches_manual(self):
+        layer = build(Conv1D(1, 2, padding="valid"), (4, 1))
+        layer.params["W"][...] = np.array([[[1.0]], [[2.0]]])  # (K, C, O)
+        layer.params["b"][...] = 0.5
+        x = np.array([[[1.0], [2.0], [3.0], [4.0]]])
+        out = layer.forward(x)
+        # out[i] = x[i]*1 + x[i+1]*2 + 0.5
+        np.testing.assert_allclose(out[0, :, 0], [5.5, 8.5, 11.5])
+
+    @pytest.mark.parametrize("padding", ["valid", "same"])
+    def test_input_grad(self, padding):
+        layer = build(Conv1D(3, 3, padding=padding), (6, 2))
+        check_layer_input_grad(layer, RNG.standard_normal((2, 6, 2)))
+
+    @pytest.mark.parametrize("padding", ["valid", "same"])
+    def test_param_grads(self, padding):
+        layer = build(Conv1D(3, 3, padding=padding), (6, 2))
+        check_layer_param_grads(layer, RNG.standard_normal((2, 6, 2)))
+
+    def test_even_kernel_same_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Conv1D(4, 4, padding="same")
+
+    def test_unknown_padding_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Conv1D(4, 3, padding="reflect")
+
+
+class TestConv2D:
+    def test_same_output_shape(self):
+        assert Conv2D(5, 3, padding="same").output_shape((8, 8, 2)) == (8, 8, 5)
+
+    def test_valid_output_shape(self):
+        assert Conv2D(5, 3, padding="valid").output_shape((8, 8, 2)) == (6, 6, 5)
+
+    @pytest.mark.parametrize("padding", ["valid", "same"])
+    def test_input_grad(self, padding):
+        layer = build(Conv2D(2, 3, padding=padding), (5, 5, 2))
+        check_layer_input_grad(layer, RNG.standard_normal((2, 5, 5, 2)))
+
+    @pytest.mark.parametrize("padding", ["valid", "same"])
+    def test_param_grads(self, padding):
+        layer = build(Conv2D(2, 3, padding=padding), (5, 5, 2))
+        check_layer_param_grads(layer, RNG.standard_normal((2, 5, 5, 2)))
+
+    def test_identity_kernel(self):
+        layer = build(Conv2D(1, 1, padding="same"), (3, 3, 1))
+        layer.params["W"][...] = 1.0
+        layer.params["b"][...] = 0.0
+        x = RNG.standard_normal((1, 3, 3, 1))
+        np.testing.assert_allclose(layer.forward(x), x)
+
+
+class TestPooling:
+    def test_maxpool1d_forward(self):
+        layer = MaxPool1D(2)
+        x = np.array([[[1.0], [5.0], [2.0], [3.0], [9.0], [0.0]]])
+        np.testing.assert_allclose(layer.forward(x)[0, :, 0], [5.0, 3.0, 9.0])
+
+    def test_maxpool1d_truncates_tail(self):
+        layer = MaxPool1D(2)
+        x = RNG.standard_normal((1, 5, 2))
+        assert layer.forward(x).shape == (1, 2, 2)
+
+    def test_maxpool1d_backward_routes_to_argmax(self):
+        layer = MaxPool1D(2)
+        x = np.array([[[1.0], [5.0], [2.0], [3.0]]])
+        layer.forward(x)
+        dx = layer.backward(np.array([[[10.0], [20.0]]]))
+        np.testing.assert_allclose(dx[0, :, 0], [0.0, 10.0, 0.0, 20.0])
+
+    def test_maxpool1d_input_grad(self):
+        # Use distinct values so the argmax is stable under perturbation.
+        x = RNG.permutation(np.arange(24.0)).reshape(1, 12, 2)
+        check_layer_input_grad(MaxPool1D(2), x)
+
+    def test_maxpool2d_forward(self):
+        layer = MaxPool2D(2)
+        x = np.arange(16.0).reshape(1, 4, 4, 1)
+        out = layer.forward(x)
+        np.testing.assert_allclose(out[0, :, :, 0], [[5, 7], [13, 15]])
+
+    def test_maxpool2d_input_grad(self):
+        x = RNG.permutation(np.arange(32.0)).reshape(1, 4, 4, 2)
+        check_layer_input_grad(MaxPool2D(2), x)
+
+    def test_maxpool1d_ragged_tail_grad_not_dropped(self):
+        # Length 5 with pool 2 truncates the tail; the scatter must still
+        # land in the original dx (a reshape copy would lose it).
+        layer = MaxPool1D(2)
+        x = np.array([[[1.0], [5.0], [2.0], [3.0], [9.0]]])
+        layer.forward(x)
+        dx = layer.backward(np.array([[[10.0], [20.0]]]))
+        np.testing.assert_allclose(dx[0, :, 0], [0.0, 10.0, 0.0, 20.0, 0.0])
+
+    def test_maxpool2d_ragged_tail_grad_not_dropped(self):
+        layer = MaxPool2D(2)
+        x = np.arange(25.0).reshape(1, 5, 5, 1)
+        out = layer.forward(x)
+        assert out.shape == (1, 2, 2, 1)
+        dx = layer.backward(np.ones((1, 2, 2, 1)))
+        assert dx.sum() == pytest.approx(4.0)
+        assert dx[0, 1, 1, 0] == 1.0 and dx[0, 1, 3, 0] == 1.0
+
+    def test_upsampling_forward(self):
+        layer = UpSampling2D(2)
+        x = np.array([[[[1.0], [2.0]], [[3.0], [4.0]]]])
+        out = layer.forward(x)
+        assert out.shape == (1, 4, 4, 1)
+        np.testing.assert_allclose(out[0, :2, :2, 0], [[1, 1], [1, 1]])
+
+    def test_upsampling_backward_sums(self):
+        layer = UpSampling2D(2)
+        x = RNG.standard_normal((1, 2, 2, 1))
+        layer.forward(x)
+        dout = np.ones((1, 4, 4, 1))
+        np.testing.assert_allclose(layer.backward(dout), np.full((1, 2, 2, 1), 4.0))
+
+    def test_upsampling_input_grad(self):
+        check_layer_input_grad(UpSampling2D(2), RNG.standard_normal((1, 3, 3, 2)))
+
+    def test_gap_forward(self):
+        layer = GlobalAveragePooling1D()
+        x = np.array([[[1.0, 10.0], [3.0, 20.0]]])
+        np.testing.assert_allclose(layer.forward(x), [[2.0, 15.0]])
+
+    def test_gap_input_grad(self):
+        check_layer_input_grad(
+            GlobalAveragePooling1D(), RNG.standard_normal((2, 4, 3))
+        )
+
+
+class TestShapeAndStateless:
+    def test_flatten_roundtrip(self):
+        layer = Flatten()
+        x = RNG.standard_normal((2, 3, 4))
+        out = layer.forward(x)
+        assert out.shape == (2, 12)
+        np.testing.assert_allclose(layer.backward(out), x)
+
+    def test_relu(self):
+        layer = ReLU()
+        x = np.array([[-1.0, 0.5]])
+        np.testing.assert_allclose(layer.forward(x), [[0.0, 0.5]])
+        np.testing.assert_allclose(layer.backward(np.ones_like(x)), [[0.0, 1.0]])
+
+    def test_sigmoid_range_and_grad(self):
+        layer = Sigmoid()
+        x = RNG.standard_normal((3, 4)) * 5
+        out = layer.forward(x)
+        assert np.all(out > 0) and np.all(out < 1)
+        check_layer_input_grad(Sigmoid(), RNG.standard_normal((2, 3)))
+
+    def test_sigmoid_extreme_values_stable(self):
+        layer = Sigmoid()
+        out = layer.forward(np.array([[-1000.0, 1000.0]]))
+        assert np.all(np.isfinite(out))
+
+    def test_tanh_input_grad(self):
+        check_layer_input_grad(Tanh(), RNG.standard_normal((2, 3)))
+
+    def test_dropout_identity_in_eval(self):
+        layer = Dropout(0.5)
+        x = RNG.standard_normal((4, 4))
+        np.testing.assert_allclose(layer.forward(x, training=False), x)
+
+    def test_dropout_scales_in_train(self):
+        layer = Dropout(0.5, seed=1)
+        x = np.ones((1, 10_000))
+        out = layer.forward(x, training=True)
+        kept = out[out > 0]
+        np.testing.assert_allclose(kept, 2.0)
+        assert 0.4 < (kept.size / x.size) < 0.6
+
+    def test_dropout_backward_uses_same_mask(self):
+        layer = Dropout(0.5, seed=2)
+        x = np.ones((1, 100))
+        out = layer.forward(x, training=True)
+        grad = layer.backward(np.ones_like(x))
+        np.testing.assert_allclose(grad, out)
+
+    def test_dropout_invalid_rate(self):
+        with pytest.raises(ConfigurationError):
+            Dropout(1.0)
+
+    def test_unique_default_names(self):
+        assert ReLU().name != ReLU().name

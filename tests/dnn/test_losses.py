@@ -1,0 +1,113 @@
+"""Loss function correctness and gradients."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.dnn.losses import (
+    CrossEntropyLoss,
+    MAELoss,
+    MSELoss,
+    get_loss,
+    softmax,
+)
+from tests.dnn.gradcheck import numerical_grad
+
+RNG = np.random.default_rng(3)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        probs = softmax(RNG.standard_normal((5, 4)))
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(5))
+
+    def test_stable_for_large_logits(self):
+        probs = softmax(np.array([[1000.0, 1001.0]]))
+        assert np.all(np.isfinite(probs))
+        assert probs[0, 1] > probs[0, 0]
+
+
+class TestCrossEntropy:
+    def test_matches_manual(self):
+        loss = CrossEntropyLoss()
+        logits = np.array([[2.0, 0.0], [0.0, 3.0]])
+        target = np.array([0, 1])
+        probs = softmax(logits)
+        expected = -np.mean(np.log(probs[[0, 1], [0, 1]]))
+        assert loss.forward(logits, target) == pytest.approx(expected)
+
+    def test_onehot_targets_equivalent(self):
+        loss = CrossEntropyLoss()
+        logits = RNG.standard_normal((6, 3))
+        labels = np.array([0, 1, 2, 0, 1, 2])
+        onehot = np.eye(3)[labels]
+        assert loss.forward(logits, labels) == pytest.approx(
+            loss.forward(logits, onehot)
+        )
+
+    def test_perfect_prediction_low_loss(self):
+        loss = CrossEntropyLoss()
+        logits = np.array([[100.0, 0.0]])
+        assert loss.forward(logits, np.array([0])) < 1e-6
+
+    def test_gradient_numerical(self):
+        loss = CrossEntropyLoss()
+        logits = RNG.standard_normal((4, 3))
+        target = np.array([0, 2, 1, 1])
+        analytic = loss.backward(logits, target)
+        numeric = numerical_grad(
+            lambda: loss.forward(logits, target), logits, eps=1e-4
+        )
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-2, atol=1e-4)
+
+    def test_accuracy(self):
+        pred = np.array([[0.9, 0.1], [0.2, 0.8], [0.6, 0.4]])
+        assert CrossEntropyLoss.accuracy(pred, np.array([0, 1, 1])) == pytest.approx(
+            2 / 3
+        )
+
+    def test_accuracy_onehot(self):
+        pred = np.array([[0.9, 0.1], [0.2, 0.8]])
+        onehot = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert CrossEntropyLoss.accuracy(pred, onehot) == 1.0
+
+
+class TestRegressionLosses:
+    def test_mse_matches_manual(self):
+        loss = MSELoss()
+        pred = np.array([1.0, 2.0])
+        target = np.array([0.0, 4.0])
+        assert loss.forward(pred, target) == pytest.approx((1 + 4) / 2)
+
+    def test_mse_gradient(self):
+        loss = MSELoss()
+        pred = RNG.standard_normal((3, 2))
+        target = RNG.standard_normal((3, 2))
+        analytic = loss.backward(pred, target)
+        numeric = numerical_grad(lambda: loss.forward(pred, target), pred, eps=1e-4)
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-2, atol=1e-5)
+
+    def test_mae_matches_manual(self):
+        loss = MAELoss()
+        assert loss.forward(np.array([1.0, -2.0]), np.zeros(2)) == pytest.approx(1.5)
+
+    def test_mae_gradient_is_sign(self):
+        loss = MAELoss()
+        pred = np.array([2.0, -3.0])
+        grad = loss.backward(pred, np.zeros(2))
+        np.testing.assert_allclose(grad, [0.5, -0.5])
+
+    def test_zero_loss_at_target(self):
+        for loss in (MSELoss(), MAELoss()):
+            x = RNG.standard_normal((2, 2))
+            assert loss.forward(x, x.copy()) == pytest.approx(0.0)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ["cross_entropy", "mse", "mae"])
+    def test_get_loss(self, name):
+        assert get_loss(name).name == name
+
+    def test_unknown_loss(self):
+        with pytest.raises(ConfigurationError):
+            get_loss("hinge")

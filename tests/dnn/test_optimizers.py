@@ -1,0 +1,102 @@
+"""Optimizer update rules."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.dnn.optimizers import SGD, Adam
+
+
+def quadratic_params():
+    return {"w": np.array([10.0], dtype=np.float64)}
+
+
+def quadratic_grads(params):
+    return {"w": 2.0 * params["w"]}  # d/dw of w^2
+
+
+class TestSGD:
+    def test_plain_step(self):
+        opt = SGD(lr=0.1)
+        params = {"w": np.array([1.0])}
+        opt.step(params, {"w": np.array([2.0])})
+        np.testing.assert_allclose(params["w"], [0.8])
+
+    def test_converges_on_quadratic(self):
+        opt = SGD(lr=0.1)
+        params = quadratic_params()
+        for _ in range(100):
+            opt.step(params, quadratic_grads(params))
+        assert abs(params["w"][0]) < 1e-6
+
+    def test_momentum_accelerates(self):
+        plain, heavy = SGD(lr=0.01), SGD(lr=0.01, momentum=0.9)
+        p1, p2 = quadratic_params(), quadratic_params()
+        for _ in range(20):
+            plain.step(p1, quadratic_grads(p1))
+            heavy.step(p2, quadratic_grads(p2))
+        assert abs(p2["w"][0]) < abs(p1["w"][0])
+
+    def test_momentum_state_dict(self):
+        opt = SGD(lr=0.1, momentum=0.9)
+        params = {"w": np.array([1.0])}
+        opt.step(params, {"w": np.array([1.0])})
+        state = opt.state_dict()
+        assert "momentum/w" in state
+
+    def test_decay_reduces_lr(self):
+        opt = SGD(lr=1.0, decay=1.0)
+        assert opt.current_lr == 1.0
+        opt.step({"w": np.array([0.0])}, {"w": np.array([0.0])})
+        assert opt.current_lr == pytest.approx(0.5)  # 1/(1+1*1)
+
+    def test_invalid_hyperparams(self):
+        with pytest.raises(ConfigurationError):
+            SGD(lr=0.0)
+        with pytest.raises(ConfigurationError):
+            SGD(lr=0.1, momentum=1.0)
+        with pytest.raises(ConfigurationError):
+            SGD(lr=0.1, decay=-0.1)
+
+
+class TestAdam:
+    def test_first_step_size_is_lr(self):
+        # With bias correction the first Adam step is ~lr * sign(grad).
+        opt = Adam(lr=0.1)
+        params = {"w": np.array([1.0])}
+        opt.step(params, {"w": np.array([5.0])})
+        np.testing.assert_allclose(params["w"], [0.9], atol=1e-6)
+
+    def test_converges_on_quadratic(self):
+        opt = Adam(lr=0.3)
+        params = quadratic_params()
+        for _ in range(300):
+            opt.step(params, quadratic_grads(params))
+        assert abs(params["w"][0]) < 1e-3
+
+    def test_state_dict_has_moments(self):
+        opt = Adam()
+        params = {"w": np.array([1.0])}
+        opt.step(params, {"w": np.array([1.0])})
+        state = opt.state_dict()
+        assert "adam_m/w" in state and "adam_v/w" in state
+
+    def test_invalid_betas(self):
+        with pytest.raises(ConfigurationError):
+            Adam(beta1=1.0)
+        with pytest.raises(ConfigurationError):
+            Adam(beta2=-0.1)
+
+    def test_iterations_counter(self):
+        opt = Adam()
+        params = {"w": np.array([1.0])}
+        for _ in range(3):
+            opt.step(params, {"w": np.array([0.1])})
+        assert opt.iterations == 3
+
+    def test_decay_applies(self):
+        opt = Adam(lr=0.1, decay=0.5)
+        params = {"w": np.array([1.0])}
+        opt.step(params, {"w": np.array([1.0])})
+        # Second step uses lr/(1+0.5) = 0.0667
+        assert opt.current_lr == pytest.approx(0.1 / 1.5)

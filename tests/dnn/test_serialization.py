@@ -1,0 +1,112 @@
+"""Checkpoint serializer tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.dnn.serialization import (
+    H5LikeSerializer,
+    ViperSerializer,
+    get_serializer,
+    state_dict_nbytes,
+)
+
+RNG = np.random.default_rng(11)
+
+
+def sample_state():
+    return {
+        "conv/W": RNG.standard_normal((3, 2, 4)).astype(np.float32),
+        "conv/b": np.zeros(4, dtype=np.float32),
+        "dense/W": RNG.standard_normal((8, 2)).astype(np.float64),
+        "scalar": np.array(3.14),
+    }
+
+
+@pytest.fixture(params=[ViperSerializer, H5LikeSerializer], ids=["viper", "h5py"])
+def serializer(request):
+    return request.param()
+
+
+class TestRoundtrip:
+    def test_values_preserved(self, serializer):
+        state = sample_state()
+        back = serializer.loads(serializer.dumps(state))
+        assert set(back) == set(state)
+        for key in state:
+            np.testing.assert_array_equal(back[key], state[key])
+
+    def test_dtypes_preserved(self, serializer):
+        state = sample_state()
+        back = serializer.loads(serializer.dumps(state))
+        for key in state:
+            assert back[key].dtype == state[key].dtype
+
+    def test_shapes_preserved(self, serializer):
+        state = sample_state()
+        back = serializer.loads(serializer.dumps(state))
+        for key in state:
+            assert back[key].shape == state[key].shape
+
+    def test_unicode_names(self, serializer):
+        state = {"слой/väikt": np.ones(2, dtype=np.float32)}
+        back = serializer.loads(serializer.dumps(state))
+        assert "слой/väikt" in back
+
+    def test_empty_state_rejected(self, serializer):
+        with pytest.raises(StorageError):
+            serializer.dumps({})
+
+    def test_deterministic_output(self, serializer):
+        state = sample_state()
+        assert serializer.dumps(state) == serializer.dumps(state)
+
+    def test_noncontiguous_tensor(self, serializer):
+        base = RNG.standard_normal((4, 6)).astype(np.float32)
+        state = {"t": base[:, ::2]}  # strided view
+        back = serializer.loads(serializer.dumps(state))
+        np.testing.assert_array_equal(back["t"], base[:, ::2])
+
+
+class TestFormatDiscrimination:
+    def test_wrong_magic_rejected(self):
+        state = sample_state()
+        viper_blob = ViperSerializer().dumps(state)
+        with pytest.raises(StorageError):
+            H5LikeSerializer().loads(viper_blob)
+        h5_blob = H5LikeSerializer().dumps(state)
+        with pytest.raises(StorageError):
+            ViperSerializer().loads(h5_blob)
+
+    def test_h5_blob_is_larger(self):
+        state = sample_state()
+        assert len(H5LikeSerializer().dumps(state)) > len(
+            ViperSerializer().dumps(state)
+        )
+
+
+class TestTimingModel:
+    def test_h5_overheads_exceed_viper(self):
+        viper, h5 = ViperSerializer(), H5LikeSerializer()
+        assert h5.serialize_seconds(30) > viper.serialize_seconds(30)
+        assert h5.wire_bytes(10**9) > viper.wire_bytes(10**9)
+
+    def test_per_tensor_overhead_scales(self):
+        ser = H5LikeSerializer()
+        assert ser.serialize_seconds(100) > ser.serialize_seconds(10)
+
+    def test_wire_bytes_factor(self):
+        ser = ViperSerializer()
+        assert ser.wire_bytes(1000) == int(1000 * ser.bytes_overhead_factor)
+
+
+class TestHelpers:
+    def test_state_dict_nbytes(self):
+        state = {"a": np.zeros(10, dtype=np.float32), "b": np.zeros(5, dtype=np.float64)}
+        assert state_dict_nbytes(state) == 40 + 40
+
+    def test_get_serializer(self):
+        assert get_serializer("viper").name == "viper"
+        assert get_serializer("h5py").name == "h5py"
+        with pytest.raises(StorageError):
+            get_serializer("pickle")

@@ -1,0 +1,177 @@
+"""Training loop and callback protocol tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.dnn.layers import Dense
+from repro.dnn.losses import MSELoss
+from repro.dnn.models import Sequential
+from repro.dnn.optimizers import SGD
+from repro.dnn.training import Callback
+
+
+def make_model():
+    model = Sequential([Dense(1, name="d")], input_shape=(2,), seed=4)
+    model.compile(SGD(lr=0.05), MSELoss())
+    return model
+
+
+def make_data(n=40):
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((n, 2)).astype(np.float32)
+    y = (x @ np.array([[1.0], [-2.0]])).astype(np.float32)
+    return x, y
+
+
+class Recorder(Callback):
+    def __init__(self):
+        super().__init__()
+        self.calls = []
+
+    def on_train_begin(self, logs):
+        self.calls.append(("train_begin", dict(logs)))
+
+    def on_epoch_begin(self, epoch, logs):
+        self.calls.append(("epoch_begin", epoch))
+
+    def on_batch_end(self, iteration, logs):
+        self.calls.append(("batch_end", iteration, logs["loss"]))
+
+    def on_epoch_end(self, epoch, logs):
+        self.calls.append(("epoch_end", epoch, logs["loss"]))
+
+    def on_train_end(self, logs):
+        self.calls.append(("train_end", logs["iterations"]))
+
+
+class TestFitLoop:
+    def test_history_lengths(self):
+        model = make_model()
+        x, y = make_data(40)
+        history = model.fit(x, y, epochs=3, batch_size=10)
+        assert len(history.epoch_loss) == 3
+        assert len(history.iteration_loss) == 12
+        assert history.epochs_run == 3
+
+    def test_ceil_division_of_batches(self):
+        model = make_model()
+        x, y = make_data(25)
+        history = model.fit(x, y, epochs=1, batch_size=10)
+        assert len(history.iteration_loss) == 3  # 10+10+5
+
+    def test_loss_decreases(self):
+        model = make_model()
+        x, y = make_data()
+        history = model.fit(x, y, epochs=20, batch_size=10, seed=1)
+        assert history.epoch_loss[-1] < history.epoch_loss[0] / 5
+
+    def test_callback_sequence(self):
+        model = make_model()
+        x, y = make_data(20)
+        rec = Recorder()
+        model.fit(x, y, epochs=2, batch_size=10, callbacks=[rec])
+        kinds = [c[0] for c in rec.calls]
+        assert kinds == [
+            "train_begin",
+            "epoch_begin", "batch_end", "batch_end", "epoch_end",
+            "epoch_begin", "batch_end", "batch_end", "epoch_end",
+            "train_end",
+        ]
+
+    def test_iterations_are_global(self):
+        model = make_model()
+        x, y = make_data(20)
+        rec = Recorder()
+        model.fit(x, y, epochs=3, batch_size=10, callbacks=[rec])
+        iteration_ids = [c[1] for c in rec.calls if c[0] == "batch_end"]
+        assert iteration_ids == list(range(1, 7))
+
+    def test_callback_model_is_set(self):
+        model = make_model()
+        x, y = make_data(20)
+
+        class Check(Callback):
+            seen = None
+
+            def on_train_begin(self, logs):
+                Check.seen = self.model
+
+        model.fit(x, y, epochs=1, batch_size=10, callbacks=[Check()])
+        assert Check.seen is model
+
+    def test_stop_training_mid_epoch(self):
+        model = make_model()
+        x, y = make_data(40)
+
+        class StopAt3(Callback):
+            def on_batch_end(self, iteration, logs):
+                if iteration == 3:
+                    self.model.stop_training = True
+
+        history = model.fit(x, y, epochs=5, batch_size=10, callbacks=[StopAt3()])
+        assert len(history.iteration_loss) == 3
+
+    def test_shuffle_determinism(self):
+        x, y = make_data(40)
+        h1 = make_model().fit(x, y, epochs=2, batch_size=10, seed=7)
+        h2 = make_model().fit(x, y, epochs=2, batch_size=10, seed=7)
+        np.testing.assert_allclose(h1.iteration_loss, h2.iteration_loss)
+
+    def test_no_shuffle_keeps_order(self):
+        x, y = make_data(40)
+        h1 = make_model().fit(x, y, epochs=1, batch_size=10, shuffle=False)
+        h2 = make_model().fit(x, y, epochs=1, batch_size=10, shuffle=False, seed=99)
+        np.testing.assert_allclose(h1.iteration_loss, h2.iteration_loss)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"epochs": 0},
+            {"epochs": -1},
+            {"batch_size": 0},
+        ],
+    )
+    def test_invalid_loop_params(self, kwargs):
+        model = make_model()
+        x, y = make_data(20)
+        base = {"epochs": 1, "batch_size": 10}
+        base.update(kwargs)
+        with pytest.raises(ConfigurationError):
+            model.fit(x, y, **base)
+
+    def test_length_mismatch_rejected(self):
+        model = make_model()
+        x, y = make_data(20)
+        with pytest.raises(ConfigurationError):
+            model.fit(x, y[:-1], epochs=1, batch_size=10)
+
+    def test_empty_dataset_rejected(self):
+        model = make_model()
+        with pytest.raises(ConfigurationError):
+            model.fit(np.zeros((0, 2)), np.zeros((0, 1)), epochs=1, batch_size=10)
+
+
+class TestAccuracyTracking:
+    def test_classification_tracks_accuracy(self):
+        from repro.dnn.layers import Dense
+        from repro.dnn.losses import CrossEntropyLoss
+        from repro.dnn.models import Sequential
+        from repro.dnn.optimizers import SGD
+
+        model = Sequential([Dense(2, name="d")], input_shape=(2,), seed=8)
+        model.compile(SGD(0.1), CrossEntropyLoss())
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((60, 2)).astype(np.float32)
+        y = (x[:, 0] > 0).astype(np.int64)
+        history = model.fit(x, y, epochs=10, batch_size=20)
+        assert len(history.iteration_accuracy) == len(history.iteration_loss)
+        assert all(0.0 <= a <= 1.0 for a in history.iteration_accuracy)
+        # The task is learnable: accuracy ends above chance.
+        assert np.mean(history.iteration_accuracy[-3:]) > 0.7
+
+    def test_regression_has_no_accuracy(self):
+        model = make_model()  # MSE loss
+        x, y = make_data(20)
+        history = model.fit(x, y, epochs=1, batch_size=10)
+        assert history.iteration_accuracy == []

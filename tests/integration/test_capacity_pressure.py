@@ -1,0 +1,95 @@
+"""Capacity-pressure integration: selector fallback + eviction recovery.
+
+Uses the LAPTOP hardware profile (256 MB GPU staging, 1 GB DRAM) so a
+handful of checkpoints exercises the selector's fallback ladder and the
+tier stores' eviction under realistic pressure.
+"""
+
+import pytest
+
+from repro import CaptureMode, TransferStrategy, Viper
+from repro.substrates.cost import MB
+from repro.substrates.profiles import LAPTOP
+from repro.dnn.layers import Dense
+from repro.dnn.models import Sequential
+
+
+def tiny_state():
+    return Sequential([Dense(2, name="d")], input_shape=(3,), seed=1).state_dict()
+
+
+class TestSelectorFallbackLadder:
+    def test_strategy_degrades_with_model_size(self):
+        with Viper(profile=LAPTOP) as viper:
+            state = tiny_state()
+            small = viper.save_weights(
+                "small", state, mode=CaptureMode.SYNC, virtual_bytes=50 * MB
+            )
+            medium = viper.save_weights(
+                "medium", state, mode=CaptureMode.SYNC, virtual_bytes=200 * MB
+            )
+            large = viper.save_weights(
+                "large", state, mode=CaptureMode.SYNC, virtual_bytes=600 * MB
+            )
+            assert small.strategy is TransferStrategy.GPU_TO_GPU
+            assert medium.strategy is TransferStrategy.HOST_TO_HOST
+            assert large.strategy is TransferStrategy.PFS
+
+    def test_all_sizes_remain_loadable(self):
+        with Viper(profile=LAPTOP) as viper:
+            state = tiny_state()
+            for name, nbytes in [("a", 50 * MB), ("b", 200 * MB), ("c", 600 * MB)]:
+                viper.save_weights(
+                    name, state, mode=CaptureMode.SYNC, virtual_bytes=nbytes
+                )
+            for name in ("a", "b", "c"):
+                assert viper.load_weights(name).version == 1
+
+
+class TestEvictionUnderPressure:
+    def test_old_versions_evicted_new_ones_stay(self):
+        """Six 60 MB checkpoints into a 256 MB GPU tier: the oldest
+        versions must be evicted, the newest must survive and load."""
+        with Viper(profile=LAPTOP) as viper:
+            state = tiny_state()
+            for _ in range(6):
+                viper.save_weights(
+                    "m", state,
+                    mode=CaptureMode.SYNC,
+                    strategy=TransferStrategy.GPU_TO_GPU,
+                    virtual_bytes=60 * MB,
+                )
+            store = viper.consumer_node.gpu
+            assert store.used_bytes <= store.spec.capacity_bytes
+            assert len(store.eviction_log) >= 2
+            assert viper.load_weights("m").version == 6
+
+    def test_evicted_version_recovers_from_pfs_when_flushed(self):
+        with Viper(profile=LAPTOP, flush_history=True) as viper:
+            state = tiny_state()
+            for _ in range(6):
+                viper.save_weights(
+                    "m", state,
+                    mode=CaptureMode.SYNC,
+                    strategy=TransferStrategy.GPU_TO_GPU,
+                    virtual_bytes=60 * MB,
+                )
+            viper.drain()
+            # v1 was evicted from GPU staging but survives on the PFS.
+            loaded = viper.load_weights("m", version=1)
+            assert loaded.location == "pfs"
+            assert viper.handler.stats.fallbacks >= 1
+
+    def test_evicted_version_lost_without_flush(self):
+        with Viper(profile=LAPTOP, flush_history=False) as viper:
+            state = tiny_state()
+            for _ in range(6):
+                viper.save_weights(
+                    "m", state,
+                    mode=CaptureMode.SYNC,
+                    strategy=TransferStrategy.GPU_TO_GPU,
+                    virtual_bytes=60 * MB,
+                )
+            with pytest.raises(Exception):
+                viper.load_weights("m", version=1)
+            assert viper.handler.stats.misses >= 1

@@ -1,0 +1,51 @@
+"""Every example script runs to completion (smoke-level integration).
+
+The examples are part of the public deliverable; a refactor that breaks
+one must fail CI.  Each runs in a subprocess with the repo's source on
+the path.  The slowest (schedule_comparison trains TC1) is marked for
+exclusion in quick runs via ``-m "not slow"``.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "polling_vs_push.py",
+    "candle_drug_response.py",
+    "fault_tolerance.py",
+    "incremental_finetuning.py",
+    "multi_consumer.py",
+    "ptychographic_imaging.py",
+]
+
+
+def run_example(name: str, timeout: float = 600.0):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_example_runs(name):
+    result = run_example(name)
+    assert result.returncode == 0, (
+        f"{name} failed:\nstdout:\n{result.stdout[-2000:]}\n"
+        f"stderr:\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{name} produced no output"
+
+
+def test_example_list_is_complete():
+    """Every example on disk is either smoke-tested here or known-slow."""
+    known_slow = {"schedule_comparison.py"}
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(FAST_EXAMPLES) | known_slow

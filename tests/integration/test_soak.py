@@ -1,0 +1,133 @@
+"""Soak tests: long coupled runs, heavy version churn, bookkeeping exactness.
+
+These runs are far larger than the paper's experiments (thousands of
+checkpoints, hundreds of thousands of accounted inferences) and exist to
+catch accumulation bugs — leaked events, drifting counters, version-set
+inconsistencies — that short tests cannot.
+"""
+
+import numpy as np
+import pytest
+
+from repro import CaptureMode, TransferStrategy, Viper
+from repro.apps.registry import AppProfile, AppTiming
+from repro.core.predictor.schedules import Schedule
+from repro.core.transfer.retention import RetentionPolicy
+from repro.core.transfer.strategies import CaptureMode as CM
+from repro.dnn.layers import Dense
+from repro.dnn.models import Sequential
+from repro.substrates.cost import MB
+from repro.workflow.runner import CoupledRunConfig, run_coupled
+from tests.conftest import exp3_curve
+
+
+def _data(n_train, n_test, seed):
+    from repro.apps.datasets import make_expression_profiles
+
+    return make_expression_profiles(n_train, n_test, 2, seed=seed)
+
+
+def soak_app(total_iters=20_000, t_train=0.01, t_infer=0.002):
+    from repro.apps.candle import build_nt3
+
+    return AppProfile(
+        name="soak",
+        display_name="Soak",
+        build_model=build_nt3,
+        make_data=_data,
+        loss_metric="cross_entropy",
+        checkpoint_bytes=100 * MB,
+        checkpoint_tensors=10,
+        timing=AppTiming(t_train=t_train, t_infer=t_infer),
+        n_train=2000,
+        n_test=100,
+        batch_size=20,
+        epochs=total_iters // 100,
+        warmup_epochs=1,
+        total_inferences=500_000,
+    )
+
+
+class TestDESScale:
+    def test_two_thousand_checkpoints_exact_accounting(self):
+        app = soak_app()
+        # A checkpoint every 10 iterations -> ~2000 checkpoints.
+        schedule = Schedule(
+            "fixed",
+            tuple(range(110, app.total_iters + 1, 10)),
+            interval=10,
+            start_iter=100,
+            end_iter=app.total_iters,
+        )
+        curve = exp3_curve(app.total_iters, a=3.0, b=0.0005, c=0.2)
+        result = run_coupled(
+            CoupledRunConfig(
+                app=app,
+                schedule=schedule,
+                loss_curve=curve,
+                strategy=TransferStrategy.GPU_TO_GPU,
+                mode=CM.ASYNC,
+            )
+        )
+        assert result.checkpoints + result.superseded >= schedule.num_checkpoints
+        # Conservation: every one of the 500k inferences counted once.
+        assert result.per_version_inferences.sum() == 500_000
+        # Overhead decomposes exactly.
+        per_stall = result.training_overhead / schedule.num_checkpoints
+        assert per_stall > 0
+        # Version switches strictly increase in time and version.
+        times = [s.time for s in result.switches]
+        versions = [s.version for s in result.switches]
+        assert times == sorted(times)
+        assert versions == sorted(set(versions))
+
+    def test_event_loop_counters_consistent(self):
+        app = soak_app(total_iters=5_000)
+        schedule = Schedule(
+            "fixed",
+            tuple(range(150, app.total_iters + 1, 50)),
+            interval=50,
+            start_iter=100,
+            end_iter=app.total_iters,
+        )
+        curve = exp3_curve(app.total_iters, a=2.0, b=0.001, c=0.3)
+        result = run_coupled(
+            CoupledRunConfig(
+                app=app,
+                schedule=schedule,
+                loss_curve=curve,
+                strategy=TransferStrategy.HOST_TO_HOST,
+                mode=CM.ASYNC,
+            )
+        )
+        iterations = len(result.trace.events("iteration"))
+        assert iterations == app.total_iters - schedule.start_iter
+        swaps = len(result.trace.events("swap"))
+        assert swaps == len(result.switches) - 1  # minus the warm-up model
+
+
+class TestLiveChurn:
+    def test_hundreds_of_versions_with_gc(self):
+        state = Sequential(
+            [Dense(2, name="d")], input_shape=(3,), seed=1
+        ).state_dict()
+        with Viper(
+            flush_history=True, retention=RetentionPolicy(keep_latest=5)
+        ) as viper:
+            for _ in range(300):
+                viper.save_weights(
+                    "churn", state,
+                    mode=CaptureMode.ASYNC,
+                    strategy=TransferStrategy.GPU_TO_GPU,
+                    virtual_bytes=10 * MB,
+                )
+            viper.drain()
+            latest, _ = viper.metadata.latest("churn")
+            assert latest.version == 300
+            versions = viper.metadata.versions("churn")
+            assert 300 in versions and 1 in versions
+            assert len(versions) <= 7  # root + latest 5 (+ boundary)
+            # PFS holds exactly the retained versions' blobs.
+            pfs_keys = [k for k in viper.cluster.pfs.keys() if k.startswith("churn/")]
+            assert len(pfs_keys) == len(versions)
+            assert viper.load_weights("churn").version == 300

@@ -1,0 +1,143 @@
+"""CILP tests: Algorithm 1 accounting, Eq. 1 mapping, Eq. 2 closed form."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ScheduleError
+from repro.core.predictor.cilp import CILParams, CILPredictor, cil_window
+
+
+class TestCILParams:
+    def test_window_seconds(self, small_params):
+        # 10 iterations * 0.1 + 0.05 stall
+        assert small_params.window_seconds(10) == pytest.approx(1.05)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(t_train=0.0, t_p=0.1, t_c=0.1, t_infer=0.01),
+            dict(t_train=0.1, t_p=-0.1, t_c=0.1, t_infer=0.01),
+            dict(t_train=0.1, t_p=0.1, t_c=-0.1, t_infer=0.01),
+            dict(t_train=0.1, t_p=0.1, t_c=0.1, t_infer=0.0),
+        ],
+    )
+    def test_invalid_params(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            CILParams(**kwargs)
+
+
+class TestAlgorithm1:
+    def test_first_window_includes_load_time(self, small_params):
+        # window = 10*0.1 + 0.05 + 0.05(t_c) = 1.1s -> 110 inferences @10ms
+        loss, infers = cil_window(10, 0.5, 1, 10_000, small_params)
+        assert infers == 110
+        assert loss == pytest.approx(0.5 * 110)
+
+    def test_later_windows_exclude_load_time(self, small_params):
+        # window = 10*0.1 + 0.05 = 1.05s -> 105 inferences
+        loss, infers = cil_window(10, 0.5, 2, 10_000, small_params)
+        assert infers == 105
+        assert loss == pytest.approx(0.5 * 105)
+
+    def test_remaining_inferences_cap(self, small_params):
+        loss, infers = cil_window(10, 0.5, 1, 7, small_params)
+        assert infers == 7
+        assert loss == pytest.approx(3.5)
+
+    def test_zero_remaining(self, small_params):
+        loss, infers = cil_window(10, 0.5, 2, 0, small_params)
+        assert infers == 0 and loss == 0.0
+
+    def test_validation(self, small_params):
+        with pytest.raises(ScheduleError):
+            cil_window(0, 0.5, 1, 10, small_params)
+        with pytest.raises(ScheduleError):
+            cil_window(5, 0.5, 0, 10, small_params)
+        with pytest.raises(ScheduleError):
+            cil_window(5, 0.5, 1, -1, small_params)
+
+
+class TestEq1Mapping:
+    def flat(self, loss=1.0):
+        return lambda x: loss
+
+    def test_time_before_first_stall_counts_iterations(self, small_params):
+        pred = CILPredictor(self.flat(), small_params)
+        # 0.45s at 0.1 s/iter -> 4 complete iterations
+        assert pred.iters_at_time(0.45, ckpt_interval=10) == 4
+
+    def test_full_windows_counted(self, small_params):
+        pred = CILPredictor(self.flat(), small_params)
+        # one window = 1.05s -> 10 iterations
+        assert pred.iters_at_time(1.05, 10) == 10
+        assert pred.iters_at_time(2.10, 10) == 20
+
+    def test_stall_time_does_not_advance_iterations(self, small_params):
+        pred = CILPredictor(self.flat(), small_params)
+        # At 1.04s we are inside the stall after iteration 10.
+        assert pred.iters_at_time(1.04, 10) == 10
+
+    def test_monotone_in_time(self, small_params):
+        pred = CILPredictor(self.flat(), small_params)
+        times = np.linspace(0, 50, 400)
+        iters = [pred.iters_at_time(float(t), 7) for t in times]
+        assert all(b >= a for a, b in zip(iters, iters[1:]))
+
+    def test_validation(self, small_params):
+        pred = CILPredictor(self.flat(), small_params)
+        with pytest.raises(ScheduleError):
+            pred.iters_at_time(-1.0, 5)
+        with pytest.raises(ScheduleError):
+            pred.iters_at_time(1.0, 0)
+
+    def test_loss_at_time_uses_mapping(self, small_params):
+        pred = CILPredictor(lambda x: 100.0 - x, small_params)
+        # 1.05s -> iteration 10 -> loss 90
+        assert pred.loss_at_time(1.05, 10) == pytest.approx(90.0)
+
+
+class TestEq2ClosedForm:
+    def test_flat_loss_gives_rate_times_horizon(self, small_params):
+        pred = CILPredictor(lambda x: 2.0, small_params)
+        # With a constant loss the CIL is ~ loss * (t_max / t_infer),
+        # modulo per-window floor effects.
+        cil = pred.acc_loss(10, t_max=10.0)
+        assert cil == pytest.approx(2.0 * 10.0 / 0.01, rel=0.05)
+
+    def test_no_update_fits_in_horizon(self, small_params):
+        pred = CILPredictor(lambda x: 3.0, small_params)
+        # t_max smaller than t_c + one window: only the warm-up model.
+        cil = pred.acc_loss(1000, t_max=0.5)
+        assert cil == pytest.approx(3.0 * 0.5 / 0.01)
+
+    def test_decaying_loss_prefers_small_interval_when_cheap(self):
+        params = CILParams(t_train=0.1, t_p=0.0001, t_c=0.0001, t_infer=0.01)
+        pred = CILPredictor(lambda x: max(0.0, 10.0 - 0.05 * x), params)
+        small = pred.acc_loss(2, t_max=20.0)
+        large = pred.acc_loss(100, t_max=20.0)
+        assert small < large
+
+    def test_costly_checkpoints_penalize_tiny_intervals(self):
+        # Huge stall: updating every iteration slows training so much the
+        # consumer sits on stale models.
+        params = CILParams(t_train=0.1, t_p=5.0, t_c=0.5, t_infer=0.01)
+        pred = CILPredictor(lambda x: max(0.0, 10.0 - 0.05 * x), params)
+        tiny = pred.acc_loss(1, t_max=60.0)
+        moderate = pred.acc_loss(50, t_max=60.0)
+        assert moderate < tiny
+
+    def test_best_fixed_interval_argmin(self, small_params):
+        pred = CILPredictor(lambda x: max(0.0, 5.0 - 0.01 * x), small_params)
+        best_i, best_v = pred.best_fixed_interval(t_max=30.0, max_interval=50)
+        values = [pred.acc_loss(i, 30.0) for i in range(1, 51)]
+        assert best_v == pytest.approx(min(values))
+        assert values[best_i - 1] == pytest.approx(best_v)
+
+    def test_validation(self, small_params):
+        pred = CILPredictor(lambda x: 1.0, small_params)
+        with pytest.raises(ScheduleError):
+            pred.acc_loss(0, 10.0)
+        with pytest.raises(ScheduleError):
+            pred.acc_loss(5, 0.0)
+        with pytest.raises(ScheduleError):
+            pred.best_fixed_interval(10.0, 0)

@@ -1,0 +1,185 @@
+"""Schedule-search algorithm tests (Algorithms 2 and 3 + baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ScheduleError
+from repro.core.predictor.cilp import CILParams
+from repro.core.predictor.schedules import (
+    Schedule,
+    best_greedy_schedule,
+    epoch_schedule,
+    fixed_interval_schedule,
+    greedy_schedule,
+    warmup_threshold,
+)
+
+
+def decaying(loss0=5.0, rate=0.01, floor=0.5):
+    return lambda x: max(floor, loss0 - rate * x)
+
+
+class TestScheduleDataclass:
+    def test_valid(self):
+        s = Schedule("fixed", (10, 20, 30), interval=10, start_iter=0, end_iter=30)
+        assert s.num_checkpoints == 3
+        assert 20 in s and 15 not in s
+
+    def test_non_increasing_rejected(self):
+        with pytest.raises(ScheduleError):
+            Schedule("fixed", (10, 10), start_iter=0, end_iter=30)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ScheduleError):
+            Schedule("fixed", (5,), start_iter=5, end_iter=30)
+        with pytest.raises(ScheduleError):
+            Schedule("fixed", (31,), start_iter=5, end_iter=30)
+
+    def test_empty_is_fine(self):
+        assert Schedule("epoch", (), start_iter=0, end_iter=10).num_checkpoints == 0
+
+
+class TestEpochSchedule:
+    def test_boundaries_after_warmup(self):
+        s = epoch_schedule(start_iter=216, end_iter=1080, iters_per_epoch=216)
+        assert s.iterations == (432, 648, 864, 1080)
+
+    def test_warmup_not_on_boundary(self):
+        s = epoch_schedule(start_iter=100, end_iter=648, iters_per_epoch=216)
+        assert s.iterations == (216, 432, 648)
+
+    def test_paper_tc1_geometry(self):
+        # 16 epochs of 216 iterations, 3-epoch warm-up -> 13 checkpoints.
+        s = epoch_schedule(3 * 216, 16 * 216, 216)
+        assert s.num_checkpoints == 13
+
+    def test_validation(self):
+        with pytest.raises(ScheduleError):
+            epoch_schedule(10, 5, 2)
+        with pytest.raises(ScheduleError):
+            epoch_schedule(0, 10, 0)
+
+
+class TestFixedInterval:
+    def test_finds_minimum_over_intervals(self, small_params):
+        loss_pred = decaying()
+        best = fixed_interval_schedule(0, 100, 5000, loss_pred, small_params)
+        assert best.kind == "fixed"
+        assert best.interval is not None
+        assert best.iterations[0] == best.interval
+        # Exhaustively verify optimality via the same walk.
+        for interval in range(1, 101):
+            other = fixed_interval_schedule(
+                0, 100, 5000, loss_pred, small_params, max_interval=interval
+            )
+            assert best.predicted_cil <= other.predicted_cil + 1e-9
+
+    def test_iterations_follow_interval(self, small_params):
+        best = fixed_interval_schedule(10, 100, 1000, decaying(), small_params)
+        diffs = np.diff(best.iterations)
+        assert np.all(diffs == best.interval)
+
+    def test_flat_curve_prefers_rare_checkpoints(self, small_params):
+        best = fixed_interval_schedule(
+            0, 200, 10_000, lambda x: 1.0, small_params
+        )
+        # No improvement to chase: any interval gives the same CIL, and
+        # ties resolve to the first minimum — but the schedule must still
+        # be valid.
+        assert best.predicted_cil == pytest.approx(10_000 * 1.0, rel=0.01)
+
+    def test_max_interval_respected(self, small_params):
+        best = fixed_interval_schedule(
+            0, 100, 1000, decaying(), small_params, max_interval=7
+        )
+        assert best.interval <= 7
+
+    def test_validation(self, small_params):
+        with pytest.raises(ScheduleError):
+            fixed_interval_schedule(10, 10, 100, decaying(), small_params)
+        with pytest.raises(ScheduleError):
+            fixed_interval_schedule(0, 10, 0, decaying(), small_params)
+
+
+class TestWarmupThreshold:
+    def test_mean_plus_std(self):
+        losses = [1.0, 0.8, 0.7]  # deltas: 0.2, 0.1
+        expected = np.mean([0.2, 0.1]) + np.std([0.2, 0.1])
+        assert warmup_threshold(losses) == pytest.approx(expected)
+
+    def test_scale(self):
+        losses = [1.0, 0.8, 0.7]
+        assert warmup_threshold(losses, scale=2.0) == pytest.approx(
+            2 * warmup_threshold(losses)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ScheduleError):
+            warmup_threshold([1.0])
+        with pytest.raises(ScheduleError):
+            warmup_threshold([1.0, 0.9], scale=0.0)
+
+
+class TestGreedy:
+    def test_checkpoints_only_on_sufficient_improvement(self, small_params):
+        # Loss drops 0.05/iteration; threshold 0.12 -> every 3rd iteration.
+        s = greedy_schedule(0, 20, 1000, 0.12, decaying(5.0, 0.05, 0.0), small_params)
+        assert s.iterations[0] == 3
+        assert all(d == 3 for d in np.diff(s.iterations))
+
+    def test_no_checkpoints_on_flat_curve(self, small_params):
+        s = greedy_schedule(0, 50, 1000, 0.1, lambda x: 1.0, small_params)
+        assert s.num_checkpoints == 0
+        assert s.predicted_cil == pytest.approx(1000 * 1.0)
+
+    def test_front_loads_on_convex_curve(self, small_params):
+        loss = lambda x: 5.0 * np.exp(-0.05 * x)
+        s = greedy_schedule(0, 200, 100_000, 0.3, loss, small_params)
+        gaps = np.diff((0,) + s.iterations)
+        assert gaps[0] < gaps[-1]  # denser early, sparser late
+
+    def test_increasing_loss_never_checkpoints(self, small_params):
+        s = greedy_schedule(0, 50, 1000, 0.01, lambda x: 1.0 + 0.1 * x, small_params)
+        assert s.num_checkpoints == 0
+
+    def test_threshold_recorded(self, small_params):
+        s = greedy_schedule(0, 20, 1000, 0.12, decaying(5.0, 0.05, 0.0), small_params)
+        assert s.threshold == pytest.approx(0.12)
+
+    def test_terminates_even_when_condition_never_fires(self, small_params):
+        # The paper's listing loops forever here; ours must terminate.
+        s = greedy_schedule(0, 10_000, 10, 999.0, decaying(), small_params)
+        assert s.num_checkpoints == 0
+
+    def test_validation(self, small_params):
+        with pytest.raises(ScheduleError):
+            greedy_schedule(5, 5, 10, 0.1, decaying(), small_params)
+        with pytest.raises(ScheduleError):
+            greedy_schedule(0, 10, 10, -0.1, decaying(), small_params)
+        with pytest.raises(ScheduleError):
+            greedy_schedule(0, 10, 0, 0.1, decaying(), small_params)
+
+
+class TestBestGreedy:
+    def test_picks_lowest_predicted_cil(self, small_params):
+        loss = lambda x: 5.0 * np.exp(-0.02 * x)
+        base = 0.01
+        best = best_greedy_schedule(0, 300, 50_000, base, loss, small_params)
+        for scale in (0.5, 1.0, 4.0, 16.0):
+            candidate = greedy_schedule(
+                0, 300, 50_000, base * scale, loss, small_params
+            )
+            if candidate.num_checkpoints:
+                assert best.predicted_cil <= candidate.predicted_cil + 1e-9
+
+    def test_flat_curve_falls_back_to_single_checkpoint(self, small_params):
+        best = best_greedy_schedule(0, 100, 1000, 0.5, lambda x: 1.0, small_params)
+        assert best.num_checkpoints == 1
+
+    def test_validation(self, small_params):
+        with pytest.raises(ScheduleError):
+            best_greedy_schedule(0, 10, 10, -1.0, lambda x: 1.0, small_params)
+        with pytest.raises(ScheduleError):
+            best_greedy_schedule(
+                0, 10, 10, 0.1, lambda x: 1.0, small_params, scales=()
+            )

@@ -1,0 +1,126 @@
+"""Training Loss Predictor: smoothing, selection, plausibility filter."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FitError
+from repro.core.predictor.curves import Exp3
+from repro.core.predictor.tlp import TrainingLossPredictor, smooth_losses
+from tests.conftest import exp3_curve
+
+
+class TestSmoothing:
+    def test_window_zero_is_identity(self):
+        y = np.array([3.0, 1.0, 2.0])
+        np.testing.assert_array_equal(smooth_losses(y, 0), y)
+
+    def test_constant_series_unchanged(self):
+        y = np.full(10, 2.5)
+        np.testing.assert_allclose(smooth_losses(y, 5), y)
+
+    def test_reduces_variance(self):
+        rng = np.random.default_rng(1)
+        y = rng.standard_normal(200)
+        assert smooth_losses(y, 21).std() < y.std() / 2
+
+    def test_preserves_length(self):
+        assert smooth_losses(np.arange(10.0), 4).shape == (10,)
+
+    def test_mean_approximately_preserved(self):
+        rng = np.random.default_rng(2)
+        y = rng.standard_normal(500) + 5.0
+        assert smooth_losses(y, 25).mean() == pytest.approx(y.mean(), rel=0.01)
+
+
+class TestFitting:
+    def test_recovers_clean_exp3(self):
+        losses = exp3_curve(400)
+        tlp = TrainingLossPredictor().fit(losses)
+        assert tlp.predict_scalar(1000) == pytest.approx(
+            2.0 * np.exp(-0.002 * 1000) + 0.3, abs=0.02
+        )
+
+    def test_insample_selection_by_mse(self):
+        losses = exp3_curve(400)
+        tlp = TrainingLossPredictor(selection="insample").fit(losses)
+        table = tlp.mse_table()
+        assert table[tlp.best_name] == min(table.values())
+
+    def test_holdout_selection_populates_holdout_mse(self):
+        losses = exp3_curve(400, noise=0.01)
+        tlp = TrainingLossPredictor(selection="holdout").fit(losses)
+        assert tlp.holdout_mse
+        assert tlp.best is not None
+
+    def test_noisy_fit_with_smoothing(self):
+        losses = exp3_curve(600, noise=0.1, seed=3)
+        tlp = TrainingLossPredictor(smoothing_window=25).fit(losses)
+        assert tlp.predict_scalar(600) == pytest.approx(
+            2.0 * np.exp(-0.002 * 600) + 0.3, abs=0.1
+        )
+
+    def test_predictions_clamped_at_zero(self):
+        # A steeply-decaying line extrapolates negative; TLP clamps.
+        losses = np.linspace(1.0, 0.1, 50)
+        tlp = TrainingLossPredictor(selection="insample").fit(losses)
+        assert tlp.predict_scalar(10_000) >= 0.0
+        assert np.all(tlp.predict([10_000, 20_000]) >= 0.0)
+
+    def test_custom_iterations_axis(self):
+        x = np.arange(100, 500, dtype=np.float64)
+        y = Exp3.func(x, 2.0, 0.005, 0.4)
+        tlp = TrainingLossPredictor().fit(y, iterations=x)
+        assert tlp.predict_scalar(450) == pytest.approx(
+            Exp3.func(np.array([450.0]), 2.0, 0.005, 0.4)[0], abs=0.02
+        )
+
+
+class TestPlausibilityFilter:
+    def test_collapsing_family_filtered(self):
+        # Data that lin2 fits perfectly in-window but extrapolates below
+        # zero; with a horizon, a decay-to-asymptote family must win.
+        x = np.arange(1, 301, dtype=np.float64)
+        y = Exp3.func(x, 2.0, 0.008, 0.5)
+        tlp = TrainingLossPredictor(selection="holdout").fit(y, horizon=5000)
+        pred_end = tlp.predict_scalar(5000)
+        assert pred_end > 0.05 * y[-1]
+
+    def test_no_horizon_no_filter(self):
+        losses = np.linspace(1.0, 0.5, 100)  # perfectly linear
+        tlp = TrainingLossPredictor(selection="insample").fit(losses)
+        assert tlp.best_name == "lin2"
+
+    def test_filter_falls_back_when_all_implausible(self):
+        # Steep linear decay: every family extrapolates collapse, but fit
+        # must still return a best model rather than raising.
+        losses = np.linspace(10.0, 1.0, 60)
+        tlp = TrainingLossPredictor().fit(losses, horizon=100_000)
+        assert tlp.best is not None
+
+
+class TestValidation:
+    def test_too_few_losses(self):
+        with pytest.raises(FitError):
+            TrainingLossPredictor().fit([1.0, 0.9])
+
+    def test_nan_losses_rejected(self):
+        with pytest.raises(FitError):
+            TrainingLossPredictor().fit([1.0, float("nan"), 0.8, 0.7])
+
+    def test_length_mismatch(self):
+        with pytest.raises(FitError):
+            TrainingLossPredictor().fit([1.0, 0.9, 0.8, 0.7], iterations=[1, 2])
+
+    def test_predict_before_fit(self):
+        with pytest.raises(FitError):
+            TrainingLossPredictor().predict_scalar(10)
+        with pytest.raises(FitError):
+            TrainingLossPredictor().best_name
+
+    def test_invalid_construction(self):
+        with pytest.raises(FitError):
+            TrainingLossPredictor(smoothing_window=-1)
+        with pytest.raises(FitError):
+            TrainingLossPredictor(selection="magic")
+        with pytest.raises(FitError):
+            TrainingLossPredictor(holdout_fraction=1.5)

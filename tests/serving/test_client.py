@@ -1,0 +1,81 @@
+"""Request-generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ServingError
+from repro.serving.client import RequestGenerator
+
+
+def make_gen(n=10, with_y=True, **kwargs):
+    x = np.arange(n * 2, dtype=np.float32).reshape(n, 2)
+    y = np.arange(n, dtype=np.float32).reshape(n, 1) if with_y else None
+    return RequestGenerator(x, y, **kwargs), x, y
+
+
+class TestStream:
+    def test_issue_times_fixed_rate(self):
+        gen, _x, _y = make_gen(rate_t_infer=0.01)
+        reqs = list(gen.stream(5))
+        times = [r.issue_time for r in reqs]
+        np.testing.assert_allclose(times, [0.0, 0.01, 0.02, 0.03, 0.04])
+
+    def test_single_sample_batches(self):
+        gen, _x, _y = make_gen()
+        req = next(iter(gen.stream(1)))
+        assert req.x.shape == (1, 2)
+        assert req.y.shape == (1, 1)
+
+    def test_cycles_through_test_set(self):
+        gen, x, _y = make_gen(n=3)
+        reqs = list(gen.stream(7))
+        # After 3 requests the order repeats.
+        np.testing.assert_array_equal(reqs[0].x, reqs[3].x)
+        np.testing.assert_array_equal(reqs[1].x, reqs[4].x)
+
+    def test_deterministic_given_seed(self):
+        gen1, _x, _y = make_gen(seed=5)
+        gen2, _x2, _y2 = make_gen(seed=5)
+        for a, b in zip(gen1.stream(5), gen2.stream(5)):
+            np.testing.assert_array_equal(a.x, b.x)
+
+    def test_different_seed_different_order(self):
+        gen1, _x, _y = make_gen(n=50, seed=1)
+        gen2, _x2, _y2 = make_gen(n=50, seed=2)
+        same = all(
+            np.array_equal(a.x, b.x)
+            for a, b in zip(gen1.stream(20), gen2.stream(20))
+        )
+        assert not same
+
+    def test_no_ground_truth(self):
+        gen, _x, _y = make_gen(with_y=False)
+        assert next(iter(gen.stream(1))).y is None
+
+    def test_batch_materializes(self):
+        gen, _x, _y = make_gen()
+        xs, ys = gen.batch(4)
+        assert len(xs) == 4 and len(ys) == 4
+
+    def test_zero_total(self):
+        gen, _x, _y = make_gen()
+        assert list(gen.stream(0)) == []
+
+
+class TestValidation:
+    def test_empty_test_set(self):
+        with pytest.raises(ServingError):
+            RequestGenerator(np.zeros((0, 2)))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ServingError):
+            RequestGenerator(np.zeros((3, 2)), np.zeros((2, 1)))
+
+    def test_bad_rate(self):
+        with pytest.raises(ServingError):
+            RequestGenerator(np.zeros((3, 2)), rate_t_infer=0.0)
+
+    def test_negative_total(self):
+        gen, _x, _y = make_gen()
+        with pytest.raises(ServingError):
+            list(gen.stream(-1))

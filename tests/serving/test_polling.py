@@ -1,0 +1,102 @@
+"""Polling-baseline tests: discovery delays vs push notifications."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import NotificationError
+from repro.core.metadata import MetadataStore, ModelRecord
+from repro.core.notification import PUSH_LATENCY
+from repro.serving.polling import (
+    RepositoryPoller,
+    discovery_delays,
+    expected_discovery_delay,
+)
+
+
+def rec(version):
+    return ModelRecord(
+        model_name="m", version=version, nbytes=10, location="gpu",
+        path=f"m/v{version}",
+    )
+
+
+class TestAnalyticModel:
+    def test_delay_is_time_to_next_tick(self):
+        delays = discovery_delays([0.25, 0.5, 0.9], poll_interval=0.5)
+        np.testing.assert_allclose(delays, [0.25, 0.0, 0.1])
+
+    def test_delays_bounded_by_interval(self):
+        rng = np.random.default_rng(0)
+        times = rng.uniform(0, 100, 500)
+        delays = discovery_delays(times, poll_interval=0.7)
+        assert np.all(delays >= 0) and np.all(delays <= 0.7 + 1e-9)
+
+    def test_mean_delay_near_half_interval(self):
+        rng = np.random.default_rng(1)
+        times = rng.uniform(0, 1000, 5000)
+        delays = discovery_delays(times, poll_interval=1.0)
+        assert delays.mean() == pytest.approx(0.5, abs=0.05)
+
+    def test_expected_delay(self):
+        assert expected_discovery_delay(0.001) == pytest.approx(0.0005)
+
+    def test_push_beats_triton_minimum_poll(self):
+        """The paper's headline: push < 1 ms < any polling baseline mean
+        at Triton's minimum interval is not guaranteed — but push beats
+        the *floor* of expected polling delay."""
+        assert PUSH_LATENCY <= expected_discovery_delay(0.001) + 1e-12
+
+    def test_invalid_interval(self):
+        with pytest.raises(NotificationError):
+            discovery_delays([1.0], 0.0)
+        with pytest.raises(NotificationError):
+            expected_discovery_delay(-1.0)
+
+
+class TestLivePoller:
+    def test_poll_once_discovers_new_version(self):
+        store = MetadataStore()
+        seen = []
+        poller = RepositoryPoller(store, "m", seen.append, interval=0.001)
+        assert poller.poll_once() is None
+        store.publish_version(rec(1))
+        assert poller.poll_once() == 1
+        assert seen == [1]
+        assert poller.poll_once() is None  # no re-discovery
+
+    def test_poller_skips_to_latest(self):
+        store = MetadataStore()
+        seen = []
+        poller = RepositoryPoller(store, "m", seen.append, interval=0.001)
+        store.publish_version(rec(1))
+        store.publish_version(rec(2))
+        poller.poll_once()
+        assert seen == [2]
+
+    def test_live_thread_discovers(self):
+        store = MetadataStore()
+        seen = []
+        poller = RepositoryPoller(store, "m", seen.append, interval=0.002).start()
+        try:
+            store.publish_version(rec(1))
+            deadline = time.monotonic() + 2.0
+            while not seen and time.monotonic() < deadline:
+                time.sleep(0.005)
+            assert seen == [1]
+            assert poller.polls >= 1
+        finally:
+            poller.stop()
+
+    def test_double_start_rejected(self):
+        poller = RepositoryPoller(MetadataStore(), "m", lambda v: None).start()
+        try:
+            with pytest.raises(NotificationError):
+                poller.start()
+        finally:
+            poller.stop()
+
+    def test_invalid_interval(self):
+        with pytest.raises(NotificationError):
+            RepositoryPoller(MetadataStore(), "m", lambda v: None, interval=0)

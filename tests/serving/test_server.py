@@ -1,0 +1,105 @@
+"""Live inference-server tests."""
+
+import numpy as np
+import pytest
+
+from repro import CaptureMode, Viper
+from repro.errors import ServingError
+from repro.dnn.layers import Dense
+from repro.dnn.losses import MSELoss
+from repro.dnn.models import Sequential
+from repro.dnn.optimizers import SGD
+from repro.serving.server import InferenceServer
+
+
+def builder():
+    model = Sequential([Dense(1, name="d")], input_shape=(2,), seed=3)
+    model.compile(SGD(0.01), MSELoss())
+    return model
+
+
+@pytest.fixture
+def setup():
+    viper = Viper()
+    consumer = viper.consumer(model_builder=builder)
+    consumer.subscribe()
+    server = InferenceServer(consumer, "m", loss_fn=MSELoss(), t_infer=0.01)
+    yield viper, consumer, server
+    viper.close()
+
+
+def publish_weights(viper, value):
+    state = builder().state_dict()
+    state["d/W"][...] = value
+    state["d/b"][...] = 0.0
+    viper.save_weights("m", state, mode=CaptureMode.SYNC)
+
+
+class TestServing:
+    def test_handle_returns_prediction_and_record(self, setup):
+        _viper, _consumer, server = setup
+        x = np.ones((1, 2), dtype=np.float32)
+        pred, req = server.handle(x, y_true=np.zeros((1, 1), dtype=np.float32))
+        assert pred.shape == (1, 1)
+        assert req.model_version == 0
+        assert np.isfinite(req.loss)
+
+    def test_loss_nan_without_ground_truth(self, setup):
+        _viper, _consumer, server = setup
+        _pred, req = server.handle(np.ones((1, 2), dtype=np.float32))
+        assert np.isnan(req.loss)
+
+    def test_sim_time_advances_per_request(self, setup):
+        _viper, _consumer, server = setup
+        x = np.ones((1, 2), dtype=np.float32)
+        _p, r1 = server.handle(x)
+        _p, r2 = server.handle(x)
+        assert r2.sim_time - r1.sim_time == pytest.approx(0.01)
+
+    def test_update_changes_serving_version(self, setup):
+        viper, _consumer, server = setup
+        x = np.ones((1, 2), dtype=np.float32)
+        _p, before = server.handle(x)
+        publish_weights(viper, 5.0)
+        assert server.poll_updates()
+        _p, after = server.handle(x)
+        assert before.model_version == 0 and after.model_version == 1
+
+    def test_poll_without_updates_false(self, setup):
+        _viper, _consumer, server = setup
+        assert not server.poll_updates()
+
+    def test_updated_weights_change_predictions(self, setup):
+        viper, _consumer, server = setup
+        x = np.ones((1, 2), dtype=np.float32)
+        pred_before, _ = server.handle(x)
+        publish_weights(viper, 3.0)
+        server.poll_updates()
+        pred_after, _ = server.handle(x)
+        np.testing.assert_allclose(pred_after, [[6.0]], atol=1e-5)
+        assert not np.allclose(pred_before, pred_after)
+
+    def test_serve_batch_accounting(self, setup):
+        viper, _consumer, server = setup
+        xs = [np.ones((1, 2), dtype=np.float32)] * 5
+        ys = [np.zeros((1, 1), dtype=np.float32)] * 5
+        served = server.serve_batch(xs, ys)
+        assert len(served) == 5
+        assert server.cumulative_loss == pytest.approx(
+            sum(r.loss for r in served)
+        )
+
+    def test_requests_per_version(self, setup):
+        viper, _consumer, server = setup
+        x = np.ones((1, 2), dtype=np.float32)
+        server.handle(x)
+        publish_weights(viper, 1.0)
+        server.poll_updates()
+        server.handle(x)
+        server.handle(x)
+        assert server.requests_per_version() == {0: 1, 1: 2}
+
+    def test_invalid_t_infer(self, setup):
+        viper, consumer, _server = setup
+        with pytest.raises(ServingError):
+            InferenceServer(consumer, "m", t_infer=0.0)

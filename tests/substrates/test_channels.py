@@ -1,0 +1,173 @@
+"""Tests for the mpi4py-style message fabric."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ChannelClosedError, TransferError
+from repro.substrates.network.channels import ANY_SOURCE, ANY_TAG, Fabric
+from repro.substrates.network.links import LinkKind, LinkSpec
+
+
+def make_fabric():
+    link = LinkSpec("l", LinkKind.LOOPBACK, bandwidth=1000.0, latency=0.001)
+    fabric = Fabric(default_link=link)
+    a = fabric.endpoint("a")
+    b = fabric.endpoint("b")
+    return fabric, a, b
+
+
+class TestSendRecv:
+    def test_roundtrip(self):
+        _f, a, b = make_fabric()
+        a.send("b", b"payload", tag=7)
+        msg = b.recv()
+        assert msg.payload == b"payload"
+        assert msg.source == "a" and msg.dest == "b" and msg.tag == 7
+
+    def test_send_returns_link_cost(self):
+        _f, a, b = make_fabric()
+        cost = a.send("b", b"x" * 100)
+        assert cost.total == pytest.approx(0.001 + 0.1)
+
+    def test_virtual_bytes_drive_cost(self):
+        _f, a, b = make_fabric()
+        cost = a.send("b", b"xy", virtual_bytes=1000)
+        assert cost.total == pytest.approx(0.001 + 1.0)
+        assert b.recv().virtual_bytes == 1000
+
+    def test_recv_matches_tag(self):
+        _f, a, b = make_fabric()
+        a.send("b", b"one", tag=1)
+        a.send("b", b"two", tag=2)
+        assert b.recv(tag=2).payload == b"two"
+        assert b.recv(tag=1).payload == b"one"
+
+    def test_recv_matches_source(self):
+        fabric, a, b = make_fabric()
+        c = fabric.endpoint("c")
+        a.send("b", b"from-a")
+        c.send("b", b"from-c")
+        assert b.recv(source="c").payload == b"from-c"
+        assert b.recv(source="a").payload == b"from-a"
+
+    def test_recv_any(self):
+        _f, a, b = make_fabric()
+        a.send("b", b"x", tag=42)
+        msg = b.recv(source=ANY_SOURCE, tag=ANY_TAG)
+        assert msg.tag == 42
+
+    def test_recv_timeout(self):
+        _f, _a, b = make_fabric()
+        with pytest.raises(TransferError):
+            b.recv(timeout=0.05)
+
+    def test_fifo_order_per_tag(self):
+        _f, a, b = make_fabric()
+        for i in range(5):
+            a.send("b", bytes([i]), tag=0)
+        got = [b.recv(tag=0).payload[0] for _ in range(5)]
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_payload_is_copied(self):
+        _f, a, b = make_fabric()
+        buf = bytearray(b"abc")
+        a.send("b", buf)
+        buf[0] = ord("z")
+        assert b.recv().payload == b"abc"
+
+    def test_non_bytes_rejected(self):
+        _f, a, _b = make_fabric()
+        with pytest.raises(TransferError):
+            a.send("b", [1, 2, 3])
+
+    def test_unknown_destination_rejected(self):
+        _f, a, _b = make_fabric()
+        with pytest.raises(TransferError):
+            a.send("ghost", b"x")
+
+    def test_meta_travels(self):
+        _f, a, b = make_fabric()
+        a.send("b", b"x", meta={"version": 3})
+        assert b.recv().meta["version"] == 3
+
+    def test_sequence_numbers_increase(self):
+        _f, a, b = make_fabric()
+        a.send("b", b"1")
+        a.send("b", b"2")
+        assert b.recv().seq < b.recv().seq
+
+
+class TestNonBlocking:
+    def test_isend_completes(self):
+        _f, a, b = make_fabric()
+        req, cost = a.isend("b", b"x")
+        assert req.test()
+        assert cost.total > 0
+        assert b.recv().payload == b"x"
+
+    def test_irecv_waits_for_message(self):
+        _f, a, b = make_fabric()
+        req = b.irecv(tag=5)
+        assert not req.test()
+        a.send("b", b"late", tag=5)
+        msg = req.wait(timeout=2.0)
+        assert msg.payload == b"late"
+
+    def test_probe(self):
+        _f, a, b = make_fabric()
+        assert not b.probe()
+        a.send("b", b"x", tag=9)
+        assert b.probe(tag=9)
+        # probing does not consume
+        assert b.recv(tag=9).payload == b"x"
+
+
+class TestLifecycle:
+    def test_closed_endpoint_raises_on_recv(self):
+        _f, _a, b = make_fabric()
+        b.close()
+        with pytest.raises(ChannelClosedError):
+            b.recv(timeout=0.5)
+
+    def test_fabric_close_closes_all(self):
+        fabric, _a, b = make_fabric()
+        fabric.close()
+        with pytest.raises(ChannelClosedError):
+            b.recv(timeout=0.5)
+
+    def test_fabric_counters(self):
+        fabric, a, b = make_fabric()
+        a.send("b", b"x" * 10)
+        a.send("b", b"y" * 20)
+        assert fabric.delivered == 2
+        assert fabric.bytes_moved == 30
+
+    def test_route_specific_link(self):
+        fabric, a, b = make_fabric()
+        fast = LinkSpec("fast", LinkKind.NVLINK, bandwidth=1e6)
+        fabric.connect("a", "b", fast)
+        cost = a.send("b", b"x" * 1000)
+        assert cost.total == pytest.approx(0.001)  # 1000/1e6 ~ 0.001
+
+    def test_no_link_no_default(self):
+        fabric = Fabric()
+        fabric.endpoint("x")
+        fabric.endpoint("y")
+        with pytest.raises(TransferError):
+            fabric.endpoint("x").send("y", b"data")
+
+    def test_cross_thread_delivery(self):
+        _f, a, b = make_fabric()
+        received = []
+
+        def consumer():
+            received.append(b.recv(timeout=2.0).payload)
+
+        t = threading.Thread(target=consumer)
+        t.start()
+        time.sleep(0.02)
+        a.send("b", b"threaded")
+        t.join(2.0)
+        assert received == [b"threaded"]

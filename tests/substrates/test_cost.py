@@ -1,0 +1,70 @@
+"""Tests for simulated-time cost accounting."""
+
+import pytest
+
+from repro.substrates.cost import GB, KB, MB, Cost
+
+
+class TestCost:
+    def test_zero_total(self):
+        assert Cost.zero().total == 0.0
+
+    def test_of_single_component(self):
+        cost = Cost.of("pfs.write", 1.5)
+        assert cost.total == pytest.approx(1.5)
+        assert cost.breakdown() == {"pfs.write": 1.5}
+
+    def test_negative_component_rejected(self):
+        with pytest.raises(ValueError):
+            Cost.of("x", -1.0)
+
+    def test_addition_concatenates(self):
+        total = Cost.of("a", 1.0) + Cost.of("b", 2.0)
+        assert total.total == pytest.approx(3.0)
+        assert total.breakdown() == {"a": 1.0, "b": 2.0}
+
+    def test_addition_merges_duplicate_labels(self):
+        total = Cost.of("a", 1.0) + Cost.of("a", 2.0)
+        assert total.breakdown() == {"a": 3.0}
+
+    def test_sum_builtin(self):
+        costs = [Cost.of("a", 1.0), Cost.of("b", 2.0), Cost.of("c", 3.0)]
+        assert sum(costs).total == pytest.approx(6.0)
+
+    def test_sum_starts_with_zero_int(self):
+        assert sum([Cost.of("a", 1.0)], Cost.zero()).total == 1.0
+
+    def test_zero_is_identity(self):
+        cost = Cost.of("a", 2.0)
+        assert (cost + Cost.zero()).total == cost.total
+
+    def test_scaled(self):
+        cost = Cost.of("a", 2.0).scaled(2.5)
+        assert cost.total == pytest.approx(5.0)
+
+    def test_scaled_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Cost.of("a", 1.0).scaled(-1.0)
+
+    def test_only_filters_by_prefix(self):
+        cost = Cost.of("pfs.write", 1.0) + Cost.of("link.ib", 2.0)
+        assert cost.only(["pfs"]).total == pytest.approx(1.0)
+        assert cost.only(["link"]).breakdown() == {"link.ib": 2.0}
+        assert cost.only(["nope"]).total == 0.0
+
+    def test_from_mapping(self):
+        cost = Cost.from_mapping({"a": 1.0, "b": 2.0})
+        assert cost.total == pytest.approx(3.0)
+
+    def test_immutable(self):
+        cost = Cost.of("a", 1.0)
+        with pytest.raises(AttributeError):
+            cost.components = ()
+
+    def test_size_constants(self):
+        assert KB == 1_000
+        assert MB == 1_000_000
+        assert GB == 1_000_000_000
+
+    def test_repr_contains_total(self):
+        assert "total=3.0000s" in repr(Cost.of("a", 3.0))

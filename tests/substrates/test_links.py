@@ -1,0 +1,65 @@
+"""Tests for interconnect link models."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.substrates.network.links import LinkKind, LinkSpec
+
+
+def make_link(**overrides):
+    base = dict(
+        name="l",
+        kind=LinkKind.INFINIBAND,
+        bandwidth=100.0,
+        latency=0.001,
+        per_message_overhead=0.002,
+    )
+    base.update(overrides)
+    return LinkSpec(**base)
+
+
+class TestLinkSpec:
+    def test_transfer_time_law(self):
+        link = make_link()
+        assert link.transfer_time(100) == pytest.approx(0.001 + 1.0 + 0.002)
+
+    def test_multiple_messages(self):
+        link = make_link()
+        one = link.transfer_time(100, nmessages=1)
+        five = link.transfer_time(100, nmessages=5)
+        assert five - one == pytest.approx(0.002 * 4)
+
+    def test_zero_bytes_pays_latency_only(self):
+        assert make_link().transfer_time(0) == pytest.approx(0.003)
+
+    def test_transfer_cost_label(self):
+        cost = make_link().transfer_cost(100)
+        assert cost.breakdown() == {"link.infiniband": pytest.approx(1.003)}
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_link(bandwidth=0.0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_link(latency=-0.1)
+
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_link(per_message_overhead=-0.1)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_link().transfer_time(-1)
+
+    def test_zero_messages_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_link().transfer_time(10, nmessages=0)
+
+    def test_describe(self):
+        text = make_link().describe()
+        assert "l" in text and "infiniband" in text
+
+    def test_all_kinds_constructible(self):
+        for kind in LinkKind:
+            assert make_link(kind=kind).kind is kind

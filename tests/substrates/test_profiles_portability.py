@@ -1,0 +1,97 @@
+"""Vendor portability: Viper's orderings hold on every hardware profile.
+
+Paper §4.4: "Viper is designed to be generic, ensuring compatibility
+across various GPU vendors" — NVIDIA GPUDirect on the Polaris-class
+profile, AMD ROCm RDMA on the Frontier-class one.  The qualitative
+results (Fig. 8 orderings, Fig. 9 stall hierarchy) must be profile-
+independent.
+"""
+
+import pytest
+
+from repro.substrates.cost import GB
+from repro.substrates.profiles import FRONTIER, LAPTOP, POLARIS
+from repro.dnn.serialization import H5LikeSerializer, ViperSerializer
+from repro.core.transfer.strategies import (
+    CaptureMode,
+    TransferStrategy,
+    compute_timings,
+)
+
+PROFILES = {"polaris": POLARIS, "frontier": FRONTIER, "laptop": LAPTOP}
+TC1 = int(4.7 * GB)
+
+
+@pytest.mark.parametrize("profile_name", list(PROFILES))
+class TestOrderingsPortable:
+    def test_fig8_strategy_ordering(self, profile_name):
+        profile = PROFILES[profile_name]
+        ser = ViperSerializer()
+        latencies = {
+            strategy: compute_timings(
+                profile, ser, strategy, CaptureMode.SYNC, TC1, 30
+            ).update_latency
+            for strategy in TransferStrategy
+        }
+        assert (
+            latencies[TransferStrategy.GPU_TO_GPU]
+            < latencies[TransferStrategy.HOST_TO_HOST]
+            < latencies[TransferStrategy.PFS]
+        )
+
+    def test_h5py_baseline_slowest(self, profile_name):
+        profile = PROFILES[profile_name]
+        viper = compute_timings(
+            profile, ViperSerializer(), TransferStrategy.PFS,
+            CaptureMode.SYNC, TC1, 30,
+        ).update_latency
+        h5 = compute_timings(
+            profile, H5LikeSerializer(), TransferStrategy.PFS,
+            CaptureMode.SYNC, TC1, 30,
+        ).update_latency
+        assert h5 > viper
+
+    def test_async_stall_reduction(self, profile_name):
+        profile = PROFILES[profile_name]
+        ser = ViperSerializer()
+        for strategy in TransferStrategy:
+            sync = compute_timings(
+                profile, ser, strategy, CaptureMode.SYNC, TC1, 30
+            )
+            asyn = compute_timings(
+                profile, ser, strategy, CaptureMode.ASYNC, TC1, 30
+            )
+            assert asyn.stall.total < sync.stall.total
+
+    def test_fig9_stall_hierarchy(self, profile_name):
+        profile = PROFILES[profile_name]
+        ser = ViperSerializer()
+        gpu = compute_timings(
+            profile, ser, TransferStrategy.GPU_TO_GPU, CaptureMode.ASYNC, TC1, 30
+        ).stall.total
+        host = compute_timings(
+            profile, ser, TransferStrategy.HOST_TO_HOST, CaptureMode.ASYNC, TC1, 30
+        ).stall.total
+        pfs = compute_timings(
+            profile, ser, TransferStrategy.PFS, CaptureMode.SYNC, TC1, 30
+        ).stall.total
+        assert gpu < host < pfs
+
+
+class TestFrontierSpecifics:
+    def test_gpu_speedup_band_on_frontier(self):
+        baseline = compute_timings(
+            FRONTIER, H5LikeSerializer(), TransferStrategy.PFS,
+            CaptureMode.SYNC, TC1, 30,
+        ).update_latency
+        gpu = compute_timings(
+            FRONTIER, ViperSerializer(), TransferStrategy.GPU_TO_GPU,
+            CaptureMode.SYNC, TC1, 30,
+        ).update_latency
+        # Faster PFS + faster GPU path: still a large direct-channel win.
+        assert baseline / gpu > 4.0
+
+    def test_frontier_profile_sane(self):
+        assert FRONTIER.gpu_hbm.capacity_bytes == 64 * GB
+        assert FRONTIER.nvlink.bandwidth > FRONTIER.infiniband.bandwidth
+        assert FRONTIER.pfs.read_bw < FRONTIER.host_dram.read_bw

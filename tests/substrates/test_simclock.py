@@ -1,0 +1,186 @@
+"""Tests for the simulated clock and discrete-event loop."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.substrates.simclock import EventLoop, SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now() == 0.0
+
+    def test_starts_at_given_time(self):
+        assert SimClock(5.0).now() == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(SimulationError):
+            SimClock(-1.0)
+
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(1.5)
+        clock.advance(2.5)
+        assert clock.now() == pytest.approx(4.0)
+
+    def test_advance_returns_new_time(self):
+        assert SimClock().advance(3.0) == pytest.approx(3.0)
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(SimulationError):
+            SimClock().advance(-0.1)
+
+    def test_advance_to_moves_forward(self):
+        clock = SimClock()
+        clock.advance_to(10.0)
+        assert clock.now() == 10.0
+
+    def test_advance_to_past_is_noop(self):
+        clock = SimClock(10.0)
+        clock.advance_to(5.0)
+        assert clock.now() == 10.0
+
+    def test_reset(self):
+        clock = SimClock(7.0)
+        clock.reset()
+        assert clock.now() == 0.0
+
+    def test_reset_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            SimClock().reset(-2.0)
+
+
+class TestEventLoop:
+    def test_events_run_in_time_order(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule_at(2.0, lambda: order.append("b"))
+        loop.schedule_at(1.0, lambda: order.append("a"))
+        loop.schedule_at(3.0, lambda: order.append("c"))
+        loop.run()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_among_equal_timestamps(self):
+        loop = EventLoop()
+        order = []
+        for tag in "abc":
+            loop.schedule_at(1.0, lambda t=tag: order.append(t))
+        loop.run()
+        assert order == ["a", "b", "c"]
+
+    def test_clock_follows_events(self):
+        loop = EventLoop()
+        times = []
+        loop.schedule_at(1.5, lambda: times.append(loop.clock.now()))
+        loop.schedule_at(4.0, lambda: times.append(loop.clock.now()))
+        loop.run()
+        assert times == [1.5, 4.0]
+
+    def test_schedule_after_is_relative(self):
+        loop = EventLoop()
+        seen = []
+        loop.clock.advance(10.0)
+        loop.schedule_after(2.0, lambda: seen.append(loop.clock.now()))
+        loop.run()
+        assert seen == [12.0]
+
+    def test_negative_delay_rejected(self):
+        loop = EventLoop()
+        with pytest.raises(SimulationError):
+            loop.schedule_after(-1.0, lambda: None)
+
+    def test_scheduling_in_past_rejected(self):
+        loop = EventLoop()
+        loop.clock.advance(5.0)
+        with pytest.raises(SimulationError):
+            loop.schedule_at(1.0, lambda: None)
+
+    def test_events_can_schedule_events(self):
+        loop = EventLoop()
+        seen = []
+
+        def first():
+            seen.append("first")
+            loop.schedule_after(1.0, lambda: seen.append("second"))
+
+        loop.schedule_at(1.0, first)
+        loop.run()
+        assert seen == ["first", "second"]
+        assert loop.clock.now() == pytest.approx(2.0)
+
+    def test_cancelled_events_skipped(self):
+        loop = EventLoop()
+        seen = []
+        ev = loop.schedule_at(1.0, lambda: seen.append("x"))
+        ev.cancel()
+        loop.schedule_at(2.0, lambda: seen.append("y"))
+        loop.run()
+        assert seen == ["y"]
+
+    def test_run_until_stops_and_advances_clock(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule_at(1.0, lambda: seen.append(1))
+        loop.schedule_at(5.0, lambda: seen.append(5))
+        executed = loop.run(until=3.0)
+        assert executed == 1
+        assert seen == [1]
+        assert loop.clock.now() == pytest.approx(3.0)
+        loop.run()
+        assert seen == [1, 5]
+
+    def test_step_returns_event_then_none(self):
+        loop = EventLoop()
+        loop.schedule_at(1.0, lambda: None, name="only")
+        ev = loop.step()
+        assert ev is not None and ev.name == "only"
+        assert loop.step() is None
+
+    def test_peek_time(self):
+        loop = EventLoop()
+        assert loop.peek_time() is None
+        loop.schedule_at(3.0, lambda: None)
+        assert loop.peek_time() == 3.0
+
+    def test_peek_skips_cancelled(self):
+        loop = EventLoop()
+        ev = loop.schedule_at(1.0, lambda: None)
+        loop.schedule_at(2.0, lambda: None)
+        ev.cancel()
+        assert loop.peek_time() == 2.0
+
+    def test_max_events_guard(self):
+        loop = EventLoop()
+
+        def respawn():
+            loop.schedule_after(0.0, respawn)
+
+        loop.schedule_at(0.0, respawn)
+        with pytest.raises(SimulationError):
+            loop.run(max_events=100)
+
+    def test_not_reentrant(self):
+        loop = EventLoop()
+
+        def inner():
+            loop.run()
+
+        loop.schedule_at(1.0, inner)
+        with pytest.raises(SimulationError):
+            loop.run()
+
+    def test_drain_reports_dropped(self):
+        loop = EventLoop()
+        loop.schedule_at(1.0, lambda: None, name="a")
+        loop.schedule_at(2.0, lambda: None, name="a")
+        loop.schedule_at(3.0, lambda: None, name="b")
+        dropped = loop.drain()
+        assert dropped == {"a": 2, "b": 1}
+        assert loop.pending == 0
+
+    def test_executed_counter(self):
+        loop = EventLoop()
+        for t in (1.0, 2.0):
+            loop.schedule_at(t, lambda: None)
+        loop.run()
+        assert loop.executed == 2

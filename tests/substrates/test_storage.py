@@ -1,0 +1,196 @@
+"""Tests for the per-tier byte store."""
+
+import threading
+
+import pytest
+
+from repro.errors import CapacityError, ObjectNotFoundError, StorageError
+from repro.substrates.memory.storage import EvictionPolicy, TierStore
+from repro.substrates.memory.tiers import TierKind, TierSpec
+
+
+def make_store(capacity=1000, eviction=EvictionPolicy.NONE):
+    spec = TierSpec(
+        name="t",
+        kind=TierKind.HOST_DRAM,
+        capacity_bytes=capacity,
+        read_bw=100.0,
+        write_bw=50.0,
+    )
+    return TierStore(spec, eviction=eviction)
+
+
+class TestPutGet:
+    def test_roundtrip(self):
+        store = make_store()
+        store.put("k", b"hello")
+        data, _cost = store.get("k")
+        assert data == b"hello"
+
+    def test_get_missing_raises(self):
+        with pytest.raises(ObjectNotFoundError):
+            make_store().get("nope")
+
+    def test_put_returns_write_cost(self):
+        store = make_store()
+        cost = store.put("k", b"x" * 100)
+        assert cost.total == pytest.approx(100 / 50.0)
+
+    def test_get_returns_read_cost(self):
+        store = make_store()
+        store.put("k", b"x" * 100)
+        _data, cost = store.get("k")
+        assert cost.total == pytest.approx(100 / 100.0)
+
+    def test_virtual_bytes_drive_cost_and_capacity(self):
+        store = make_store(capacity=1000)
+        cost = store.put("k", b"xy", virtual_bytes=500)
+        assert cost.total == pytest.approx(500 / 50.0)
+        assert store.used_bytes == 500
+        assert store.free_bytes == 500
+
+    def test_overwrite_releases_old_allocation(self):
+        store = make_store(capacity=100)
+        store.put("k", b"x", virtual_bytes=80)
+        store.put("k", b"y", virtual_bytes=90)  # would not fit alongside
+        assert store.used_bytes == 90
+        assert store.get("k")[0] == b"y"
+
+    def test_failed_overwrite_restores_old_object(self):
+        store = make_store(capacity=100)
+        store.put("k", b"old", virtual_bytes=80)
+        with pytest.raises(CapacityError):
+            store.put("k", b"new", virtual_bytes=200)
+        assert store.get("k")[0] == b"old"
+        assert store.used_bytes == 80
+
+    def test_non_bytes_payload_rejected(self):
+        with pytest.raises(StorageError):
+            make_store().put("k", {"not": "bytes"})
+
+    def test_negative_virtual_bytes_rejected(self):
+        with pytest.raises(StorageError):
+            make_store().put("k", b"x", virtual_bytes=-1)
+
+    def test_memoryview_accepted(self):
+        store = make_store()
+        store.put("k", memoryview(b"abc"))
+        assert store.get("k")[0] == b"abc"
+
+    def test_stat_returns_descriptor_without_touching_lru(self):
+        store = make_store()
+        store.put("k", b"x", version=3, meta={"loss": 0.5})
+        obj = store.stat("k")
+        assert obj.version == 3
+        assert obj.meta["loss"] == 0.5
+        assert obj.real_bytes == 1
+
+    def test_contains_len_keys(self):
+        store = make_store()
+        store.put("a", b"1")
+        store.put("b", b"2")
+        assert "a" in store and "c" not in store
+        assert len(store) == 2
+        assert set(store.keys()) == {"a", "b"}
+
+    def test_delete(self):
+        store = make_store()
+        store.put("k", b"x", virtual_bytes=10)
+        store.delete("k")
+        assert "k" not in store
+        assert store.used_bytes == 0
+        with pytest.raises(ObjectNotFoundError):
+            store.delete("k")
+
+    def test_clear(self):
+        store = make_store()
+        store.put("a", b"1")
+        store.clear()
+        assert len(store) == 0 and store.used_bytes == 0
+
+
+class TestEviction:
+    def test_none_policy_raises_when_full(self):
+        store = make_store(capacity=100)
+        store.put("a", b"x", virtual_bytes=60)
+        with pytest.raises(CapacityError) as exc:
+            store.put("b", b"y", virtual_bytes=60)
+        assert exc.value.requested == 60
+
+    def test_object_larger_than_tier_always_rejected(self):
+        store = make_store(capacity=100, eviction=EvictionPolicy.LRU)
+        with pytest.raises(CapacityError):
+            store.put("k", b"x", virtual_bytes=101)
+
+    def test_lru_evicts_least_recently_used(self):
+        store = make_store(capacity=100, eviction=EvictionPolicy.LRU)
+        store.put("a", b"1", virtual_bytes=40)
+        store.put("b", b"2", virtual_bytes=40)
+        store.get("a")  # touch a; b is now LRU
+        store.put("c", b"3", virtual_bytes=40)
+        assert "b" not in store
+        assert "a" in store and "c" in store
+        assert store.eviction_log == ("b",)
+
+    def test_oldest_version_evicts_lowest_version(self):
+        store = make_store(capacity=100, eviction=EvictionPolicy.OLDEST_VERSION)
+        store.put("v2", b"2", virtual_bytes=40, version=2)
+        store.put("v1", b"1", virtual_bytes=40, version=1)
+        store.put("v3", b"3", virtual_bytes=40, version=3)
+        assert "v1" not in store
+        assert "v2" in store and "v3" in store
+
+    def test_pinned_objects_survive(self):
+        store = make_store(capacity=100, eviction=EvictionPolicy.LRU)
+        store.put("keep", b"x", virtual_bytes=60, pinned=True)
+        with pytest.raises(CapacityError):
+            store.put("new", b"y", virtual_bytes=60)
+        assert "keep" in store
+
+    def test_pin_unpin(self):
+        store = make_store(capacity=100, eviction=EvictionPolicy.LRU)
+        store.put("a", b"x", virtual_bytes=60, pinned=True)
+        store.pin("a", False)
+        store.put("b", b"y", virtual_bytes=60)
+        assert "a" not in store
+
+    def test_multiple_evictions_to_fit(self):
+        store = make_store(capacity=100, eviction=EvictionPolicy.LRU)
+        for key in "abc":
+            store.put(key, b"x", virtual_bytes=30)
+        store.put("big", b"y", virtual_bytes=90)
+        assert set(store.keys()) == {"big"}
+        assert store.eviction_log == ("a", "b", "c")
+
+
+class TestThreadSafety:
+    def test_concurrent_puts_and_gets(self):
+        store = make_store(capacity=10_000_000)
+        errors = []
+
+        def writer(tid):
+            try:
+                for i in range(50):
+                    store.put(f"{tid}/{i}", bytes([tid]) * 10)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def reader(tid):
+            try:
+                for i in range(50):
+                    try:
+                        data, _ = store.get(f"{tid}/{i}")
+                        assert data == bytes([tid]) * 10
+                    except ObjectNotFoundError:
+                        pass
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(t,)) for t in range(4)]
+        threads += [threading.Thread(target=reader, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(store) == 200

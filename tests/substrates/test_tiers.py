@@ -1,0 +1,94 @@
+"""Tests for storage-tier performance models."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.substrates.memory.tiers import TierKind, TierSpec
+
+
+def make_spec(**overrides):
+    base = dict(
+        name="t",
+        kind=TierKind.HOST_DRAM,
+        capacity_bytes=1000,
+        read_bw=100.0,
+        write_bw=50.0,
+        read_latency=0.01,
+        write_latency=0.02,
+        per_object_overhead=0.005,
+    )
+    base.update(overrides)
+    return TierSpec(**base)
+
+
+class TestTierKind:
+    def test_memory_tiers(self):
+        assert TierKind.GPU_HBM.is_memory
+        assert TierKind.HOST_DRAM.is_memory
+        assert not TierKind.LOCAL_SSD.is_memory
+        assert not TierKind.PFS.is_memory
+
+    def test_shared_tier(self):
+        assert TierKind.PFS.is_shared
+        assert not TierKind.GPU_HBM.is_shared
+
+
+class TestTierSpec:
+    def test_write_time_law(self):
+        spec = make_spec()
+        # latency + bytes/bw + per-object
+        assert spec.write_time(100) == pytest.approx(0.02 + 2.0 + 0.005)
+
+    def test_read_time_law(self):
+        spec = make_spec()
+        assert spec.read_time(100) == pytest.approx(0.01 + 1.0 + 0.005)
+
+    def test_multiple_objects_charge_per_object(self):
+        spec = make_spec()
+        single = spec.write_time(100, nobjects=1)
+        many = spec.write_time(100, nobjects=10)
+        assert many - single == pytest.approx(0.005 * 9)
+
+    def test_zero_bytes_still_pays_latency(self):
+        spec = make_spec()
+        assert spec.write_time(0) == pytest.approx(0.02 + 0.005)
+
+    def test_write_cost_label(self):
+        assert make_spec().write_cost(100).breakdown() == {
+            "host_dram.write": pytest.approx(2.025)
+        }
+
+    def test_read_cost_label(self):
+        assert "host_dram.read" in make_spec().read_cost(100).breakdown()
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("capacity_bytes", 0),
+            ("capacity_bytes", -5),
+            ("read_bw", 0.0),
+            ("write_bw", -1.0),
+            ("read_latency", -0.1),
+            ("write_latency", -0.1),
+            ("per_object_overhead", -0.1),
+        ],
+    )
+    def test_invalid_spec_rejected(self, field, value):
+        with pytest.raises(ConfigurationError):
+            make_spec(**{field: value})
+
+    def test_negative_bytes_rejected(self):
+        spec = make_spec()
+        with pytest.raises(ConfigurationError):
+            spec.write_time(-1)
+        with pytest.raises(ConfigurationError):
+            spec.read_time(-1)
+
+    def test_zero_objects_rejected(self):
+        spec = make_spec()
+        with pytest.raises(ConfigurationError):
+            spec.write_time(10, nobjects=0)
+
+    def test_describe_mentions_name_and_kind(self):
+        text = make_spec().describe()
+        assert "t" in text and "host_dram" in text

@@ -1,0 +1,76 @@
+"""CLI and timeline-rendering tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.errors import WorkflowError
+from repro.analysis.timeline import render_timeline, summarize_trace
+from repro.workflow.trace import Trace
+
+
+class TestParser:
+    def test_apps_command(self, capsys):
+        assert main(["apps"]) == 0
+        out = capsys.readouterr().out
+        assert "tc1" in out and "ptychonn" in out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nope"])
+
+    def test_fig10_args(self):
+        args = build_parser().parse_args(
+            ["fig10", "--app", "tc1", "--scale", "0.1", "--seed", "7"]
+        )
+        assert args.app == "tc1" and args.scale == 0.1 and args.seed == 7
+
+    def test_timeline_defaults(self):
+        args = build_parser().parse_args(["timeline"])
+        assert args.strategy == "gpu" and args.width == 100
+
+
+class TestTimelineRendering:
+    def make_trace(self):
+        trace = Trace()
+        trace.add(0.0, "ckpt_begin", "producer", version=1)
+        trace.add(0.5, "ckpt_stall_end", "producer", version=1)
+        trace.add(2.0, "delivered", "engine", version=1)
+        trace.add(2.0, "notified", "producer", version=1)
+        trace.add(2.1, "load_begin", "consumer", version=1)
+        trace.add(2.5, "load_done", "consumer", version=1)
+        trace.add(2.5, "swap", "consumer", version=1)
+        trace.add(10.0, "train_end", "producer")
+        return trace
+
+    def test_render_has_lanes_and_glyphs(self):
+        text = render_timeline(self.make_trace(), width=50)
+        assert "producer" in text and "consumer" in text and "engine" in text
+        assert "C" in text and "S" in text and "E" in text
+
+    def test_iteration_events_omitted(self):
+        trace = self.make_trace()
+        for i in range(100):
+            trace.add(float(i) / 10, "iteration", "producer", iteration=i)
+        text = render_timeline(trace, width=50)
+        assert "iteration" not in text
+
+    def test_empty_trace(self):
+        assert render_timeline(Trace()) == "(empty trace)"
+
+    def test_window_restriction(self):
+        text = render_timeline(self.make_trace(), width=50, t_start=5.0, t_end=11.0)
+        lanes = "\n".join(line for line in text.splitlines() if "|" in line)
+        assert "E" in lanes and "C" not in lanes
+
+    def test_width_validation(self):
+        with pytest.raises(WorkflowError):
+            render_timeline(self.make_trace(), width=5)
+
+    def test_summarize(self):
+        summary = summarize_trace(self.make_trace())
+        assert "ckpt_begin=1" in summary and "swap=1" in summary
+
+    def test_summary_counts(self):
+        trace = self.make_trace()
+        trace.add(3.0, "swap", "consumer", version=2)
+        assert "swap=2" in summarize_trace(trace)

@@ -1,0 +1,58 @@
+"""Declarative configuration tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.config import ViperConfig
+from repro.core.transfer.strategies import CaptureMode, TransferStrategy
+from repro.dnn.serialization import H5LikeSerializer, ViperSerializer
+from repro.substrates.profiles import LAPTOP, POLARIS
+
+
+class TestViperConfig:
+    def test_defaults(self):
+        cfg = ViperConfig()
+        assert cfg.hardware() is POLARIS
+        assert isinstance(cfg.make_serializer(), ViperSerializer)
+        assert cfg.capture_mode() is CaptureMode.ASYNC
+        assert cfg.transfer_strategy() is None
+
+    def test_laptop_profile(self):
+        assert ViperConfig(profile="laptop").hardware() is LAPTOP
+
+    def test_h5_serializer(self):
+        assert isinstance(
+            ViperConfig(serializer="h5py").make_serializer(), H5LikeSerializer
+        )
+
+    def test_sync_mode(self):
+        assert ViperConfig(mode="sync").capture_mode() is CaptureMode.SYNC
+
+    def test_strategy_resolution(self):
+        assert (
+            ViperConfig(strategy="gpu").transfer_strategy()
+            is TransferStrategy.GPU_TO_GPU
+        )
+
+    def test_roundtrip_via_dict(self):
+        cfg = ViperConfig(profile="laptop", strategy="pfs", mode="sync")
+        again = ViperConfig.from_dict(cfg.to_dict())
+        assert again == cfg
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"profile": "summit"},
+            {"serializer": "pickle"},
+            {"mode": "turbo"},
+            {"strategy": "carrier-pigeon"},
+            {"poll_interval": -1.0},
+        ],
+    )
+    def test_invalid_values(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ViperConfig(**kwargs)
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ViperConfig.from_dict({"profil": "polaris"})

@@ -1,0 +1,65 @@
+"""JSON export tests."""
+
+import json
+
+import pytest
+
+from repro.errors import WorkflowError
+from repro.analysis.export import SCHEMA_VERSION, export_json, workflow_result_to_dict
+from repro.core.predictor.schedules import epoch_schedule
+from repro.core.transfer.strategies import CaptureMode, TransferStrategy
+from repro.workflow.runner import CoupledRunConfig, run_coupled
+from tests.conftest import exp3_curve
+
+
+@pytest.fixture
+def result(mini_app):
+    schedule = epoch_schedule(
+        mini_app.warmup_iters, mini_app.total_iters, mini_app.iters_per_epoch
+    )
+    return run_coupled(
+        CoupledRunConfig(
+            app=mini_app,
+            schedule=schedule,
+            loss_curve=exp3_curve(mini_app.total_iters, a=3.0, b=0.05, c=0.2),
+            strategy=TransferStrategy.GPU_TO_GPU,
+            mode=CaptureMode.ASYNC,
+        )
+    )
+
+
+class TestExport:
+    def test_workflow_result_roundtrips_through_json(self, result):
+        doc = workflow_result_to_dict(result)
+        again = json.loads(json.dumps(doc))
+        assert again["cil"] == pytest.approx(result.cil)
+        assert again["checkpoints"] == result.checkpoints
+        assert len(again["switches"]) == len(result.switches)
+        assert sum(again["per_version_inferences"]) == result.inferences
+
+    def test_export_json_writes_document(self, result, tmp_path):
+        path = export_json(
+            tmp_path / "fig10" / "tc1.json",
+            "fig10-tc1",
+            {"baseline": result},
+            extra={"seed": 3},
+        )
+        doc = json.loads(path.read_text())
+        assert doc["schema_version"] == SCHEMA_VERSION
+        assert doc["experiment"] == "fig10-tc1"
+        assert doc["results"]["baseline"]["inferences"] == result.inferences
+        assert doc["extra"]["seed"] == 3
+
+    def test_nested_structures_converted(self, result, tmp_path):
+        path = export_json(
+            tmp_path / "out.json",
+            "nested",
+            {"runs": [result, result], "labels": ("a", "b")},
+        )
+        doc = json.loads(path.read_text())
+        assert len(doc["results"]["runs"]) == 2
+        assert doc["results"]["labels"] == ["a", "b"]
+
+    def test_empty_experiment_rejected(self, tmp_path):
+        with pytest.raises(WorkflowError):
+            export_json(tmp_path / "x.json", "", {})

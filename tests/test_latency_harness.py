@@ -1,0 +1,37 @@
+"""Unit tests for the Figure 8 live measurement harness."""
+
+import pytest
+
+from repro.analysis.latency import FIG8_CONFIGS, measure_latencies
+from repro.substrates.profiles import FRONTIER, POLARIS
+
+
+class TestMeasureLatencies:
+    def test_all_six_configurations_measured(self):
+        measured = measure_latencies("nt3a")
+        assert set(measured) == {label for label, *_rest in FIG8_CONFIGS}
+        assert all(v > 0 for v in measured.values())
+
+    def test_fig8_ordering_on_polaris(self):
+        measured = measure_latencies("nt3a", profile=POLARIS)
+        assert (
+            measured["gpu-sync"]
+            < measured["host-sync"]
+            < measured["viper-pfs"]
+            < measured["h5py-baseline"]
+        )
+
+    def test_fig8_ordering_on_frontier(self):
+        measured = measure_latencies("nt3a", profile=FRONTIER)
+        assert (
+            measured["gpu-sync"]
+            < measured["host-sync"]
+            < measured["viper-pfs"]
+            < measured["h5py-baseline"]
+        )
+
+    def test_deterministic(self):
+        a = measure_latencies("nt3a")
+        b = measure_latencies("nt3a")
+        for key in a:
+            assert a[key] == pytest.approx(b[key])

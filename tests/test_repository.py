@@ -1,0 +1,150 @@
+"""Fine-grained tensor repository tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MetadataError, ObjectNotFoundError, StorageError
+from repro.repository import TensorRepository
+from repro.substrates.memory.storage import TierStore
+from repro.substrates.memory.tiers import TierKind, TierSpec
+
+RNG = np.random.default_rng(41)
+
+
+def make_repo(per_object_overhead=0.01):
+    spec = TierSpec(
+        name="repo.pfs",
+        kind=TierKind.PFS,
+        capacity_bytes=10**12,
+        read_bw=10**9,
+        write_bw=10**9,
+        per_object_overhead=per_object_overhead,
+    )
+    return TensorRepository(TierStore(spec))
+
+
+def snapshot():
+    return {
+        "enc/W": RNG.standard_normal((8, 4)).astype(np.float32),
+        "enc/b": RNG.standard_normal(4).astype(np.float32),
+        "dec/W": RNG.standard_normal((4, 2)).astype(np.float32),
+    }
+
+
+class TestPublish:
+    def test_first_version_stores_everything(self):
+        repo = make_repo()
+        info, cost = repo.publish("m", snapshot())
+        assert info.version == 1
+        assert set(info.changed) == {"enc/W", "enc/b", "dec/W"}
+        assert cost.total > 0
+        assert repo.stored_objects("m") == 3
+
+    def test_partial_update_stores_only_changes(self):
+        repo = make_repo()
+        state = snapshot()
+        repo.publish("m", state)
+        state2 = {k: v.copy() for k, v in state.items()}
+        state2["dec/W"] += 1.0
+        info, _cost = repo.publish("m", state2)
+        assert info.version == 2
+        assert info.changed == ("dec/W",)
+        assert repo.stored_objects("m") == 4  # 3 + 1 new blob
+
+    def test_identical_version_stores_nothing(self):
+        repo = make_repo()
+        state = snapshot()
+        repo.publish("m", state)
+        info, cost = repo.publish("m", state)
+        assert info.changed == ()
+        assert info.payload_bytes == 0
+
+    def test_tensor_set_change_rejected(self):
+        repo = make_repo()
+        repo.publish("m", snapshot())
+        with pytest.raises(StorageError):
+            repo.publish("m", {"other": np.zeros(2, dtype=np.float32)})
+
+    def test_empty_state_rejected(self):
+        with pytest.raises(StorageError):
+            make_repo().publish("m", {})
+
+
+class TestRetrieval:
+    def test_full_state_roundtrip(self):
+        repo = make_repo()
+        state = snapshot()
+        repo.publish("m", state)
+        loaded, _cost = repo.get_state("m")
+        for key in state:
+            np.testing.assert_array_equal(loaded[key], state[key])
+
+    def test_structural_sharing_across_versions(self):
+        repo = make_repo()
+        v1 = snapshot()
+        repo.publish("m", v1)
+        v2 = {k: v.copy() for k, v in v1.items()}
+        v2["dec/W"] += 1.0
+        repo.publish("m", v2)
+        old, _ = repo.get_state("m", version=1)
+        new, _ = repo.get_state("m", version=2)
+        np.testing.assert_array_equal(old["dec/W"], v1["dec/W"])
+        np.testing.assert_array_equal(new["dec/W"], v2["dec/W"])
+        np.testing.assert_array_equal(new["enc/W"], v1["enc/W"])
+
+    def test_partial_tensor_fetch(self):
+        repo = make_repo()
+        state = snapshot()
+        repo.publish("m", state)
+        tensor, cost = repo.get_tensor("m", "enc/b")
+        np.testing.assert_array_equal(tensor, state["enc/b"])
+        # A single-tensor fetch costs less than the full load.
+        _full, full_cost = repo.get_state("m")
+        assert cost.total < full_cost.total
+
+    def test_changed_since_fetches_only_delta(self):
+        repo = make_repo()
+        v1 = snapshot()
+        repo.publish("m", v1)
+        v2 = {k: v.copy() for k, v in v1.items()}
+        v2["dec/W"] += 1.0
+        repo.publish("m", v2)
+        delta, cost = repo.get_changed_since("m", base_version=1)
+        assert set(delta) == {"dec/W"}
+        _full, full_cost = repo.get_state("m")
+        assert cost.total < full_cost.total
+
+    def test_unknown_model_and_tensor(self):
+        repo = make_repo()
+        with pytest.raises(MetadataError):
+            repo.latest_version("ghost")
+        repo.publish("m", snapshot())
+        with pytest.raises(ObjectNotFoundError):
+            repo.get_tensor("m", "nope")
+        with pytest.raises(MetadataError):
+            repo.info("m", version=9)
+
+
+class TestCostTradeoff:
+    def test_full_load_pays_per_tensor_overhead(self):
+        """The §3 small-I/O penalty: many objects -> many fixed costs."""
+        cheap = make_repo(per_object_overhead=0.0)
+        pricey = make_repo(per_object_overhead=0.05)
+        state = snapshot()
+        cheap.publish("m", state)
+        pricey.publish("m", state)
+        _s1, c1 = cheap.get_state("m")
+        _s2, c2 = pricey.get_state("m")
+        assert c2.total - c1.total == pytest.approx(0.05 * 3, rel=1e-6)
+
+    def test_virtual_scale_amplifies_costs(self):
+        spec = TierSpec(
+            name="p", kind=TierKind.PFS, capacity_bytes=10**12,
+            read_bw=10**6, write_bw=10**6,
+        )
+        small = TensorRepository(TierStore(spec), virtual_scale=1.0)
+        big = TensorRepository(TierStore(spec), virtual_scale=100.0)
+        state = snapshot()
+        _i1, c1 = small.publish("m", state)
+        _i2, c2 = big.publish("m", state)
+        assert c2.total > c1.total

@@ -1,0 +1,134 @@
+"""Consumer simulation: CIL accounting and latest-wins loading."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkflowError
+from repro.substrates.simclock import EventLoop
+from repro.workflow.consumer import ConsumerSim, VersionSwitch, cil_from_switches
+from repro.workflow.producer import CheckpointAnnouncement
+from repro.workflow.trace import Trace
+
+
+def sw(time, version, loss):
+    return VersionSwitch(time=time, version=version, iteration=version * 10, loss=loss)
+
+
+class TestCILFromSwitches:
+    def test_single_model(self):
+        cil, counts = cil_from_switches([sw(0.0, 0, 2.0)], t_infer=0.1, total_inferences=10)
+        assert cil == pytest.approx(20.0)
+        assert counts.tolist() == [10]
+
+    def test_split_between_models(self):
+        switches = [sw(0.0, 0, 2.0), sw(0.55, 1, 1.0)]
+        # requests at 0.0..0.9; 0.0-0.5 -> v0 (6 requests), 0.6.. -> v1 (4)
+        cil, counts = cil_from_switches(switches, 0.1, 10)
+        assert counts.tolist() == [6, 4]
+        assert cil == pytest.approx(6 * 2.0 + 4 * 1.0)
+
+    def test_request_exactly_at_switch_uses_new_model(self):
+        switches = [sw(0.0, 0, 2.0), sw(0.5, 1, 1.0)]
+        _cil, counts = cil_from_switches(switches, 0.5, 3)  # at 0.0, 0.5, 1.0
+        assert counts.tolist() == [1, 2]
+
+    def test_conservation_of_inferences(self):
+        rng = np.random.default_rng(0)
+        times = np.sort(rng.uniform(0, 100, 20))
+        switches = [sw(0.0, 0, 1.0)] + [
+            sw(t, i + 1, 1.0 / (i + 2)) for i, t in enumerate(times)
+        ]
+        _cil, counts = cil_from_switches(switches, 0.01, 12_345)
+        assert counts.sum() == 12_345
+
+    def test_zero_requests(self):
+        cil, counts = cil_from_switches([sw(0.0, 0, 1.0)], 0.1, 0)
+        assert cil == 0.0 and counts.tolist() == [0]
+
+    def test_requests_before_first_model_rejected(self):
+        with pytest.raises(WorkflowError):
+            cil_from_switches([sw(5.0, 0, 1.0)], 0.1, 10)
+
+    def test_unordered_switches_rejected(self):
+        with pytest.raises(WorkflowError):
+            cil_from_switches([sw(1.0, 0, 1.0), sw(0.5, 1, 0.5)], 0.1, 10)
+
+    def test_empty_switches_rejected(self):
+        with pytest.raises(WorkflowError):
+            cil_from_switches([], 0.1, 10)
+
+    def test_invalid_rate(self):
+        with pytest.raises(WorkflowError):
+            cil_from_switches([sw(0.0, 0, 1.0)], 0.0, 10)
+
+
+def ann(version, loss=0.5, iteration=None):
+    return CheckpointAnnouncement(
+        version=version,
+        iteration=iteration if iteration is not None else version * 10,
+        loss=loss,
+        delivered_at=0.0,
+    )
+
+
+class TestConsumerSim:
+    def test_initial_model_is_switch_zero(self):
+        loop = EventLoop()
+        consumer = ConsumerSim(loop, Trace(), t_load=0.1, initial_loss=1.5)
+        assert consumer.switches[0].loss == 1.5
+        assert consumer.current_version == 0
+
+    def test_load_takes_t_load(self):
+        loop = EventLoop()
+        consumer = ConsumerSim(loop, Trace(), t_load=0.25, initial_loss=1.0)
+        loop.schedule_at(1.0, lambda: consumer.on_notify(ann(1)))
+        loop.run()
+        assert consumer.switches[-1].time == pytest.approx(1.25)
+        assert consumer.current_version == 1
+
+    def test_stale_notification_ignored(self):
+        loop = EventLoop()
+        consumer = ConsumerSim(loop, Trace(), t_load=0.1, initial_loss=1.0)
+        loop.schedule_at(1.0, lambda: consumer.on_notify(ann(1)))
+        loop.run()
+        consumer.on_notify(ann(0))
+        consumer.on_notify(ann(1))
+        assert consumer.loads_superseded == 2
+        assert len(consumer.switches) == 2
+
+    def test_latest_wins_while_loading(self):
+        loop = EventLoop()
+        consumer = ConsumerSim(loop, Trace(), t_load=1.0, initial_loss=1.0)
+        loop.schedule_at(0.0, lambda: consumer.on_notify(ann(1)))
+        # v2 and v3 arrive while v1 is loading; only v3 loads afterwards.
+        loop.schedule_at(0.2, lambda: consumer.on_notify(ann(2)))
+        loop.schedule_at(0.4, lambda: consumer.on_notify(ann(3)))
+        loop.run()
+        versions = [s.version for s in consumer.switches]
+        assert versions == [0, 1, 3]
+        assert consumer.loads_superseded == 1  # v2 was dropped
+
+    def test_out_of_order_notifications(self):
+        loop = EventLoop()
+        consumer = ConsumerSim(loop, Trace(), t_load=0.01, initial_loss=1.0)
+        loop.schedule_at(0.0, lambda: consumer.on_notify(ann(2)))
+        loop.schedule_at(0.5, lambda: consumer.on_notify(ann(1)))  # stale
+        loop.run()
+        assert consumer.current_version == 2
+        assert consumer.loads_started == 1
+
+    def test_trace_causality(self):
+        loop = EventLoop()
+        trace = Trace()
+        consumer = ConsumerSim(loop, trace, t_load=0.5, initial_loss=1.0)
+        loop.schedule_at(1.0, lambda: consumer.on_notify(ann(1)))
+        loop.run()
+        begin = trace.last("load_begin")
+        done = trace.last("load_done")
+        swap = trace.last("swap")
+        assert begin.time <= done.time <= swap.time
+        assert done.time - begin.time == pytest.approx(0.5)
+
+    def test_negative_load_time_rejected(self):
+        with pytest.raises(WorkflowError):
+            ConsumerSim(EventLoop(), Trace(), t_load=-0.1, initial_loss=1.0)

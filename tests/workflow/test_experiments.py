@@ -1,0 +1,111 @@
+"""Experiment-driver tests (the functions behind the benchmark harness)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkflowError
+from repro.core.transfer.strategies import CaptureMode, TransferStrategy
+from repro.workflow.experiments import (
+    make_adapter,
+    make_cil_params,
+    measured_loss_curve,
+    run_schedule_comparison,
+    run_strategy_comparison,
+    schedules_for_app,
+    stretch_curve,
+)
+from tests.conftest import exp3_curve
+
+
+class TestStretchCurve:
+    def test_preserves_endpoints(self):
+        curve = np.array([3.0, 2.0, 1.0])
+        stretched = stretch_curve(curve, 30)
+        assert stretched[0] == pytest.approx(3.0)
+        assert stretched[-1] == pytest.approx(1.0)
+        assert stretched.shape == (30,)
+
+    def test_identity_when_same_length(self):
+        curve = np.linspace(2, 1, 10)
+        np.testing.assert_allclose(stretch_curve(curve, 10), curve)
+
+    def test_monotone_preserved(self):
+        curve = np.linspace(5, 1, 7)
+        stretched = stretch_curve(curve, 50)
+        assert np.all(np.diff(stretched) <= 0)
+
+    def test_validation(self):
+        with pytest.raises(WorkflowError):
+            stretch_curve([1.0], 10)
+        with pytest.raises(WorkflowError):
+            stretch_curve([1.0, 0.5], 1)
+
+
+class TestMeasuredCurve:
+    def test_curve_has_paper_scale_length(self, mini_app):
+        curve = measured_loss_curve(mini_app, scale=0.5, seed=1)
+        assert curve.shape == (mini_app.total_iters,)
+
+    def test_curve_decreases_overall(self, mini_app):
+        curve = measured_loss_curve(mini_app, scale=1.0, seed=1)
+        assert curve[-1] < curve[0]
+
+    def test_smoothing_reduces_jitter(self, mini_app):
+        raw = measured_loss_curve(mini_app, scale=1.0, seed=1, smooth=0)
+        smooth = measured_loss_curve(mini_app, scale=1.0, seed=1, smooth=31)
+        assert np.abs(np.diff(smooth)).mean() < np.abs(np.diff(raw)).mean()
+
+
+class TestCilParams:
+    def test_params_from_app_and_strategy(self, mini_app):
+        params = make_cil_params(mini_app, TransferStrategy.GPU_TO_GPU)
+        assert params.t_train == mini_app.timing.t_train
+        assert params.t_infer == mini_app.timing.t_infer
+        assert params.t_p > 0 and params.t_c > 0
+
+    def test_pfs_costs_exceed_gpu(self, mini_app):
+        gpu = make_cil_params(mini_app, TransferStrategy.GPU_TO_GPU)
+        pfs = make_cil_params(
+            mini_app, TransferStrategy.PFS, mode=CaptureMode.SYNC
+        )
+        assert pfs.t_p > gpu.t_p
+        assert pfs.t_c > gpu.t_c
+
+
+class TestSchedulesForApp:
+    def test_three_schedules(self, mini_app):
+        curve = exp3_curve(mini_app.total_iters, a=3.0, b=0.02, c=0.3, noise=0.02)
+        schedules = schedules_for_app(mini_app, curve)
+        assert set(schedules) == {"baseline", "fixed", "adaptive"}
+        assert schedules["baseline"].kind == "epoch"
+        assert schedules["fixed"].kind == "fixed"
+        assert schedules["adaptive"].kind == "greedy"
+
+    def test_curve_shorter_than_warmup_rejected(self, mini_app):
+        with pytest.raises(WorkflowError):
+            schedules_for_app(mini_app, [1.0, 0.9])
+
+
+class TestComparisons:
+    def test_schedule_comparison_shape(self, mini_app):
+        curve = exp3_curve(mini_app.total_iters, a=3.0, b=0.02, c=0.3, noise=0.02)
+        results = run_schedule_comparison(mini_app, curve)
+        assert set(results) == {"baseline", "fixed", "adaptive"}
+        for result in results.values():
+            assert result.inferences == mini_app.total_inferences
+
+    def test_strategy_comparison_orderings(self, mini_app):
+        curve = exp3_curve(mini_app.total_iters, a=3.0, b=0.05, c=0.2)
+        results = run_strategy_comparison(mini_app, curve)
+        assert set(results) == {"gpu", "host", "pfs"}
+        assert (
+            results["gpu"].training_overhead
+            < results["host"].training_overhead
+            < results["pfs"].training_overhead
+        )
+        assert results["gpu"].cil <= results["pfs"].cil
+
+    def test_adapter_factory(self, mini_app):
+        adapter = make_adapter(mini_app)
+        assert adapter.warmup_iters == mini_app.warmup_iters
+        assert adapter.end_iter == mini_app.total_iters

@@ -1,0 +1,88 @@
+"""Multi-producer/consumer extension tests."""
+
+import pytest
+
+from repro.errors import WorkflowError
+from repro.core.predictor.schedules import epoch_schedule
+from repro.workflow.multi import run_fanout, run_sharded
+from tests.conftest import exp3_curve
+
+
+@pytest.fixture
+def setup(mini_app):
+    curve = exp3_curve(mini_app.total_iters, a=3.0, b=0.05, c=0.2)
+    schedule = epoch_schedule(
+        mini_app.warmup_iters, mini_app.total_iters, mini_app.iters_per_epoch
+    )
+    return mini_app, schedule, curve
+
+
+class TestFanout:
+    def test_single_consumer_matches_plain_run(self, setup):
+        app, schedule, curve = setup
+        result = run_fanout(app, schedule, curve, n_consumers=1)
+        assert len(result.per_consumer_cil) == 1
+        assert result.total_cil == pytest.approx(
+            result.per_consumer_cil["consumer-0"]
+        )
+
+    def test_consumers_identical_streams(self, setup):
+        app, schedule, curve = setup
+        result = run_fanout(app, schedule, curve, n_consumers=3)
+        values = list(result.per_consumer_cil.values())
+        assert all(v == pytest.approx(values[0]) for v in values)
+        assert result.total_cil == pytest.approx(sum(values))
+
+    def test_producer_overhead_independent_of_fanout(self, setup):
+        app, schedule, curve = setup
+        one = run_fanout(app, schedule, curve, n_consumers=1)
+        four = run_fanout(app, schedule, curve, n_consumers=4)
+        assert one.training_overhead == pytest.approx(four.training_overhead)
+
+    def test_invalid_consumer_count(self, setup):
+        app, schedule, curve = setup
+        with pytest.raises(WorkflowError):
+            run_fanout(app, schedule, curve, n_consumers=0)
+
+    def test_heterogeneous_rates(self, setup):
+        """A slower consumer spreads its M requests over more wall time,
+        so more of them see fresher models -> lower CIL per replica."""
+        app, schedule, curve = setup
+        result = run_fanout(
+            app, schedule, curve, n_consumers=2,
+            consumer_rates=[app.timing.t_infer, app.timing.t_infer * 4],
+        )
+        fast = result.per_consumer_cil["consumer-0"]
+        slow = result.per_consumer_cil["consumer-1"]
+        assert slow < fast
+
+    def test_rates_length_validated(self, setup):
+        app, schedule, curve = setup
+        with pytest.raises(WorkflowError):
+            run_fanout(
+                app, schedule, curve, n_consumers=2, consumer_rates=[0.01]
+            )
+
+
+class TestSharded:
+    def test_sharding_reduces_stall(self, setup):
+        app, schedule, curve = setup
+        whole = run_sharded(app, schedule, curve, n_shards=1)
+        quarters = run_sharded(app, schedule, curve, n_shards=4)
+        assert quarters.training_overhead < whole.training_overhead
+
+    def test_sharding_does_not_increase_cil(self, setup):
+        app, schedule, curve = setup
+        whole = run_sharded(app, schedule, curve, n_shards=1)
+        halves = run_sharded(app, schedule, curve, n_shards=2)
+        assert halves.total_cil <= whole.total_cil * 1.001
+
+    def test_checkpoint_count_unchanged(self, setup):
+        app, schedule, curve = setup
+        result = run_sharded(app, schedule, curve, n_shards=4)
+        assert result.checkpoints == schedule.num_checkpoints
+
+    def test_invalid_shard_count(self, setup):
+        app, schedule, curve = setup
+        with pytest.raises(WorkflowError):
+            run_sharded(app, schedule, curve, n_shards=0)

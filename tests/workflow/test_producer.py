@@ -1,0 +1,132 @@
+"""Producer simulation: iteration timing, stalls, async pipeline."""
+
+import pytest
+
+from repro.substrates.cost import Cost
+from repro.substrates.simclock import EventLoop
+from repro.core.predictor.schedules import Schedule
+from repro.core.transfer.strategies import CaptureMode, StrategyTimings, TransferStrategy
+from repro.workflow.producer import ProducerSim
+from repro.workflow.trace import Trace
+
+
+def make_timings(stall=0.5, deliver=0.0, load=0.2, mode=CaptureMode.SYNC):
+    return StrategyTimings(
+        strategy=TransferStrategy.GPU_TO_GPU,
+        mode=mode,
+        stall=Cost.of("stall", stall),
+        deliver=Cost.of("deliver", deliver) if deliver else Cost.zero(),
+        load=Cost.of("load", load),
+    )
+
+
+def run_producer(schedule, timings, t_train=1.0, total=None, start=0,
+                 notify_latency=0.0):
+    loop = EventLoop()
+    trace = Trace()
+    notifications = []
+    producer = ProducerSim(
+        loop,
+        trace,
+        schedule=schedule,
+        timings=timings,
+        t_train=t_train,
+        total_iters=total if total is not None else schedule.end_iter,
+        start_iter=start,
+        loss_at=lambda i: 1.0 / (1 + i),
+        notify_latency=notify_latency,
+        on_notify=lambda ann: notifications.append(
+            (loop.clock.now(), ann.version, ann.iteration)
+        ),
+    )
+    producer.start()
+    loop.run()
+    return producer, notifications, trace, loop
+
+
+class TestSyncProducer:
+    def test_training_time_without_checkpoints(self):
+        schedule = Schedule("epoch", (), start_iter=0, end_iter=10)
+        producer, notes, _trace, loop = run_producer(schedule, make_timings())
+        assert producer.training_end_time == pytest.approx(10.0)
+        assert notes == []
+        assert producer.training_overhead == 0.0
+
+    def test_stall_extends_training(self):
+        schedule = Schedule("fixed", (5,), interval=5, start_iter=0, end_iter=10)
+        producer, notes, _trace, _loop = run_producer(schedule, make_timings(stall=0.5))
+        assert producer.training_end_time == pytest.approx(10.5)
+        assert producer.training_overhead == pytest.approx(0.5)
+
+    def test_sync_notification_at_stall_end(self):
+        schedule = Schedule("fixed", (5,), interval=5, start_iter=0, end_iter=10)
+        _producer, notes, _trace, _loop = run_producer(schedule, make_timings(stall=0.5))
+        (t, version, iteration), = notes
+        assert t == pytest.approx(5.5)
+        assert version == 1 and iteration == 5
+
+    def test_notify_latency_applied(self):
+        schedule = Schedule("fixed", (5,), interval=5, start_iter=0, end_iter=10)
+        _p, notes, _t, _l = run_producer(
+            schedule, make_timings(stall=0.5), notify_latency=0.01
+        )
+        assert notes[0][0] == pytest.approx(5.51)
+
+    def test_versions_sequence(self):
+        schedule = Schedule("fixed", (2, 4, 6), interval=2, start_iter=0, end_iter=6)
+        producer, notes, _t, _l = run_producer(schedule, make_timings(stall=0.1))
+        assert [v for (_t2, v, _i) in notes] == [1, 2, 3]
+        assert producer.checkpoints_completed == 3
+
+    def test_start_iter_offset(self):
+        schedule = Schedule("fixed", (12,), interval=2, start_iter=10, end_iter=14)
+        producer, notes, _t, _l = run_producer(schedule, make_timings(stall=0.0), start=10)
+        # 4 iterations of 1s each
+        assert producer.training_end_time == pytest.approx(4.0)
+        assert notes[0][2] == 12
+
+
+class TestAsyncProducer:
+    def test_stall_excludes_delivery(self):
+        schedule = Schedule("fixed", (5,), interval=5, start_iter=0, end_iter=10)
+        timings = make_timings(stall=0.1, deliver=2.0, mode=CaptureMode.ASYNC)
+        producer, notes, _t, _l = run_producer(schedule, timings)
+        assert producer.training_end_time == pytest.approx(10.1)
+        # Notification only after the background delivery completes.
+        assert notes[0][0] == pytest.approx(5.1 + 2.0)
+
+    def test_backlogged_deliveries_supersede(self):
+        # Checkpoints every iteration, each delivery takes 5 iterations'
+        # worth of time: the engine keeps only the newest pending.
+        its = tuple(range(1, 9))
+        schedule = Schedule("fixed", its, interval=1, start_iter=0, end_iter=8)
+        timings = make_timings(stall=0.01, deliver=5.0, mode=CaptureMode.ASYNC)
+        producer, notes, _t, _l = run_producer(schedule, timings)
+        delivered = [v for (_t2, v, _i) in notes]
+        assert len(delivered) < 8
+        assert producer.superseded > 0
+        assert delivered == sorted(delivered)
+        assert delivered[-1] == 8  # newest version always ships eventually
+
+    def test_no_supersede_when_engine_keeps_up(self):
+        its = (3, 6, 9)
+        schedule = Schedule("fixed", its, interval=3, start_iter=0, end_iter=9)
+        timings = make_timings(stall=0.01, deliver=0.5, mode=CaptureMode.ASYNC)
+        producer, notes, _t, _l = run_producer(schedule, timings)
+        assert producer.superseded == 0
+        assert len(notes) == 3
+
+
+class TestTrace:
+    def test_iteration_events_recorded(self):
+        schedule = Schedule("epoch", (), start_iter=0, end_iter=3)
+        _p, _n, trace, _l = run_producer(schedule, make_timings())
+        assert len(trace.events("iteration")) == 3
+        assert trace.events("train_end")
+
+    def test_checkpoint_events_order(self):
+        schedule = Schedule("fixed", (2,), interval=2, start_iter=0, end_iter=4)
+        _p, _n, trace, _l = run_producer(schedule, make_timings(stall=0.5))
+        begin = trace.last("ckpt_begin")
+        end = trace.last("ckpt_stall_end")
+        assert end.time - begin.time == pytest.approx(0.5)

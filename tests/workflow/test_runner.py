@@ -1,0 +1,132 @@
+"""Coupled-run orchestration tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkflowError
+from repro.core.predictor.schedules import Schedule, epoch_schedule
+from repro.core.transfer.strategies import CaptureMode, TransferStrategy
+from repro.workflow.runner import CoupledRunConfig, loss_curve_lookup, run_coupled
+from tests.conftest import exp3_curve
+
+
+def make_config(mini_app, **overrides):
+    curve = exp3_curve(mini_app.total_iters, a=3.0, b=0.05, c=0.2)
+    schedule = epoch_schedule(
+        mini_app.warmup_iters, mini_app.total_iters, mini_app.iters_per_epoch
+    )
+    base = dict(
+        app=mini_app,
+        schedule=schedule,
+        loss_curve=curve,
+        strategy=TransferStrategy.GPU_TO_GPU,
+        mode=CaptureMode.ASYNC,
+    )
+    base.update(overrides)
+    return CoupledRunConfig(**base)
+
+
+class TestLossCurveLookup:
+    def test_sequence_is_one_indexed(self):
+        lookup = loss_curve_lookup([5.0, 4.0, 3.0])
+        assert lookup(1) == 5.0
+        assert lookup(3) == 3.0
+
+    def test_clamps_out_of_range(self):
+        lookup = loss_curve_lookup([5.0, 4.0])
+        assert lookup(0) == 5.0
+        assert lookup(100) == 4.0
+
+    def test_callable_passthrough(self):
+        fn = lambda i: float(i)
+        assert loss_curve_lookup(fn) is fn
+
+    def test_empty_curve_rejected(self):
+        with pytest.raises(WorkflowError):
+            loss_curve_lookup([])
+
+
+class TestRunCoupled:
+    def test_basic_run(self, mini_app):
+        result = run_coupled(make_config(mini_app))
+        assert result.inferences == mini_app.total_inferences
+        assert result.checkpoints == mini_app.epochs - mini_app.warmup_epochs
+        assert result.cil > 0
+        assert result.per_version_inferences.sum() == result.inferences
+
+    def test_more_updates_lower_cil_on_decaying_curve(self, mini_app):
+        rare = Schedule(
+            "fixed", (mini_app.total_iters,), interval=mini_app.total_iters,
+            start_iter=mini_app.warmup_iters, end_iter=mini_app.total_iters,
+        )
+        often = epoch_schedule(
+            mini_app.warmup_iters, mini_app.total_iters, mini_app.iters_per_epoch
+        )
+        cil_rare = run_coupled(make_config(mini_app, schedule=rare)).cil
+        cil_often = run_coupled(make_config(mini_app, schedule=often)).cil
+        assert cil_often < cil_rare
+
+    def test_faster_transfer_lower_cil(self, mini_app):
+        gpu = run_coupled(
+            make_config(mini_app, strategy=TransferStrategy.GPU_TO_GPU)
+        )
+        pfs = run_coupled(
+            make_config(
+                mini_app, strategy=TransferStrategy.PFS, mode=CaptureMode.SYNC
+            )
+        )
+        assert gpu.cil < pfs.cil
+        assert gpu.training_overhead < pfs.training_overhead
+
+    def test_polling_discovery_increases_cil(self, mini_app):
+        push = run_coupled(make_config(mini_app)).cil
+        poll = run_coupled(make_config(mini_app, poll_interval=5.0)).cil
+        assert poll >= push
+
+    def test_switch_timeline_monotone(self, mini_app):
+        result = run_coupled(make_config(mini_app))
+        times = [s.time for s in result.switches]
+        versions = [s.version for s in result.switches]
+        assert times == sorted(times)
+        assert versions == sorted(versions)
+
+    def test_losses_match_curve_at_iterations(self, mini_app):
+        curve = exp3_curve(mini_app.total_iters, a=3.0, b=0.05, c=0.2)
+        result = run_coupled(make_config(mini_app, loss_curve=curve))
+        for switch in result.switches[1:]:
+            assert switch.loss == pytest.approx(curve[switch.iteration - 1])
+
+    def test_sync_mode_runs(self, mini_app):
+        result = run_coupled(make_config(mini_app, mode=CaptureMode.SYNC))
+        assert result.checkpoints > 0
+
+    def test_invalid_total_inferences(self, mini_app):
+        with pytest.raises(WorkflowError):
+            run_coupled(make_config(mini_app, total_inferences=0))
+
+    def test_mean_inference_loss(self, mini_app):
+        result = run_coupled(make_config(mini_app))
+        assert result.mean_inference_loss == pytest.approx(
+            result.cil / result.inferences
+        )
+
+    def test_trace_has_producer_and_consumer_events(self, mini_app):
+        result = run_coupled(make_config(mini_app))
+        kinds = {e.kind for e in result.trace}
+        assert {"iteration", "ckpt_begin", "load_begin", "swap"} <= kinds
+
+
+class TestAdapterRun:
+    def test_adapter_drives_checkpoints(self, mini_app):
+        from repro.workflow.experiments import make_adapter
+
+        adapter = make_adapter(mini_app)
+        schedule = Schedule(
+            "adaptive", (), start_iter=mini_app.warmup_iters,
+            end_iter=mini_app.total_iters,
+        )
+        result = run_coupled(
+            make_config(mini_app, schedule=schedule, adapter=adapter)
+        )
+        assert result.checkpoints == len(adapter.checkpoints)
+        assert result.checkpoints > 0

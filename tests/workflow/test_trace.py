@@ -1,0 +1,41 @@
+"""Trace container tests."""
+
+import pytest
+
+from repro.workflow.trace import Trace
+
+
+class TestTrace:
+    def test_append_and_iterate(self):
+        trace = Trace()
+        trace.add(1.0, "iteration", "producer", iteration=1)
+        trace.add(2.0, "swap", "consumer", version=1)
+        assert len(trace) == 2
+        kinds = [e.kind for e in trace]
+        assert kinds == ["iteration", "swap"]
+
+    def test_filter_by_kind(self):
+        trace = Trace()
+        for i in range(3):
+            trace.add(float(i), "iteration", "producer", iteration=i)
+        trace.add(5.0, "swap", "consumer")
+        assert len(trace.events("iteration")) == 3
+        assert len(trace.events("swap")) == 1
+        assert len(trace.events()) == 4
+
+    def test_last_of_kind(self):
+        trace = Trace()
+        trace.add(1.0, "swap", "consumer", version=1)
+        trace.add(2.0, "swap", "consumer", version=2)
+        assert trace.last("swap").data["version"] == 2
+
+    def test_last_missing_kind_raises(self):
+        with pytest.raises(KeyError):
+            Trace().last("nothing")
+
+    def test_data_is_copied(self):
+        trace = Trace()
+        payload = {"v": 1}
+        trace.add(1.0, "x", "a", **payload)
+        payload["v"] = 99
+        assert trace.last("x").data["v"] == 1
