@@ -6,7 +6,7 @@ install:
 	pip install -e . || python setup.py develop
 
 test:
-	pytest tests/
+	PYTHONPATH=src python -m pytest -x -q
 
 bench:
 	pytest benchmarks/ --benchmark-only
@@ -20,6 +20,8 @@ experiments:
 	python -m repro fig10
 	python -m repro table1
 
+# Caches only: benchmarks/results/ holds checked-in reference results
+# and must survive a clean.
 clean:
-	rm -rf benchmarks/.curve_cache.npz benchmarks/results .pytest_cache
+	rm -rf benchmarks/.curve_cache.npz .pytest_cache
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -7,6 +7,7 @@ Usage::
     python -m repro fig10 [--app tc1] [--scale 0.25]
     python -m repro table1 [--scale 0.25]
     python -m repro timeline [--app tc1] [--scale 0.1]
+    python -m repro obs [--export-trace t.json]   # per-stage latency breakdown
     python -m repro apps                    # list workload profiles
 
 Figures 9/10 and Table 1 train the real model first (pass ``--scale`` to
@@ -151,6 +152,76 @@ def cmd_timeline(args) -> int:
     return 0
 
 
+def cmd_obs(args) -> int:
+    """``repro obs``: instrumented coupled run + per-stage breakdown."""
+    from repro.core.predictor.schedules import epoch_schedule
+    from repro.core.transfer.strategies import CaptureMode, TransferStrategy
+    from repro.obs import (
+        MetricsRegistry,
+        SpanTracer,
+        format_stage_table,
+        stage_breakdown,
+    )
+    from repro.obs.exporters import (
+        write_chrome_trace,
+        write_jsonl_events,
+        write_prometheus,
+    )
+    from repro.workflow.runner import CoupledRunConfig, run_coupled
+
+    app, curve = _curve(args.app or "tc1", args.scale, args.seed)
+    schedule = epoch_schedule(app.warmup_iters, app.total_iters, app.iters_per_epoch)
+    tracer = SpanTracer()
+    result = run_coupled(
+        CoupledRunConfig(
+            app=app,
+            schedule=schedule,
+            loss_curve=curve,
+            strategy=TransferStrategy(args.strategy),
+            mode=CaptureMode.SYNC if args.sync else CaptureMode.ASYNC,
+            tracer=tracer,
+        )
+    )
+    breakdown = stage_breakdown(result.trace)
+
+    print(f"{app.display_name}: {result.checkpoints} checkpoint(s), "
+          f"{result.superseded} superseded, "
+          f"training overhead {result.training_overhead:.3f}s, "
+          f"CIL {result.cil:.1f}")
+    print()
+    print(format_stage_table(breakdown))
+
+    # Mirror the per-stage aggregates into a metrics registry so the
+    # Prometheus/JSONL exports carry the same numbers as the table.
+    metrics = MetricsRegistry()
+    for stats in breakdown.stages():
+        hist = metrics.histogram("pipeline_stage_sim_seconds", stage=stats.stage)
+        for duration in stats.durations:
+            hist.observe(duration)
+    metrics.counter("pipeline_checkpoints_total").inc(result.checkpoints)
+    metrics.counter("pipeline_superseded_total").inc(result.superseded)
+    metrics.gauge("pipeline_training_overhead_sim_seconds").set(
+        result.training_overhead
+    )
+
+    if args.export_trace:
+        write_chrome_trace(
+            args.export_trace, spans=tracer.spans(), trace=result.trace,
+            trace_kinds=("iteration", "superseded", "swap", "train_end"),
+        )
+        print(f"wrote Chrome trace: {args.export_trace} "
+              f"(open at chrome://tracing or ui.perfetto.dev)", file=sys.stderr)
+    if args.export_metrics:
+        write_prometheus(args.export_metrics, metrics)
+        print(f"wrote Prometheus metrics: {args.export_metrics}", file=sys.stderr)
+    if args.export_events:
+        n = write_jsonl_events(
+            args.export_events, spans=tracer.spans(), trace=result.trace
+        )
+        print(f"wrote {n} JSONL events: {args.export_events}", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -179,6 +250,23 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--json", metavar="PATH",
                        help="also write results as JSON")
         p.set_defaults(fn=fn)
+
+    po = sub.add_parser(
+        "obs", help="instrumented coupled run: per-stage latency breakdown"
+    )
+    po.add_argument("--app", choices=["nt3b", "tc1", "ptychonn"])
+    po.add_argument("--scale", type=float, default=0.1)
+    po.add_argument("--seed", type=int, default=3)
+    po.add_argument("--strategy", choices=["gpu", "host", "pfs"], default="gpu")
+    po.add_argument("--sync", action="store_true",
+                    help="synchronous capture (default: async)")
+    po.add_argument("--export-trace", metavar="PATH",
+                    help="write a Chrome/Perfetto trace_event JSON file")
+    po.add_argument("--export-metrics", metavar="PATH",
+                    help="write Prometheus-format metrics")
+    po.add_argument("--export-events", metavar="PATH",
+                    help="write spans and trace events as JSONL")
+    po.set_defaults(fn=cmd_obs)
 
     pt = sub.add_parser("timeline", help="ASCII timeline of a coupled run")
     pt.add_argument("--app", choices=["nt3b", "tc1", "ptychonn"])

@@ -58,13 +58,20 @@ class Viper:
         flush_history: bool = False,
         retention=None,
         topic: str = "model-updates",
+        tracer=None,
+        metrics=None,
     ):
+        from repro.obs.metrics import NULL_METRICS
+        from repro.obs.tracer import NULL_TRACER
+
         self.profile = profile
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         self.cluster, self.producer_node, self.consumer_node = (
             make_producer_consumer_pair(profile)
         )
         self.metadata = MetadataStore()
-        self.broker = NotificationBroker()
+        self.broker = NotificationBroker(metrics=self.metrics)
         self.handler = ModelWeightsHandler(
             self.cluster,
             self.producer_node,
@@ -77,6 +84,8 @@ class Viper:
             flush_history=flush_history,
             retention=retention,
             topic=topic,
+            tracer=self.tracer,
+            metrics=self.metrics,
         )
         self.topic = topic
 
@@ -141,7 +150,9 @@ class ViperConsumer:
         self.viper = viper
         self._builder = model_builder
         self._spare = model_builder()
-        self._buffer: DoubleBuffer = DoubleBuffer(model_builder(), version=0)
+        self._buffer: DoubleBuffer = DoubleBuffer(
+            model_builder(), version=0, metrics=viper.metrics
+        )
         self._sub: Optional[Subscription] = None
         self._lock = threading.Lock()
         self.updates_applied = 0
@@ -165,7 +176,9 @@ class ViperConsumer:
     # ------------------------------------------------------------------
     def apply_update(self, model_name: str, version: Optional[int] = None) -> LoadResult:
         """Load a checkpoint and atomically swap it into serving."""
-        with self._lock:
+        with self._lock, self.viper.tracer.span(
+            "consumer.apply_update", track="consumer", model=model_name
+        ) as sp:
             result = self.viper.load_weights(model_name, version)
             if result.version <= self._buffer.version:
                 raise ServingError(
@@ -180,6 +193,7 @@ class ViperConsumer:
             self._spare = displaced
             self.updates_applied += 1
             self.load_seconds += result.cost.total
+            sp.set(version=result.version, location=result.location)
             return result
 
     def refresh(self, model_name: Optional[str] = None) -> Optional[LoadResult]:

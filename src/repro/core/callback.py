@@ -62,7 +62,12 @@ class CheckpointCallback(Callback):
         virtual_bytes: Optional[int] = None,
         virtual_tensors: Optional[int] = None,
         save_initial: bool = True,
+        tracer=None,
+        metrics=None,
     ):
+        from repro.obs.metrics import NULL_METRICS
+        from repro.obs.tracer import NULL_TRACER
+
         super().__init__()
         provided = sum(x is not None for x in (schedule, interval, algorithm))
         if provided != 1:
@@ -91,6 +96,13 @@ class CheckpointCallback(Callback):
         self.virtual_bytes = virtual_bytes
         self.virtual_tensors = virtual_tensors
         self.save_initial = save_initial
+        # Fall back to the deployment's tracer/metrics when not given.
+        self.tracer = tracer if tracer is not None else getattr(
+            viper, "tracer", NULL_TRACER
+        )
+        self.metrics = metrics if metrics is not None else getattr(
+            viper, "metrics", NULL_METRICS
+        )
 
         self.iteration_losses: List[float] = []
         self.checkpoints_taken: List[int] = []
@@ -133,17 +145,28 @@ class CheckpointCallback(Callback):
         self._schedule_set = frozenset(computed.iterations)
 
     def _save(self, iteration: int, loss: float) -> None:
-        result = self.viper.save_weights(
-            self.model_name,
-            self.model.state_dict(),
-            mode=self.mode,
-            train_iteration=iteration,
-            train_loss=loss,
-            virtual_bytes=self.virtual_bytes,
-            virtual_tensors=self.virtual_tensors,
-        )
+        with self.tracer.span(
+            "callback.save", track="producer", model=self.model_name,
+            iteration=iteration,
+        ) as sp:
+            result = self.viper.save_weights(
+                self.model_name,
+                self.model.state_dict(),
+                mode=self.mode,
+                train_iteration=iteration,
+                train_loss=loss,
+                virtual_bytes=self.virtual_bytes,
+                virtual_tensors=self.virtual_tensors,
+            )
+            sp.set(version=result.version, sim_stall=result.stall.total)
         self.checkpoints_taken.append(iteration)
         self.stall_seconds += result.stall.total
+        self.metrics.counter(
+            "callback_checkpoints_total", model=self.model_name
+        ).inc()
+        self.metrics.histogram(
+            "callback_stall_sim_seconds", model=self.model_name
+        ).observe(result.stall.total)
 
     # ------------------------------------------------------------------
     # Callback hooks

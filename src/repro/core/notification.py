@@ -15,12 +15,15 @@ can compare push-based discovery against polling baselines quantitatively.
 
 from __future__ import annotations
 
+import collections
 import queue
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import NotificationError
+from repro.obs.metrics import NULL_METRICS
 
 __all__ = ["Notification", "Subscription", "NotificationBroker", "PUSH_LATENCY"]
 
@@ -50,20 +53,45 @@ class Subscription:
     consumers.
     """
 
-    def __init__(self, topic: str, callback: Optional[Callable[[Notification], None]] = None):
+    def __init__(
+        self,
+        topic: str,
+        callback: Optional[Callable[[Notification], None]] = None,
+        metrics=None,
+    ):
         self.topic = topic
         self.callback = callback
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         self._queue: "queue.Queue[Notification]" = queue.Queue()
+        # Wall-clock push timestamps, FIFO like the queue itself, so
+        # get/poll can report the real publish->consume delivery delay.
+        self._push_walls: "collections.deque[float]" = collections.deque()
         self._closed = False
         self.delivered = 0
 
     def _push(self, note: Notification) -> None:
         if self._closed:
             return
+        self._push_walls.append(time.perf_counter())
         self._queue.put(note)
         self.delivered += 1
         if self.callback is not None:
             self.callback(note)
+
+    def _observe_delivery(self, note: Notification) -> None:
+        try:
+            pushed_wall = self._push_walls.popleft()
+        except IndexError:
+            return
+        self.metrics.histogram(
+            "notification_delivery_wall_seconds", topic=self.topic
+        ).observe(time.perf_counter() - pushed_wall)
+        self.metrics.histogram(
+            "notification_delivery_sim_seconds", topic=self.topic
+        ).observe(note.deliver_at - note.published_at)
+        self.metrics.counter(
+            "notifications_consumed_total", topic=self.topic
+        ).inc()
 
     def get(self, timeout: Optional[float] = None) -> Notification:
         """Block until the next notification arrives."""
@@ -77,6 +105,7 @@ class Subscription:
             ) from None
         if note is _CLOSE:
             raise NotificationError(f"subscription to {self.topic!r} closed")
+        self._observe_delivery(note)
         return note
 
     def poll(self) -> Optional[Notification]:
@@ -87,6 +116,7 @@ class Subscription:
             return None
         if note is _CLOSE:
             return None
+        self._observe_delivery(note)
         return note
 
     def drain(self) -> List[Notification]:
@@ -110,10 +140,11 @@ _CLOSE = object()  # type: ignore[assignment]
 class NotificationBroker:
     """Topic-based fan-out broker (the Redis pub/sub stand-in)."""
 
-    def __init__(self, push_latency: float = PUSH_LATENCY):
+    def __init__(self, push_latency: float = PUSH_LATENCY, *, metrics=None):
         if push_latency < 0:
             raise NotificationError("push latency must be non-negative")
         self.push_latency = push_latency
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         self._lock = threading.RLock()
         self._subs: Dict[str, List[Subscription]] = {}
         self.published = 0
@@ -123,7 +154,7 @@ class NotificationBroker:
         topic: str,
         callback: Optional[Callable[[Notification], None]] = None,
     ) -> Subscription:
-        sub = Subscription(topic, callback)
+        sub = Subscription(topic, callback, metrics=self.metrics)
         with self._lock:
             self._subs.setdefault(topic, []).append(sub)
         return sub
@@ -163,6 +194,7 @@ class NotificationBroker:
         with self._lock:
             subs = list(self._subs.get(topic, ()))
             self.published += 1
+        self.metrics.counter("notifications_published_total", topic=topic).inc()
         for sub in subs:
             sub._push(note)
         return note

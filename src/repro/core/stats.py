@@ -7,15 +7,22 @@ Weights Handler's location-aware load path: it records, per location,
 how many loads were served, the simulated bytes and time spent, and how
 often the preferred (cheapest) replica was missing so the load fell back
 to a slower tier.
+
+When constructed with a :class:`~repro.obs.metrics.MetricsRegistry`,
+every counter is mirrored into the registry (``viper_loads_total``,
+``viper_load_bytes_total``, ``viper_load_seconds`` histogram,
+``viper_load_fallbacks_total``, ``viper_load_misses_total``) so
+location-aware load accounting shows up in Prometheus/JSONL exports,
+not only in the ad-hoc :meth:`summary` string.
 """
 
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, Tuple
 
-__all__ = ["LocationStats", "StatsManager", "LOCATION_RANK"]
+__all__ = ["LocationStats", "StatsSnapshot", "StatsManager", "LOCATION_RANK"]
 
 #: Cheapest-first order of checkpoint locations (the load path prefers
 #: the fastest tier that still holds the replica).
@@ -31,14 +38,39 @@ class LocationStats:
     seconds: float = 0.0
 
 
+@dataclass(frozen=True)
+class StatsSnapshot:
+    """Consistent point-in-time copy of every StatsManager counter.
+
+    Indexing by location (``snap["gpu"]``) keeps the historical
+    dict-of-:class:`LocationStats` shape working.
+    """
+
+    locations: Dict[str, LocationStats]
+    fallbacks: int
+    misses: int
+
+    def __getitem__(self, location: str) -> LocationStats:
+        return self.locations[location]
+
+    def __contains__(self, location: str) -> bool:
+        return location in self.locations
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.locations)
+
+
 class StatsManager:
     """Thread-safe load-source counters."""
 
-    def __init__(self):
+    def __init__(self, metrics=None):
+        from repro.obs.metrics import NULL_METRICS
+
         self._lock = threading.Lock()
         self._per_location: Dict[str, LocationStats] = {}
         self.fallbacks = 0   # preferred replica missing, used a slower one
         self.misses = 0      # no replica present anywhere
+        self.metrics = metrics if metrics is not None else NULL_METRICS
 
     def rank(self, location: str) -> int:
         return LOCATION_RANK.get(location, len(LOCATION_RANK))
@@ -62,10 +94,16 @@ class StatsManager:
             stats.seconds += float(seconds)
             if fallback:
                 self.fallbacks += 1
+        self.metrics.counter("viper_loads_total", location=location).inc()
+        self.metrics.counter("viper_load_bytes_total", location=location).inc(int(nbytes))
+        self.metrics.histogram("viper_load_seconds", location=location).observe(float(seconds))
+        if fallback:
+            self.metrics.counter("viper_load_fallbacks_total").inc()
 
     def record_miss(self) -> None:
         with self._lock:
             self.misses += 1
+        self.metrics.counter("viper_load_misses_total").inc()
 
     # ------------------------------------------------------------------
     def loads_from(self, location: str) -> int:
@@ -73,20 +111,25 @@ class StatsManager:
             stats = self._per_location.get(location)
             return stats.loads if stats else 0
 
-    def snapshot(self) -> Dict[str, LocationStats]:
+    def snapshot(self) -> StatsSnapshot:
         with self._lock:
-            return {
-                loc: LocationStats(s.loads, s.bytes_loaded, s.seconds)
-                for loc, s in self._per_location.items()
-            }
+            return StatsSnapshot(
+                locations={
+                    loc: LocationStats(s.loads, s.bytes_loaded, s.seconds)
+                    for loc, s in self._per_location.items()
+                },
+                fallbacks=self.fallbacks,
+                misses=self.misses,
+            )
 
     def summary(self) -> str:
+        snap = self.snapshot()
         parts = []
-        for loc in sorted(self._per_location, key=self.rank):
-            stats = self._per_location[loc]
+        for loc in sorted(snap.locations, key=self.rank):
+            stats = snap.locations[loc]
             parts.append(
                 f"{loc}: {stats.loads} loads, {stats.bytes_loaded} B, "
                 f"{stats.seconds:.3f}s"
             )
-        parts.append(f"fallbacks: {self.fallbacks}, misses: {self.misses}")
+        parts.append(f"fallbacks: {snap.fallbacks}, misses: {snap.misses}")
         return "; ".join(parts)

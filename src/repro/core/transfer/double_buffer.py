@@ -17,10 +17,12 @@ the invariant the property tests hammer on.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 from typing import Any, Generic, Optional, Tuple, TypeVar
 
 from repro.errors import ServingError
+from repro.obs.metrics import NULL_METRICS
 
 __all__ = ["DoubleBuffer", "BufferSnapshot"]
 
@@ -38,12 +40,21 @@ class BufferSnapshot(Generic[T]):
 class DoubleBuffer(Generic[T]):
     """Two model slots with an atomic primary/alternate swap."""
 
-    def __init__(self, initial: T, version: int = 0):
+    def __init__(self, initial: T, version: int = 0, *, metrics=None, name: str = "model"):
         self._lock = threading.Lock()
         self._primary: BufferSnapshot[T] = BufferSnapshot(initial, version)
         self._alternate: Optional[BufferSnapshot[T]] = None
         self._staging = False
+        self._staged_wall = 0.0
         self.swaps = 0
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self._name = name
+        self._m_swaps = self.metrics.counter("buffer_swaps_total", buffer=name)
+        self._m_version = self.metrics.gauge("buffer_live_version", buffer=name)
+        self._m_version.set(version)
+        self._m_stage_to_commit = self.metrics.histogram(
+            "buffer_stage_to_commit_wall_seconds", buffer=name
+        )
 
     # ------------------------------------------------------------------
     # Reader side (inference serving thread)
@@ -79,6 +90,7 @@ class DoubleBuffer(Generic[T]):
                 )
             self._alternate = BufferSnapshot(model, version)
             self._staging = True
+            self._staged_wall = time.perf_counter()
 
     def commit(self) -> BufferSnapshot[T]:
         """Atomically swap alternate into primary; returns the new primary."""
@@ -92,6 +104,9 @@ class DoubleBuffer(Generic[T]):
             self._alternate = None
             self._staging = False
             self.swaps += 1
+            self._m_swaps.inc()
+            self._m_version.set(self._primary.version)
+            self._m_stage_to_commit.observe(time.perf_counter() - self._staged_wall)
             return self._primary
 
     def update(self, model: T, version: int) -> BufferSnapshot[T]:

@@ -17,6 +17,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Tuple
 
 from repro.errors import TransferError
+from repro.obs.metrics import NULL_METRICS
+from repro.obs.tracer import NULL_TRACER
 from repro.substrates.cost import Cost
 
 __all__ = ["TransferJob", "AsyncTransferEngine"]
@@ -37,8 +39,20 @@ class TransferJob:
 class AsyncTransferEngine:
     """Single-worker background queue for model updates."""
 
-    def __init__(self, name: str = "viper-engine"):
+    def __init__(self, name: str = "viper-engine", *, tracer=None, metrics=None):
         self.name = name
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self._m_jobs_ok = self.metrics.counter(
+            "engine_jobs_total", engine=name, status="ok"
+        )
+        self._m_jobs_err = self.metrics.counter(
+            "engine_jobs_total", engine=name, status="error"
+        )
+        self._m_sim_seconds = self.metrics.histogram(
+            "engine_job_sim_seconds", engine=name
+        )
+        self._m_depth = self.metrics.gauge("engine_queue_depth", engine=name)
         self._queue: "queue.Queue[Optional[TransferJob]]" = queue.Queue()
         self._lock = threading.Lock()
         self._completed: List[TransferJob] = []
@@ -57,6 +71,7 @@ class AsyncTransferEngine:
         if not self._started:
             raise TransferError(f"{self.name}: engine not started")
         self._queue.put(job)
+        self._m_depth.inc()
         return job
 
     def drain(self, timeout: float = 60.0, raise_on_error: bool = True) -> None:
@@ -104,14 +119,21 @@ class AsyncTransferEngine:
                 self._queue.task_done()
                 return
             try:
-                job.cost = job.action()
+                with self.tracer.span(
+                    "engine.job", track=self.name, description=job.description
+                ):
+                    job.cost = job.action()
                 with self._lock:
                     self._completed.append(job)
                     self._background_cost = self._background_cost + job.cost
+                self._m_jobs_ok.inc()
+                self._m_sim_seconds.observe(job.cost.total)
             except BaseException as exc:  # noqa: BLE001 - surfaced on drain
                 job.error = exc
                 with self._lock:
                     self._errors.append(job)
+                self._m_jobs_err.inc()
             finally:
+                self._m_depth.dec()
                 job.done.set()
                 self._queue.task_done()

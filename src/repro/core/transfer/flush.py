@@ -18,6 +18,8 @@ from dataclasses import dataclass, replace
 from typing import Callable, List, Optional, Tuple
 
 from repro.errors import StorageError
+from repro.obs.metrics import NULL_METRICS
+from repro.obs.tracer import NULL_TRACER
 from repro.substrates.cost import Cost
 from repro.substrates.memory.storage import TierStore
 from repro.core.metadata import MetadataStore, ModelRecord
@@ -44,11 +46,18 @@ class BackgroundFlusher:
         *,
         max_retries: int = 2,
         fail_hook: Optional[Callable[[FlushJob, int], bool]] = None,
+        tracer=None,
+        metrics=None,
     ):
         self.pfs = pfs
         self.metadata = metadata
         self.max_retries = max_retries
         self.fail_hook = fail_hook
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self._m_ok = self.metrics.counter("flush_jobs_total", status="ok")
+        self._m_failed = self.metrics.counter("flush_jobs_total", status="failed")
+        self._m_sim_seconds = self.metrics.histogram("flush_sim_seconds")
         self._queue: "queue.Queue[Optional[FlushJob]]" = queue.Queue()
         self._lock = threading.Lock()
         self._flushed: List[str] = []
@@ -115,32 +124,38 @@ class BackgroundFlusher:
                 self._queue.task_done()
 
     def _flush_one(self, job: FlushJob) -> None:
-        for attempt in range(self.max_retries + 1):
-            try:
-                if self.fail_hook is not None and self.fail_hook(job, attempt):
-                    raise StorageError(f"injected flush failure for {job.key}")
-                cost = self.pfs.put(
-                    job.key,
-                    job.blob,
-                    virtual_bytes=job.record.nbytes,
-                    nobjects=job.record.ntensors,
-                    version=job.record.version,
-                )
-                current, _ = self.metadata.record(
-                    job.record.model_name, job.record.version
-                )
-                cost = cost + self.metadata.compare_and_swap(
-                    replace(
-                        current,
-                        durable=True,
-                        replicas=tuple(dict.fromkeys(current.replicas + ("pfs",))),
+        with self.tracer.span("flush.job", track="viper-flusher", key=job.key) as sp:
+            for attempt in range(self.max_retries + 1):
+                try:
+                    if self.fail_hook is not None and self.fail_hook(job, attempt):
+                        raise StorageError(f"injected flush failure for {job.key}")
+                    cost = self.pfs.put(
+                        job.key,
+                        job.blob,
+                        virtual_bytes=job.record.nbytes,
+                        nobjects=job.record.ntensors,
+                        version=job.record.version,
                     )
-                )
-                with self._lock:
-                    self._flushed.append(job.key)
-                    self._background_cost = self._background_cost + cost
-                return
-            except StorageError:
-                continue
-        with self._lock:
-            self._failed.append(job.key)
+                    current, _ = self.metadata.record(
+                        job.record.model_name, job.record.version
+                    )
+                    cost = cost + self.metadata.compare_and_swap(
+                        replace(
+                            current,
+                            durable=True,
+                            replicas=tuple(dict.fromkeys(current.replicas + ("pfs",))),
+                        )
+                    )
+                    with self._lock:
+                        self._flushed.append(job.key)
+                        self._background_cost = self._background_cost + cost
+                    sp.set(attempts=attempt + 1, sim_seconds=cost.total)
+                    self._m_ok.inc()
+                    self._m_sim_seconds.observe(cost.total)
+                    return
+                except StorageError:
+                    continue
+            sp.set(outcome="failed", attempts=self.max_retries + 1)
+            self._m_failed.inc()
+            with self._lock:
+                self._failed.append(job.key)

@@ -32,6 +32,8 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro.errors import MetadataError, ObjectNotFoundError, TransferError
+from repro.obs.metrics import NULL_METRICS
+from repro.obs.tracer import NULL_TRACER
 from repro.core.stats import StatsManager
 from repro.substrates.cost import Cost
 from repro.substrates.cluster.cluster import Cluster
@@ -116,13 +118,21 @@ class ModelWeightsHandler:
         flush_history: bool = False,
         retention=None,
         topic: str = "model-updates",
+        tracer=None,
+        metrics=None,
     ):
         self.cluster = cluster
         self.producer = producer
         self.consumer = consumer
         self.profile = profile
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         self.metadata = metadata if metadata is not None else MetadataStore()
-        self.broker = broker if broker is not None else NotificationBroker()
+        self.broker = (
+            broker
+            if broker is not None
+            else NotificationBroker(metrics=self.metrics)
+        )
         self.serializer = serializer if serializer is not None else ViperSerializer()
         self.selector = selector if selector is not None else TransferSelector(
             gpu_direct_available=True,
@@ -132,9 +142,13 @@ class ModelWeightsHandler:
         self.topic = topic
         self.flush_history = flush_history
         self.retention = retention
-        self.stats = StatsManager()
-        self.engine = AsyncTransferEngine().start()
-        self.flusher = BackgroundFlusher(cluster.pfs, self.metadata).start()
+        self.stats = StatsManager(metrics=self.metrics)
+        self.engine = AsyncTransferEngine(
+            tracer=self.tracer, metrics=self.metrics
+        ).start()
+        self.flusher = BackgroundFlusher(
+            cluster.pfs, self.metadata, tracer=self.tracer, metrics=self.metrics
+        ).start()
         self._clock_lock = threading.Lock()
         self._sim_now = 0.0
         self._versions: Dict[str, int] = {}
@@ -197,7 +211,44 @@ class ModelWeightsHandler:
             self.profile, self.serializer, chosen, mode, vbytes, vtensors
         )
         ver = self.next_version(model_name) if version is None else version
-        blob = self.serializer.dumps(state)
+        save_span = self.tracer.span(
+            "handler.save",
+            track="producer",
+            model=model_name,
+            version=ver,
+            strategy=chosen.value,
+            mode=mode.value,
+            nbytes=vbytes,
+        )
+        with save_span as sp:
+            with self.tracer.span("handler.serialize", track="producer"):
+                blob = self.serializer.dumps(state)
+            result = self._stage_and_publish(
+                model_name, blob, chosen, mode, timings, ver, vbytes,
+                vtensors, train_iteration, train_loss,
+            )
+            sp.set(sim_stall=result.stall.total, sim_background=result.background.total)
+        self.metrics.counter(
+            "handler_saves_total", strategy=chosen.value, mode=mode.value
+        ).inc()
+        self.metrics.histogram(
+            "handler_save_stall_sim_seconds", strategy=chosen.value
+        ).observe(result.stall.total)
+        return result
+
+    def _stage_and_publish(
+        self,
+        model_name: str,
+        blob: bytes,
+        chosen: TransferStrategy,
+        mode: CaptureMode,
+        timings: StrategyTimings,
+        ver: int,
+        vbytes: int,
+        vtensors: int,
+        train_iteration: int,
+        train_loss: float,
+    ) -> UpdateResult:
         key = f"{model_name}/v{ver}"
         record = ModelRecord(
             model_name=model_name,
@@ -215,26 +266,29 @@ class ModelWeightsHandler:
         wire = self.serializer.wire_bytes(vbytes)
 
         def _publish() -> Cost:
-            dest = self._dest_store(chosen)
-            dest.put(
-                key,
-                blob,
-                virtual_bytes=wire,
-                nobjects=vtensors,
-                version=ver,
-            )
-            cost = self.metadata.publish_version(record)
-            self.broker.publish(
-                self.topic,
-                model_name=model_name,
-                version=ver,
-                location=record.location,
-                now=self.sim_now,
-                payload={"path": key, "nbytes": vbytes},
-            )
-            if self.flush_history and chosen is not TransferStrategy.PFS:
-                self.flusher.submit(FlushJob(key=key, blob=blob, record=record))
-            return timings.deliver + cost
+            with self.tracer.span(
+                "handler.publish", track="engine", key=key, version=ver
+            ):
+                dest = self._dest_store(chosen)
+                dest.put(
+                    key,
+                    blob,
+                    virtual_bytes=wire,
+                    nobjects=vtensors,
+                    version=ver,
+                )
+                cost = self.metadata.publish_version(record)
+                self.broker.publish(
+                    self.topic,
+                    model_name=model_name,
+                    version=ver,
+                    location=record.location,
+                    now=self.sim_now,
+                    payload={"path": key, "nbytes": vbytes},
+                )
+                if self.flush_history and chosen is not TransferStrategy.PFS:
+                    self.flusher.submit(FlushJob(key=key, blob=blob, record=record))
+                return timings.deliver + cost
 
         if mode is CaptureMode.SYNC:
             background = _publish()
@@ -280,42 +334,50 @@ class ModelWeightsHandler:
         the blob serves the request — e.g. the consumer-memory copy when
         present, the durable PFS copy after eviction or node loss.
         """
-        if version is None:
-            record, meta_cost = self.metadata.latest(model_name)
-            if record is None:
-                raise MetadataError(f"no published checkpoint for {model_name!r}")
-        else:
-            record, meta_cost = self.metadata.record(model_name, version)
-        candidates = self.stats.order(record.replicas)
-        chosen = None
-        blob = None
-        for location in candidates:
-            store = self._store_for_location(location)
-            if record.path in store:
-                blob, _store_cost = store.get(record.path)
-                chosen = location
-                break
-        if chosen is None or blob is None:
-            self.stats.record_miss()
-            raise ObjectNotFoundError(
-                f"no replica of {record.path!r} present in any of "
-                f"{candidates} (evicted before load?)"
+        with self.tracer.span(
+            "handler.load", track="consumer", model=model_name
+        ) as sp:
+            if version is None:
+                record, meta_cost = self.metadata.latest(model_name)
+                if record is None:
+                    raise MetadataError(f"no published checkpoint for {model_name!r}")
+            else:
+                record, meta_cost = self.metadata.record(model_name, version)
+            candidates = self.stats.order(record.replicas)
+            chosen = None
+            blob = None
+            for location in candidates:
+                store = self._store_for_location(location)
+                if record.path in store:
+                    with self.tracer.span(
+                        "handler.fetch", track="consumer", location=location
+                    ):
+                        blob, _store_cost = store.get(record.path)
+                    chosen = location
+                    break
+            if chosen is None or blob is None:
+                self.stats.record_miss()
+                raise ObjectNotFoundError(
+                    f"no replica of {record.path!r} present in any of "
+                    f"{candidates} (evicted before load?)"
+                )
+            with self.tracer.span("handler.deserialize", track="consumer"):
+                state = self.serializer.loads(blob)
+            cost = meta_cost + load_cost_for_location(
+                self.profile,
+                self.serializer,
+                _strategy_key(chosen),
+                record.nbytes,
+                record.ntensors,
             )
-        state = self.serializer.loads(blob)
-        cost = meta_cost + load_cost_for_location(
-            self.profile,
-            self.serializer,
-            _strategy_key(chosen),
-            record.nbytes,
-            record.ntensors,
-        )
-        self._advance_now(cost.total)
-        self.stats.record_load(
-            chosen, record.nbytes, cost.total, fallback=(chosen != candidates[0])
-        )
-        return LoadResult(
-            model_name, record.version, state, cost, record, location=chosen
-        )
+            self._advance_now(cost.total)
+            self.stats.record_load(
+                chosen, record.nbytes, cost.total, fallback=(chosen != candidates[0])
+            )
+            sp.set(version=record.version, location=chosen, sim_seconds=cost.total)
+            return LoadResult(
+                model_name, record.version, state, cost, record, location=chosen
+            )
 
     def _store_for_location(self, location: str) -> TierStore:
         if location == "gpu":

@@ -1,0 +1,60 @@
+"""Observability: spans, metrics, and exportable timelines.
+
+The rest of the repository argues about *where a checkpoint's time
+goes* (capture -> stage -> transfer -> notify -> load -> swap, paper
+Fig. 8-10); this package is how you see it.  Three pillars:
+
+- :mod:`repro.obs.tracer` — nested, attributed spans carrying both
+  sim-clock and wall-clock timestamps, with a zero-cost
+  :class:`NullTracer` default so uninstrumented runs pay nothing;
+- :mod:`repro.obs.metrics` — a thread-safe registry of counters,
+  gauges, and fixed-bucket histograms keyed by name+labels;
+- :mod:`repro.obs.exporters` — Chrome/Perfetto ``trace_event`` JSON,
+  Prometheus-style text, and JSONL event logs, plus a converter that
+  renders the existing :class:`~repro.workflow.trace.Trace` onto the
+  same Chrome-trace timeline.
+
+:mod:`repro.obs.report` aggregates a coupled-run trace into the
+per-stage latency breakdown behind ``python -m repro obs``.
+"""
+
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, SpanTracer
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRICS,
+    NullMetricsRegistry,
+)
+from repro.obs.exporters import (
+    chrome_trace,
+    prometheus_text,
+    spans_to_chrome_events,
+    trace_to_chrome_events,
+    write_chrome_trace,
+    write_jsonl_events,
+)
+from repro.obs.report import StageBreakdown, format_stage_table, stage_breakdown
+
+__all__ = [
+    "Span",
+    "SpanTracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_METRICS",
+    "chrome_trace",
+    "spans_to_chrome_events",
+    "trace_to_chrome_events",
+    "write_chrome_trace",
+    "write_jsonl_events",
+    "prometheus_text",
+    "StageBreakdown",
+    "stage_breakdown",
+    "format_stage_table",
+]

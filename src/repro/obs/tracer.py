@@ -1,0 +1,319 @@
+"""Span tracer: nested, attributed timing spans on two clocks.
+
+Every span records *both* timelines this repository cares about:
+
+- **sim** — simulated seconds (the :class:`~repro.substrates.simclock`
+  arithmetic all latency results are made of);
+- **wall** — real ``time.perf_counter()`` seconds (what the process
+  actually spent, e.g. serialization CPU time).
+
+Three ways to produce spans:
+
+- ``with tracer.span("handler.save", strategy="gpu") as sp:`` — the
+  context-manager form; nesting follows the per-thread span stack, so
+  child spans parent automatically.
+- ``@tracer.trace("serialize")`` — decorator sugar over ``span``.
+- ``tracer.open(...)`` / ``tracer.close(...)`` / ``tracer.record(...)``
+  — the manual form for event-driven code (the DES workflow actors),
+  where a logical span opens in one callback and closes in another and
+  parenting must be explicit.
+
+:class:`NullTracer` implements the same surface as no-ops returning
+shared singletons; it is the default everywhere, so uninstrumented hot
+paths pay one attribute load and a no-op call, nothing more.
+"""
+
+from __future__ import annotations
+
+import functools
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from repro.errors import ViperError
+
+__all__ = ["Span", "SpanTracer", "NullTracer", "NULL_TRACER"]
+
+
+@dataclass
+class Span:
+    """One timed operation: name, track, parentage, two clocks, attrs."""
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    track: str
+    start_wall: float
+    start_sim: float
+    end_wall: float = float("nan")
+    end_sim: float = float("nan")
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def wall_duration(self) -> float:
+        return self.end_wall - self.start_wall
+
+    @property
+    def sim_duration(self) -> float:
+        return self.end_sim - self.start_sim
+
+    @property
+    def finished(self) -> bool:
+        return self.end_wall == self.end_wall  # not NaN
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes to a live span; chainable."""
+        self.attrs.update(attrs)
+        return self
+
+
+class _SpanContext:
+    """Context manager pairing ``tracer.open`` with ``tracer.close``."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "SpanTracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self._span.attrs.setdefault("error", exc_type.__name__)
+        self._tracer.close(self._span)
+        return False
+
+
+class SpanTracer:
+    """Thread-safe recorder of nested spans.
+
+    ``sim_now`` supplies the simulated clock (e.g. ``handler.sim_now``
+    via a lambda, or an :class:`EventLoop`'s ``clock.now``); when absent
+    the sim timestamps default to 0 unless given explicitly.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        sim_now: Optional[Callable[[], float]] = None,
+        wall_now: Callable[[], float] = time.perf_counter,
+    ):
+        self._sim_now = sim_now
+        self._wall_now = wall_now
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._finished: List[Span] = []
+        self._open: Dict[int, Span] = {}
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    # Clock access
+    # ------------------------------------------------------------------
+    def _sim(self) -> float:
+        return self._sim_now() if self._sim_now is not None else 0.0
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def current(self) -> Optional[Span]:
+        """The innermost context-manager span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    # ------------------------------------------------------------------
+    # Context-manager / decorator form (implicit per-thread nesting)
+    # ------------------------------------------------------------------
+    def span(self, name: str, track: Optional[str] = None, **attrs: Any) -> _SpanContext:
+        """Open a span that closes when the ``with`` block exits."""
+        sp = self.open(name, track=track, parent=self.current(), **attrs)
+        self._stack().append(sp)
+        return _SpanContext(self, sp)
+
+    def trace(self, name: Optional[str] = None, **attrs: Any) -> Callable:
+        """Decorator: run the wrapped callable inside a span."""
+
+        def decorate(fn: Callable) -> Callable:
+            label = name or fn.__qualname__
+
+            @functools.wraps(fn)
+            def wrapper(*args: Any, **kwargs: Any) -> Any:
+                with self.span(label, **attrs):
+                    return fn(*args, **kwargs)
+
+            return wrapper
+
+        return decorate
+
+    # ------------------------------------------------------------------
+    # Manual form (explicit parenting, for event-driven actors)
+    # ------------------------------------------------------------------
+    def open(
+        self,
+        name: str,
+        *,
+        track: Optional[str] = None,
+        parent: Union[Span, int, None] = None,
+        start_sim: Optional[float] = None,
+        **attrs: Any,
+    ) -> Span:
+        """Start a span; the caller must :meth:`close` it later."""
+        parent_id = parent.span_id if isinstance(parent, Span) else parent
+        if track is None:
+            track = threading.current_thread().name
+        sp = Span(
+            name=name,
+            span_id=next(self._ids),
+            parent_id=parent_id,
+            track=track,
+            start_wall=self._wall_now(),
+            start_sim=self._sim() if start_sim is None else float(start_sim),
+            attrs=dict(attrs),
+        )
+        with self._lock:
+            self._open[sp.span_id] = sp
+        return sp
+
+    def close(
+        self,
+        span: Union[Span, int],
+        *,
+        end_sim: Optional[float] = None,
+        **attrs: Any,
+    ) -> Span:
+        """Finish a span opened with :meth:`open` or :meth:`span`."""
+        span_id = span.span_id if isinstance(span, Span) else span
+        with self._lock:
+            sp = self._open.pop(span_id, None)
+            if sp is None:
+                raise ViperError(f"close() of unknown/finished span id {span_id}")
+            sp.end_wall = self._wall_now()
+            sp.end_sim = self._sim() if end_sim is None else float(end_sim)
+            sp.attrs.update(attrs)
+            self._finished.append(sp)
+        stack = self._stack()
+        if stack and stack[-1].span_id == span_id:
+            stack.pop()
+        return sp
+
+    def record(
+        self,
+        name: str,
+        *,
+        start_sim: float,
+        end_sim: float,
+        track: str = "main",
+        parent: Union[Span, int, None] = None,
+        **attrs: Any,
+    ) -> Span:
+        """Append an already-completed span with explicit sim times."""
+        parent_id = parent.span_id if isinstance(parent, Span) else parent
+        wall = self._wall_now()
+        sp = Span(
+            name=name,
+            span_id=next(self._ids),
+            parent_id=parent_id,
+            track=track,
+            start_wall=wall,
+            start_sim=float(start_sim),
+            end_wall=wall,
+            end_sim=float(end_sim),
+            attrs=dict(attrs),
+        )
+        with self._lock:
+            self._finished.append(sp)
+        return sp
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def spans(self, name: str = "") -> Tuple[Span, ...]:
+        """Finished spans in completion order, optionally filtered."""
+        with self._lock:
+            out = tuple(self._finished)
+        if name:
+            out = tuple(s for s in out if s.name == name)
+        return out
+
+    def open_spans(self) -> Tuple[Span, ...]:
+        with self._lock:
+            return tuple(self._open.values())
+
+    def clear(self) -> None:
+        with self._lock:
+            self._finished.clear()
+            self._open.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._finished)
+
+
+class _NullSpan(Span):
+    """Shared inert span returned by :class:`NullTracer`."""
+
+    def set(self, **attrs: Any) -> "Span":  # noqa: D102 - no-op
+        return self
+
+
+_NULL_SPAN = _NullSpan(
+    name="", span_id=0, parent_id=None, track="", start_wall=0.0, start_sim=0.0,
+    end_wall=0.0, end_sim=0.0,
+)
+
+
+class _NullSpanContext:
+    __slots__ = ()
+
+    def __enter__(self) -> Span:
+        return _NULL_SPAN
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_CTX = _NullSpanContext()
+
+
+class NullTracer(SpanTracer):
+    """Do-nothing tracer: every operation is a constant-time no-op."""
+
+    enabled = False
+
+    def __init__(self):
+        super().__init__()
+
+    def span(self, name: str, track: Optional[str] = None, **attrs: Any) -> _NullSpanContext:  # type: ignore[override]
+        return _NULL_CTX
+
+    def trace(self, name: Optional[str] = None, **attrs: Any) -> Callable:
+        def decorate(fn: Callable) -> Callable:
+            return fn
+
+        return decorate
+
+    def open(self, name: str, **kwargs: Any) -> Span:  # type: ignore[override]
+        return _NULL_SPAN
+
+    def close(self, span: Union[Span, int], **kwargs: Any) -> Span:  # type: ignore[override]
+        return _NULL_SPAN
+
+    def record(self, name: str, **kwargs: Any) -> Span:  # type: ignore[override]
+        return _NULL_SPAN
+
+    def current(self) -> Optional[Span]:
+        return None
+
+    def spans(self, name: str = "") -> Tuple[Span, ...]:
+        return ()
+
+
+#: Shared default: instrumented components use this when no tracer is given.
+NULL_TRACER = NullTracer()

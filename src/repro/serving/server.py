@@ -18,6 +18,7 @@ Updates can be applied in two discovery modes:
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
@@ -25,6 +26,8 @@ import numpy as np
 
 from repro.errors import ServingError
 from repro.dnn.losses import Loss
+from repro.obs.metrics import NULL_METRICS
+from repro.obs.tracer import NULL_TRACER
 from repro.core.api import ViperConsumer
 
 __all__ = ["ServedRequest", "InferenceServer"]
@@ -55,6 +58,8 @@ class InferenceServer:
         *,
         loss_fn: Optional[Loss] = None,
         t_infer: float = 0.005,
+        tracer=None,
+        metrics=None,
     ):
         if t_infer <= 0:
             raise ServingError("t_infer must be positive")
@@ -62,10 +67,28 @@ class InferenceServer:
         self.model_name = model_name
         self.loss_fn = loss_fn
         self.t_infer = t_infer
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self._m_requests = self.metrics.counter(
+            "server_requests_total", model=model_name
+        )
+        self._m_latency = self.metrics.histogram(
+            "server_request_wall_seconds", model=model_name
+        )
+        self._m_stale = self.metrics.counter(
+            "server_stale_serves_total", model=model_name
+        )
+        self._m_swaps = self.metrics.counter(
+            "server_updates_applied_total", model=model_name
+        )
         self.requests: List[ServedRequest] = []
         self._sim_time = 0.0
         self._lock = threading.Lock()
         self._next_id = 0
+        # Newest version known to have been published, maintained by
+        # poll_updates(); a request served with an older primary is a
+        # "stale serve" (updates pending but not yet swapped in).
+        self._latest_known = self.consumer.current_version
 
     # ------------------------------------------------------------------
     # Model updates (the "model updating thread" of §4.3)
@@ -73,6 +96,12 @@ class InferenceServer:
     def poll_updates(self) -> bool:
         """Apply the newest pushed checkpoint if any; True if swapped."""
         result = self.consumer.refresh(self.model_name)
+        if result is not None:
+            self._m_swaps.inc()
+        if self.metrics.enabled:
+            record, _ = self.consumer.viper.metadata.latest(self.model_name)
+            if record is not None and record.version > self._latest_known:
+                self._latest_known = record.version
         return result is not None
 
     # ------------------------------------------------------------------
@@ -84,11 +113,19 @@ class InferenceServer:
         y_true: Optional[np.ndarray] = None,
     ) -> Tuple[np.ndarray, ServedRequest]:
         """Serve one request batch with the current primary model."""
+        wall_start = time.perf_counter()
         snapshot = self.consumer._buffer.acquire()
-        pred = snapshot.model.predict(x)
+        with self.tracer.span(
+            "server.request", track="serving", version=snapshot.version
+        ):
+            pred = snapshot.model.predict(x)
         loss = float("nan")
         if y_true is not None and self.loss_fn is not None:
             loss = self.loss_fn.forward(pred, y_true)
+        self._m_requests.inc()
+        self._m_latency.observe(time.perf_counter() - wall_start)
+        if snapshot.version < self._latest_known:
+            self._m_stale.inc()
         with self._lock:
             self._sim_time += self.t_infer
             req = ServedRequest(

@@ -24,6 +24,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.errors import WorkflowError
+from repro.obs.tracer import NULL_TRACER
 from repro.substrates.simclock import EventLoop
 from repro.workflow.producer import CheckpointAnnouncement
 from repro.workflow.trace import Trace
@@ -88,12 +89,18 @@ class ConsumerSim:
         t_load: float,
         initial_loss: float,
         initial_iteration: int = 0,
+        tracer=None,
+        ckpt_spans=None,
     ):
         if t_load < 0:
             raise WorkflowError("t_load must be non-negative")
         self.loop = loop
         self.trace = trace
         self.t_load = t_load
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: version -> open "checkpoint" span (shared with the producer);
+        #: the consumer closes a version's span when it swaps in.
+        self.ckpt_spans = ckpt_spans if ckpt_spans is not None else {}
         # The warm-up model is live from the simulation origin.
         self.switches: List[VersionSwitch] = [
             VersionSwitch(loop.clock.now(), 0, initial_iteration, initial_loss)
@@ -143,6 +150,14 @@ class ConsumerSim:
             # Double-buffer swap: atomic, negligible cost.
             self.switches.append(VersionSwitch(t, ann.version, ann.iteration, ann.loss))
             self.trace.add(t, "swap", "consumer", version=ann.version)
+            if self.tracer.enabled:
+                self.tracer.record(
+                    "load", start_sim=now, end_sim=t, track="consumer",
+                    parent=self.ckpt_spans.get(ann.version), version=ann.version,
+                )
+                span = self.ckpt_spans.pop(ann.version, None)
+                if span is not None:
+                    self.tracer.close(span, end_sim=t, outcome="swapped")
             self._loading = None
             if self._pending is not None:
                 nxt, self._pending = self._pending, None

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
 from repro.errors import WorkflowError
+from repro.obs.tracer import NULL_TRACER
 from repro.substrates.simclock import EventLoop
 from repro.core.predictor.schedules import Schedule
 from repro.core.transfer.strategies import CaptureMode, StrategyTimings
@@ -52,6 +53,8 @@ class ProducerSim:
         notify_latency: float,
         on_notify: Callable[[CheckpointAnnouncement], None],
         adapter=None,
+        tracer=None,
+        ckpt_spans=None,
     ):
         if total_iters <= start_iter:
             raise WorkflowError(
@@ -68,6 +71,10 @@ class ProducerSim:
         self.notify_latency = notify_latency
         self.on_notify = on_notify
         self.adapter = adapter
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: version -> open "checkpoint" span; shared with the consumer,
+        #: which closes a span when that version swaps in.
+        self.ckpt_spans = ckpt_spans if ckpt_spans is not None else {}
 
         self._schedule_set = frozenset(schedule.iterations)
         self._iteration = start_iter
@@ -111,10 +118,20 @@ class ProducerSim:
         stall = self.timings.stall.total
         self.training_overhead += stall
         self.trace.add(now, "ckpt_begin", "producer", version=version, iteration=iteration)
+        if self.tracer.enabled:
+            self.ckpt_spans[version] = self.tracer.open(
+                "checkpoint", track="pipeline", start_sim=now,
+                version=version, iteration=iteration,
+            )
 
         def _stall_over():
             t = self.loop.clock.now()
             self.trace.add(t, "ckpt_stall_end", "producer", version=version)
+            if self.tracer.enabled:
+                self.tracer.record(
+                    "capture", start_sim=now, end_sim=t, track="producer",
+                    parent=self.ckpt_spans.get(version), version=version,
+                )
             ann = CheckpointAnnouncement(version, iteration, loss, delivered_at=t)
             if self.timings.mode is CaptureMode.SYNC:
                 # Delivery completed within the stall; notify immediately.
@@ -148,11 +165,17 @@ class ProducerSim:
 
     def _start_delivery(self, ann: CheckpointAnnouncement) -> None:
         deliver = self.timings.deliver.total
-        self._engine_free_at = self.loop.clock.now() + deliver
+        start = self.loop.clock.now()
+        self._engine_free_at = start + deliver
 
         def _delivered():
             t = self.loop.clock.now()
             self.trace.add(t, "delivered", "engine", version=ann.version)
+            if self.tracer.enabled:
+                self.tracer.record(
+                    "transfer", start_sim=start, end_sim=t, track="engine",
+                    parent=self.ckpt_spans.get(ann.version), version=ann.version,
+                )
             self._deliver(
                 CheckpointAnnouncement(ann.version, ann.iteration, ann.loss, t),
                 extra_delay=0.0,
@@ -166,10 +189,16 @@ class ProducerSim:
     def _deliver(self, ann: CheckpointAnnouncement, extra_delay: float) -> None:
         """Publish the notification ``notify_latency`` after delivery."""
         self.checkpoints_completed += 1
+        published_at = self.loop.clock.now()
 
         def _notify():
             t = self.loop.clock.now()
             self.trace.add(t, "notified", "producer", version=ann.version)
+            if self.tracer.enabled:
+                self.tracer.record(
+                    "notify", start_sim=published_at, end_sim=t, track="producer",
+                    parent=self.ckpt_spans.get(ann.version), version=ann.version,
+                )
             self.on_notify(ann)
 
         self.loop.schedule_after(

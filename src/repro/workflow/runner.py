@@ -24,6 +24,7 @@ from typing import Callable, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.errors import WorkflowError
+from repro.obs.tracer import NULL_TRACER, SpanTracer
 from repro.substrates.profiles import POLARIS, HardwareProfile
 from repro.substrates.simclock import EventLoop
 from repro.dnn.serialization import Serializer, ViperSerializer
@@ -85,6 +86,10 @@ class CoupledRunConfig:
     # consumer only notices updates at poll boundaries (Triton-style),
     # adding up to one interval of discovery delay per update.
     poll_interval: float = 0.0
+    # Observability: a SpanTracer to receive per-checkpoint span trees
+    # (capture/transfer/notify/load under a parent "checkpoint" span);
+    # the default NullTracer records nothing at no cost.
+    tracer: Optional[SpanTracer] = None
 
 
 @dataclass(frozen=True)
@@ -129,6 +134,8 @@ def run_coupled(config: CoupledRunConfig) -> WorkflowResult:
 
     loop = EventLoop()
     trace = Trace()
+    tracer = config.tracer if config.tracer is not None else NULL_TRACER
+    ckpt_spans: dict = {}
 
     consumer = ConsumerSim(
         loop,
@@ -136,6 +143,8 @@ def run_coupled(config: CoupledRunConfig) -> WorkflowResult:
         t_load=timings.load.total,
         initial_loss=loss_at(schedule.start_iter),
         initial_iteration=schedule.start_iter,
+        tracer=tracer,
+        ckpt_spans=ckpt_spans,
     )
 
     if config.poll_interval > 0:
@@ -171,9 +180,18 @@ def run_coupled(config: CoupledRunConfig) -> WorkflowResult:
         notify_latency=config.notify_latency,
         on_notify=notify,
         adapter=config.adapter,
+        tracer=tracer,
+        ckpt_spans=ckpt_spans,
     )
     producer.start()
     loop.run()
+
+    # Checkpoints that never swapped in (superseded mid-pipeline, or the
+    # run ended first) still need their spans closed for export.
+    for version in sorted(ckpt_spans):
+        tracer.close(
+            ckpt_spans.pop(version), end_sim=loop.clock.now(), outcome="superseded"
+        )
 
     if producer.training_end_time is None:
         raise WorkflowError("training never finished; schedule/iters mismatch")

@@ -8,6 +8,7 @@ layer renders human-readable timelines from it.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Tuple
 
@@ -27,28 +28,39 @@ class TraceEvent:
 
 
 class Trace:
-    """Append-only event log ordered by append time."""
+    """Append-only event log ordered by append time.
+
+    Thread-safe: in live mode the producer thread, the engine worker,
+    and the consumer's update thread all append concurrently.  Readers
+    get immutable tuple snapshots.
+    """
 
     def __init__(self):
+        self._lock = threading.Lock()
         self._events: List[TraceEvent] = []
 
     def add(self, time: float, kind: str, actor: str, **data: Any) -> None:
-        self._events.append(TraceEvent(time, kind, actor, dict(data)))
+        event = TraceEvent(time, kind, actor, dict(data))
+        with self._lock:
+            self._events.append(event)
 
     def events(self, kind: str = "") -> Tuple[TraceEvent, ...]:
         """All events, or only those of one kind."""
+        with self._lock:
+            snapshot = tuple(self._events)
         if not kind:
-            return tuple(self._events)
-        return tuple(e for e in self._events if e.kind == kind)
+            return snapshot
+        return tuple(e for e in snapshot if e.kind == kind)
 
     def __iter__(self) -> Iterator[TraceEvent]:
-        return iter(self._events)
+        return iter(self.events())
 
     def __len__(self) -> int:
-        return len(self._events)
+        with self._lock:
+            return len(self._events)
 
     def last(self, kind: str) -> TraceEvent:
-        for event in reversed(self._events):
+        for event in reversed(self.events()):
             if event.kind == kind:
                 return event
         raise KeyError(f"no event of kind {kind!r} in trace")

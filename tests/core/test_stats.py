@@ -48,6 +48,54 @@ class TestStatsManager:
     def test_rank_table_covers_all_tiers(self):
         assert set(LOCATION_RANK) == {"gpu", "host_dram", "pfs"}
 
+    def test_snapshot_surfaces_fallbacks_and_misses(self):
+        stats = StatsManager()
+        stats.record_load("gpu", 10, 0.1)
+        stats.record_load("pfs", 20, 1.0, fallback=True)
+        stats.record_miss()
+        snap = stats.snapshot()
+        assert snap.fallbacks == 1
+        assert snap.misses == 1
+        assert set(snap) == {"gpu", "pfs"}
+        assert "gpu" in snap
+
+    def test_snapshot_is_a_copy(self):
+        stats = StatsManager()
+        stats.record_load("gpu", 10, 0.1)
+        snap = stats.snapshot()
+        stats.record_load("gpu", 10, 0.1)
+        assert snap["gpu"].loads == 1
+        assert stats.snapshot()["gpu"].loads == 2
+
+    def test_summary_includes_misses(self):
+        stats = StatsManager()
+        stats.record_miss()
+        assert "misses: 1" in stats.summary()
+
+    def test_metrics_registry_wiring(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        stats = StatsManager(metrics=metrics)
+        stats.record_load("gpu", 100, 0.5)
+        stats.record_load("pfs", 50, 1.0, fallback=True)
+        stats.record_miss()
+        by_key = {(i.name, i.labels): i for i in metrics.collect()}
+        assert by_key[("viper_loads_total", (("location", "gpu"),))].value == 1
+        assert by_key[
+            ("viper_load_bytes_total", (("location", "gpu"),))
+        ].value == 100
+        assert by_key[
+            ("viper_load_seconds", (("location", "pfs"),))
+        ].count == 1
+        assert by_key[("viper_load_fallbacks_total", ())].value == 1
+        assert by_key[("viper_load_misses_total", ())].value == 1
+
+    def test_default_null_metrics_records_nothing(self):
+        stats = StatsManager()
+        stats.record_load("gpu", 1, 0.1)
+        assert stats.metrics.collect() == ()
+
 
 class TestLocationAwareLoad:
     def test_load_prefers_memory_replica(self):

@@ -1,0 +1,94 @@
+"""Stage-breakdown tests: decomposition, telescoping consistency, table."""
+
+import pytest
+
+from repro.obs.report import format_stage_table, stage_breakdown
+from repro.workflow.trace import Trace
+
+
+def _full_pipeline_trace():
+    trace = Trace()
+    # warm-up model: swap only, no pipeline
+    trace.add(0.0, "swap", "consumer", version=0)
+    # v1: full async pipeline
+    trace.add(10.0, "ckpt_begin", "producer", version=1)
+    trace.add(10.4, "ckpt_stall_end", "producer", version=1)
+    trace.add(11.0, "delivered", "engine", version=1)
+    trace.add(11.1, "notified", "producer", version=1)
+    trace.add(11.3, "load_begin", "consumer", version=1)
+    trace.add(12.0, "load_done", "consumer", version=1)
+    trace.add(12.0, "swap", "consumer", version=1)
+    # v2: superseded before it could swap
+    trace.add(20.0, "ckpt_begin", "producer", version=2)
+    trace.add(20.4, "ckpt_stall_end", "producer", version=2)
+    trace.add(21.0, "superseded", "consumer", version=2)
+    return trace
+
+
+class TestStageBreakdown:
+    def test_stage_durations(self):
+        b = stage_breakdown(_full_pipeline_trace())
+        stages = b.per_version[1]
+        assert stages["capture"] == pytest.approx(0.4)
+        assert stages["transfer"] == pytest.approx(0.6)
+        assert stages["notify"] == pytest.approx(0.1)
+        assert stages["wait"] == pytest.approx(0.2)
+        assert stages["load"] == pytest.approx(0.7)
+        assert stages["swap"] == pytest.approx(0.0)
+
+    def test_stage_sum_telescopes_to_end_to_end(self):
+        b = stage_breakdown(_full_pipeline_trace())
+        for version, stages in b.per_version.items():
+            assert sum(stages.values()) == pytest.approx(b.end_to_end[version])
+        assert b.end_to_end[1] == pytest.approx(2.0)
+
+    def test_warmup_version_excluded(self):
+        b = stage_breakdown(_full_pipeline_trace())
+        assert 0 not in b.per_version
+        assert 0 not in b.end_to_end
+
+    def test_superseded_version_reported_unfinished(self):
+        b = stage_breakdown(_full_pipeline_trace())
+        assert b.unfinished == (2,)
+        assert 2 not in b.per_version
+
+    def test_sync_mode_trace_without_delivered(self):
+        trace = Trace()
+        trace.add(1.0, "ckpt_begin", "producer", version=1)
+        trace.add(2.0, "ckpt_stall_end", "producer", version=1)
+        trace.add(2.1, "notified", "producer", version=1)
+        trace.add(2.1, "load_begin", "consumer", version=1)
+        trace.add(2.5, "load_done", "consumer", version=1)
+        trace.add(2.5, "swap", "consumer", version=1)
+        b = stage_breakdown(trace)
+        stages = b.per_version[1]
+        assert stages["transfer"] == pytest.approx(0.0)
+        assert sum(stages.values()) == pytest.approx(b.end_to_end[1])
+
+    def test_stage_accessor_and_stats(self):
+        b = stage_breakdown(_full_pipeline_trace())
+        load = b.stage("load")
+        assert load.count == 1
+        assert load.mean == pytest.approx(0.7)
+        assert load.total == pytest.approx(0.7)
+        assert load.percentile(50) == pytest.approx(0.7)
+        assert b.stage("no-such-stage") is None
+
+    def test_empty_trace(self):
+        b = stage_breakdown(Trace())
+        assert b.per_version == {}
+        assert b.unfinished == ()
+        table = format_stage_table(b)
+        assert "0 checkpoint(s)" in table
+
+
+class TestFormatStageTable:
+    def test_table_contains_all_stages_and_consistency_line(self):
+        table = format_stage_table(stage_breakdown(_full_pipeline_trace()))
+        for stage in ("capture", "transfer", "notify", "wait", "load",
+                      "swap", "end_to_end"):
+            assert stage in table
+        assert "stage sum 2.0000s vs end-to-end sum 2.0000s" in table
+        assert "1 checkpoint(s)" in table
+        assert "unfinished" in table
+        assert "v2" in table

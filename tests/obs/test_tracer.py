@@ -1,0 +1,216 @@
+"""Span tracer tests: nesting, clocks, manual form, NullTracer."""
+
+import threading
+
+import pytest
+
+from repro.errors import ViperError
+from repro.obs.tracer import NULL_TRACER, NullTracer, SpanTracer
+
+
+class FakeClock:
+    """Deterministic monotonically advancing clock for tests."""
+
+    def __init__(self, start=0.0, step=1.0):
+        self.t = start
+        self.step = step
+
+    def __call__(self):
+        value = self.t
+        self.t += self.step
+        return value
+
+
+class TestContextManagerSpans:
+    def test_basic_span_records_both_clocks(self):
+        sim = FakeClock(100.0, 5.0)
+        wall = FakeClock(0.0, 0.25)
+        tracer = SpanTracer(sim_now=sim, wall_now=wall)
+        with tracer.span("work", track="t", key="a") as sp:
+            sp.set(extra=1)
+        (done,) = tracer.spans()
+        assert done.name == "work"
+        assert done.track == "t"
+        assert done.sim_duration == pytest.approx(5.0)
+        assert done.wall_duration == pytest.approx(0.25)
+        assert done.attrs == {"key": "a", "extra": 1}
+        assert done.finished
+
+    def test_nesting_parents_via_thread_stack(self):
+        tracer = SpanTracer()
+        with tracer.span("outer") as outer:
+            assert tracer.current() is outer
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+                assert tracer.current() is inner
+            assert tracer.current() is outer
+        assert tracer.current() is None
+        assert outer.parent_id is None
+        assert len(tracer.spans()) == 2
+        # children finish before parents
+        assert [s.name for s in tracer.spans()] == ["inner", "outer"]
+
+    def test_exception_sets_error_attr_and_closes(self):
+        tracer = SpanTracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("nope")
+        (sp,) = tracer.spans()
+        assert sp.finished
+        assert sp.attrs["error"] == "RuntimeError"
+        assert tracer.open_spans() == ()
+
+    def test_decorator_wraps_callable(self):
+        tracer = SpanTracer()
+
+        @tracer.trace("doubler", kind="math")
+        def double(x):
+            return 2 * x
+
+        assert double(21) == 42
+        (sp,) = tracer.spans("doubler")
+        assert sp.attrs == {"kind": "math"}
+
+    def test_decorator_default_name(self):
+        tracer = SpanTracer()
+
+        @tracer.trace()
+        def named():
+            pass
+
+        named()
+        assert "named" in tracer.spans()[0].name
+
+    def test_threads_have_independent_stacks(self):
+        tracer = SpanTracer()
+        seen = {}
+
+        def worker():
+            with tracer.span("child", track="w") as sp:
+                seen["parent_id"] = sp.parent_id
+
+        with tracer.span("main-span"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        # the other thread's span must NOT parent under main's span
+        assert seen["parent_id"] is None
+
+
+class TestManualSpans:
+    def test_open_close_with_explicit_sim_times(self):
+        tracer = SpanTracer()
+        sp = tracer.open("ckpt", track="pipeline", start_sim=10.0, version=3)
+        assert tracer.open_spans() == (sp,)
+        closed = tracer.close(sp, end_sim=14.5, outcome="swapped")
+        assert closed.sim_duration == pytest.approx(4.5)
+        assert closed.attrs == {"version": 3, "outcome": "swapped"}
+        assert tracer.open_spans() == ()
+
+    def test_open_defaults_track_to_thread_name(self):
+        tracer = SpanTracer()
+        sp = tracer.open("x")
+        assert sp.track == threading.current_thread().name
+        tracer.close(sp)
+
+    def test_explicit_parenting(self):
+        tracer = SpanTracer()
+        parent = tracer.open("parent", start_sim=0.0)
+        child = tracer.record(
+            "child", start_sim=1.0, end_sim=2.0, parent=parent
+        )
+        assert child.parent_id == parent.span_id
+        by_id = tracer.record("child2", start_sim=2.0, end_sim=3.0,
+                              parent=parent.span_id)
+        assert by_id.parent_id == parent.span_id
+        tracer.close(parent, end_sim=3.0)
+
+    def test_close_unknown_span_raises(self):
+        tracer = SpanTracer()
+        with pytest.raises(ViperError):
+            tracer.close(999)
+
+    def test_double_close_raises(self):
+        tracer = SpanTracer()
+        sp = tracer.open("once")
+        tracer.close(sp)
+        with pytest.raises(ViperError):
+            tracer.close(sp)
+
+    def test_record_is_immediately_finished(self):
+        tracer = SpanTracer()
+        sp = tracer.record("done", start_sim=5.0, end_sim=7.0, track="eng")
+        assert sp.finished
+        assert sp.sim_duration == pytest.approx(2.0)
+        assert sp.wall_duration == pytest.approx(0.0)
+        assert tracer.spans() == (sp,)
+
+    def test_clear_and_len(self):
+        tracer = SpanTracer()
+        tracer.record("a", start_sim=0.0, end_sim=1.0)
+        tracer.open("b")
+        assert len(tracer) == 1
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.open_spans() == ()
+
+    def test_spans_filter_by_name(self):
+        tracer = SpanTracer()
+        tracer.record("a", start_sim=0.0, end_sim=1.0)
+        tracer.record("b", start_sim=1.0, end_sim=2.0)
+        tracer.record("a", start_sim=2.0, end_sim=3.0)
+        assert len(tracer.spans("a")) == 2
+        assert len(tracer.spans("b")) == 1
+
+
+class TestNullTracer:
+    def test_is_disabled_and_records_nothing(self):
+        assert NULL_TRACER.enabled is False
+        assert SpanTracer.enabled is True
+        with NULL_TRACER.span("anything", key="v") as sp:
+            sp.set(more="attrs")
+        sp2 = NULL_TRACER.open("x", start_sim=1.0)
+        NULL_TRACER.close(sp2, end_sim=2.0)
+        NULL_TRACER.record("y", start_sim=0.0, end_sim=1.0)
+        assert NULL_TRACER.spans() == ()
+        assert len(NULL_TRACER) == 0
+        assert NULL_TRACER.current() is None
+
+    def test_null_span_is_shared_and_inert(self):
+        a = NULL_TRACER.open("a")
+        b = NULL_TRACER.open("b")
+        assert a is b
+        assert a.set(x=1) is a
+        assert a.attrs == {}
+
+    def test_decorator_returns_function_unwrapped(self):
+        def fn():
+            return 7
+
+        assert NullTracer().trace("t")(fn) is fn
+
+    def test_close_never_raises(self):
+        NULL_TRACER.close(12345)
+
+
+class TestThreadSafety:
+    def test_concurrent_open_close(self):
+        tracer = SpanTracer()
+        n = 200
+
+        def worker(tag):
+            for i in range(n):
+                sp = tracer.open(f"{tag}-{i}", track=tag, start_sim=float(i))
+                tracer.close(sp, end_sim=float(i) + 1.0)
+
+        threads = [
+            threading.Thread(target=worker, args=(f"t{k}",)) for k in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(tracer) == 4 * n
+        assert tracer.open_spans() == ()
+        ids = [s.span_id for s in tracer.spans()]
+        assert len(set(ids)) == len(ids)

@@ -28,6 +28,50 @@ class TestParser:
         args = build_parser().parse_args(["timeline"])
         assert args.strategy == "gpu" and args.width == 100
 
+    def test_obs_defaults(self):
+        args = build_parser().parse_args(["obs"])
+        assert args.strategy == "gpu" and not args.sync
+        assert args.export_trace is None
+
+    def test_obs_export_args(self):
+        args = build_parser().parse_args(
+            ["obs", "--sync", "--export-trace", "t.json",
+             "--export-metrics", "m.prom", "--export-events", "e.jsonl"]
+        )
+        assert args.sync
+        assert args.export_trace == "t.json"
+        assert args.export_metrics == "m.prom"
+        assert args.export_events == "e.jsonl"
+
+
+class TestObsCommand:
+    def test_obs_runs_and_exports(self, capsys, tmp_path):
+        # keep the run cheap: tiny synthetic dataset
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.prom"
+        assert main([
+            "obs", "--scale", "0.02", "--seed", "1",
+            "--export-trace", str(trace_path),
+            "--export-metrics", str(metrics_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "capture" in out and "end_to_end" in out
+        assert "stage sum" in out and "vs end-to-end sum" in out
+
+        import json
+
+        doc = json.loads(trace_path.read_text())
+        events = doc["traceEvents"]
+        assert events
+        by_tid = {}
+        for e in events:
+            if e["ph"] == "M":
+                continue
+            by_tid.setdefault(e["tid"], []).append(e["ts"])
+        for ts in by_tid.values():
+            assert ts == sorted(ts)
+        assert "pipeline_stage_sim_seconds" in metrics_path.read_text()
+
 
 class TestTimelineRendering:
     def make_trace(self):

@@ -1,5 +1,7 @@
 """Trace container tests."""
 
+import threading
+
 import pytest
 
 from repro.workflow.trace import Trace
@@ -39,3 +41,74 @@ class TestTrace:
         trace.add(1.0, "x", "a", **payload)
         payload["v"] = 99
         assert trace.last("x").data["v"] == 1
+
+    def test_filter_returns_immutable_snapshot(self):
+        trace = Trace()
+        trace.add(1.0, "iteration", "producer")
+        snapshot = trace.events()
+        trace.add(2.0, "swap", "consumer")
+        assert isinstance(snapshot, tuple)
+        assert len(snapshot) == 1
+        assert len(trace.events()) == 2
+
+
+class TestTraceConcurrency:
+    def test_concurrent_appends_lose_nothing(self):
+        """Producer/consumer-style threads appending concurrently: no
+        events are dropped, and each actor's events stay in its own
+        append order."""
+        trace = Trace()
+        per_thread = 500
+        actors = ["producer", "consumer", "engine"]
+
+        def appender(actor):
+            for i in range(per_thread):
+                trace.add(float(i), "iteration", actor, seq=i)
+
+        threads = [
+            threading.Thread(target=appender, args=(actor,)) for actor in actors
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert len(trace) == per_thread * len(actors)
+        for actor in actors:
+            seqs = [e.data["seq"] for e in trace if e.actor == actor]
+            assert seqs == list(range(per_thread))
+
+    def test_reads_during_concurrent_appends(self):
+        """events()/last() snapshots taken mid-append never raise and
+        always see a prefix-consistent view per actor."""
+        trace = Trace()
+        stop = threading.Event()
+        errors = []
+
+        def writer():
+            i = 0
+            while not stop.is_set():
+                trace.add(float(i), "swap", "consumer", version=i)
+                i += 1
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    events = trace.events("swap")
+                    if events:
+                        versions = [e.data["version"] for e in events]
+                        assert versions == sorted(versions)
+                        assert trace.last("swap").data["version"] >= versions[-1]
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+                    return
+
+        w = threading.Thread(target=writer)
+        r = threading.Thread(target=reader)
+        w.start()
+        r.start()
+        w.join(timeout=0.2)
+        stop.set()
+        w.join()
+        r.join()
+        assert not errors
