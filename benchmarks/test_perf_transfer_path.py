@@ -1,0 +1,259 @@
+"""Wall-clock microbenchmark: monolithic vs chunked/pipelined transfer.
+
+For each paper application (NT3.A 600 MB, TC1 4.7 GB, PtychoNN 4.5 GB)
+we move a real payload through the fabric twice and time it:
+
+- **monolithic** — ``dumps`` (join copy) -> ``send`` (wire snapshot copy)
+  -> ``recv`` -> ``loads(copy=True)`` (per-tensor copies); every stage
+  serial, four full-payload copies end to end.
+- **pipelined** — ``dump_chunks`` iovec -> :class:`Chunker` views ->
+  ``scatter_send`` (no wire copy) overlapped with a receiver thread
+  doing ``recv_scatter`` into a :class:`BufferPool` buffer (the single
+  reassembly copy) -> ``loads(copy=False)`` aliasing that buffer.
+
+The paper model sizes drive the *virtual* descriptors (the simulated
+side); the real payload is scaled down so the benchmark finishes in
+seconds.  ``VIPER_PERF_QUICK=1`` shrinks it further for the CI smoke job.
+
+Outputs ``benchmarks/results/BENCH_transfer.json`` with both numbers per
+model plus the simulated monolithic/pipelined latencies, and gates:
+
+- pipelined wall-clock >= 1.5x faster for the TC1-class payload;
+- the simulated law never slower than monolithic anywhere on a grid;
+- the Figure 8 shape holds with the pipeline off AND on;
+- serializer throughput within 2x of the committed baseline
+  (the CI perf-smoke regression gate).
+"""
+
+import json
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis.latency import measure_latencies
+from repro.apps import get_app
+from repro.core.transfer.pipeline import BufferPool, Chunker, PipelineConfig
+from repro.core.transfer.strategies import (
+    CaptureMode,
+    TransferStrategy,
+    compute_timings,
+)
+from repro.dnn.serialization import ViperSerializer
+from repro.substrates.cost import GB, MB
+from repro.substrates.network.channels import Fabric
+from repro.substrates.network.links import LinkKind, LinkSpec
+from repro.substrates.profiles import POLARIS
+
+QUICK = os.environ.get("VIPER_PERF_QUICK", "") not in ("", "0")
+
+#: Real bytes moved per measured transfer (virtual descriptors stay at
+#: paper scale).  Full mode is sized so copy costs dominate thread set-up;
+#: quick mode keeps the CI smoke job under a few seconds.
+REAL_PAYLOAD_BYTES = 8 * MB if QUICK else 64 * MB
+REPEATS = 2 if QUICK else 3
+#: Wall-clock chunks sized for the real payload (not the simulated one).
+WALL_CHUNK_BYTES = 1 * MB
+WALL_LANES = 2
+
+APPS = ("nt3a", "tc1", "ptychonn")
+
+
+def build_state(ntensors: int, total_bytes: int) -> dict:
+    rng = np.random.default_rng(5)
+    per = max(1, total_bytes // ntensors // 4)
+    return {
+        f"layer{i}/W": rng.standard_normal(per).astype(np.float32)
+        for i in range(ntensors)
+    }
+
+
+def make_wall_fabric():
+    # Loopback with no modeled sleep: the benchmark times real byte
+    # movement, the simulated laws are asserted separately below.
+    link = LinkSpec("loop", LinkKind.LOOPBACK, bandwidth=1e15)
+    fabric = Fabric(default_link=link)
+    return fabric, fabric.endpoint("src"), fabric.endpoint("dst")
+
+
+def run_monolithic(serializer, state, src, dst) -> float:
+    t0 = time.perf_counter()
+    blob = serializer.dumps(state)
+    src.send("dst", blob)
+    msg = dst.recv(timeout=30.0)
+    out = serializer.loads(msg.payload, copy=True)
+    elapsed = time.perf_counter() - t0
+    assert len(out) == len(state)
+    return elapsed
+
+
+def run_pipelined(serializer, state, src, dst, pool) -> float:
+    chunker = Chunker(WALL_CHUNK_BYTES)
+    loaded = {}
+    # Steady state allocates nothing: the pooled buffer absorbs the one
+    # reassembly copy and is recycled across repeats.
+    buf = pool.acquire(2 * REAL_PAYLOAD_BYTES)
+
+    def receiver():
+        msg = dst.recv_scatter(timeout=30.0, into=buf)
+        loaded["state"] = serializer.loads(msg.payload, copy=False)
+
+    t0 = time.perf_counter()
+    rx = threading.Thread(target=receiver, daemon=True)
+    rx.start()
+    chunks = chunker.split_pieces(serializer.dump_chunks(state))
+    src.scatter_send("dst", list(chunks), lanes=WALL_LANES)
+    rx.join(30.0)
+    elapsed = time.perf_counter() - t0
+    assert not rx.is_alive()
+    assert len(loaded["state"]) == len(state)
+    pool.release(buf)
+    return elapsed
+
+
+def measure_wall_clock(app_name: str) -> dict:
+    app = get_app(app_name)
+    serializer = ViperSerializer()
+    state = build_state(app.checkpoint_tensors, REAL_PAYLOAD_BYTES)
+    pool = BufferPool(max_buffers=2)
+    mono, piped = [], []
+    for _ in range(REPEATS):
+        fabric, src, dst = make_wall_fabric()
+        mono.append(run_monolithic(serializer, state, src, dst))
+        piped.append(run_pipelined(serializer, state, src, dst, pool))
+        fabric.close()
+    return {
+        "virtual_bytes": app.checkpoint_bytes,
+        "tensors": app.checkpoint_tensors,
+        "real_payload_bytes": REAL_PAYLOAD_BYTES,
+        "monolithic_s": min(mono),
+        "pipelined_s": min(piped),
+        "speedup": min(mono) / min(piped),
+    }
+
+
+def simulated_latencies(app_name: str, pipeline: PipelineConfig) -> dict:
+    app = get_app(app_name)
+    out = {}
+    for strategy in TransferStrategy:
+        mono = compute_timings(
+            POLARIS, ViperSerializer(), strategy, CaptureMode.SYNC,
+            app.checkpoint_bytes, app.checkpoint_tensors,
+        )
+        piped = compute_timings(
+            POLARIS, ViperSerializer(), strategy, CaptureMode.SYNC,
+            app.checkpoint_bytes, app.checkpoint_tensors, pipeline=pipeline,
+        )
+        out[strategy.value] = {
+            "monolithic_s": mono.update_latency,
+            "pipelined_s": piped.update_latency,
+        }
+    return out
+
+
+@pytest.fixture(scope="module")
+def bench_results(results_dir):
+    pipeline = PipelineConfig(enabled=True)  # default 256 MB chunks, 2 lanes
+    report = {
+        "quick": QUICK,
+        "wall_clock": {
+            "chunk_bytes": WALL_CHUNK_BYTES,
+            "lanes": WALL_LANES,
+            "models": {name: measure_wall_clock(name) for name in APPS},
+        },
+        "simulated": {
+            "chunk_bytes": pipeline.chunk_bytes,
+            "lanes": pipeline.lanes,
+            "models": {name: simulated_latencies(name, pipeline) for name in APPS},
+        },
+    }
+    path = results_dir / "BENCH_transfer.json"
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    lines = ["Transfer path: monolithic vs chunked/pipelined (wall-clock)"]
+    for name, row in report["wall_clock"]["models"].items():
+        lines.append(
+            f"{name:10s} mono {row['monolithic_s'] * 1e3:8.1f} ms   "
+            f"piped {row['pipelined_s'] * 1e3:8.1f} ms   "
+            f"speedup {row['speedup']:.2f}x"
+        )
+    print("\n" + "\n".join(lines))
+    return report
+
+
+class TestWallClock:
+    def test_tc1_speedup(self, bench_results):
+        speedup = bench_results["wall_clock"]["models"]["tc1"]["speedup"]
+        # The headline acceptance gate: >= 1.5x on the TC1-class payload.
+        # The quick CI payload is too small for copy costs to fully
+        # dominate scheduling noise, so the smoke gate is looser.
+        assert speedup >= (1.1 if QUICK else 1.5)
+
+    def test_all_models_not_slower(self, bench_results):
+        for name, row in bench_results["wall_clock"]["models"].items():
+            assert row["speedup"] > (0.9 if QUICK else 1.0), name
+
+
+class TestSimulatedLaw:
+    def test_pipelined_never_slower_anywhere(self):
+        grid_bytes = (1, int(0.6 * GB), int(4.7 * GB))
+        grid_chunks = (1 * MB, 64 * MB, 256 * MB, 8 * GB)
+        grid_lanes = (1, 2, 8)
+        for link in (POLARIS.nvlink, POLARIS.infiniband, POLARIS.pcie):
+            for nbytes in grid_bytes:
+                for chunk in grid_chunks:
+                    for lanes in grid_lanes:
+                        assert link.pipelined_transfer_time(
+                            nbytes, chunk, lanes=lanes
+                        ) <= link.transfer_time(nbytes) + 1e-12
+
+    def test_report_shows_simulated_gain(self, bench_results):
+        for name, per_strategy in bench_results["simulated"]["models"].items():
+            for strategy, row in per_strategy.items():
+                assert row["pipelined_s"] <= row["monolithic_s"] + 1e-12, (
+                    name, strategy,
+                )
+
+
+class TestFig8ShapeWithPipeline:
+    @pytest.mark.parametrize("app_name", ("nt3a",) if QUICK else APPS)
+    def test_shape_holds_off_and_on(self, app_name):
+        for pipeline in (None, PipelineConfig(enabled=True)):
+            m = measure_latencies(app_name, pipeline=pipeline)
+            assert (
+                m["gpu-sync"]
+                < m["host-sync"]
+                < m["viper-pfs"]
+                < m["h5py-baseline"]
+            ), f"pipeline={pipeline}"
+
+
+#: Conservative committed baseline for the CI perf-smoke regression gate:
+#: measured ~1.5-2.5 GB/s dumps and ~2-4 GB/s loads on the reference
+#: runner; the gate fires only on a >2x drop from these floors.
+SERIALIZER_BASELINE_MBPS = {"dumps": 700.0, "loads": 900.0}
+
+
+class TestSerializerThroughputGate:
+    def test_within_2x_of_baseline(self):
+        serializer = ViperSerializer()
+        state = build_state(24, REAL_PAYLOAD_BYTES)
+        nbytes = sum(t.nbytes for t in state.values())
+        blob = serializer.dumps(state)  # warm up
+        best_dump, best_load = float("inf"), float("inf")
+        for _ in range(REPEATS):
+            t0 = time.perf_counter()
+            blob = serializer.dumps(state)
+            best_dump = min(best_dump, time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            serializer.loads(blob, copy=True)
+            best_load = min(best_load, time.perf_counter() - t0)
+        dump_mbps = nbytes / best_dump / MB
+        load_mbps = nbytes / best_load / MB
+        print(
+            f"\nserializer throughput: dumps {dump_mbps:.0f} MB/s, "
+            f"loads {load_mbps:.0f} MB/s"
+        )
+        assert dump_mbps >= SERIALIZER_BASELINE_MBPS["dumps"] / 2
+        assert load_mbps >= SERIALIZER_BASELINE_MBPS["loads"] / 2

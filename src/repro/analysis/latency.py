@@ -31,16 +31,21 @@ FIG8_CONFIGS = (
 
 
 def measure_latencies(
-    app_name: str, profile: HardwareProfile = POLARIS
+    app_name: str, profile: HardwareProfile = POLARIS, pipeline=None
 ) -> Dict[str, float]:
-    """One live save+load per Figure 8 configuration; returns latencies."""
+    """One live save+load per Figure 8 configuration; returns latencies.
+
+    ``pipeline`` (a :class:`~repro.core.transfer.pipeline.PipelineConfig`)
+    switches every configuration onto the chunked transfer path.
+    """
     app = get_app(app_name)
     state = app.build_model().state_dict()
     out: Dict[str, float] = {}
     for label, serializer_cls, strategy, mode in FIG8_CONFIGS:
         cluster, producer, consumer = make_producer_consumer_pair(profile)
         handler = ModelWeightsHandler(
-            cluster, producer, consumer, profile, serializer=serializer_cls()
+            cluster, producer, consumer, profile, serializer=serializer_cls(),
+            pipeline=pipeline,
         )
         try:
             result = handler.save_weights(

@@ -15,6 +15,7 @@ from typing import Any, Dict, Optional
 from repro.errors import ConfigurationError
 from repro.substrates.profiles import FRONTIER, LAPTOP, POLARIS, HardwareProfile
 from repro.dnn.serialization import H5LikeSerializer, Serializer, ViperSerializer
+from repro.core.transfer.pipeline import DEFAULT_CHUNK_BYTES, PipelineConfig
 from repro.core.transfer.strategies import CaptureMode, TransferStrategy
 
 __all__ = ["ViperConfig"]
@@ -34,6 +35,10 @@ class ViperConfig:
     flush_history: bool = False
     poll_interval: float = 0.0         # 0 = push notifications
     topic: str = "model-updates"
+    # Chunked, pipelined transfer path (off = original monolithic path).
+    pipeline: bool = False
+    pipeline_chunk_bytes: int = DEFAULT_CHUNK_BYTES
+    pipeline_lanes: int = 2
 
     def __post_init__(self):
         if self.profile not in _PROFILES:
@@ -55,6 +60,10 @@ class ViperConfig:
                 )
         if self.poll_interval < 0:
             raise ConfigurationError("poll_interval must be non-negative")
+        if self.pipeline_chunk_bytes <= 0:
+            raise ConfigurationError("pipeline_chunk_bytes must be positive")
+        if self.pipeline_lanes < 1:
+            raise ConfigurationError("pipeline_lanes must be >= 1")
 
     # ------------------------------------------------------------------
     # Resolution to live objects
@@ -72,6 +81,13 @@ class ViperConfig:
         if self.strategy is None:
             return None
         return TransferStrategy(self.strategy)
+
+    def pipeline_config(self) -> PipelineConfig:
+        return PipelineConfig(
+            enabled=self.pipeline,
+            chunk_bytes=self.pipeline_chunk_bytes,
+            lanes=self.pipeline_lanes,
+        )
 
     # ------------------------------------------------------------------
     # Serialization

@@ -60,6 +60,7 @@ class Viper:
         topic: str = "model-updates",
         tracer=None,
         metrics=None,
+        pipeline=None,
     ):
         from repro.obs.metrics import NULL_METRICS
         from repro.obs.tracer import NULL_TRACER
@@ -86,6 +87,7 @@ class Viper:
             topic=topic,
             tracer=self.tracer,
             metrics=self.metrics,
+            pipeline=pipeline,
         )
         self.topic = topic
 

@@ -10,15 +10,24 @@
 - :mod:`flush` — the background thread flushing historical checkpoints
   to the PFS for fault tolerance.
 - :mod:`engine` — the producer-side asynchronous capture/transfer worker.
+- :mod:`pipeline` — the chunked, pipelined, zero-copy transfer path
+  (Chunker / BufferPool / PipelinedTransfer) and its config knob.
 - :mod:`handler` — the Model Weights Handler facade processing
   save/load requests end to end.
 """
 
+from repro.core.transfer.pipeline import (
+    BufferPool,
+    Chunker,
+    PipelineConfig,
+    PipelinedTransfer,
+)
 from repro.core.transfer.strategies import (
     CaptureMode,
     StrategyTimings,
     TransferStrategy,
     compute_timings,
+    pipelined_phase_cost,
 )
 from repro.core.transfer.selector import TransferSelector
 from repro.core.transfer.double_buffer import DoubleBuffer
@@ -31,6 +40,11 @@ __all__ = [
     "CaptureMode",
     "StrategyTimings",
     "compute_timings",
+    "pipelined_phase_cost",
+    "PipelineConfig",
+    "Chunker",
+    "BufferPool",
+    "PipelinedTransfer",
     "TransferSelector",
     "DoubleBuffer",
     "BackgroundFlusher",

@@ -60,6 +60,7 @@ class AsyncTransferEngine:
         self._background_cost = Cost.zero()
         self._thread = threading.Thread(target=self._run, daemon=True, name=name)
         self._started = False
+        self._stopping = False
 
     def start(self) -> "AsyncTransferEngine":
         if not self._started:
@@ -70,7 +71,12 @@ class AsyncTransferEngine:
     def submit(self, job: TransferJob) -> TransferJob:
         if not self._started:
             raise TransferError(f"{self.name}: engine not started")
-        self._queue.put(job)
+        with self._lock:
+            # A job enqueued behind the shutdown sentinel would never run
+            # (and never set ``done``); fail loudly instead of hanging.
+            if self._stopping:
+                raise TransferError(f"{self.name}: engine is stopped")
+            self._queue.put(job)
         self._m_depth.inc()
         return job
 
@@ -92,7 +98,11 @@ class AsyncTransferEngine:
     def stop(self, timeout: float = 60.0) -> None:
         if not self._started:
             return
-        self._queue.put(None)
+        with self._lock:
+            already = self._stopping
+            self._stopping = True
+        if not already:
+            self._queue.put(None)
         self._thread.join(timeout)
 
     # ------------------------------------------------------------------

@@ -45,6 +45,11 @@ from repro.core.metadata import MetadataStore, ModelRecord
 from repro.core.notification import NotificationBroker
 from repro.core.transfer.engine import AsyncTransferEngine, TransferJob
 from repro.core.transfer.flush import BackgroundFlusher, FlushJob
+from repro.core.transfer.pipeline import (
+    BufferPool,
+    PipelineConfig,
+    serialize_pipelined,
+)
 from repro.core.transfer.selector import TransferSelector
 from repro.core.transfer.strategies import (
     CaptureMode,
@@ -120,6 +125,7 @@ class ModelWeightsHandler:
         topic: str = "model-updates",
         tracer=None,
         metrics=None,
+        pipeline: Optional[PipelineConfig] = None,
     ):
         self.cluster = cluster
         self.producer = producer
@@ -142,6 +148,9 @@ class ModelWeightsHandler:
         self.topic = topic
         self.flush_history = flush_history
         self.retention = retention
+        self.pipeline = pipeline if pipeline is not None else PipelineConfig()
+        #: Reusable staging buffers for the pipelined serialize path.
+        self.buffer_pool = BufferPool(max_buffers=4)
         self.stats = StatsManager(metrics=self.metrics)
         self.engine = AsyncTransferEngine(
             tracer=self.tracer, metrics=self.metrics
@@ -208,7 +217,8 @@ class ModelWeightsHandler:
         vtensors = len(state) if virtual_tensors is None else int(virtual_tensors)
         chosen = strategy if strategy is not None else self.selector.select(vbytes)
         timings = compute_timings(
-            self.profile, self.serializer, chosen, mode, vbytes, vtensors
+            self.profile, self.serializer, chosen, mode, vbytes, vtensors,
+            pipeline=self.pipeline,
         )
         ver = self.next_version(model_name) if version is None else version
         save_span = self.tracer.span(
@@ -221,8 +231,23 @@ class ModelWeightsHandler:
             nbytes=vbytes,
         )
         with save_span as sp:
-            with self.tracer.span("handler.serialize", track="producer"):
-                blob = self.serializer.dumps(state)
+            with self.tracer.span(
+                "handler.serialize",
+                track="producer",
+                pipelined=self.pipeline.enabled,
+            ):
+                if self.pipeline.enabled:
+                    # Chunked capture: zero-copy iovec pieces streamed into
+                    # one staging buffer (single copy, overlapped).
+                    blob = serialize_pipelined(
+                        self.serializer,
+                        state,
+                        self.pipeline,
+                        tracer=self.tracer,
+                        metrics=self.metrics,
+                    )
+                else:
+                    blob = self.serializer.dumps(state)
             result = self._stage_and_publish(
                 model_name, blob, chosen, mode, timings, ver, vbytes,
                 vtensors, train_iteration, train_loss,
@@ -361,14 +386,23 @@ class ModelWeightsHandler:
                     f"no replica of {record.path!r} present in any of "
                     f"{candidates} (evicted before load?)"
                 )
-            with self.tracer.span("handler.deserialize", track="consumer"):
-                state = self.serializer.loads(blob)
+            with self.tracer.span(
+                "handler.deserialize",
+                track="consumer",
+                pipelined=self.pipeline.enabled,
+            ):
+                # Zero-copy fast path: the pipelined consumer reads the
+                # weights in place (read-only views over the staged blob).
+                state = self.serializer.loads(
+                    blob, copy=not self.pipeline.enabled
+                )
             cost = meta_cost + load_cost_for_location(
                 self.profile,
                 self.serializer,
                 _strategy_key(chosen),
                 record.nbytes,
                 record.ntensors,
+                pipeline=self.pipeline,
             )
             self._advance_now(cost.total)
             self.stats.record_load(

@@ -25,23 +25,39 @@ PFS                   ser + d2h [+ pfs_write if sync]           pfs_write     | 
 (`'` marks the async engine's extra staging copy; `ser`/`deser` include
 the serializer's fixed and per-tensor overheads, which is where the h5py
 baseline loses to Viper's compact format.)
+
+When a :class:`~repro.core.transfer.pipeline.PipelineConfig` is supplied
+(and enabled), each phase's law is replaced by the chunked-overlap law:
+the phase's bottleneck stage runs at full length while every other stage
+contributes only its pipeline fill (``1/k`` of its monolithic time for
+``k`` chunks), plus a per-chunk scatter setup amortized over the lanes —
+so a phase approaches ``max-stage`` instead of ``sum-of-stages``.  The
+law is clamped at the monolithic time (a real sender falls back to one
+message when per-chunk overhead dominates), making it monotone and exact
+at one chunk.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
 
 from repro.errors import ConfigurationError
 from repro.substrates.cost import Cost
+from repro.substrates.network.links import LinkSpec
 from repro.substrates.profiles import HardwareProfile
 from repro.dnn.serialization import Serializer
+
+if TYPE_CHECKING:  # avoid a cycle through repro.obs -> repro.workflow
+    from repro.core.transfer.pipeline import PipelineConfig
 
 __all__ = [
     "TransferStrategy",
     "CaptureMode",
     "StrategyTimings",
     "compute_timings",
+    "pipelined_phase_cost",
     "load_cost_for_location",
 ]
 
@@ -82,6 +98,50 @@ class StrategyTimings:
         return self.stall.total
 
 
+def pipelined_phase_cost(
+    cost: Cost,
+    wire_link: LinkSpec,
+    wire_bytes: int,
+    pipeline: PipelineConfig,
+) -> Cost:
+    """Apply the chunked-overlap law to one phase's stage breakdown.
+
+    With ``k`` chunks the bottleneck stage still runs end to end, every
+    other stage overlaps it except for its fill (``1/k`` of its time),
+    and each chunk past the first pays the wire link's scatter setup,
+    issued by ``lanes`` parallel lanes::
+
+        T_pipe = min(T_mono,
+                     max_stage + (T_mono - max_stage) / k
+                               + (k - 1) * setup / lanes)
+
+    Monotone in chunks and lanes, never above the monolithic phase time,
+    and exactly equal to it at one chunk.  The component breakdown is
+    preserved by uniform scaling.
+    """
+    total = cost.total
+    k = pipeline.nchunks(wire_bytes)
+    if total <= 0.0 or k <= 1:
+        return cost
+    stages = cost.breakdown()
+    bottleneck = max(stages.values())
+    setup = wire_link.latency + wire_link.per_message_overhead
+    pipelined = (
+        bottleneck
+        + (total - bottleneck) / k
+        + (k - 1) * setup / pipeline.lanes
+    )
+    pipelined = min(total, pipelined)
+    return cost.scaled(pipelined / total)
+
+
+_WIRE_LINK_OF = {
+    TransferStrategy.GPU_TO_GPU: "nvlink",
+    TransferStrategy.HOST_TO_HOST: "infiniband",
+    TransferStrategy.PFS: "pcie",
+}
+
+
 def compute_timings(
     profile: HardwareProfile,
     serializer: Serializer,
@@ -89,8 +149,15 @@ def compute_timings(
     mode: CaptureMode,
     payload_bytes: int,
     ntensors: int,
+    *,
+    pipeline: Optional[PipelineConfig] = None,
 ) -> StrategyTimings:
-    """Evaluate the timing law for one (strategy, mode) combination."""
+    """Evaluate the timing law for one (strategy, mode) combination.
+
+    With an enabled ``pipeline``, each phase is reduced by the
+    chunked-overlap law (:func:`pipelined_phase_cost`); the default
+    ``None`` keeps the monolithic law exactly.
+    """
     if payload_bytes < 0 or ntensors < 1:
         raise ConfigurationError(
             f"payload_bytes={payload_bytes}, ntensors={ntensors} out of range"
@@ -104,11 +171,15 @@ def compute_timings(
         wire_cost = profile.nvlink.transfer_cost(wire)
         load = Cost.of("gpu_hbm.read", profile.gpu_hbm.read_time(wire)) + deser
         if mode is CaptureMode.SYNC:
-            return StrategyTimings(strategy, mode, ser + snapshot + wire_cost, Cost.zero(), load)
-        extra = profile.hbm_copy.transfer_cost(wire)
-        return StrategyTimings(strategy, mode, ser + snapshot, extra + wire_cost, load)
-
-    if strategy is TransferStrategy.HOST_TO_HOST:
+            timings = StrategyTimings(
+                strategy, mode, ser + snapshot + wire_cost, Cost.zero(), load
+            )
+        else:
+            extra = profile.hbm_copy.transfer_cost(wire)
+            timings = StrategyTimings(
+                strategy, mode, ser + snapshot, extra + wire_cost, load
+            )
+    elif strategy is TransferStrategy.HOST_TO_HOST:
         d2h = profile.pcie.transfer_cost(wire)
         wire_cost = profile.infiniband.transfer_cost(wire)
         load = (
@@ -117,11 +188,15 @@ def compute_timings(
             + deser
         )
         if mode is CaptureMode.SYNC:
-            return StrategyTimings(strategy, mode, ser + d2h + wire_cost, Cost.zero(), load)
-        extra = profile.dram_copy.transfer_cost(wire)
-        return StrategyTimings(strategy, mode, ser + d2h, extra + wire_cost, load)
-
-    if strategy is TransferStrategy.PFS:
+            timings = StrategyTimings(
+                strategy, mode, ser + d2h + wire_cost, Cost.zero(), load
+            )
+        else:
+            extra = profile.dram_copy.transfer_cost(wire)
+            timings = StrategyTimings(
+                strategy, mode, ser + d2h, extra + wire_cost, load
+            )
+    elif strategy is TransferStrategy.PFS:
         d2h = profile.pcie.transfer_cost(wire)
         write = Cost.of("pfs.write", profile.pfs.write_time(wire, ntensors))
         load = (
@@ -130,11 +205,27 @@ def compute_timings(
             + deser
         )
         if mode is CaptureMode.SYNC:
-            return StrategyTimings(strategy, mode, ser + d2h + write, Cost.zero(), load)
-        extra = profile.dram_copy.transfer_cost(wire)
-        return StrategyTimings(strategy, mode, ser + d2h + extra, write, load)
+            timings = StrategyTimings(
+                strategy, mode, ser + d2h + write, Cost.zero(), load
+            )
+        else:
+            extra = profile.dram_copy.transfer_cost(wire)
+            timings = StrategyTimings(
+                strategy, mode, ser + d2h + extra, write, load
+            )
+    else:
+        raise ConfigurationError(f"unknown strategy {strategy!r}")
 
-    raise ConfigurationError(f"unknown strategy {strategy!r}")
+    if pipeline is None or not pipeline.enabled:
+        return timings
+    link = getattr(profile, _WIRE_LINK_OF[strategy])
+    return StrategyTimings(
+        strategy,
+        mode,
+        pipelined_phase_cost(timings.stall, link, wire, pipeline),
+        pipelined_phase_cost(timings.deliver, link, wire, pipeline),
+        pipelined_phase_cost(timings.load, link, wire, pipeline),
+    )
 
 
 def load_cost_for_location(
@@ -143,26 +234,38 @@ def load_cost_for_location(
     location: str,
     payload_bytes: int,
     ntensors: int,
+    *,
+    pipeline: Optional[PipelineConfig] = None,
 ) -> Cost:
     """Consumer-side load cost given where the checkpoint resides.
 
     ``location`` is the metadata record's location field: ``"gpu"``,
     ``"dram"``, or ``"pfs"`` — the same keys the strategies stage into.
+    An enabled ``pipeline`` applies the chunked-overlap law, with the
+    staging hop (local HBM copy for GPU-resident blobs, PCIe otherwise)
+    supplying the per-chunk setup cost.
     """
     wire = serializer.wire_bytes(payload_bytes)
     deser = Cost.of("deserialize", serializer.deserialize_seconds(ntensors))
     if location == "gpu":
-        return Cost.of("gpu_hbm.read", profile.gpu_hbm.read_time(wire)) + deser
-    if location == "dram":
-        return (
+        cost = Cost.of("gpu_hbm.read", profile.gpu_hbm.read_time(wire)) + deser
+        link = profile.hbm_copy
+    elif location == "dram":
+        cost = (
             Cost.of("host_dram.read", profile.host_dram.read_time(wire))
             + profile.pcie.transfer_cost(wire)
             + deser
         )
-    if location == "pfs":
-        return (
+        link = profile.pcie
+    elif location == "pfs":
+        cost = (
             Cost.of("pfs.read", profile.pfs.read_time(wire, ntensors))
             + profile.pcie.transfer_cost(wire)
             + deser
         )
-    raise ConfigurationError(f"unknown checkpoint location {location!r}")
+        link = profile.pcie
+    else:
+        raise ConfigurationError(f"unknown checkpoint location {location!r}")
+    if pipeline is None or not pipeline.enabled:
+        return cost
+    return pipelined_phase_cost(cost, link, wire, pipeline)

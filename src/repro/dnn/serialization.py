@@ -16,12 +16,22 @@ metadata added by h5py".  We reproduce both:
 Each serializer also exposes a *timing* surface (``fixed_overhead`` /
 ``per_tensor_overhead``) the transfer engine charges on serialize and
 deserialize; the h5py-like baseline is slower per tensor.
+
+Both serializers additionally expose an *iovec* surface for the chunked
+transfer pipeline (:mod:`repro.core.transfer.pipeline`):
+
+- ``dump_chunks`` yields the serialized stream as zero-copy pieces —
+  small header ``bytes`` plus ``memoryview`` s over the live tensors —
+  avoiding the per-tensor ``tobytes`` copy and the monolithic join;
+- ``load_chunks`` reassembles a chunk stream and deserializes it;
+- ``loads(..., copy=False)`` returns read-only arrays aliasing the input
+  buffer: a zero-copy load for consumers that only read the weights.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import Dict, Tuple
+from typing import Dict, Iterable, Iterator, Tuple
 
 import numpy as np
 
@@ -58,8 +68,32 @@ class Serializer:
     def dumps(self, state: Dict[str, np.ndarray]) -> bytes:
         raise NotImplementedError
 
-    def loads(self, blob: bytes) -> Dict[str, np.ndarray]:
+    def loads(self, blob, *, copy: bool = True) -> Dict[str, np.ndarray]:
         raise NotImplementedError
+
+    # -- iovec surface (chunked pipeline) -------------------------------
+    def dump_chunks(self, state: Dict[str, np.ndarray]) -> Iterator:
+        """Yield the serialized stream as zero-copy bytes-like pieces.
+
+        ``b"".join(dump_chunks(state))`` equals ``dumps(state)`` exactly;
+        tensor payloads are yielded as ``memoryview`` s over the live
+        arrays, so no full-payload copy happens here.  Callers must not
+        mutate ``state`` until the pieces have been consumed.
+        """
+        raise NotImplementedError
+
+    def load_chunks(self, chunks: Iterable, *, copy: bool = True) -> Dict[str, np.ndarray]:
+        """Reassemble a chunk stream (in order) and deserialize it.
+
+        One reassembly copy into a contiguous buffer, then a
+        ``loads(..., copy=copy)`` over it — with ``copy=False`` the
+        returned arrays alias that buffer (read-only).
+        """
+        buf = bytearray()
+        for chunk in chunks:
+            buf += chunk
+        # ``buf`` is privately owned, so aliasing it with copy=False is safe.
+        return self.loads(buf, copy=copy)
 
     # -- timing model ---------------------------------------------------
     def serialize_seconds(self, ntensors: int) -> float:
@@ -73,8 +107,22 @@ class Serializer:
         return int(payload_bytes * self.bytes_overhead_factor)
 
 
-def _pack_tensors(state: Dict[str, np.ndarray]) -> bytes:
-    chunks = [struct.pack("<I", len(state))]
+def _tensor_view(tensor: np.ndarray) -> memoryview:
+    """Zero-copy flat byte view of a C-contiguous tensor."""
+    if tensor.nbytes == 0:
+        return memoryview(b"")
+    # cast("B") rejects 0-d views; reshape(-1) is a view for contiguous data.
+    return memoryview(tensor.reshape(-1)).cast("B")
+
+
+def _tensor_pieces(state: Dict[str, np.ndarray]) -> Iterator:
+    """The packed-tensor stream as an iovec: header bytes + tensor views.
+
+    Joining the pieces reproduces the historical ``_pack_tensors`` output
+    byte for byte; the tensor payloads are ``memoryview`` s over the live
+    (contiguous) arrays, so emitting them copies nothing.
+    """
+    yield struct.pack("<I", len(state))
     for name in sorted(state):
         original = np.asarray(state[name])
         # ascontiguousarray promotes 0-d to 1-d; keep the true shape.
@@ -82,44 +130,60 @@ def _pack_tensors(state: Dict[str, np.ndarray]) -> bytes:
         tensor = np.ascontiguousarray(original)
         name_b = name.encode("utf-8")
         dtype_b = tensor.dtype.str.encode("ascii")
-        chunks.append(struct.pack("<H", len(name_b)))
-        chunks.append(name_b)
-        chunks.append(struct.pack("<B", len(dtype_b)))
-        chunks.append(dtype_b)
-        chunks.append(struct.pack("<B", len(shape)))
+        header = [struct.pack("<H", len(name_b)), name_b]
+        header.append(struct.pack("<B", len(dtype_b)))
+        header.append(dtype_b)
+        header.append(struct.pack("<B", len(shape)))
         for dim in shape:
-            chunks.append(struct.pack("<Q", dim))
-        raw = tensor.tobytes()
-        chunks.append(struct.pack("<Q", len(raw)))
-        chunks.append(raw)
-    return b"".join(chunks)
+            header.append(struct.pack("<Q", dim))
+        header.append(struct.pack("<Q", tensor.nbytes))
+        yield b"".join(header)
+        yield _tensor_view(tensor)
 
 
-def _unpack_tensors(blob: bytes, offset: int) -> Tuple[Dict[str, np.ndarray], int]:
-    (count,) = struct.unpack_from("<I", blob, offset)
+def _pack_tensors(state: Dict[str, np.ndarray]) -> bytes:
+    return b"".join(_tensor_pieces(state))
+
+
+def _unpack_tensors(
+    blob, offset: int, *, copy: bool = True
+) -> Tuple[Dict[str, np.ndarray], int]:
+    mv = memoryview(blob)
+    (count,) = struct.unpack_from("<I", mv, offset)
     offset += 4
     state: Dict[str, np.ndarray] = {}
     for _ in range(count):
-        (name_len,) = struct.unpack_from("<H", blob, offset)
+        (name_len,) = struct.unpack_from("<H", mv, offset)
         offset += 2
-        name = blob[offset : offset + name_len].decode("utf-8")
+        name = bytes(mv[offset : offset + name_len]).decode("utf-8")
         offset += name_len
-        (dtype_len,) = struct.unpack_from("<B", blob, offset)
+        (dtype_len,) = struct.unpack_from("<B", mv, offset)
         offset += 1
-        dtype = np.dtype(blob[offset : offset + dtype_len].decode("ascii"))
+        dtype = np.dtype(bytes(mv[offset : offset + dtype_len]).decode("ascii"))
         offset += dtype_len
-        (ndim,) = struct.unpack_from("<B", blob, offset)
+        (ndim,) = struct.unpack_from("<B", mv, offset)
         offset += 1
         shape = []
         for _ in range(ndim):
-            (dim,) = struct.unpack_from("<Q", blob, offset)
+            (dim,) = struct.unpack_from("<Q", mv, offset)
             shape.append(dim)
             offset += 8
-        (raw_len,) = struct.unpack_from("<Q", blob, offset)
+        (raw_len,) = struct.unpack_from("<Q", mv, offset)
         offset += 8
-        raw = blob[offset : offset + raw_len]
+        if raw_len % dtype.itemsize:
+            raise StorageError(
+                f"corrupt tensor {name!r}: {raw_len} bytes not a multiple "
+                f"of itemsize {dtype.itemsize}"
+            )
+        tensor = np.frombuffer(
+            mv, dtype=dtype, count=raw_len // dtype.itemsize, offset=offset
+        ).reshape(shape)
         offset += raw_len
-        tensor = np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
+        if copy:
+            tensor = tensor.copy()
+        else:
+            # Zero-copy fast path: the array aliases the caller's buffer.
+            tensor.flags.writeable = False
         state[name] = tensor
     return state, offset
 
@@ -133,18 +197,22 @@ class ViperSerializer(Serializer):
     bytes_overhead_factor = 1.005  # headers only
 
     def dumps(self, state):
+        return b"".join(self.dump_chunks(state))
+
+    def dump_chunks(self, state):
         if not state:
             raise StorageError("refusing to serialize an empty state dict")
-        header = _VIPER_MAGIC + struct.pack("<I", _FORMAT_VERSION)
-        return header + _pack_tensors(state)
+        yield _VIPER_MAGIC + struct.pack("<I", _FORMAT_VERSION)
+        yield from _tensor_pieces(state)
 
-    def loads(self, blob):
-        if blob[:4] != _VIPER_MAGIC:
+    def loads(self, blob, *, copy: bool = True):
+        mv = memoryview(blob)
+        if mv[:4] != _VIPER_MAGIC:
             raise StorageError("not a Viper checkpoint (bad magic)")
-        (version,) = struct.unpack_from("<I", blob, 4)
+        (version,) = struct.unpack_from("<I", mv, 4)
         if version != _FORMAT_VERSION:
             raise StorageError(f"unsupported Viper checkpoint version {version}")
-        state, _ = _unpack_tensors(blob, 8)
+        state, _ = _unpack_tensors(mv, 8, copy=copy)
         return state
 
 
@@ -167,21 +235,25 @@ class H5LikeSerializer(Serializer):
     _PER_DATASET_HEADER = 320
 
     def dumps(self, state):
+        return b"".join(self.dump_chunks(state))
+
+    def dump_chunks(self, state):
         if not state:
             raise StorageError("refusing to serialize an empty state dict")
-        superblock = _H5_MAGIC + b"\x00" * (self._SUPERBLOCK - 4)
-        body = _pack_tensors(state)
+        yield _H5_MAGIC + b"\x00" * (self._SUPERBLOCK - 4)
+        yield struct.pack("<I", len(state))
         # Attribute/object-header filler per dataset, as HDF5 would store
         # creation order, fill values, chunking info, etc.
-        filler = b"\x00" * (self._PER_DATASET_HEADER * len(state))
-        return superblock + struct.pack("<I", len(state)) + filler + body
+        yield b"\x00" * (self._PER_DATASET_HEADER * len(state))
+        yield from _tensor_pieces(state)
 
-    def loads(self, blob):
-        if blob[:4] != _H5_MAGIC:
+    def loads(self, blob, *, copy: bool = True):
+        mv = memoryview(blob)
+        if mv[:4] != _H5_MAGIC:
             raise StorageError("not an h5py-like checkpoint (bad magic)")
-        (count,) = struct.unpack_from("<I", blob, self._SUPERBLOCK)
+        (count,) = struct.unpack_from("<I", mv, self._SUPERBLOCK)
         offset = self._SUPERBLOCK + 4 + self._PER_DATASET_HEADER * count
-        state, _ = _unpack_tensors(blob, offset)
+        state, _ = _unpack_tensors(mv, offset, copy=copy)
         return state
 
 

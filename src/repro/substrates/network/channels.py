@@ -19,8 +19,9 @@ from __future__ import annotations
 import itertools
 import queue
 import threading
+import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Iterable, Optional, Tuple
 
 from repro.errors import ChannelClosedError, TransferError
 from repro.substrates.cost import Cost
@@ -127,6 +128,58 @@ class Endpoint:
         req._complete(None)
         return req, cost
 
+    def scatter_send(
+        self,
+        dest: str,
+        chunks: Iterable,
+        tag: int = 0,
+        *,
+        virtual_bytes: Optional[int] = None,
+        lanes: int = 1,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> Cost:
+        """Send a payload as a stream of zero-copy chunk messages.
+
+        Each chunk travels as its own message *without* the per-message
+        ``bytes(payload)`` wire copy — the receiver sees views over the
+        sender's buffers, so (like ``MPI_Isend``) the sender must not
+        mutate them until the transfer is reassembled.  The simulated
+        cost is the link's pipelined law over the total byte count, not
+        a per-chunk sum.  Pair with :meth:`recv_scatter`.
+        """
+        chunk_list = [memoryview(c) for c in chunks]
+        if not chunk_list:
+            raise TransferError("scatter_send: no chunks")
+        sizes = [c.nbytes for c in chunk_list]
+        total = sum(sizes)
+        vbytes = total if virtual_bytes is None else int(virtual_bytes)
+        link = self.fabric.link_for(self.name, dest)
+        max_chunk = max(sizes) if sizes else 1
+        cost = link.pipelined_transfer_cost(vbytes, max(1, max_chunk), lanes)
+        offset = 0
+        for i, chunk in enumerate(chunk_list):
+            chunk_meta = dict(meta or {})
+            chunk_meta["scatter"] = {
+                "index": i,
+                "nchunks": len(chunk_list),
+                "offset": offset,
+                "total_bytes": total,
+            }
+            # The whole transfer's cost and virtual size ride on chunk 0;
+            # later chunks are free (they overlap chunk 0's wire time).
+            self.fabric.deliver(
+                self.name,
+                dest,
+                chunk,
+                tag,
+                virtual_bytes=vbytes if i == 0 else 0,
+                meta=chunk_meta,
+                copy=False,
+                cost_override=cost if i == 0 else Cost.zero(),
+            )
+            offset += chunk.nbytes
+        return cost
+
     # ------------------------------------------------------------------
     # Receiving
     # ------------------------------------------------------------------
@@ -136,17 +189,31 @@ class Endpoint:
         tag: int = ANY_TAG,
         timeout: Optional[float] = None,
     ) -> Message:
-        """Blocking receive matched on ``(source, tag)``."""
+        """Blocking receive matched on ``(source, tag)``.
+
+        ``timeout`` bounds the *whole* call: non-matching messages that
+        arrive while waiting are parked without resetting the clock, and
+        each queue wait gets only the time remaining until the deadline.
+        """
         if self._closed:
             raise ChannelClosedError(f"endpoint {self.name!r} is closed")
-        deadline = None
+        deadline = None if timeout is None else time.monotonic() + timeout
         with self._lock:
             msg = self._match_unlocked(source, tag)
             if msg is not None:
                 return msg
         while True:
+            if deadline is None:
+                remaining = None
+            else:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TransferError(
+                        f"recv on {self.name!r} timed out waiting for "
+                        f"source={source!r} tag={tag}"
+                    )
             try:
-                msg = self._inbox.get(timeout=timeout)
+                msg = self._inbox.get(timeout=remaining)
             except queue.Empty:
                 raise TransferError(
                     f"recv on {self.name!r} timed out waiting for "
@@ -158,8 +225,75 @@ class Endpoint:
                 return msg
             with self._lock:
                 self._unmatched.append(msg)
-            # loop again; deadline handling is coarse (per-get timeout)
-            del deadline
+
+    def recv_scatter(
+        self,
+        source: str = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        timeout: Optional[float] = None,
+        into=None,
+    ) -> Message:
+        """Receive and reassemble a :meth:`scatter_send` chunk stream.
+
+        Chunks may arrive interleaved with other traffic and (with
+        multiple lanes upstream) out of order; each is copied into its
+        slot of the destination buffer — the single full-payload copy of
+        the pipelined path.  ``into`` may supply a pre-allocated
+        ``bytearray`` (e.g. from a
+        :class:`~repro.core.transfer.pipeline.BufferPool`); otherwise one
+        is allocated.  Returns a :class:`Message` whose ``payload`` is a
+        view of the reassembled bytes and whose ``cost``/``virtual_bytes``
+        aggregate the whole transfer.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        buf = None
+        seen = 0
+        expected = None
+        total_bytes = 0
+        cost = None
+        vbytes = 0
+        first = None
+        while expected is None or seen < expected:
+            remaining = None if deadline is None else deadline - time.monotonic()
+            msg = self.recv(source, tag, timeout=remaining)
+            scatter = msg.meta.get("scatter")
+            if scatter is None:
+                raise TransferError(
+                    f"recv_scatter on {self.name!r}: got a non-scatter message "
+                    f"from {msg.source!r} (tag={msg.tag})"
+                )
+            if expected is None:
+                expected = int(scatter["nchunks"])
+                total_bytes = int(scatter["total_bytes"])
+                source = msg.source  # lock on to one sender's stream
+                if into is None:
+                    buf = bytearray(total_bytes)
+                else:
+                    if len(into) < total_bytes:
+                        raise TransferError(
+                            f"recv_scatter: buffer of {len(into)} bytes is "
+                            f"smaller than payload ({total_bytes})"
+                        )
+                    buf = into
+            offset = int(scatter["offset"])
+            view = memoryview(msg.payload)
+            memoryview(buf)[offset : offset + view.nbytes] = view
+            cost = msg.cost if cost is None else cost + msg.cost
+            vbytes += msg.virtual_bytes
+            if first is None or scatter["index"] == 0:
+                first = msg
+            seen += 1
+        assert first is not None and cost is not None
+        return Message(
+            source=first.source,
+            dest=self.name,
+            tag=first.tag,
+            payload=memoryview(buf)[:total_bytes],
+            cost=cost,
+            virtual_bytes=vbytes,
+            seq=first.seq,
+            meta={k: v for k, v in first.meta.items() if k != "scatter"},
+        )
 
     def irecv(
         self,
@@ -268,13 +402,28 @@ class Fabric:
         tag: int,
         virtual_bytes: Optional[int] = None,
         meta: Optional[Dict[str, Any]] = None,
+        *,
+        copy: bool = True,
+        cost_override: Optional[Cost] = None,
     ) -> Cost:
+        """Route one message; ``copy=False`` skips the wire copy.
+
+        The zero-copy mode (used by :meth:`Endpoint.scatter_send`) hands
+        the receiver a view over the sender's buffer, so the sender must
+        not mutate it until receipt — the MPI rendezvous contract.
+        ``cost_override`` substitutes a pre-computed (e.g. pipelined)
+        cost for the link's per-message law.
+        """
         if not isinstance(payload, (bytes, bytearray, memoryview)):
             raise TransferError("payload must be bytes-like (no pickling on the wire)")
-        data = bytes(payload)  # the wire copy
-        vbytes = len(data) if virtual_bytes is None else int(virtual_bytes)
-        link = self.link_for(src, dest)
-        cost = link.transfer_cost(vbytes)
+        data = bytes(payload) if copy else payload  # the (optional) wire copy
+        nbytes = data.nbytes if isinstance(data, memoryview) else len(data)
+        vbytes = nbytes if virtual_bytes is None else int(virtual_bytes)
+        if cost_override is not None:
+            cost = cost_override
+        else:
+            link = self.link_for(src, dest)
+            cost = link.transfer_cost(vbytes)
         with self._lock:
             ep = self._endpoints.get(dest)
             seq = next(self._seq)

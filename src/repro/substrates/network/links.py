@@ -77,6 +77,47 @@ class LinkSpec:
             f"link.{self.kind.value}", self.transfer_time(nbytes, nmessages)
         )
 
+    def pipelined_transfer_time(
+        self, nbytes: int, chunk_bytes: int, lanes: int = 1
+    ) -> float:
+        """Seconds to move ``nbytes`` as pipelined chunks over ``lanes`` lanes.
+
+        The chunked law: the first chunk pays the full startup
+        (``latency + per_message_overhead``); later chunks stream behind
+        it, their startups issued by ``lanes`` parallel lanes and hidden
+        under the in-flight data whenever the transfer is bandwidth-bound::
+
+            T = startup + max(nbytes / bandwidth, (k - 1) * startup / lanes)
+
+        Where per-message overhead would dominate (tiny chunks on a
+        chatty link), a real sender falls back to the monolithic send, so
+        the law is clamped at :meth:`transfer_time` — it is monotone in
+        ``lanes``, never slower than the monolithic law, and equal to it
+        at one chunk.
+        """
+        if nbytes < 0:
+            raise ConfigurationError(f"pipelined_transfer_time: nbytes={nbytes}")
+        if chunk_bytes <= 0 or lanes < 1:
+            raise ConfigurationError(
+                f"pipelined_transfer_time: chunk_bytes={chunk_bytes}, "
+                f"lanes={lanes} out of range"
+            )
+        monolithic = self.transfer_time(nbytes)
+        nchunks = max(1, -(-nbytes // chunk_bytes))
+        startup = self.latency + self.per_message_overhead
+        pipelined = startup + max(
+            nbytes / self.bandwidth, (nchunks - 1) * startup / lanes
+        )
+        return min(monolithic, pipelined)
+
+    def pipelined_transfer_cost(
+        self, nbytes: int, chunk_bytes: int, lanes: int = 1
+    ) -> Cost:
+        return Cost.of(
+            f"link.{self.kind.value}",
+            self.pipelined_transfer_time(nbytes, chunk_bytes, lanes),
+        )
+
     def describe(self) -> str:
         return (
             f"{self.name} [{self.kind.value}] {self.bandwidth / GB:.2f} GB/s "

@@ -87,3 +87,15 @@ class TestEngine:
         engine = AsyncTransferEngine().start()
         engine.stop()
         engine.stop()
+
+    def test_submit_after_stop_raises(self):
+        engine = AsyncTransferEngine().start()
+        engine.stop()
+        with pytest.raises(TransferError):
+            engine.submit(TransferJob("late", lambda: Cost.zero()))
+
+    def test_submit_after_stop_raises_even_unstarted(self):
+        engine = AsyncTransferEngine()
+        engine.stop()
+        with pytest.raises(TransferError):
+            engine.submit(TransferJob("late", lambda: Cost.zero()))

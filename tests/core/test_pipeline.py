@@ -1,0 +1,177 @@
+"""Chunked/pipelined transfer path: Chunker, BufferPool, PipelinedTransfer."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, TransferError
+from repro.dnn.serialization import ViperSerializer
+from repro.core.transfer.pipeline import (
+    BufferPool,
+    Chunker,
+    PipelineConfig,
+    PipelinedTransfer,
+    assemble_into,
+    serialize_pipelined,
+)
+
+RNG = np.random.default_rng(7)
+
+
+def sample_state():
+    return {
+        "w": RNG.standard_normal((64, 32)).astype(np.float32),
+        "b": RNG.standard_normal(32).astype(np.float32),
+    }
+
+
+class TestPipelineConfig:
+    def test_defaults_off(self):
+        cfg = PipelineConfig()
+        assert not cfg.enabled
+
+    def test_nchunks(self):
+        cfg = PipelineConfig(chunk_bytes=100)
+        assert cfg.nchunks(0) == 1
+        assert cfg.nchunks(1) == 1
+        assert cfg.nchunks(100) == 1
+        assert cfg.nchunks(101) == 2
+        assert cfg.nchunks(1000) == 10
+
+    @pytest.mark.parametrize("kwargs", [{"chunk_bytes": 0}, {"lanes": 0}])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            PipelineConfig(**kwargs)
+
+
+class TestChunker:
+    def test_split_is_zero_copy_and_exact(self):
+        data = bytes(RNG.integers(0, 256, size=1000, dtype=np.uint8))
+        chunks = list(Chunker(64).split(data))
+        assert all(isinstance(c, memoryview) for c in chunks)
+        assert all(len(c) <= 64 for c in chunks)
+        assert b"".join(chunks) == data
+
+    def test_split_empty(self):
+        assert b"".join(Chunker(8).split(b"")) == b""
+
+    def test_split_pieces_respects_bound_without_copying(self):
+        arr = RNG.standard_normal(1000).astype(np.float32)
+        pieces = [b"header", memoryview(arr).cast("B"), b"", b"tail"]
+        chunks = list(Chunker(512).split_pieces(pieces))
+        assert all(len(c) <= 512 for c in chunks)
+        joined = b"".join(chunks)
+        assert joined == b"header" + arr.tobytes() + b"tail"
+        # Mutating the source array shows through: the chunks are views.
+        arr[0] += 1.0
+        assert b"".join(chunks) != joined
+
+    def test_invalid_chunk_bytes(self):
+        with pytest.raises(ConfigurationError):
+            Chunker(0)
+
+
+class TestBufferPool:
+    def test_acquire_release_reuses(self):
+        pool = BufferPool(max_buffers=2)
+        buf = pool.acquire(100)
+        assert len(buf) >= 100
+        pool.release(buf)
+        again = pool.acquire(50)
+        assert again is buf
+        assert pool.reuses == 1
+
+    def test_grows_instead_of_allocating_second(self):
+        pool = BufferPool(max_buffers=2)
+        buf = pool.acquire(10)
+        pool.release(buf)
+        bigger = pool.acquire(1000)
+        assert len(bigger) >= 1000
+        assert pool.outstanding == 1
+
+    def test_exhaustion_raises(self):
+        pool = BufferPool(max_buffers=1)
+        pool.acquire(10)
+        with pytest.raises(TransferError):
+            pool.acquire(10)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BufferPool().acquire(-1)
+
+
+class TestPipelinedTransfer:
+    def test_results_in_chunk_order(self):
+        pipe = PipelinedTransfer(
+            [("double", lambda x, i: x * 2), ("tag", lambda x, i: (i, x))],
+            lanes=3,
+        )
+        result = pipe.run([1, 2, 3, 4, 5])
+        assert result.nchunks == 5
+        assert result.results == ((0, 2), (1, 4), (2, 6), (3, 8), (4, 10))
+        assert set(result.stage_seconds) == {"double", "tag"}
+
+    def test_stages_overlap(self):
+        # Two stages, each sleeping per chunk: pipelined wall time must be
+        # well under the serial sum (2 stages x 6 chunks x 30 ms = 360 ms).
+        dt = 0.03
+        pipe = PipelinedTransfer(
+            [
+                ("a", lambda x, i: time.sleep(dt) or x),
+                ("b", lambda x, i: time.sleep(dt) or x),
+            ],
+            lanes=2,
+        )
+        result = pipe.run(range(6))
+        assert result.elapsed < 2 * 6 * dt * 0.8
+
+    def test_error_propagates(self):
+        def boom(x, i):
+            if i == 2:
+                raise ValueError("chunk 2 is cursed")
+            return x
+
+        pipe = PipelinedTransfer([("boom", boom)], lanes=2)
+        with pytest.raises(ValueError, match="cursed"):
+            pipe.run(range(5))
+
+    def test_empty_input(self):
+        pipe = PipelinedTransfer([("id", lambda x, i: x)])
+        assert pipe.run([]).results == ()
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            PipelinedTransfer([])
+        with pytest.raises(ConfigurationError):
+            PipelinedTransfer([("s", lambda x, i: x)], lanes=0)
+
+
+class TestAssembleInto:
+    def test_concatenates(self):
+        buf = bytearray(10)
+        out = assemble_into(buf, [b"ab", b"cde", b""])
+        assert bytes(out) == b"abcde"
+
+    def test_overflow_rejected(self):
+        with pytest.raises(TransferError):
+            assemble_into(bytearray(3), [b"abcd"])
+
+
+class TestSerializePipelined:
+    def test_matches_dumps_exactly(self):
+        ser = ViperSerializer()
+        state = sample_state()
+        cfg = PipelineConfig(enabled=True, chunk_bytes=1024, lanes=2)
+        assert bytes(serialize_pipelined(ser, state, cfg)) == ser.dumps(state)
+
+    def test_pool_buffer_recycled(self):
+        ser = ViperSerializer()
+        state = sample_state()
+        cfg = PipelineConfig(enabled=True, chunk_bytes=512, lanes=2)
+        pool = BufferPool(max_buffers=2)
+        blob1 = serialize_pipelined(ser, state, cfg, pool=pool)
+        blob2 = serialize_pipelined(ser, state, cfg, pool=pool)
+        assert blob1 == blob2 == ser.dumps(state)
+        assert pool.outstanding == 0
+        assert pool.reuses >= 1

@@ -123,3 +123,118 @@ class TestLoadCosts:
             compute_timings(
                 POLARIS, SER, TransferStrategy.PFS, CaptureMode.SYNC, 10, 0
             )
+
+
+class TestPipelinedTimings:
+    def _pipe(self, chunk_gb=0.25, lanes=2):
+        from repro.core.transfer.pipeline import PipelineConfig
+        from repro.substrates.cost import MB
+
+        return PipelineConfig(
+            enabled=True, chunk_bytes=int(chunk_gb * 1024 * MB), lanes=lanes
+        )
+
+    @pytest.mark.parametrize("strategy", list(TransferStrategy))
+    @pytest.mark.parametrize("mode", list(CaptureMode))
+    def test_never_slower_than_monolithic(self, strategy, mode):
+        mono = timings(strategy, mode)
+        piped = compute_timings(
+            POLARIS, SER, strategy, mode, TC1, 30, pipeline=self._pipe()
+        )
+        assert piped.update_latency <= mono.update_latency + 1e-12
+        assert piped.stall.total <= mono.stall.total + 1e-12
+
+    @pytest.mark.parametrize("strategy", list(TransferStrategy))
+    def test_large_chunks_speed_up_tc1(self, strategy):
+        mono = timings(strategy, CaptureMode.SYNC)
+        piped = compute_timings(
+            POLARIS, SER, strategy, CaptureMode.SYNC, TC1, 30,
+            pipeline=self._pipe(),
+        )
+        assert piped.update_latency < mono.update_latency
+
+    def test_one_chunk_is_exactly_monolithic(self):
+        huge = self._pipe(chunk_gb=64.0)  # payload fits in one chunk
+        for strategy in TransferStrategy:
+            for mode in CaptureMode:
+                mono = timings(strategy, mode)
+                piped = compute_timings(
+                    POLARIS, SER, strategy, mode, TC1, 30, pipeline=huge
+                )
+                assert piped.update_latency == pytest.approx(mono.update_latency)
+
+    def test_disabled_pipeline_is_identity(self):
+        from repro.core.transfer.pipeline import PipelineConfig
+
+        off = PipelineConfig(enabled=False)
+        for strategy in TransferStrategy:
+            mono = timings(strategy, CaptureMode.SYNC)
+            piped = compute_timings(
+                POLARIS, SER, strategy, CaptureMode.SYNC, TC1, 30, pipeline=off
+            )
+            assert piped.update_latency == mono.update_latency
+
+    def test_more_lanes_never_slower(self):
+        lat = [
+            compute_timings(
+                POLARIS, SER, TransferStrategy.HOST_TO_HOST, CaptureMode.SYNC,
+                TC1, 30, pipeline=self._pipe(lanes=lanes),
+            ).update_latency
+            for lanes in (1, 2, 4, 8)
+        ]
+        assert lat == sorted(lat, reverse=True)
+
+    def test_fig8_ordering_survives_pipelining(self):
+        pipe = self._pipe()
+        gpu = compute_timings(
+            POLARIS, SER, TransferStrategy.GPU_TO_GPU, CaptureMode.SYNC,
+            TC1, 30, pipeline=pipe,
+        ).update_latency
+        host = compute_timings(
+            POLARIS, SER, TransferStrategy.HOST_TO_HOST, CaptureMode.SYNC,
+            TC1, 30, pipeline=pipe,
+        ).update_latency
+        pfs = compute_timings(
+            POLARIS, SER, TransferStrategy.PFS, CaptureMode.SYNC,
+            TC1, 30, pipeline=pipe,
+        ).update_latency
+        assert gpu < host < pfs
+
+
+class TestPipelinedPhaseCost:
+    def test_breakdown_shape_preserved(self):
+        from repro.core.transfer.strategies import pipelined_phase_cost
+
+        mono = timings(TransferStrategy.HOST_TO_HOST, CaptureMode.SYNC)
+        pipe = TestPipelinedTimings()._pipe()
+        scaled = pipelined_phase_cost(
+            mono.stall, POLARIS.infiniband, SER.wire_bytes(TC1), pipe
+        )
+        assert set(scaled.breakdown()) == set(mono.stall.breakdown())
+        ratios = {
+            k: scaled.breakdown()[k] / v
+            for k, v in mono.stall.breakdown().items()
+            if v > 0
+        }
+        first = next(iter(ratios.values()))
+        for r in ratios.values():
+            assert r == pytest.approx(first)
+
+    def test_zero_cost_passthrough(self):
+        from repro.substrates.cost import Cost
+        from repro.core.transfer.strategies import pipelined_phase_cost
+
+        pipe = TestPipelinedTimings()._pipe()
+        zero = Cost.zero()
+        assert pipelined_phase_cost(
+            zero, POLARIS.infiniband, SER.wire_bytes(TC1), pipe
+        ).total == 0.0
+
+    def test_pipelined_load_cost_not_slower(self):
+        pipe = TestPipelinedTimings()._pipe()
+        for location in ("gpu", "dram", "pfs"):
+            mono = load_cost_for_location(POLARIS, SER, location, TC1, 30)
+            piped = load_cost_for_location(
+                POLARIS, SER, location, TC1, 30, pipeline=pipe
+            )
+            assert piped.total <= mono.total + 1e-12

@@ -110,3 +110,129 @@ class TestHelpers:
         assert get_serializer("h5py").name == "h5py"
         with pytest.raises(StorageError):
             get_serializer("pickle")
+
+
+class TestChunkAPI:
+    def test_dump_chunks_concat_equals_dumps(self, serializer):
+        state = sample_state()
+        assert b"".join(serializer.dump_chunks(state)) == serializer.dumps(state)
+
+    def test_load_chunks_roundtrip(self, serializer):
+        state = sample_state()
+        blob = serializer.dumps(state)
+        pieces = [blob[:7], blob[7:100], memoryview(blob)[100:], b""]
+        back = serializer.load_chunks(pieces)
+        for key in state:
+            np.testing.assert_array_equal(back[key], state[key])
+
+    def test_dump_chunks_are_views_not_copies(self, serializer):
+        arr = RNG.standard_normal(64).astype(np.float32)
+        state = {"t": arr}
+        chunks = list(serializer.dump_chunks(state))
+        before = b"".join(chunks)
+        arr[0] += 1.0  # tensor payload chunks alias the array
+        assert b"".join(chunks) != before
+
+
+class TestZeroCopyLoads:
+    def test_equal_to_copying_load(self, serializer):
+        state = sample_state()
+        blob = serializer.dumps(state)
+        copied = serializer.loads(blob, copy=True)
+        aliased = serializer.loads(blob, copy=False)
+        for key in state:
+            np.testing.assert_array_equal(aliased[key], copied[key])
+
+    def test_zero_copy_tensors_are_read_only(self, serializer):
+        blob = serializer.dumps(sample_state())
+        back = serializer.loads(blob, copy=False)
+        for tensor in back.values():
+            assert not tensor.flags.writeable
+            if tensor.size:
+                with pytest.raises(ValueError):
+                    tensor[(0,) * tensor.ndim] = 0
+
+    def test_zero_copy_aliases_blob(self, serializer):
+        state = {"t": RNG.standard_normal(32).astype(np.float32)}
+        buf = bytearray(serializer.dumps(state))
+        back = serializer.loads(buf, copy=False)
+        before = back["t"].copy()
+        buf[-1] ^= 0xFF  # flip a payload byte under the view
+        assert not np.array_equal(back["t"], before)
+
+    def test_copying_load_does_not_alias(self, serializer):
+        state = {"t": RNG.standard_normal(32).astype(np.float32)}
+        buf = bytearray(serializer.dumps(state))
+        back = serializer.loads(buf, copy=True)
+        before = back["t"].copy()
+        buf[-1] ^= 0xFF
+        np.testing.assert_array_equal(back["t"], before)
+
+
+class TestEdgeShapes:
+    @pytest.mark.parametrize("copy", [True, False], ids=["copy", "zero-copy"])
+    def test_zero_dim_empty_and_fortran(self, serializer, copy):
+        state = {
+            "scalar": np.array(2.5),
+            "empty": np.zeros((0, 3), dtype=np.float32),
+            "fortran": np.asfortranarray(
+                RNG.standard_normal((4, 5)).astype(np.float64)
+            ),
+        }
+        back = serializer.loads(serializer.dumps(state), copy=copy)
+        for key in state:
+            np.testing.assert_array_equal(back[key], state[key])
+            assert back[key].dtype == state[key].dtype
+            assert back[key].shape == state[key].shape
+
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is in the image
+    HAVE_HYPOTHESIS = False
+
+
+# The serializers are stateless, so hypothesis drives the classes directly
+# (its health check forbids mixing @given with function-scoped fixtures).
+@pytest.mark.skipif(not HAVE_HYPOTHESIS, reason="hypothesis not installed")
+@pytest.mark.parametrize(
+    "serializer_cls", [ViperSerializer, H5LikeSerializer], ids=["viper", "h5py"]
+)
+class TestChunkProperties:
+    @staticmethod
+    def _state_from(shapes):
+        rng = np.random.default_rng(sum(sum(s) for s in shapes) + len(shapes))
+        return {
+            f"t{i}": rng.standard_normal(shape).astype(np.float32)
+            for i, shape in enumerate(shapes)
+        }
+
+    @given(
+        shapes=st.lists(
+            st.tuples(st.integers(0, 8), st.integers(1, 8)), min_size=1, max_size=5
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_chunks_always_concat_to_dumps(self, serializer_cls, shapes):
+        serializer = serializer_cls()
+        state = self._state_from(shapes)
+        assert b"".join(serializer.dump_chunks(state)) == serializer.dumps(state)
+
+    @given(
+        shapes=st.lists(
+            st.tuples(st.integers(0, 8), st.integers(1, 8)), min_size=1, max_size=5
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_zero_copy_load_always_matches(self, serializer_cls, shapes):
+        serializer = serializer_cls()
+        state = self._state_from(shapes)
+        blob = serializer.dumps(state)
+        back = serializer.loads(blob, copy=False)
+        assert set(back) == set(state)
+        for key in state:
+            np.testing.assert_array_equal(back[key], state[key])
+            assert not back[key].flags.writeable

@@ -171,3 +171,107 @@ class TestLifecycle:
         a.send("b", b"threaded")
         t.join(2.0)
         assert received == [b"threaded"]
+
+
+class TestRecvDeadline:
+    def test_nonmatching_traffic_does_not_extend_timeout(self):
+        # Regression: recv() used to reset its wait on every arriving
+        # message, so a stream of non-matching traffic postponed the
+        # timeout indefinitely.  The deadline must cover the whole call.
+        _f, a, b = make_fabric()
+        stop = threading.Event()
+
+        def chatter():
+            while not stop.is_set():
+                a.send("b", b"noise", tag=1)
+                time.sleep(0.01)
+
+        t = threading.Thread(target=chatter, daemon=True)
+        t.start()
+        try:
+            start = time.monotonic()
+            with pytest.raises(TransferError):
+                b.recv(tag=99, timeout=0.2)
+            assert time.monotonic() - start < 1.0
+        finally:
+            stop.set()
+            t.join(2.0)
+
+    def test_parked_messages_still_deliverable(self):
+        _f, a, b = make_fabric()
+        a.send("b", b"early", tag=1)
+        with pytest.raises(TransferError):
+            b.recv(tag=2, timeout=0.05)
+        assert b.recv(tag=1, timeout=0.5).payload == b"early"
+
+    def test_zero_timeout_raises_immediately(self):
+        _f, _a, b = make_fabric()
+        with pytest.raises(TransferError):
+            b.recv(timeout=0.0)
+
+
+class TestScatter:
+    def test_roundtrip_reassembles(self):
+        _f, a, b = make_fabric()
+        payload = bytes(range(256)) * 10
+        chunks = [memoryview(payload)[i : i + 300] for i in range(0, len(payload), 300)]
+        a.scatter_send("b", chunks, tag=3)
+        msg = b.recv_scatter(tag=3, timeout=2.0)
+        assert bytes(msg.payload) == payload
+        assert msg.tag == 3
+        assert "scatter" not in msg.meta
+
+    def test_single_chunk(self):
+        _f, a, b = make_fabric()
+        a.scatter_send("b", [b"solo"])
+        assert bytes(b.recv_scatter(timeout=2.0).payload) == b"solo"
+
+    def test_no_wire_copy(self):
+        # scatter_send must not snapshot the chunks: mutating the source
+        # buffer before the receiver copies it shows through.
+        _f, a, b = make_fabric()
+        buf = bytearray(b"AAAA")
+        a.scatter_send("b", [memoryview(buf)])
+        buf[0] = ord("Z")
+        assert bytes(b.recv_scatter(timeout=2.0).payload) == b"ZAAA"
+
+    def test_cost_uses_pipelined_law(self):
+        _f, a, b = make_fabric()
+        payload = b"x" * 1000
+        chunks = [memoryview(payload)[i : i + 100] for i in range(0, 1000, 100)]
+        cost = a.scatter_send("b", chunks, virtual_bytes=10**6, lanes=2)
+        link = LinkSpec("l", LinkKind.LOOPBACK, bandwidth=1000.0, latency=0.001)
+        assert cost.total == pytest.approx(
+            link.pipelined_transfer_time(10**6, 100, lanes=2)
+        )
+        # The receiver sees the cost exactly once, not once per chunk.
+        msg = b.recv_scatter(timeout=2.0)
+        assert msg.cost.total == pytest.approx(cost.total)
+        assert msg.virtual_bytes == 10**6
+
+    def test_recv_into_preallocated_buffer(self):
+        _f, a, b = make_fabric()
+        payload = b"chunked-payload!" * 4
+        chunks = [memoryview(payload)[i : i + 16] for i in range(0, len(payload), 16)]
+        a.scatter_send("b", chunks)
+        into = bytearray(1024)
+        msg = b.recv_scatter(timeout=2.0, into=into)
+        assert bytes(msg.payload) == payload
+        assert bytes(into[: len(payload)]) == payload
+
+    def test_recv_into_too_small_rejected(self):
+        _f, a, b = make_fabric()
+        a.scatter_send("b", [b"0123456789"])
+        with pytest.raises(TransferError):
+            b.recv_scatter(timeout=2.0, into=bytearray(4))
+
+    def test_recv_scatter_rejects_plain_message(self):
+        _f, a, b = make_fabric()
+        a.send("b", b"plain")
+        with pytest.raises(TransferError):
+            b.recv_scatter(timeout=2.0)
+
+    def test_empty_chunk_list_rejected(self):
+        _f, a, _b = make_fabric()
+        with pytest.raises(TransferError):
+            a.scatter_send("b", [])

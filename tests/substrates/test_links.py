@@ -63,3 +63,60 @@ class TestLinkSpec:
     def test_all_kinds_constructible(self):
         for kind in LinkKind:
             assert make_link(kind=kind).kind is kind
+
+
+class TestPipelinedTransferTime:
+    def test_never_slower_than_monolithic(self):
+        link = make_link()
+        for nbytes in (0, 1, 100, 10**4, 10**6, 10**9):
+            for chunk in (1, 64, 10**3, 10**6, 10**9):
+                for lanes in (1, 2, 4, 8):
+                    assert link.pipelined_transfer_time(
+                        nbytes, chunk, lanes=lanes
+                    ) <= link.transfer_time(nbytes) + 1e-12
+
+    def test_equal_at_one_chunk(self):
+        link = make_link()
+        nbytes = 500
+        assert link.pipelined_transfer_time(nbytes, nbytes, lanes=1) == pytest.approx(
+            link.transfer_time(nbytes)
+        )
+        assert link.pipelined_transfer_time(nbytes, 10**9) == pytest.approx(
+            link.transfer_time(nbytes)
+        )
+
+    def test_monotone_in_lanes(self):
+        link = make_link()
+        times = [
+            link.pipelined_transfer_time(10**6, 10**3, lanes=lanes)
+            for lanes in (1, 2, 4, 8, 16)
+        ]
+        assert times == sorted(times, reverse=True)
+
+    def test_chunking_beats_per_message_framing(self):
+        # Monolithic nmessages=k pays k full setups serially; the pipeline
+        # overlaps them, so the chunked time must win for many chunks.
+        link = make_link()
+        nbytes, k = 10**6, 100
+        framed = link.transfer_time(nbytes, nmessages=k)
+        piped = link.pipelined_transfer_time(nbytes, nbytes // k, lanes=4)
+        assert piped < framed
+
+    def test_cost_matches_time(self):
+        link = make_link()
+        cost = link.pipelined_transfer_cost(10**6, 10**3, lanes=2)
+        assert cost.total == pytest.approx(
+            link.pipelined_transfer_time(10**6, 10**3, lanes=2)
+        )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"nbytes": -1, "chunk_bytes": 10},
+            {"nbytes": 10, "chunk_bytes": 0},
+            {"nbytes": 10, "chunk_bytes": 10, "lanes": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            make_link().pipelined_transfer_time(**kwargs)

@@ -56,3 +56,25 @@ class TestViperConfig:
     def test_unknown_keys_rejected(self):
         with pytest.raises(ConfigurationError):
             ViperConfig.from_dict({"profil": "polaris"})
+
+    def test_pipeline_defaults_off(self):
+        cfg = ViperConfig()
+        assert cfg.pipeline is False
+        assert cfg.pipeline_config().enabled is False
+
+    def test_pipeline_config_resolution(self):
+        cfg = ViperConfig(pipeline=True, pipeline_chunk_bytes=1024, pipeline_lanes=4)
+        pipe = cfg.pipeline_config()
+        assert pipe.enabled and pipe.chunk_bytes == 1024 and pipe.lanes == 4
+
+    def test_pipeline_roundtrip_via_dict(self):
+        cfg = ViperConfig(pipeline=True, pipeline_chunk_bytes=2048, pipeline_lanes=3)
+        assert ViperConfig.from_dict(cfg.to_dict()) == cfg
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"pipeline_chunk_bytes": 0}, {"pipeline_chunk_bytes": -5}, {"pipeline_lanes": 0}],
+    )
+    def test_pipeline_invalid_values(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ViperConfig(**kwargs)
