@@ -1,12 +1,24 @@
 # Convenience targets for the Viper reproduction.
 
-.PHONY: install test bench examples experiments clean
+.PHONY: install test lint chaos bench examples experiments clean
 
 install:
 	pip install -e . || python setup.py develop
 
 test:
 	PYTHONPATH=src python -m pytest -x -q
+
+# Mirrors CI's lint job (requires: pip install -r requirements-dev.txt).
+lint:
+	ruff check src tests benchmarks examples
+	ruff format --check src/repro/resilience
+	mypy src/repro
+
+# Fault-injection suite under an arbitrary seed, like CI's chaos job:
+#   make chaos SEED=12345
+SEED ?= 0
+chaos:
+	VIPER_FAULT_SEED=$(SEED) PYTHONPATH=src python -m pytest tests/resilience -q
 
 bench:
 	pytest benchmarks/ --benchmark-only

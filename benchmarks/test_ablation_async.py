@@ -8,7 +8,6 @@ here we quantify the *end-to-end* consequence on TC1: training overhead
 shrinks dramatically under async while CIL stays comparable.
 """
 
-import pytest
 
 from repro.apps import get_app
 from repro.core.predictor.schedules import epoch_schedule

@@ -8,7 +8,6 @@ reports the raw discovery-delay distribution.
 """
 
 import numpy as np
-import pytest
 
 from repro.apps import get_app
 from repro.core.notification import PUSH_LATENCY
@@ -45,7 +44,6 @@ def test_notification_vs_polling_cil(loss_curves, results_dir, benchmark):
         "-" * 41,
         f"{'push <1ms':<14}{push.cil:>12.1f}{0.0:>15.1f}",
     ]
-    previous = push.cil
     for interval in POLL_INTERVALS:
         result = run_tc1(curve, poll_interval=interval)
         rows.append(
@@ -54,7 +52,6 @@ def test_notification_vs_polling_cil(loss_curves, results_dir, benchmark):
         )
         # Slower discovery can never *reduce* the CIL.
         assert result.cil >= push.cil - 1e-6
-        previous = result.cil
     # A coarse poll (5 s on a ~13 s update cadence) visibly hurts.
     worst = run_tc1(curve, poll_interval=POLL_INTERVALS[-1])
     assert worst.cil > push.cil

@@ -14,7 +14,6 @@ PtychoNN fine-tuning workload (frozen encoder):
 - and *both* stay well above Viper's direct GPU channel.
 """
 
-import numpy as np
 import pytest
 
 from repro.apps import get_app

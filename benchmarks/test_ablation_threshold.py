@@ -9,8 +9,6 @@ actual CIL per threshold scale — and verifies the sweep lands at (or
 near) the empirical optimum.
 """
 
-import numpy as np
-import pytest
 
 from repro.apps import get_app
 from repro.core.predictor.ipp import InferencePerformancePredictor

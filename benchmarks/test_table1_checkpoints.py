@@ -63,7 +63,7 @@ def test_table1_baseline_counts_match_epoch_geometry(table1_results, benchmark):
 def test_table1_overhead_equals_ckpts_times_stall(table1_results, benchmark):
     benchmark(lambda: None)
     """Training overhead decomposes exactly into per-checkpoint stalls."""
-    from repro.core.transfer.strategies import CaptureMode, TransferStrategy
+    from repro.core.transfer.strategies import TransferStrategy
     from repro.workflow.experiments import make_cil_params
 
     for name, results in table1_results.items():

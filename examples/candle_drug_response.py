@@ -9,12 +9,17 @@ version of the paper's Figures 8 and 9.
 Run:  python examples/candle_drug_response.py
 """
 
+import os
+
 from repro import CaptureMode, Viper
 from repro.apps import get_app
 from repro.core.transfer.selector import TransferSelector
 from repro.core.transfer.strategies import TransferStrategy
 from repro.dnn.losses import CrossEntropyLoss
 from repro.serving import InferenceServer, RequestGenerator
+
+# Smoke runs shrink the example via this multiplier (see quickstart.py).
+SCALE = float(os.environ.get("VIPER_EXAMPLE_SCALE", "1.0"))
 
 
 def run_strategy(app, data, strategy: TransferStrategy) -> None:
@@ -61,7 +66,7 @@ def run_strategy(app, data, strategy: TransferStrategy) -> None:
 
 def main() -> None:
     app = get_app("nt3a")
-    data = app.dataset(scale=0.25, seed=5)
+    data = app.dataset(scale=max(0.02, 0.25 * SCALE), seed=5)
     print("NT3 live producer/consumer, one run per transfer strategy:")
     for strategy in (
         TransferStrategy.GPU_TO_GPU,

@@ -14,16 +14,21 @@ Demonstrates the paper's §4.4 durability path end to end:
 Run:  python examples/fault_tolerance.py
 """
 
+import os
+
 import numpy as np
 
 from repro import CaptureMode, TransferStrategy, Viper
 from repro.apps import get_app
 from repro.dnn.checkpointing import pack_training_state, unpack_training_state
 
+# Smoke runs shrink the example via this multiplier (see quickstart.py).
+SCALE = float(os.environ.get("VIPER_EXAMPLE_SCALE", "1.0"))
+
 
 def main() -> None:
     app = get_app("nt3a")
-    x, y, _xt, _yt = app.dataset(scale=0.25, seed=17)
+    x, y, _xt, _yt = app.dataset(scale=max(0.02, 0.25 * SCALE), seed=17)
     crash_at, total = 3, 6  # epochs
 
     with Viper(flush_history=True) as viper:

@@ -14,6 +14,8 @@ in the decoder tensors.  This example:
 Run:  python examples/incremental_finetuning.py
 """
 
+import os
+
 import numpy as np
 
 from repro import CaptureMode, TransferStrategy, Viper
@@ -25,12 +27,16 @@ from repro.core.transfer.incremental import (
 )
 from repro.dnn.serialization import state_dict_nbytes
 
+# Smoke runs shrink the example via this multiplier (see quickstart.py).
+# Named EX_SCALE here because main() has a local ``scale`` of its own.
+EX_SCALE = float(os.environ.get("VIPER_EXAMPLE_SCALE", "1.0"))
+
 
 def main() -> None:
     app = get_app("ptychonn")
     model = app.build_model()
     frozen = model.freeze("ptycho_enc")
-    x, y, _xt, _yt = app.dataset(scale=0.05, seed=23)
+    x, y, _xt, _yt = app.dataset(scale=max(0.02, 0.05 * EX_SCALE), seed=23)
     print(f"fine-tuning PtychoNN with {frozen} frozen encoder layers")
 
     with Viper() as viper:

@@ -12,16 +12,21 @@ on the simulation substrate:
 Run:  python examples/multi_consumer.py
 """
 
+import os
+
 from repro.apps import get_app
 from repro.core.predictor.schedules import epoch_schedule
 from repro.workflow.experiments import measured_loss_curve
 from repro.workflow.multi import run_fanout, run_sharded
 
+# Smoke runs shrink the example via this multiplier (see quickstart.py).
+SCALE = float(os.environ.get("VIPER_EXAMPLE_SCALE", "1.0"))
+
 
 def main() -> None:
     app = get_app("tc1")
     print("training TC1 (reduced scale) for a loss curve ...")
-    curve = measured_loss_curve(app, scale=0.1, seed=9)
+    curve = measured_loss_curve(app, scale=max(0.02, 0.1 * SCALE), seed=9)
     schedule = epoch_schedule(app.warmup_iters, app.total_iters, app.iters_per_epoch)
 
     print("\nfan-out: one producer, K serving replicas")

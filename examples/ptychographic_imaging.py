@@ -14,6 +14,8 @@ Reproduces the §1 scenario end to end (at laptop scale):
 Run:  python examples/ptychographic_imaging.py
 """
 
+import os
+
 import numpy as np
 
 from repro import CaptureMode, Viper
@@ -23,11 +25,14 @@ from repro.serving import InferenceServer, RequestGenerator
 from repro.workflow.experiments import make_cil_params
 from repro.core.transfer.strategies import TransferStrategy
 
+# Smoke runs shrink the example via this multiplier (see quickstart.py).
+SCALE = float(os.environ.get("VIPER_EXAMPLE_SCALE", "1.0"))
+
 
 def main() -> None:
     app = get_app("ptychonn")
     model = app.build_model()
-    x_train, y_train, x_test, y_test = app.dataset(scale=0.05, seed=11)
+    x_train, y_train, x_test, y_test = app.dataset(scale=max(0.02, 0.05 * SCALE), seed=11)
 
     iters_per_epoch = -(-x_train.shape[0] // 64)
     warmup_iters = 2 * iters_per_epoch

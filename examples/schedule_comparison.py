@@ -9,15 +9,27 @@ inference loss of each, exactly like the paper's Figure 10b.
 Run:  python examples/schedule_comparison.py
 """
 
+import os
+
 from repro.apps import get_app
 from repro.analysis.reporting import format_fig10_table, format_table1
 from repro.workflow.experiments import measured_loss_curve, run_schedule_comparison
+
+# Smoke runs shrink the example via this multiplier (see quickstart.py).
+# Below 1.0 the epoch budget also drops to 5 (the minimum that clears
+# the schedule warm-up), which shortens the DES replay itself.
+SCALE = float(os.environ.get("VIPER_EXAMPLE_SCALE", "1.0"))
 
 
 def main() -> None:
     app = get_app("tc1")
     print("training TC1 (reduced scale) to measure its loss curve ...")
-    curve = measured_loss_curve(app, scale=0.25, seed=3)
+    curve = measured_loss_curve(
+        app,
+        scale=max(0.02, 0.25 * SCALE),
+        seed=3,
+        epochs=None if SCALE >= 1.0 else 5,
+    )
     print(f"  {curve.size} iterations, loss {curve[0]:.3f} -> {curve[-1]:.3f}")
 
     print("replaying the curve through the coupled simulation ...")

@@ -15,12 +15,15 @@ Public surface:
   regenerates the paper's end-to-end results.
 - :mod:`repro.substrates` — the modeled HPC hardware (tiers, links,
   nodes, simulated clock).
+- :mod:`repro.resilience` — seeded fault injection and the
+  retry/backoff/failover machinery of the resilient transfer path.
 """
 
 from repro.core.api import Viper, ViperConsumer, ViperProducer
 from repro.core.callback import CheckpointCallback
 from repro.core.predictor import InferencePerformancePredictor
 from repro.core.transfer import CaptureMode, TransferStrategy
+from repro.resilience import FaultKind, FaultPlan, FaultRule, RetryPolicy
 from repro.substrates.profiles import LAPTOP, POLARIS
 
 __version__ = "1.0.0"
@@ -33,6 +36,10 @@ __all__ = [
     "InferencePerformancePredictor",
     "CaptureMode",
     "TransferStrategy",
+    "FaultKind",
+    "FaultPlan",
+    "FaultRule",
+    "RetryPolicy",
     "POLARIS",
     "LAPTOP",
     "__version__",

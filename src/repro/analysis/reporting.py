@@ -8,7 +8,7 @@ corresponding figure.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional, Sequence
+from typing import Dict, Mapping
 
 __all__ = [
     "format_fig8_table",

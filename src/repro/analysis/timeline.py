@@ -8,7 +8,7 @@ when debugging schedule or supersede behaviour.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from repro.errors import WorkflowError
 from repro.workflow.trace import Trace

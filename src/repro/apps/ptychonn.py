@@ -13,7 +13,6 @@ from repro.dnn.layers import (
     Conv2D,
     MaxPool2D,
     ReLU,
-    Tanh,
     UpSampling2D,
 )
 from repro.dnn.losses import MAELoss

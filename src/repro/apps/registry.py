@@ -18,7 +18,7 @@ Profiles: ``nt3a`` (Fig. 8a), ``nt3b`` (Fig. 10a / Table 1), ``tc1``
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Tuple
 
 import numpy as np

@@ -9,10 +9,14 @@ the plain-dict form (e.g. parsed from JSON).
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field
-from typing import Any, Dict, Optional
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING, Any, Dict, Optional
 
 from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # resilience imports lazily to avoid a module cycle
+    from repro.resilience.faults import FaultPlan
+    from repro.resilience.retry import RetryPolicy
 from repro.substrates.profiles import FRONTIER, LAPTOP, POLARIS, HardwareProfile
 from repro.dnn.serialization import H5LikeSerializer, Serializer, ViperSerializer
 from repro.core.transfer.pipeline import DEFAULT_CHUNK_BYTES, PipelineConfig
@@ -39,6 +43,15 @@ class ViperConfig:
     pipeline: bool = False
     pipeline_chunk_bytes: int = DEFAULT_CHUNK_BYTES
     pipeline_lanes: int = 2
+    # Resilience: retry budget per site, strategy failover down the
+    # GPU -> HOST -> PFS chain, and an optional fault plan (plain-dict
+    # form of resilience.FaultPlan.to_dict) armed for the session.
+    retry_max_attempts: int = 3
+    retry_base_delay: float = 0.005
+    retry_max_delay: float = 1.0
+    retry_jitter: float = 0.25
+    failover: bool = True
+    fault_plan: Optional[Dict[str, Any]] = None
 
     def __post_init__(self):
         if self.profile not in _PROFILES:
@@ -64,6 +77,11 @@ class ViperConfig:
             raise ConfigurationError("pipeline_chunk_bytes must be positive")
         if self.pipeline_lanes < 1:
             raise ConfigurationError("pipeline_lanes must be >= 1")
+        # RetryPolicy re-validates, but failing at config-construction
+        # time points at the bad knob instead of the first transfer.
+        self.retry_policy()
+        if self.fault_plan is not None:
+            self.make_fault_plan()
 
     # ------------------------------------------------------------------
     # Resolution to live objects
@@ -88,6 +106,24 @@ class ViperConfig:
             chunk_bytes=self.pipeline_chunk_bytes,
             lanes=self.pipeline_lanes,
         )
+
+    def retry_policy(self) -> "RetryPolicy":
+        from repro.resilience.retry import RetryPolicy
+
+        return RetryPolicy(
+            max_attempts=self.retry_max_attempts,
+            base_delay=self.retry_base_delay,
+            max_delay=self.retry_max_delay,
+            jitter=self.retry_jitter,
+        )
+
+    def make_fault_plan(self) -> Optional["FaultPlan"]:
+        """Build the configured fault plan (None when no plan is set)."""
+        from repro.resilience.faults import FaultPlan
+
+        if self.fault_plan is None:
+            return None
+        return FaultPlan.from_dict(self.fault_plan)
 
     # ------------------------------------------------------------------
     # Serialization

@@ -27,11 +27,10 @@ Example::
 from __future__ import annotations
 
 import threading
-from typing import Callable, Dict, Optional
+from typing import Callable, Optional
 
-import numpy as np
 
-from repro.errors import ServingError, ViperError
+from repro.errors import ServingError
 from repro.substrates.cluster.cluster import make_producer_consumer_pair
 from repro.substrates.profiles import POLARIS, HardwareProfile
 from repro.dnn.serialization import Serializer
@@ -41,7 +40,6 @@ from repro.core.notification import NotificationBroker, Subscription
 from repro.core.transfer.double_buffer import DoubleBuffer
 from repro.core.transfer.handler import LoadResult, ModelWeightsHandler, UpdateResult
 from repro.core.transfer.selector import TransferSelector
-from repro.core.transfer.strategies import CaptureMode, TransferStrategy
 
 __all__ = ["Viper", "ViperProducer", "ViperConsumer"]
 
@@ -61,6 +59,9 @@ class Viper:
         tracer=None,
         metrics=None,
         pipeline=None,
+        retry_policy=None,
+        failover: bool = True,
+        fault_plan=None,
     ):
         from repro.obs.metrics import NULL_METRICS
         from repro.obs.tracer import NULL_TRACER
@@ -88,8 +89,15 @@ class Viper:
             tracer=self.tracer,
             metrics=self.metrics,
             pipeline=pipeline,
+            retry_policy=retry_policy,
+            failover=failover,
         )
         self.topic = topic
+        # An armed fault plan (chaos testing) hooks this deployment's
+        # fabric and tier stores for the session; close() disarms it.
+        self.fault_plan = fault_plan
+        if fault_plan is not None:
+            fault_plan.bind_metrics(self.metrics).arm(self.cluster)
 
     # -- paper Fig. 4 API -------------------------------------------------
     def save_weights(self, model_name: str, model_weights, **kwargs) -> UpdateResult:
@@ -112,6 +120,8 @@ class Viper:
         self.handler.drain()
 
     def close(self) -> None:
+        if self.fault_plan is not None:
+            self.fault_plan.disarm()
         self.handler.close()
         self.broker.close()
         self.cluster.close()

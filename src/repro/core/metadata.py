@@ -19,7 +19,7 @@ the Redis round trip.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import MetadataError, StaleVersionError

@@ -19,9 +19,8 @@ loads the next model concurrently with serving, so subsequent windows are
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Callable, List, Tuple
+from typing import Callable, Tuple
 
 from repro.errors import ConfigurationError, ScheduleError
 

@@ -21,8 +21,7 @@ training iterations at which to take a checkpoint, plus the predicted CIL.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np

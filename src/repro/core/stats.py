@@ -49,6 +49,9 @@ class StatsSnapshot:
     locations: Dict[str, LocationStats]
     fallbacks: int
     misses: int
+    retries: int = 0      # transfer attempts abandoned and re-tried
+    failovers: int = 0    # strategy demotions down the GPU->HOST->PFS chain
+    corruptions: int = 0  # checksum mismatches caught before deserialization
 
     def __getitem__(self, location: str) -> LocationStats:
         return self.locations[location]
@@ -70,6 +73,9 @@ class StatsManager:
         self._per_location: Dict[str, LocationStats] = {}
         self.fallbacks = 0   # preferred replica missing, used a slower one
         self.misses = 0      # no replica present anywhere
+        self.retries = 0     # see StatsSnapshot.retries
+        self.failovers = 0   # see StatsSnapshot.failovers
+        self.corruptions = 0  # see StatsSnapshot.corruptions
         self.metrics = metrics if metrics is not None else NULL_METRICS
 
     def rank(self, location: str) -> int:
@@ -105,6 +111,24 @@ class StatsManager:
             self.misses += 1
         self.metrics.counter("viper_load_misses_total").inc()
 
+    def record_retry(self, site: str = "") -> None:
+        """One transfer attempt failed and was retried at ``site``."""
+        with self._lock:
+            self.retries += 1
+        self.metrics.counter("viper_retries_total", site=site).inc()
+
+    def record_failover(self, src: str = "", dst: str = "") -> None:
+        """The strategy chain demoted ``src`` -> ``dst`` after exhaustion."""
+        with self._lock:
+            self.failovers += 1
+        self.metrics.counter("viper_failovers_total", src=src, dst=dst).inc()
+
+    def record_corruption(self, location: str = "") -> None:
+        """A checksum mismatch was caught loading from ``location``."""
+        with self._lock:
+            self.corruptions += 1
+        self.metrics.counter("viper_corruptions_total", location=location).inc()
+
     # ------------------------------------------------------------------
     def loads_from(self, location: str) -> int:
         with self._lock:
@@ -120,6 +144,9 @@ class StatsManager:
                 },
                 fallbacks=self.fallbacks,
                 misses=self.misses,
+                retries=self.retries,
+                failovers=self.failovers,
+                corruptions=self.corruptions,
             )
 
     def summary(self) -> str:
@@ -132,4 +159,9 @@ class StatsManager:
                 f"{stats.seconds:.3f}s"
             )
         parts.append(f"fallbacks: {snap.fallbacks}, misses: {snap.misses}")
+        if snap.retries or snap.failovers or snap.corruptions:
+            parts.append(
+                f"retries: {snap.retries}, failovers: {snap.failovers}, "
+                f"corruptions: {snap.corruptions}"
+            )
         return "; ".join(parts)

@@ -19,7 +19,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
-from typing import Any, Generic, Optional, Tuple, TypeVar
+from typing import Generic, Optional, TypeVar
 
 from repro.errors import ServingError
 from repro.obs.metrics import NULL_METRICS
@@ -97,7 +97,6 @@ class DoubleBuffer(Generic[T]):
         with self._lock:
             if self._alternate is None:
                 raise ServingError("commit() with nothing staged")
-            old = self._primary
             self._primary = self._alternate
             # Keep the displaced model as the next staging target's slot;
             # its object can be reused by zero-copy loaders.

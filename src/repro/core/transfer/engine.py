@@ -14,11 +14,12 @@ from __future__ import annotations
 import queue
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.errors import TransferError
 from repro.obs.metrics import NULL_METRICS
 from repro.obs.tracer import NULL_TRACER
+from repro.resilience.retry import execute_with_retry
 from repro.substrates.cost import Cost
 
 __all__ = ["TransferJob", "AsyncTransferEngine"]
@@ -39,10 +40,24 @@ class TransferJob:
 class AsyncTransferEngine:
     """Single-worker background queue for model updates."""
 
-    def __init__(self, name: str = "viper-engine", *, tracer=None, metrics=None):
+    def __init__(
+        self,
+        name: str = "viper-engine",
+        *,
+        tracer=None,
+        metrics=None,
+        retry_policy=None,
+        retry_rng=None,
+    ):
         self.name = name
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else NULL_METRICS
+        # Optional resilience.RetryPolicy: transient job failures are
+        # retried on the worker before being surfaced on drain().  A job
+        # that already exhausted an inner retry scope raises
+        # RetriesExhausted, which the executor never re-retries.
+        self.retry_policy = retry_policy
+        self._retry_rng = retry_rng
         self._m_jobs_ok = self.metrics.counter(
             "engine_jobs_total", engine=name, status="ok"
         )
@@ -132,7 +147,22 @@ class AsyncTransferEngine:
                 with self.tracer.span(
                     "engine.job", track=self.name, description=job.description
                 ):
-                    job.cost = job.action()
+                    if self.retry_policy is None:
+                        job.cost = job.action()
+                    else:
+                        outcome = execute_with_retry(
+                            job.action,
+                            self.retry_policy,
+                            site=f"engine.{self.name}",
+                            rng=self._retry_rng,
+                            tracer=self.tracer,
+                            metrics=self.metrics,
+                        )
+                        job.cost = outcome.value
+                        if outcome.backoff_seconds:
+                            job.cost = job.cost + Cost.of(
+                                "retry.backoff", outcome.backoff_seconds
+                            )
                 with self._lock:
                     self._completed.append(job)
                     self._background_cost = self._background_cost + job.cost

@@ -25,13 +25,22 @@ involvement, data lands directly in remote memory.
 
 from __future__ import annotations
 
+import random
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import MetadataError, ObjectNotFoundError, TransferError
+from repro.errors import (
+    IntegrityError,
+    MetadataError,
+    ObjectNotFoundError,
+    RetriesExhausted,
+    TransferError,
+)
+from repro.resilience.faults import default_seed
+from repro.resilience.retry import RetryPolicy, execute_with_retry
 from repro.obs.metrics import NULL_METRICS
 from repro.obs.tracer import NULL_TRACER
 from repro.core.stats import StatsManager
@@ -56,6 +65,7 @@ from repro.core.transfer.strategies import (
     StrategyTimings,
     TransferStrategy,
     compute_timings,
+    failover_chain,
     load_cost_for_location,
 )
 
@@ -126,6 +136,8 @@ class ModelWeightsHandler:
         tracer=None,
         metrics=None,
         pipeline: Optional[PipelineConfig] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        failover: bool = True,
     ):
         self.cluster = cluster
         self.producer = producer
@@ -152,8 +164,17 @@ class ModelWeightsHandler:
         #: Reusable staging buffers for the pipelined serialize path.
         self.buffer_pool = BufferPool(max_buffers=4)
         self.stats = StatsManager(metrics=self.metrics)
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.failover = failover
+        # Seeded jitter streams (keyed off VIPER_FAULT_SEED like the fault
+        # plans) keep retry/failover sequences reproducible across runs;
+        # one stream per thread that draws, so interleaving cannot leak.
+        self._retry_rng = random.Random(f"{default_seed()}/handler.retry")
         self.engine = AsyncTransferEngine(
-            tracer=self.tracer, metrics=self.metrics
+            tracer=self.tracer,
+            metrics=self.metrics,
+            retry_policy=self.retry_policy,
+            retry_rng=random.Random(f"{default_seed()}/engine.retry"),
         ).start()
         self.flusher = BackgroundFlusher(
             cluster.pfs, self.metadata, tracer=self.tracer, metrics=self.metrics
@@ -261,6 +282,77 @@ class ModelWeightsHandler:
         ).observe(result.stall.total)
         return result
 
+    def _stage_once(
+        self,
+        key: str,
+        blob: bytes,
+        strategy: TransferStrategy,
+        wire: int,
+        vtensors: int,
+        ver: int,
+    ) -> Cost:
+        """One staging attempt: put the blob into the strategy's tier."""
+        return self._dest_store(strategy).put(
+            key, blob, virtual_bytes=wire, nobjects=vtensors, version=ver
+        )
+
+    def _stage_resilient(
+        self,
+        key: str,
+        blob: bytes,
+        chosen: TransferStrategy,
+        wire: int,
+        vtensors: int,
+        ver: int,
+    ) -> Tuple[TransferStrategy, float]:
+        """Stage with retries, failing over down the strategy chain.
+
+        Each strategy gets the full retry budget; when it is exhausted the
+        next (slower, more reliable) strategy in the paper's GPU -> HOST
+        -> PFS chain takes over.  Returns the strategy that actually holds
+        the blob plus the simulated backoff seconds spent, or raises the
+        terminal :class:`~repro.errors.RetriesExhausted` when even the PFS
+        rejected every attempt.
+        """
+        chain = failover_chain(chosen) if self.failover else (chosen,)
+        last: Optional[RetriesExhausted] = None
+        backoff = 0.0
+        for i, strat in enumerate(chain):
+            try:
+                outcome = execute_with_retry(
+                    lambda s=strat: self._stage_once(
+                        key, blob, s, wire, vtensors, ver
+                    ),
+                    self.retry_policy,
+                    site=f"stage.{strat.value}",
+                    rng=self._retry_rng,
+                    tracer=self.tracer,
+                    metrics=self.metrics,
+                    on_retry=lambda site, _a, _e: self.stats.record_retry(site),
+                )
+                return strat, backoff + outcome.backoff_seconds
+            except RetriesExhausted as exc:
+                last = exc
+                # The exhausted scope's backoff (un-jittered estimate; the
+                # exception does not carry the drawn delays).
+                backoff += sum(
+                    self.retry_policy.delay_for(a)
+                    for a in range(1, self.retry_policy.max_attempts)
+                )
+                if i + 1 < len(chain):
+                    nxt = chain[i + 1]
+                    self.stats.record_failover(strat.value, nxt.value)
+                    with self.tracer.span(
+                        "handler.failover",
+                        track="engine",
+                        src=strat.value,
+                        dst=nxt.value,
+                        key=key,
+                    ):
+                        pass
+        assert last is not None
+        raise last
+
     def _stage_and_publish(
         self,
         model_name: str,
@@ -275,6 +367,8 @@ class ModelWeightsHandler:
         train_loss: float,
     ) -> UpdateResult:
         key = f"{model_name}/v{ver}"
+        # Optimistic record: the producer's stall was paid for ``chosen``
+        # regardless of any later failover, so created_at advances now.
         record = ModelRecord(
             model_name=model_name,
             version=ver,
@@ -290,48 +384,65 @@ class ModelWeightsHandler:
 
         wire = self.serializer.wire_bytes(vbytes)
 
-        def _publish() -> Cost:
+        def _deliver() -> Tuple[TransferStrategy, ModelRecord, StrategyTimings, Cost]:
             with self.tracer.span(
                 "handler.publish", track="engine", key=key, version=ver
             ):
-                dest = self._dest_store(chosen)
-                dest.put(
-                    key,
-                    blob,
-                    virtual_bytes=wire,
-                    nobjects=vtensors,
-                    version=ver,
+                final, backoff = self._stage_resilient(
+                    key, blob, chosen, wire, vtensors, ver
                 )
-                cost = self.metadata.publish_version(record)
+                if final is chosen:
+                    rec, fin = record, timings
+                else:
+                    # Failover changed where the checkpoint lives: the
+                    # published metadata and the deliver/load laws follow
+                    # the strategy that actually succeeded.
+                    rec = replace(
+                        record,
+                        location=_locname(final),
+                        durable=(final is TransferStrategy.PFS),
+                        replicas=(),
+                    )
+                    fin = compute_timings(
+                        self.profile, self.serializer, final, mode,
+                        vbytes, vtensors, pipeline=self.pipeline,
+                    )
+                cost = self.metadata.publish_version(rec)
                 self.broker.publish(
                     self.topic,
                     model_name=model_name,
                     version=ver,
-                    location=record.location,
+                    location=rec.location,
                     now=self.sim_now,
                     payload={"path": key, "nbytes": vbytes},
                 )
-                if self.flush_history and chosen is not TransferStrategy.PFS:
-                    self.flusher.submit(FlushJob(key=key, blob=blob, record=record))
-                return timings.deliver + cost
+                if self.flush_history and final is not TransferStrategy.PFS:
+                    self.flusher.submit(FlushJob(key=key, blob=blob, record=rec))
+                if backoff:
+                    cost = cost + Cost.of("retry.backoff", backoff)
+                return final, rec, fin, fin.deliver + cost
 
         if mode is CaptureMode.SYNC:
-            background = _publish()
+            final, rec, fin, cost = _deliver()
             # In sync mode the wire time is already inside the stall; the
-            # only background component is the metadata write.
-            background = background.only(("metadata",))
+            # background components are the metadata write and any retry
+            # backoff spent recovering from injected/real faults.
+            background = cost.only(("metadata", "retry"))
             return UpdateResult(
                 model_name,
                 ver,
-                chosen,
+                final,
                 mode,
                 timings.stall,
                 background,
-                timings.load,
-                record,
+                fin.load,
+                rec,
             )
 
-        job = TransferJob(description=f"save {key} via {chosen.value}", action=_publish)
+        job = TransferJob(
+            description=f"save {key} via {chosen.value}",
+            action=lambda: _deliver()[3],
+        )
         self.engine.submit(job)
         return UpdateResult(
             model_name,
@@ -370,31 +481,49 @@ class ModelWeightsHandler:
                 record, meta_cost = self.metadata.record(model_name, version)
             candidates = self.stats.order(record.replicas)
             chosen = None
-            blob = None
+            state = None
+            backoff = 0.0
+            last_exc: Optional[RetriesExhausted] = None
             for location in candidates:
                 store = self._store_for_location(location)
-                if record.path in store:
-                    with self.tracer.span(
-                        "handler.fetch", track="consumer", location=location
-                    ):
-                        blob, _store_cost = store.get(record.path)
-                    chosen = location
-                    break
-            if chosen is None or blob is None:
+                if record.path not in store:
+                    continue
+                # Fetch + verify + deserialize is one retryable unit: a
+                # corrupted read (checksum mismatch -> IntegrityError) is
+                # re-requested from the same replica, and a permanently
+                # corrupt replica falls through to the next (slower, more
+                # durable) one.  Only a fully-verified state dict ever
+                # reaches the caller's double buffer.
+                try:
+                    outcome = execute_with_retry(
+                        lambda s=store, loc=location: self._fetch_once(
+                            s, record.path, loc
+                        ),
+                        self.retry_policy,
+                        site=f"load.{location}",
+                        rng=self._retry_rng,
+                        tracer=self.tracer,
+                        metrics=self.metrics,
+                        on_retry=lambda site, _a, _e: self.stats.record_retry(site),
+                    )
+                except RetriesExhausted as exc:
+                    last_exc = exc
+                    backoff += sum(
+                        self.retry_policy.delay_for(a)
+                        for a in range(1, self.retry_policy.max_attempts)
+                    )
+                    continue
+                state = outcome.value
+                backoff += outcome.backoff_seconds
+                chosen = location
+                break
+            if chosen is None or state is None:
+                if last_exc is not None:
+                    raise last_exc
                 self.stats.record_miss()
                 raise ObjectNotFoundError(
                     f"no replica of {record.path!r} present in any of "
                     f"{candidates} (evicted before load?)"
-                )
-            with self.tracer.span(
-                "handler.deserialize",
-                track="consumer",
-                pipelined=self.pipeline.enabled,
-            ):
-                # Zero-copy fast path: the pipelined consumer reads the
-                # weights in place (read-only views over the staged blob).
-                state = self.serializer.loads(
-                    blob, copy=not self.pipeline.enabled
                 )
             cost = meta_cost + load_cost_for_location(
                 self.profile,
@@ -404,6 +533,8 @@ class ModelWeightsHandler:
                 record.ntensors,
                 pipeline=self.pipeline,
             )
+            if backoff:
+                cost = cost + Cost.of("retry.backoff", backoff)
             self._advance_now(cost.total)
             self.stats.record_load(
                 chosen, record.nbytes, cost.total, fallback=(chosen != candidates[0])
@@ -412,6 +543,32 @@ class ModelWeightsHandler:
             return LoadResult(
                 model_name, record.version, state, cost, record, location=chosen
             )
+
+    def _fetch_once(
+        self, store: TierStore, path: str, location: str
+    ) -> Dict[str, np.ndarray]:
+        """One fetch attempt: read the blob and deserialize it, verified.
+
+        The serializer's checksum check runs before any tensor reaches
+        the caller; a mismatch is counted and re-raised so the retry
+        executor re-requests the blob instead of serving garbage.
+        """
+        with self.tracer.span(
+            "handler.fetch", track="consumer", location=location
+        ):
+            blob, _store_cost = store.get(path)
+        with self.tracer.span(
+            "handler.deserialize",
+            track="consumer",
+            pipelined=self.pipeline.enabled,
+        ):
+            try:
+                # Zero-copy fast path: the pipelined consumer reads the
+                # weights in place (read-only views over the staged blob).
+                return self.serializer.loads(blob, copy=not self.pipeline.enabled)
+            except IntegrityError:
+                self.stats.record_corruption(location)
+                raise
 
     def _store_for_location(self, location: str) -> TierStore:
         if location == "gpu":

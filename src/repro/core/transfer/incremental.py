@@ -25,7 +25,7 @@ both the producer stall and the consumer load shrink proportionally
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict
 
 import numpy as np
 

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.errors import ConfigurationError
-from repro.core.transfer.strategies import TransferStrategy
+from repro.core.transfer.strategies import TransferStrategy, failover_chain
 
 __all__ = ["TransferSelector"]
 
@@ -72,6 +72,18 @@ class TransferSelector:
         ):
             return TransferStrategy.HOST_TO_HOST
         return TransferStrategy.PFS
+
+    def chain(
+        self, nbytes: int, start: Optional[TransferStrategy] = None
+    ) -> tuple:
+        """Failover candidates for this checkpoint, preferred-first.
+
+        Starts at ``start`` (default: :meth:`select`'s pick) and walks
+        down the paper's GPU -> HOST -> PFS chain; a forced selector
+        still fails over — pinning a strategy expresses a *preference*
+        for micro-benchmarks, not a licence to lose checkpoints.
+        """
+        return failover_chain(self.select(nbytes) if start is None else start)
 
     def _vetoed(self, strategy: TransferStrategy, nbytes: int) -> bool:
         return self.veto is not None and self.veto(strategy, nbytes)

@@ -56,6 +56,8 @@ __all__ = [
     "TransferStrategy",
     "CaptureMode",
     "StrategyTimings",
+    "FAILOVER_ORDER",
+    "failover_chain",
     "compute_timings",
     "pipelined_phase_cost",
     "load_cost_for_location",
@@ -68,6 +70,26 @@ class TransferStrategy(enum.Enum):
     GPU_TO_GPU = "gpu"
     HOST_TO_HOST = "host"
     PFS = "pfs"
+
+
+#: The paper's fallback chain (§4.4): fastest path first, the PFS —
+#: always reachable, always slowest — as the terminal fallback.
+FAILOVER_ORDER: tuple = (
+    TransferStrategy.GPU_TO_GPU,
+    TransferStrategy.HOST_TO_HOST,
+    TransferStrategy.PFS,
+)
+
+
+def failover_chain(start: TransferStrategy) -> tuple:
+    """Strategies to try, in order, beginning at ``start``.
+
+    ``failover_chain(HOST_TO_HOST) == (HOST_TO_HOST, PFS)`` — failover
+    only ever demotes down the chain, never re-promotes to a faster path
+    that the selector already rejected.
+    """
+    idx = FAILOVER_ORDER.index(start)
+    return FAILOVER_ORDER[idx:]
 
 
 class CaptureMode(enum.Enum):

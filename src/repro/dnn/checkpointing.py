@@ -20,7 +20,7 @@ unchanged; reserved key prefixes separate the sections:
 from __future__ import annotations
 
 import json
-from typing import Dict, Tuple
+from typing import Dict
 
 import numpy as np
 

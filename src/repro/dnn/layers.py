@@ -17,7 +17,7 @@ over the kernel taps only (a handful of iterations).
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view

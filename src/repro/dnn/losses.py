@@ -7,7 +7,6 @@ plus MSE which the learning-curve fitter uses for model selection.
 
 from __future__ import annotations
 
-from typing import Tuple
 
 import numpy as np
 

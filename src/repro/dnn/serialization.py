@@ -31,11 +31,12 @@ transfer pipeline (:mod:`repro.core.transfer.pipeline`):
 from __future__ import annotations
 
 import struct
+import zlib
 from typing import Dict, Iterable, Iterator, Tuple
 
 import numpy as np
 
-from repro.errors import StorageError
+from repro.errors import IntegrityError, StorageError
 
 __all__ = [
     "Serializer",
@@ -46,7 +47,12 @@ __all__ = [
 
 _VIPER_MAGIC = b"VIPR"
 _H5_MAGIC = b"\x89HDF"
-_FORMAT_VERSION = 1
+# Version 2 adds a CRC-32 of the packed-tensor payload to the header:
+#   VIPR | <I version> | <I crc32> | payload
+# Version-1 blobs (VIPR | <I 1> | payload) still load, unverified.
+_FORMAT_VERSION = 2
+_V1_PAYLOAD_OFFSET = 8
+_V2_PAYLOAD_OFFSET = 12
 
 
 def state_dict_nbytes(state: Dict[str, np.ndarray]) -> int:
@@ -189,7 +195,14 @@ def _unpack_tensors(
 
 
 class ViperSerializer(Serializer):
-    """Viper's compact checkpoint format (weights + minimal metadata)."""
+    """Viper's compact checkpoint format (weights + minimal metadata).
+
+    Format v2 carries a CRC-32 of the packed-tensor payload in the
+    header; :meth:`loads` verifies it (including on the zero-copy path,
+    which reads but does not copy the buffer) and raises
+    :class:`~repro.errors.IntegrityError` on mismatch, so corruption on
+    the wire or in a tier is detected before any tensor is materialized.
+    """
 
     name = "viper"
     fixed_overhead = 0.010
@@ -202,17 +215,37 @@ class ViperSerializer(Serializer):
     def dump_chunks(self, state):
         if not state:
             raise StorageError("refusing to serialize an empty state dict")
-        yield _VIPER_MAGIC + struct.pack("<I", _FORMAT_VERSION)
-        yield from _tensor_pieces(state)
+        # The checksum pass touches every piece before the header can be
+        # emitted; the pieces are views over the live tensors, so holding
+        # them costs no copies.
+        pieces = list(_tensor_pieces(state))
+        crc = 0
+        for piece in pieces:
+            crc = zlib.crc32(piece, crc)
+        yield _VIPER_MAGIC + struct.pack("<II", _FORMAT_VERSION, crc)
+        yield from pieces
 
     def loads(self, blob, *, copy: bool = True):
         mv = memoryview(blob)
         if mv[:4] != _VIPER_MAGIC:
             raise StorageError("not a Viper checkpoint (bad magic)")
         (version,) = struct.unpack_from("<I", mv, 4)
-        if version != _FORMAT_VERSION:
+        if version == 1:  # legacy, no checksum to verify
+            offset = _V1_PAYLOAD_OFFSET
+        elif version == _FORMAT_VERSION:
+            (expected,) = struct.unpack_from("<I", mv, 8)
+            offset = _V2_PAYLOAD_OFFSET
+            actual = zlib.crc32(mv[offset:])
+            if actual != expected:
+                raise IntegrityError(
+                    f"Viper checkpoint checksum mismatch: header says "
+                    f"{expected:#010x}, payload hashes to {actual:#010x}",
+                    expected=expected,
+                    actual=actual,
+                )
+        else:
             raise StorageError(f"unsupported Viper checkpoint version {version}")
-        state, _ = _unpack_tensors(mv, 8, copy=copy)
+        state, _ = _unpack_tensors(mv, offset, copy=copy)
         return state
 
 

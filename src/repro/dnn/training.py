@@ -10,7 +10,7 @@ training loss of every iteration, which feeds the learning-curve fit.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List
 
 import numpy as np
 

@@ -34,12 +34,50 @@ class ObjectNotFoundError(StorageError, KeyError):
     """The requested object key does not exist in the tier."""
 
 
+class IntegrityError(StorageError):
+    """A checkpoint's checksum did not match its payload (corruption)."""
+
+    def __init__(self, message: str, *, expected: int = 0, actual: int = 0):
+        super().__init__(message)
+        self.expected = int(expected)
+        self.actual = int(actual)
+
+
 class TransferError(ViperError):
     """A point-to-point model transfer failed."""
 
 
 class ChannelClosedError(TransferError):
     """The communication channel was closed while an operation was pending."""
+
+
+class FaultInjected(TransferError):
+    """An armed :class:`~repro.resilience.faults.FaultPlan` fired at a site.
+
+    Deliberately a :class:`TransferError` subclass: injected link drops
+    must look exactly like real transport failures to every caller that
+    does not special-case them, so the recovery path under test is the
+    production one.
+    """
+
+    def __init__(self, message: str, *, site: str = "", kind: str = ""):
+        super().__init__(message)
+        self.site = site
+        self.kind = kind
+
+
+class RetriesExhausted(TransferError):
+    """Every retry attempt at one site failed; the last error is chained.
+
+    Never itself retried: the retry executor re-raises it immediately so
+    nested retry scopes (engine around handler around store) cannot
+    multiply attempt budgets.
+    """
+
+    def __init__(self, message: str, *, site: str = "", attempts: int = 0):
+        super().__init__(message)
+        self.site = site
+        self.attempts = int(attempts)
 
 
 class MetadataError(ViperError):

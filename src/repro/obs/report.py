@@ -20,7 +20,7 @@ construction the per-checkpoint stage durations sum to the end-to-end
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np

@@ -22,7 +22,7 @@ The ``ablation_repository`` benchmark quantifies both sides.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np

@@ -1,0 +1,49 @@
+"""Deterministic fault injection and resilient-transfer policies.
+
+Viper's transfer engine (paper §4.3-4.4) composes DMA copies, RDMA
+sends, and PFS writes — each of which fails routinely at production
+scale.  This package makes partial failure a first-class, *testable*
+citizen:
+
+- :mod:`repro.resilience.faults` — a seeded :class:`FaultPlan` that
+  injects link drops, stalls, tier write failures, and payload
+  corruption at configurable probabilities or exact ``(site, op)``
+  points, via zero-overhead hooks in the network fabric, the link
+  timing laws, and the tier stores.
+- :mod:`repro.resilience.retry` — a :class:`RetryPolicy` (bounded
+  attempts, exponential backoff with seeded jitter on the simulated
+  clock, per-attempt deadline) and the :func:`execute_with_retry`
+  executor used by the transfer engine and the weights handler.
+
+Strategy failover down the paper's GPU -> HOST -> PFS chain and
+checksum-verified deserialization live in the transfer layer
+(:mod:`repro.core.transfer.handler`, :mod:`repro.dnn.serialization`);
+this package supplies the fault model and the retry machinery they
+share.
+"""
+
+from repro.resilience.faults import (
+    FAULT_SEED_ENV,
+    FaultKind,
+    FaultPlan,
+    FaultRule,
+    Injection,
+)
+from repro.resilience.retry import (
+    RETRYABLE_ERRORS,
+    RetryOutcome,
+    RetryPolicy,
+    execute_with_retry,
+)
+
+__all__ = [
+    "FAULT_SEED_ENV",
+    "FaultKind",
+    "FaultPlan",
+    "FaultRule",
+    "Injection",
+    "RETRYABLE_ERRORS",
+    "RetryOutcome",
+    "RetryPolicy",
+    "execute_with_retry",
+]

@@ -9,7 +9,7 @@ that two-node topology from a hardware profile.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 from repro.errors import ConfigurationError
 from repro.substrates.memory.storage import EvictionPolicy, TierStore

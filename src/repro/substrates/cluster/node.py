@@ -10,7 +10,6 @@ cluster.cluster.Cluster`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
 
 from repro.errors import ConfigurationError
 from repro.substrates.cost import Cost

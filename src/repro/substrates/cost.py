@@ -9,7 +9,7 @@ preserving the breakdown for analysis and for the paper's figures.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Mapping, Tuple
 
 __all__ = ["Cost", "GB", "MB", "KB"]

@@ -71,6 +71,10 @@ class TierStore:
         self._used = 0
         self._lock = threading.RLock()
         self._evictions: List[str] = []
+        # Fault-injection hook: an armed FaultPlan (duck-typed, see
+        # repro.resilience.faults) or None.  The single attribute check in
+        # put()/get() is the entire overhead when no plan is armed.
+        self.faults = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -128,6 +132,12 @@ class TierStore:
         vbytes = len(data) if virtual_bytes is None else int(virtual_bytes)
         if vbytes < 0:
             raise StorageError(f"put({key!r}): negative virtual size {vbytes}")
+        cost_scale = 1.0
+        if self.faults is not None:
+            effect = self.faults.fire(f"store.put:{self.spec.name}", payload=data)
+            if effect.payload is not None:
+                data = effect.payload
+            cost_scale = effect.cost_scale
         with self._lock:
             old = self._objects.pop(key, None)
             if old is not None:
@@ -150,7 +160,8 @@ class TierStore:
             )
             self._objects[key] = obj
             self._used += vbytes
-        return self.spec.write_cost(vbytes, nobjects)
+        cost = self.spec.write_cost(vbytes, nobjects)
+        return cost if cost_scale == 1.0 else cost.scaled(cost_scale)
 
     def get(self, key: str) -> Tuple[bytes, Cost]:
         """Read the payload stored under ``key`` (marks it recently used)."""
@@ -161,6 +172,12 @@ class TierStore:
             self._objects.move_to_end(key)
             data = obj.data
             cost = self.spec.read_cost(obj.virtual_bytes, obj.nobjects)
+        if self.faults is not None:
+            effect = self.faults.fire(f"store.get:{self.spec.name}", payload=data)
+            if effect.payload is not None:
+                data = effect.payload  # corrupt the returned copy, not the store
+            if effect.cost_scale != 1.0:
+                cost = cost.scaled(effect.cost_scale)
         return data, cost
 
     def stat(self, key: str) -> StoredObject:

@@ -370,6 +370,10 @@ class Fabric:
         self._lock = threading.Lock()
         self.delivered = 0
         self.bytes_moved = 0
+        # Fault-injection hook: an armed FaultPlan (duck-typed, see
+        # repro.resilience.faults) or None.  One attribute check per
+        # deliver() is the entire cost when no plan is armed.
+        self.faults = None
 
     def endpoint(self, name: str) -> Endpoint:
         """Create (or fetch) the endpoint with this name."""
@@ -424,6 +428,12 @@ class Fabric:
         else:
             link = self.link_for(src, dest)
             cost = link.transfer_cost(vbytes)
+        if self.faults is not None:
+            effect = self.faults.fire(f"link.send:{src}->{dest}", payload=data)
+            if effect.payload is not None:
+                data = effect.payload  # corrupted wire copy
+            if effect.cost_scale != 1.0:
+                cost = cost.scaled(effect.cost_scale)  # injected stall
         with self._lock:
             ep = self._endpoints.get(dest)
             seq = next(self._seq)

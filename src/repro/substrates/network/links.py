@@ -21,7 +21,28 @@ from dataclasses import dataclass
 from repro.errors import ConfigurationError
 from repro.substrates.cost import Cost, GB
 
-__all__ = ["LinkKind", "LinkSpec"]
+__all__ = ["LinkKind", "LinkSpec", "install_fault_hook", "uninstall_fault_hook"]
+
+# Module-level fault hook.  LinkSpec is a frozen dataclass shared across
+# fabrics, so per-instance hooks are impossible; an armed FaultPlan
+# installs itself here instead and every timing-law evaluation consults
+# it.  ``None`` (the overwhelmingly common case) costs one global read.
+_FAULT_HOOK = None
+
+
+def install_fault_hook(plan) -> None:
+    """Route ``link.time:{name}`` sites through ``plan`` (one plan at a time)."""
+    global _FAULT_HOOK
+    if _FAULT_HOOK is not None and _FAULT_HOOK is not plan:
+        raise ConfigurationError("a links fault hook is already installed")
+    _FAULT_HOOK = plan
+
+
+def uninstall_fault_hook(plan) -> None:
+    """Remove ``plan``'s hook; a no-op if another plan owns the slot."""
+    global _FAULT_HOOK
+    if _FAULT_HOOK is plan:
+        _FAULT_HOOK = None
 
 
 class LinkKind(enum.Enum):
@@ -66,11 +87,15 @@ class LinkSpec:
             raise ConfigurationError(
                 f"transfer_time: nbytes={nbytes}, nmessages={nmessages} out of range"
             )
-        return (
+        seconds = (
             self.latency
             + nbytes / self.bandwidth
             + self.per_message_overhead * nmessages
         )
+        if _FAULT_HOOK is not None:
+            effect = _FAULT_HOOK.fire(f"link.time:{self.name}")
+            seconds *= effect.cost_scale
+        return seconds
 
     def transfer_cost(self, nbytes: int, nmessages: int = 1) -> Cost:
         return Cost.of(

@@ -25,7 +25,7 @@ import heapq
 import itertools
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import SimulationError
 

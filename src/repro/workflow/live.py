@@ -17,14 +17,13 @@ given) the achieved loss.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import List, Optional
 
 import numpy as np
 
 from repro.errors import WorkflowError
 from repro.core.api import Viper
-from repro.core.transfer.strategies import CaptureMode
 from repro.dnn.losses import Loss
 from repro.serving.client import RequestGenerator
 from repro.serving.server import InferenceServer, ServedRequest

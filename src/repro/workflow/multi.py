@@ -17,10 +17,9 @@ implements the two simplest members of that family on the DES substrate:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
 
-import numpy as np
 
 from repro.errors import WorkflowError
 from repro.substrates.profiles import POLARIS, HardwareProfile
@@ -34,7 +33,7 @@ from repro.core.transfer.strategies import (
     TransferStrategy,
     compute_timings,
 )
-from repro.workflow.consumer import ConsumerSim, cil_from_switches
+from repro.workflow.consumer import ConsumerSim
 from repro.workflow.producer import ProducerSim
 from repro.workflow.runner import LossCurve, loss_curve_lookup
 from repro.workflow.trace import Trace

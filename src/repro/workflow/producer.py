@@ -14,7 +14,7 @@ checkpoint is ever shipped.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Optional
 
 from repro.errors import WorkflowError
 from repro.obs.tracer import NULL_TRACER

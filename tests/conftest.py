@@ -7,7 +7,7 @@ import pytest
 
 from repro.apps.registry import AppProfile, AppTiming
 from repro.core.predictor.cilp import CILParams
-from repro.substrates.cost import GB, MB
+from repro.substrates.cost import MB
 from repro.substrates.memory.tiers import TierKind, TierSpec
 from repro.substrates.network.links import LinkKind, LinkSpec
 

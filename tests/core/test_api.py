@@ -5,7 +5,6 @@ import pytest
 
 from repro import CaptureMode, Viper
 from repro.errors import ServingError
-from repro.apps import get_app
 from repro.dnn.layers import Dense
 from repro.dnn.models import Sequential
 
@@ -126,7 +125,6 @@ class TestConsumer:
 
 class TestProducerView:
     def test_checkpoint_callback_bound(self):
-        app = get_app("nt3a")
         with Viper() as viper:
             producer = viper.producer()
             cb = producer.checkpoint_callback("nt3", interval=5, warmup_iters=0)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro import CaptureMode, Viper
+from repro import Viper
 from repro.errors import ScheduleError
 from repro.core.callback import CheckpointCallback
 from repro.core.predictor.cilp import CILParams

@@ -7,7 +7,6 @@ from repro.errors import MetadataError, TransferError
 from repro.substrates.cluster.cluster import make_producer_consumer_pair
 from repro.substrates.cost import GB
 from repro.substrates.profiles import POLARIS
-from repro.dnn.serialization import H5LikeSerializer
 from repro.core.transfer.handler import ModelWeightsHandler
 from repro.core.transfer.selector import TransferSelector
 from repro.core.transfer.strategies import CaptureMode, TransferStrategy

@@ -1,7 +1,6 @@
 """Metadata store tests: versioning, CAS, concurrency."""
 
 import threading
-from dataclasses import replace
 
 import pytest
 

@@ -5,7 +5,7 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.dnn.layers import Dense, ReLU
-from repro.dnn.losses import CrossEntropyLoss, MSELoss
+from repro.dnn.losses import CrossEntropyLoss
 from repro.dnn.models import Sequential
 from repro.dnn.optimizers import SGD
 

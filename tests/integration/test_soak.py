@@ -7,7 +7,6 @@ inconsistencies — that short tests cannot.
 """
 
 import numpy as np
-import pytest
 
 from repro import CaptureMode, TransferStrategy, Viper
 from repro.apps.registry import AppProfile, AppTiming

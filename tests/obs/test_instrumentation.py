@@ -34,7 +34,7 @@ def _run(tracer, mode=CaptureMode.ASYNC):
 class TestWorkflowSpans:
     def test_checkpoint_span_tree(self):
         tracer = SpanTracer()
-        result = _run(tracer)
+        _run(tracer)
         parents = tracer.spans("checkpoint")
         assert parents, "no checkpoint spans recorded"
         swapped = [s for s in parents if s.attrs.get("outcome") == "swapped"]

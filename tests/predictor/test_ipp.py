@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.errors import ScheduleError
-from repro.core.predictor.cilp import CILParams
 from repro.core.predictor.ipp import InferencePerformancePredictor
 from tests.conftest import exp3_curve
 

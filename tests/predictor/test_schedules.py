@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.errors import ScheduleError
-from repro.core.predictor.cilp import CILParams
 from repro.core.predictor.schedules import (
     Schedule,
     best_greedy_schedule,
@@ -133,7 +132,9 @@ class TestGreedy:
         assert s.predicted_cil == pytest.approx(1000 * 1.0)
 
     def test_front_loads_on_convex_curve(self, small_params):
-        loss = lambda x: 5.0 * np.exp(-0.05 * x)
+        def loss(x):
+            return 5.0 * np.exp(-0.05 * x)
+
         s = greedy_schedule(0, 200, 100_000, 0.3, loss, small_params)
         gaps = np.diff((0,) + s.iterations)
         assert gaps[0] < gaps[-1]  # denser early, sparser late
@@ -162,7 +163,9 @@ class TestGreedy:
 
 class TestBestGreedy:
     def test_picks_lowest_predicted_cil(self, small_params):
-        loss = lambda x: 5.0 * np.exp(-0.02 * x)
+        def loss(x):
+            return 5.0 * np.exp(-0.02 * x)
+
         base = 0.01
         best = best_greedy_schedule(0, 300, 50_000, base, loss, small_params)
         for scale in (0.5, 1.0, 4.0, 16.0):

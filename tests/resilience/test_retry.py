@@ -1,0 +1,159 @@
+"""Unit tests for the retry policy and executor."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    RetriesExhausted,
+    TransferError,
+    ViperError,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience import RetryPolicy, execute_with_retry
+from repro.substrates.cost import Cost
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(base_delay=-1.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(jitter=2.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(attempt_deadline=0.0)
+
+    def test_exponential_growth_and_cap(self):
+        policy = RetryPolicy(
+            base_delay=0.1, multiplier=2.0, max_delay=0.5, jitter=0.0
+        )
+        assert policy.delay_for(1) == pytest.approx(0.1)
+        assert policy.delay_for(2) == pytest.approx(0.2)
+        assert policy.delay_for(3) == pytest.approx(0.4)
+        assert policy.delay_for(4) == pytest.approx(0.5)  # capped
+        assert policy.delay_for(10) == pytest.approx(0.5)
+
+    def test_jitter_bounds_and_determinism(self):
+        policy = RetryPolicy(base_delay=0.1, jitter=0.25)
+        draws = [policy.delay_for(1, random.Random(7)) for _ in range(5)]
+        assert draws == [draws[0]] * 5  # fresh seeded rng: same draw
+        for d in (policy.delay_for(1, random.Random(s)) for s in range(50)):
+            assert 0.075 <= d <= 0.125
+
+
+class TestExecuteWithRetry:
+    def test_first_try_success(self):
+        outcome = execute_with_retry(lambda: 42, RetryPolicy())
+        assert outcome.value == 42
+        assert outcome.attempts == 1
+        assert outcome.backoff_seconds == 0.0
+        assert not outcome.retried
+
+    def test_retry_until_success(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise TransferError("transient")
+            return "ok"
+
+        policy = RetryPolicy(max_attempts=3, jitter=0.0)
+        outcome = execute_with_retry(flaky, policy)
+        assert outcome.value == "ok"
+        assert outcome.attempts == 3
+        assert outcome.retried
+        assert len(outcome.errors) == 2
+        assert outcome.backoff_seconds == pytest.approx(
+            policy.delay_for(1) + policy.delay_for(2)
+        )
+
+    def test_exhaustion_raises_chained(self):
+        def always_fails():
+            raise TransferError("permanent")
+
+        with pytest.raises(RetriesExhausted) as exc_info:
+            execute_with_retry(
+                always_fails, RetryPolicy(max_attempts=2), site="stage.gpu"
+            )
+        assert exc_info.value.site == "stage.gpu"
+        assert exc_info.value.attempts == 2
+        assert isinstance(exc_info.value.__cause__, TransferError)
+
+    def test_nested_exhaustion_not_multiplied(self):
+        inner_calls = []
+
+        def inner():
+            inner_calls.append(1)
+            raise TransferError("down")
+
+        def outer():
+            execute_with_retry(inner, RetryPolicy(max_attempts=2), site="in")
+
+        with pytest.raises(RetriesExhausted) as exc_info:
+            execute_with_retry(outer, RetryPolicy(max_attempts=3), site="out")
+        # The inner scope's budget (2) ran once; the outer scope saw
+        # RetriesExhausted and re-raised without its own 3 rounds.
+        assert len(inner_calls) == 2
+        assert exc_info.value.site == "in"
+
+    def test_non_retryable_error_propagates(self):
+        def bad():
+            raise ValueError("a bug, not a fault")
+
+        with pytest.raises(ValueError):
+            execute_with_retry(bad, RetryPolicy())
+
+    def test_custom_retryable_filter(self):
+        def fails():
+            raise ViperError("generic")
+
+        with pytest.raises(ViperError):
+            execute_with_retry(fails, RetryPolicy(), retryable=(TransferError,))
+
+    def test_deadline_turns_slow_success_into_retry(self):
+        costs = iter([Cost.of("x", 10.0), Cost.of("x", 0.1)])
+        policy = RetryPolicy(max_attempts=2, attempt_deadline=1.0, jitter=0.0)
+        outcome = execute_with_retry(lambda: next(costs), policy)
+        assert outcome.attempts == 2
+        assert outcome.value.total == pytest.approx(0.1)
+
+    def test_deadline_exhaustion(self):
+        policy = RetryPolicy(max_attempts=2, attempt_deadline=1.0)
+        with pytest.raises(RetriesExhausted):
+            execute_with_retry(lambda: Cost.of("x", 10.0), policy)
+
+    def test_cost_fn_override(self):
+        policy = RetryPolicy(max_attempts=1, attempt_deadline=1.0)
+        # Values without .total are fine; cost_fn supplies the seconds.
+        with pytest.raises(RetriesExhausted):
+            execute_with_retry(lambda: {"sim": 5.0}, policy,
+                               cost_fn=lambda v: v["sim"])
+
+    def test_on_retry_and_metrics(self):
+        metrics = MetricsRegistry()
+        seen = []
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 2:
+                raise TransferError("transient")
+            return "ok"
+
+        execute_with_retry(
+            flaky,
+            RetryPolicy(max_attempts=3),
+            site="s",
+            metrics=metrics,
+            on_retry=lambda site, attempt, err: seen.append((site, attempt)),
+        )
+        assert seen == [("s", 1)]
+        assert metrics.counter("resilience_retries_total", site="s").value == 1

@@ -5,8 +5,7 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.substrates.cluster.cluster import Cluster, make_producer_consumer_pair
 from repro.substrates.cluster.node import ComputeNode
-from repro.substrates.memory.tiers import TierKind, TierSpec
-from repro.substrates.network.links import LinkKind, LinkSpec
+from repro.substrates.memory.tiers import TierKind
 from repro.substrates.profiles import LAPTOP, POLARIS
 
 

@@ -263,8 +263,8 @@ class TestCILConservation:
         rng = np.random.default_rng(0)
         losses = rng.uniform(0.1, 5.0, size=len(times))
         switches = [
-            VersionSwitch(float(t), i, i, float(l))
-            for i, (t, l) in enumerate(zip(times, losses))
+            VersionSwitch(float(t), i, i, float(lv))
+            for i, (t, lv) in enumerate(zip(times, losses))
         ]
         cil, _ = cil_from_switches(switches, 0.01, total)
         assert losses.min() * total <= cil <= losses.max() * total + 1e-9

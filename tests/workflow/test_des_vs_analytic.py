@@ -7,7 +7,6 @@ loop) describe the same timeline, so their CIL accounting must match
 pins them together.
 """
 
-import numpy as np
 import pytest
 
 from repro.substrates.cost import Cost
@@ -74,7 +73,9 @@ def run_des(interval, end_iter, total_infers, loss_pred, params):
 def test_des_matches_algorithm1_walk_exactly(interval, params):
     end_iter = 100
     total_infers = 5_000
-    loss_pred = lambda i: max(0.1, 3.0 - 0.02 * i)
+    def loss_pred(i):
+        return max(0.1, 3.0 - 0.02 * i)
+
 
     analytic_cil, _its = walk_fixed_interval(
         interval, 0, end_iter, total_infers, loss_pred, params
@@ -90,7 +91,9 @@ def test_des_matches_walk_within_boundary_noise(interval):
     across a window boundary occasionally; agreement must still hold to
     a fraction of a percent."""
     params = CILParams(t_train=0.1, t_p=0.05, t_c=0.03, t_infer=0.01)
-    loss_pred = lambda i: max(0.1, 3.0 - 0.02 * i)
+    def loss_pred(i):
+        return max(0.1, 3.0 - 0.02 * i)
+
     analytic_cil, _ = walk_fixed_interval(interval, 0, 100, 5_000, loss_pred, params)
     des_cil, _ = run_des(interval, 100, 5_000, loss_pred, params)
     assert des_cil == pytest.approx(analytic_cil, rel=2e-3)
@@ -101,7 +104,9 @@ def test_divergence_when_assumptions_break():
     (the analytic walk has no notion of it) — confirming the agreement
     above is not vacuous."""
     params = CILParams(t_train=0.1, t_p=0.05, t_c=0.03, t_infer=0.01)
-    loss_pred = lambda i: max(0.1, 3.0 - 0.02 * i)
+    def loss_pred(i):
+        return max(0.1, 3.0 - 0.02 * i)
+
     analytic_cil, _ = walk_fixed_interval(5, 0, 100, 5_000, loss_pred, params)
 
     timings = StrategyTimings(

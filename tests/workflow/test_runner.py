@@ -1,6 +1,5 @@
 """Coupled-run orchestration tests."""
 
-import numpy as np
 import pytest
 
 from repro.errors import WorkflowError
@@ -38,7 +37,9 @@ class TestLossCurveLookup:
         assert lookup(100) == 4.0
 
     def test_callable_passthrough(self):
-        fn = lambda i: float(i)
+        def fn(i):
+            return float(i)
+
         assert loss_curve_lookup(fn) is fn
 
     def test_empty_curve_rejected(self):
