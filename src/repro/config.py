@@ -52,6 +52,15 @@ class ViperConfig:
     retry_jitter: float = 0.25
     failover: bool = True
     fault_plan: Optional[Dict[str, Any]] = None
+    # Crash recovery: a journal directory makes metadata mutations
+    # durable (write-ahead) and mirrors the PFS to real files; recover
+    # replays it on startup.  notify_queue_max bounds each subscriber's
+    # notification queue (0 = unbounded); staleness_deadline arms the
+    # consumer's fallback-to-polling watchdog (None = push-only).
+    journal_dir: Optional[str] = None
+    recover: bool = False
+    notify_queue_max: int = 0
+    staleness_deadline: Optional[float] = None
 
     def __post_init__(self):
         if self.profile not in _PROFILES:
@@ -77,6 +86,12 @@ class ViperConfig:
             raise ConfigurationError("pipeline_chunk_bytes must be positive")
         if self.pipeline_lanes < 1:
             raise ConfigurationError("pipeline_lanes must be >= 1")
+        if self.recover and self.journal_dir is None:
+            raise ConfigurationError("recover=True requires journal_dir")
+        if self.notify_queue_max < 0:
+            raise ConfigurationError("notify_queue_max must be non-negative")
+        if self.staleness_deadline is not None and self.staleness_deadline <= 0:
+            raise ConfigurationError("staleness_deadline must be positive")
         # RetryPolicy re-validates, but failing at config-construction
         # time points at the bad knob instead of the first transfer.
         self.retry_policy()

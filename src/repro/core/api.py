@@ -30,7 +30,12 @@ import threading
 from typing import Callable, Optional
 
 
-from repro.errors import ServingError
+from repro.errors import (
+    ConfigurationError,
+    IntegrityError,
+    RetriesExhausted,
+    ServingError,
+)
 from repro.substrates.cluster.cluster import make_producer_consumer_pair
 from repro.substrates.profiles import POLARIS, HardwareProfile
 from repro.dnn.serialization import Serializer
@@ -62,6 +67,10 @@ class Viper:
         retry_policy=None,
         failover: bool = True,
         fault_plan=None,
+        journal=None,
+        recover: bool = False,
+        crash_plan=None,
+        notify_queue_max: int = 0,
     ):
         from repro.obs.metrics import NULL_METRICS
         from repro.obs.tracer import NULL_TRACER
@@ -73,7 +82,32 @@ class Viper:
             make_producer_consumer_pair(profile)
         )
         self.metadata = MetadataStore()
-        self.broker = NotificationBroker(metrics=self.metrics)
+        # Crash recovery: replay the durable journal into the fresh
+        # metadata store *before* any component can mutate it, then
+        # journal every subsequent mutation (write-ahead).
+        if recover and journal is None:
+            raise ConfigurationError("recover=True requires a journal")
+        self.journal = None
+        self.recovery = {
+            "replayed_ops": 0, "completed": 0, "requeued": 0, "pruned": 0,
+        }
+        replayed = 0
+        if journal is not None:
+            from repro.resilience.recovery import MetadataJournal
+
+            if not isinstance(journal, MetadataJournal):
+                journal = MetadataJournal(journal, metrics=self.metrics)
+            self.journal = journal
+            if recover:
+                with self.tracer.span(
+                    "recovery.replay", track="recovery", root=str(journal.root)
+                ) as sp:
+                    replayed = journal.replay_into(self.metadata)
+                    sp.set(replayed_ops=replayed)
+            self.metadata.attach_journal(journal)
+        self.broker = NotificationBroker(
+            metrics=self.metrics, queue_max=notify_queue_max
+        )
         self.handler = ModelWeightsHandler(
             self.cluster,
             self.producer_node,
@@ -93,11 +127,30 @@ class Viper:
             failover=failover,
         )
         self.topic = topic
+        if self.journal is not None:
+            # The PFS mirrors to durable media beside the journal; a
+            # recovering deployment reloads the surviving objects first.
+            self.cluster.pfs.attach_media(self.journal.root / "pfs", load=recover)
+        if recover:
+            # Reconcile journaled-but-not-durable checkpoints (complete
+            # the flush CAS, requeue, or prune), then resume version
+            # numbering above what survived.
+            with self.tracer.span("recovery.reconcile", track="recovery") as sp:
+                counts = self.handler.recover_pending()
+                self.handler.restore_version_counters()
+                sp.set(**counts)
+            self.recovery = {"replayed_ops": replayed, **counts}
+            self.handler.stats.record_recovery(replayed)
         # An armed fault plan (chaos testing) hooks this deployment's
         # fabric and tier stores for the session; close() disarms it.
         self.fault_plan = fault_plan
         if fault_plan is not None:
             fault_plan.bind_metrics(self.metrics).arm(self.cluster)
+        # An armed crash plan (the crash-restart harness) installs its
+        # kill points across the handler, flusher, and tier stores.
+        self.crash_plan = crash_plan
+        if crash_plan is not None:
+            crash_plan.arm(self)
 
     # -- paper Fig. 4 API -------------------------------------------------
     def save_weights(self, model_name: str, model_weights, **kwargs) -> UpdateResult:
@@ -125,6 +178,8 @@ class Viper:
         self.handler.close()
         self.broker.close()
         self.cluster.close()
+        if self.journal is not None:
+            self.journal.close()
 
     def __enter__(self) -> "Viper":
         return self
@@ -169,12 +224,36 @@ class ViperConsumer:
         self._lock = threading.Lock()
         self.updates_applied = 0
         self.load_seconds = 0.0
+        self._last_model: Optional[str] = None
 
     # ------------------------------------------------------------------
     def subscribe(self) -> Subscription:
         """Register for push notifications of new checkpoints."""
         if self._sub is None:
             self._sub = self.viper.broker.subscribe(self.viper.topic)
+        return self._sub
+
+    @property
+    def last_seq(self) -> int:
+        """Highest notification sequence number consumed so far."""
+        return self._sub.last_seq if self._sub is not None else 0
+
+    def resubscribe(self, since: Optional[int] = None) -> Subscription:
+        """Re-attach to the broker after a restart, with gap detection.
+
+        ``since`` defaults to the last sequence number this consumer
+        consumed (e.g. carried over from a previous incarnation).  A
+        sequence mismatch flags the subscription for one metadata
+        catch-up read, which the next :meth:`refresh` performs.
+        """
+        if since is None:
+            since = self.last_seq
+        old = self._sub
+        self._sub = self.viper.broker.resubscribe(self.viper.topic, since)
+        if old is not None:
+            self.viper.broker.unsubscribe(old)
+        if self._sub.needs_catchup:
+            self.viper.handler.stats.record_notification_gap()
         return self._sub
 
     def current_model(self):
@@ -191,7 +270,17 @@ class ViperConsumer:
         with self._lock, self.viper.tracer.span(
             "consumer.apply_update", track="consumer", model=model_name
         ) as sp:
-            result = self.viper.load_weights(model_name, version)
+            try:
+                result = self.viper.load_weights(model_name, version)
+            except (IntegrityError, RetriesExhausted) as exc:
+                # A corrupt checkpoint never reaches either buffer slot:
+                # the swap is rejected and the live model keeps serving.
+                cause = exc if isinstance(exc, IntegrityError) else exc.__cause__
+                if isinstance(cause, IntegrityError):
+                    self._buffer.record_rejection()
+                    self.viper.handler.stats.record_swap_rejected()
+                    sp.set(outcome="swap_rejected")
+                raise
             if result.version <= self._buffer.version:
                 raise ServingError(
                     f"update {result.version} is not newer than live "
@@ -205,6 +294,7 @@ class ViperConsumer:
             self._spare = displaced
             self.updates_applied += 1
             self.load_seconds += result.cost.total
+            self._last_model = model_name
             sp.set(version=result.version, location=result.location)
             return result
 
@@ -217,9 +307,18 @@ class ViperConsumer:
         """
         if model_name is None:
             notes = self._sub.drain() if self._sub is not None else []
-            if not notes:
+            catchup = self._sub is not None and self._sub.needs_catchup
+            if notes:
+                model_name = notes[-1].model_name
+                self._last_model = model_name
+            elif catchup and self._last_model is not None:
+                # Gap detected but nothing queued: one metadata catch-up
+                # read replaces the pushes that never arrived.
+                model_name = self._last_model
+            else:
                 return None
-            model_name = notes[-1].model_name
+            if catchup:
+                self._sub.needs_catchup = False
         record, _cost = self.viper.metadata.latest(model_name)
         if record is None or record.version <= self._buffer.version:
             return None

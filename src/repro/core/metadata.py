@@ -14,13 +14,22 @@ thread-safe, versioned key-value store:
 
 The store charges a small simulated access latency per operation to model
 the Redis round trip.
+
+For crash recovery an optional write-ahead journal (duck-typed; see
+:class:`repro.resilience.recovery.MetadataJournal`) can be attached via
+:meth:`attach_journal`: every mutation is appended to the journal *before*
+it is applied, inside the store lock, so the journal order equals the
+application order.  :meth:`apply_journal_op` is the idempotent replay-side
+counterpart — replaying any prefix of the journal twice yields the same
+state, and the latest pointer stays monotonic throughout.
 """
 
 from __future__ import annotations
 
+import math
 import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import MetadataError, StaleVersionError
 from repro.substrates.cost import Cost
@@ -60,6 +69,33 @@ class ModelRecord:
                 self, "replicas", tuple(self.replicas) + (self.location,)
             )
 
+    # ------------------------------------------------------------------
+    # Journal wire form (plain JSON-able dicts)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "model_name": self.model_name,
+            "version": self.version,
+            "nbytes": self.nbytes,
+            "location": self.location,
+            "path": self.path,
+            "ntensors": self.ntensors,
+            "durable": self.durable,
+            "created_at": self.created_at,
+            "train_iteration": self.train_iteration,
+            # NaN is not valid JSON; null survives every parser.
+            "train_loss": None if math.isnan(self.train_loss) else self.train_loss,
+            "replicas": list(self.replicas),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ModelRecord":
+        kwargs = dict(data)
+        if kwargs.get("train_loss") is None:
+            kwargs["train_loss"] = float("nan")
+        kwargs["replicas"] = tuple(kwargs.get("replicas", ()))
+        return cls(**kwargs)
+
 
 class MetadataStore:
     """Thread-safe versioned metadata for every model Viper manages."""
@@ -68,6 +104,117 @@ class MetadataStore:
         self._lock = threading.RLock()
         self._records: Dict[Tuple[str, int], ModelRecord] = {}
         self._latest: Dict[str, int] = {}
+        #: Optional write-ahead journal (duck-typed: has ``append(op, data)``
+        #: and ``maybe_compact(state_fn)``); None keeps the store purely
+        #: in-memory with zero overhead.
+        self.journal = None
+
+    # ------------------------------------------------------------------
+    # Write-ahead journal
+    # ------------------------------------------------------------------
+    def attach_journal(self, journal) -> None:
+        """Journal every subsequent mutation (append-before-apply)."""
+        with self._lock:
+            self.journal = journal
+
+    def _journal_op(self, op: str, data: Dict[str, Any]) -> None:
+        """Append one mutation to the journal (lock held by the caller).
+
+        The append happens after validation but before the in-memory
+        apply: a crash between the two replays an operation the store had
+        already accepted, which the idempotent replay absorbs.
+        """
+        if self.journal is not None:
+            self.journal.append(op, data)
+
+    def _maybe_compact_locked(self) -> None:
+        """Offer the journal a compaction point (lock held, op applied).
+
+        Must run *after* the in-memory apply: the snapshot claims to
+        cover every appended seq, so the state it captures has to
+        include the mutation whose append crossed the compaction
+        threshold.
+        """
+        if self.journal is not None:
+            self.journal.maybe_compact(self._state_locked)
+
+    def _state_locked(self) -> Dict[str, Any]:
+        """Snapshot-able store state (lock held by the caller).
+
+        Records are emitted in ``(model_name, version)`` order: dict
+        insertion order varies with mutation interleaving (a CAS after a
+        drop re-inserts at the end), and snapshots must be canonical.
+        """
+        return {
+            "records": [
+                rec.to_dict()
+                for _, rec in sorted(self._records.items())
+            ],
+            "latest": dict(self._latest),
+        }
+
+    def state_dict(self) -> Dict[str, Any]:
+        """A consistent, JSON-able copy of the full store state."""
+        with self._lock:
+            return self._state_locked()
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        """Replace the store contents with a :meth:`state_dict` snapshot."""
+        with self._lock:
+            self._records = {}
+            for data in state.get("records", []):
+                rec = ModelRecord.from_dict(data)
+                self._records[(rec.model_name, rec.version)] = rec
+            self._latest = {
+                name: int(v) for name, v in state.get("latest", {}).items()
+            }
+
+    def apply_journal_op(self, op: str, data: Dict[str, Any]) -> bool:
+        """Apply one journal entry idempotently (the replay path).
+
+        Returns True when the store state changed.  Replay semantics:
+
+        - ``publish``: insert-if-absent; the latest pointer only advances.
+        - ``cas``: upsert the record (replacing with the journaled value a
+          second time is a no-op).
+        - ``drop_version`` / ``drop_model``: remove-if-present.
+
+        Replaying a prefix twice therefore converges to the same state as
+        replaying it once, and no replay order can regress ``latest``.
+        """
+        with self._lock:
+            if op == "publish":
+                rec = ModelRecord.from_dict(data)
+                key = (rec.model_name, rec.version)
+                if key in self._records:
+                    return False
+                self._records[key] = rec
+                if rec.version > self._latest.get(rec.model_name, -1):
+                    self._latest[rec.model_name] = rec.version
+                return True
+            if op == "cas":
+                rec = ModelRecord.from_dict(data)
+                key = (rec.model_name, rec.version)
+                if self._records.get(key) == rec:
+                    return False
+                self._records[key] = rec
+                if rec.version > self._latest.get(rec.model_name, -1):
+                    self._latest[rec.model_name] = rec.version
+                return True
+            if op == "drop_version":
+                key = (data["model_name"], int(data["version"]))
+                if key not in self._records:
+                    return False
+                self._drop_locked(*key)
+                return True
+            if op == "drop_model":
+                name = data["model_name"]
+                keys = [k for k in self._records if k[0] == name]
+                for k in keys:
+                    del self._records[k]
+                self._latest.pop(name, None)
+                return bool(keys)
+            raise MetadataError(f"unknown journal op {op!r}")
 
     # ------------------------------------------------------------------
     # Writes
@@ -85,10 +232,12 @@ class MetadataStore:
                     f"version {record.version} of {record.model_name!r} "
                     f"already published"
                 )
+            self._journal_op("publish", record.to_dict())
             self._records[key] = record
             current = self._latest.get(record.model_name, -1)
             if record.version > current:
                 self._latest[record.model_name] = record.version
+            self._maybe_compact_locked()
         return Cost.of("metadata.write", DB_ACCESS_LATENCY)
 
     def compare_and_swap(
@@ -108,7 +257,9 @@ class MetadataStore:
                     expected=int(expected_durable),
                     actual=int(old.durable),
                 )
+            self._journal_op("cas", updated.to_dict())
             self._records[key] = updated
+            self._maybe_compact_locked()
         return Cost.of("metadata.write", DB_ACCESS_LATENCY)
 
     def drop_version(self, model_name: str, version: int) -> None:
@@ -117,23 +268,34 @@ class MetadataStore:
         with self._lock:
             if (model_name, version) not in self._records:
                 raise MetadataError(f"no record for {model_name!r} v{version}")
-            del self._records[(model_name, version)]
-            if self._latest.get(model_name) == version:
-                survivors = [
-                    v for (name, v) in self._records if name == model_name
-                ]
-                if survivors:
-                    self._latest[model_name] = max(survivors)
-                else:
-                    del self._latest[model_name]
+            self._journal_op(
+                "drop_version", {"model_name": model_name, "version": version}
+            )
+            self._drop_locked(model_name, version)
+            self._maybe_compact_locked()
+
+    def _drop_locked(self, model_name: str, version: int) -> None:
+        del self._records[(model_name, version)]
+        if self._latest.get(model_name) == version:
+            survivors = [
+                v for (name, v) in self._records if name == model_name
+            ]
+            if survivors:
+                self._latest[model_name] = max(survivors)
+            else:
+                del self._latest[model_name]
 
     def drop_model(self, model_name: str) -> int:
         """Remove every version of a model; returns how many were dropped."""
         with self._lock:
             keys = [k for k in self._records if k[0] == model_name]
+            if keys:
+                self._journal_op("drop_model", {"model_name": model_name})
             for k in keys:
                 del self._records[k]
             self._latest.pop(model_name, None)
+            if keys:
+                self._maybe_compact_locked()
             return len(keys)
 
     # ------------------------------------------------------------------

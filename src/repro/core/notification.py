@@ -11,16 +11,30 @@ in-process: topics, fan-out to all current subscribers, per-subscriber
 FIFO queues, and fire-and-forget publishes.  Delivery latency is charged
 as simulated time on each message (`PUSH_LATENCY`), so the workflow layer
 can compare push-based discovery against polling baselines quantitatively.
+
+Exactly-once discovery additions (crash recovery):
+
+- every publish carries a **per-topic monotonic sequence number**, and the
+  broker retains the last notification per topic;
+- subscriber queues may be **bounded** (``queue_max``): on overflow the
+  oldest message is coalesced away — Viper consumers only ever want the
+  latest model, so dropping stale versions loses nothing but is *counted*;
+- a consumer that restarts calls :meth:`NotificationBroker.resubscribe`
+  with the last sequence number it consumed.  A mismatch against the
+  topic's current sequence (missed publishes, or a broker restart that
+  reset the counter) flags the new subscription ``needs_catchup`` so the
+  consumer performs one metadata catch-up read instead of trusting the
+  push stream; the retained notification is re-delivered so the happy
+  path converges without any polling.
 """
 
 from __future__ import annotations
 
 import collections
-import queue
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.errors import NotificationError
 from repro.obs.metrics import NULL_METRICS
@@ -42,6 +56,9 @@ class Notification:
     published_at: float   # simulated publish timestamp
     deliver_at: float     # published_at + PUSH_LATENCY
     payload: Dict[str, Any] = field(default_factory=dict)
+    #: Per-topic monotonic sequence number (1-based; 0 = unsequenced,
+    #: for notifications constructed outside a broker).
+    seq: int = 0
 
 
 class Subscription:
@@ -51,6 +68,13 @@ class Subscription:
     thread parks here) and non-blocking :meth:`poll` (DES mode).
     An optional callback fires synchronously on publish for push-driven
     consumers.
+
+    With ``maxlen > 0`` the queue is bounded: a push that would overflow
+    drops the oldest queued message instead (counted in
+    :attr:`coalesced`).  Consuming a notification whose ``seq`` is not
+    the successor of the last consumed one records a **gap** and sets
+    :attr:`needs_catchup`, telling the consumer its view of the topic is
+    no longer contiguous and one metadata catch-up read is due.
     """
 
     def __init__(
@@ -58,31 +82,52 @@ class Subscription:
         topic: str,
         callback: Optional[Callable[[Notification], None]] = None,
         metrics=None,
+        maxlen: int = 0,
     ):
         self.topic = topic
         self.callback = callback
         self.metrics = metrics if metrics is not None else NULL_METRICS
-        self._queue: "queue.Queue[Notification]" = queue.Queue()
-        # Wall-clock push timestamps, FIFO like the queue itself, so
-        # get/poll can report the real publish->consume delivery delay.
-        self._push_walls: "collections.deque[float]" = collections.deque()
+        self.maxlen = int(maxlen)
+        self._cond = threading.Condition()
+        # (notification, wall-clock push time) pairs, FIFO, so get/poll
+        # can report the real publish->consume delivery delay.
+        self._items: Deque[Tuple[Notification, float]] = collections.deque()
         self._closed = False
         self.delivered = 0
+        self.coalesced = 0
+        self.gaps = 0
+        #: Highest sequence number consumed (or reconciled on resubscribe).
+        self.last_seq = 0
+        self.needs_catchup = False
+
+    @property
+    def pending(self) -> int:
+        """Messages queued but not yet consumed."""
+        with self._cond:
+            return len(self._items)
 
     def _push(self, note: Notification) -> None:
-        if self._closed:
-            return
-        self._push_walls.append(time.perf_counter())
-        self._queue.put(note)
-        self.delivered += 1
+        with self._cond:
+            if self._closed:
+                return
+            if self.maxlen > 0 and len(self._items) >= self.maxlen:
+                # Bounded queue: coalesce toward the newest messages.  A
+                # Viper consumer only ever loads the latest model, so the
+                # dropped (older) notification carries no information the
+                # surviving ones don't — but the drop creates a seq gap
+                # the consumer will observe and count.
+                self._items.popleft()
+                self.coalesced += 1
+                self.metrics.counter(
+                    "notifications_coalesced_total", topic=self.topic
+                ).inc()
+            self._items.append((note, time.perf_counter()))
+            self.delivered += 1
+            self._cond.notify_all()
         if self.callback is not None:
             self.callback(note)
 
-    def _observe_delivery(self, note: Notification) -> None:
-        try:
-            pushed_wall = self._push_walls.popleft()
-        except IndexError:
-            return
+    def _observe_delivery(self, note: Notification, pushed_wall: float) -> None:
         self.metrics.histogram(
             "notification_delivery_wall_seconds", topic=self.topic
         ).observe(time.perf_counter() - pushed_wall)
@@ -92,31 +137,46 @@ class Subscription:
         self.metrics.counter(
             "notifications_consumed_total", topic=self.topic
         ).inc()
+        if note.seq:
+            if self.last_seq and note.seq > self.last_seq + 1:
+                self.gaps += 1
+                self.needs_catchup = True
+                self.metrics.counter(
+                    "notification_gaps_total", topic=self.topic
+                ).inc()
+            if note.seq > self.last_seq:
+                self.last_seq = note.seq
 
     def get(self, timeout: Optional[float] = None) -> Notification:
         """Block until the next notification arrives."""
-        if self._closed and self._queue.empty():
-            raise NotificationError(f"subscription to {self.topic!r} is closed")
-        try:
-            note = self._queue.get(timeout=timeout)
-        except queue.Empty:
-            raise NotificationError(
-                f"no notification on {self.topic!r} within {timeout}s"
-            ) from None
-        if note is _CLOSE:
-            raise NotificationError(f"subscription to {self.topic!r} closed")
-        self._observe_delivery(note)
+        with self._cond:
+            if not self._items:
+                if self._closed:
+                    raise NotificationError(
+                        f"subscription to {self.topic!r} is closed"
+                    )
+                self._cond.wait_for(
+                    lambda: self._items or self._closed, timeout
+                )
+            if not self._items:
+                if self._closed:
+                    raise NotificationError(
+                        f"subscription to {self.topic!r} closed"
+                    )
+                raise NotificationError(
+                    f"no notification on {self.topic!r} within {timeout}s"
+                )
+            note, pushed_wall = self._items.popleft()
+        self._observe_delivery(note, pushed_wall)
         return note
 
     def poll(self) -> Optional[Notification]:
         """Non-blocking fetch; None when the queue is empty."""
-        try:
-            note = self._queue.get_nowait()
-        except queue.Empty:
-            return None
-        if note is _CLOSE:
-            return None
-        self._observe_delivery(note)
+        with self._cond:
+            if not self._items:
+                return None
+            note, pushed_wall = self._items.popleft()
+        self._observe_delivery(note, pushed_wall)
         return note
 
     def drain(self) -> List[Notification]:
@@ -130,23 +190,32 @@ class Subscription:
             out.append(note)
 
     def close(self) -> None:
-        self._closed = True
-        self._queue.put(_CLOSE)
-
-
-_CLOSE = object()  # type: ignore[assignment]
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
 
 
 class NotificationBroker:
     """Topic-based fan-out broker (the Redis pub/sub stand-in)."""
 
-    def __init__(self, push_latency: float = PUSH_LATENCY, *, metrics=None):
+    def __init__(
+        self,
+        push_latency: float = PUSH_LATENCY,
+        *,
+        metrics=None,
+        queue_max: int = 0,
+    ):
         if push_latency < 0:
             raise NotificationError("push latency must be non-negative")
+        if queue_max < 0:
+            raise NotificationError("queue_max must be non-negative")
         self.push_latency = push_latency
         self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.queue_max = int(queue_max)
         self._lock = threading.RLock()
         self._subs: Dict[str, List[Subscription]] = {}
+        self._seqs: Dict[str, int] = {}
+        self._retained: Dict[str, Notification] = {}
         self.published = 0
 
     def subscribe(
@@ -154,9 +223,45 @@ class NotificationBroker:
         topic: str,
         callback: Optional[Callable[[Notification], None]] = None,
     ) -> Subscription:
-        sub = Subscription(topic, callback, metrics=self.metrics)
+        sub = Subscription(
+            topic, callback, metrics=self.metrics, maxlen=self.queue_max
+        )
         with self._lock:
             self._subs.setdefault(topic, []).append(sub)
+            sub.last_seq = self._seqs.get(topic, 0)
+        return sub
+
+    def resubscribe(
+        self,
+        topic: str,
+        since: int,
+        callback: Optional[Callable[[Notification], None]] = None,
+    ) -> Subscription:
+        """Re-attach after a restart, reconciling sequence numbers.
+
+        ``since`` is the last sequence number the consumer consumed in
+        its previous incarnation.  If the topic's current sequence
+        differs — publishes happened while the consumer was dead, *or*
+        the broker itself restarted and its counter regressed — the new
+        subscription is flagged ``needs_catchup`` (one metadata read is
+        required) and the gap is counted.  The retained notification, if
+        newer than ``since``, is re-delivered so a live broker's latest
+        model reaches the consumer without any polling.
+        """
+        sub = Subscription(
+            topic, callback, metrics=self.metrics, maxlen=self.queue_max
+        )
+        with self._lock:
+            current = self._seqs.get(topic, 0)
+            retained = self._retained.get(topic)
+            self._subs.setdefault(topic, []).append(sub)
+        if current != int(since):
+            sub.gaps += 1
+            sub.needs_catchup = True
+            self.metrics.counter("notification_gaps_total", topic=topic).inc()
+        sub.last_seq = min(int(since), current)
+        if retained is not None and retained.seq > sub.last_seq:
+            sub._push(retained)
         return sub
 
     def unsubscribe(self, sub: Subscription) -> None:
@@ -165,6 +270,16 @@ class NotificationBroker:
             if sub in subs:
                 subs.remove(sub)
         sub.close()
+
+    def current_seq(self, topic: str) -> int:
+        """The topic's latest assigned sequence number (0 = never published)."""
+        with self._lock:
+            return self._seqs.get(topic, 0)
+
+    def retained(self, topic: str) -> Optional[Notification]:
+        """The last notification published on ``topic`` (None if none)."""
+        with self._lock:
+            return self._retained.get(topic)
 
     def publish(
         self,
@@ -182,16 +297,20 @@ class NotificationBroker:
         even when there are no subscribers — publishes are fire-and-forget,
         matching Redis semantics.
         """
-        note = Notification(
-            topic=topic,
-            model_name=model_name,
-            version=version,
-            location=location,
-            published_at=now,
-            deliver_at=now + self.push_latency,
-            payload=dict(payload or {}),
-        )
         with self._lock:
+            seq = self._seqs.get(topic, 0) + 1
+            self._seqs[topic] = seq
+            note = Notification(
+                topic=topic,
+                model_name=model_name,
+                version=version,
+                location=location,
+                published_at=now,
+                deliver_at=now + self.push_latency,
+                payload=dict(payload or {}),
+                seq=seq,
+            )
+            self._retained[topic] = note
             subs = list(self._subs.get(topic, ()))
             self.published += 1
         self.metrics.counter("notifications_published_total", topic=topic).inc()

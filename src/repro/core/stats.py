@@ -52,6 +52,11 @@ class StatsSnapshot:
     retries: int = 0      # transfer attempts abandoned and re-tried
     failovers: int = 0    # strategy demotions down the GPU->HOST->PFS chain
     corruptions: int = 0  # checksum mismatches caught before deserialization
+    recoveries: int = 0         # crash-recovery replays completed
+    replayed_ops: int = 0       # journal operations applied across recoveries
+    notification_gaps: int = 0  # sequence gaps observed by consumers
+    stale_fallbacks: int = 0    # staleness-watchdog polls after silent pushes
+    swaps_rejected: int = 0     # corrupt loads that never reached the buffer
 
     def __getitem__(self, location: str) -> LocationStats:
         return self.locations[location]
@@ -76,6 +81,11 @@ class StatsManager:
         self.retries = 0     # see StatsSnapshot.retries
         self.failovers = 0   # see StatsSnapshot.failovers
         self.corruptions = 0  # see StatsSnapshot.corruptions
+        self.recoveries = 0         # see StatsSnapshot.recoveries
+        self.replayed_ops = 0       # see StatsSnapshot.replayed_ops
+        self.notification_gaps = 0  # see StatsSnapshot.notification_gaps
+        self.stale_fallbacks = 0    # see StatsSnapshot.stale_fallbacks
+        self.swaps_rejected = 0     # see StatsSnapshot.swaps_rejected
         self.metrics = metrics if metrics is not None else NULL_METRICS
 
     def rank(self, location: str) -> int:
@@ -129,6 +139,32 @@ class StatsManager:
             self.corruptions += 1
         self.metrics.counter("viper_corruptions_total", location=location).inc()
 
+    def record_recovery(self, replayed_ops: int = 0) -> None:
+        """One crash-recovery replay finished, applying ``replayed_ops``."""
+        with self._lock:
+            self.recoveries += 1
+            self.replayed_ops += int(replayed_ops)
+        self.metrics.counter("viper_recoveries_total").inc()
+        self.metrics.counter("viper_replayed_ops_total").inc(int(replayed_ops))
+
+    def record_notification_gap(self) -> None:
+        """A consumer observed a non-contiguous notification sequence."""
+        with self._lock:
+            self.notification_gaps += 1
+        self.metrics.counter("viper_notification_gaps_total").inc()
+
+    def record_stale_fallback(self) -> None:
+        """The staleness watchdog fell back to a metadata poll."""
+        with self._lock:
+            self.stale_fallbacks += 1
+        self.metrics.counter("viper_stale_fallbacks_total").inc()
+
+    def record_swap_rejected(self) -> None:
+        """A corrupt load was rejected before touching the live model."""
+        with self._lock:
+            self.swaps_rejected += 1
+        self.metrics.counter("viper_swaps_rejected_total").inc()
+
     # ------------------------------------------------------------------
     def loads_from(self, location: str) -> int:
         with self._lock:
@@ -147,6 +183,11 @@ class StatsManager:
                 retries=self.retries,
                 failovers=self.failovers,
                 corruptions=self.corruptions,
+                recoveries=self.recoveries,
+                replayed_ops=self.replayed_ops,
+                notification_gaps=self.notification_gaps,
+                stale_fallbacks=self.stale_fallbacks,
+                swaps_rejected=self.swaps_rejected,
             )
 
     def summary(self) -> str:
@@ -163,5 +204,12 @@ class StatsManager:
             parts.append(
                 f"retries: {snap.retries}, failovers: {snap.failovers}, "
                 f"corruptions: {snap.corruptions}"
+            )
+        if snap.recoveries or snap.notification_gaps or snap.stale_fallbacks:
+            parts.append(
+                f"recoveries: {snap.recoveries} ({snap.replayed_ops} ops), "
+                f"gaps: {snap.notification_gaps}, "
+                f"stale fallbacks: {snap.stale_fallbacks}, "
+                f"swaps rejected: {snap.swaps_rejected}"
             )
         return "; ".join(parts)

@@ -47,9 +47,13 @@ class DoubleBuffer(Generic[T]):
         self._staging = False
         self._staged_wall = 0.0
         self.swaps = 0
+        self.swaps_rejected = 0
         self.metrics = metrics if metrics is not None else NULL_METRICS
         self._name = name
         self._m_swaps = self.metrics.counter("buffer_swaps_total", buffer=name)
+        self._m_rejected = self.metrics.counter(
+            "buffer_swaps_rejected_total", buffer=name
+        )
         self._m_version = self.metrics.gauge("buffer_live_version", buffer=name)
         self._m_version.set(version)
         self._m_stage_to_commit = self.metrics.histogram(
@@ -112,6 +116,13 @@ class DoubleBuffer(Generic[T]):
         """Convenience: stage + commit in one call."""
         self.stage(model, version)
         return self.commit()
+
+    def record_rejection(self) -> None:
+        """Count an update that was refused before reaching either slot
+        (e.g. a corrupt load); the primary stays untouched by design."""
+        with self._lock:
+            self.swaps_rejected += 1
+        self._m_rejected.inc()
 
     @property
     def staging(self) -> bool:

@@ -8,18 +8,26 @@ jobs.  Each job writes the serialized checkpoint into the shared PFS store
 and then marks the metadata record durable via compare-and-swap.  A
 failure-injection hook supports the fault-tolerance tests; failed flushes
 are retried up to ``max_retries`` and then recorded in ``failed_keys``.
+
+Shutdown semantics: :meth:`stop` *drains* the queue by default, so a
+clean shutdown never strands checkpoints as non-durable.  ``stop(
+drain=False)`` is the explicit fast path — remaining jobs are abandoned
+but recorded in ``stranded_keys``, never silently lost, and crash
+recovery re-enqueues them from the journal on the next start.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
+import time
 from dataclasses import dataclass, replace
 from typing import Callable, List, Optional, Tuple
 
 from repro.errors import StorageError
 from repro.obs.metrics import NULL_METRICS
 from repro.obs.tracer import NULL_TRACER
+from repro.resilience.recovery import SimulatedCrash
 from repro.substrates.cost import Cost
 from repro.substrates.memory.storage import TierStore
 from repro.core.metadata import MetadataStore, ModelRecord
@@ -62,11 +70,18 @@ class BackgroundFlusher:
         self._lock = threading.Lock()
         self._flushed: List[str] = []
         self._failed: List[str] = []
+        self._stranded: List[str] = []
         self._background_cost = Cost.zero()
         self._thread = threading.Thread(
             target=self._run, daemon=True, name="viper-flusher"
         )
         self._started = False
+        self._stopped = False
+        self._abort = False
+        self._dead = False
+        # Crash-point hook (duck-typed CrashPlan or None): the worker
+        # checks it per job, so a "dead" deployment's flusher dies too.
+        self.crashpoints = None
 
     # ------------------------------------------------------------------
     def start(self) -> "BackgroundFlusher":
@@ -78,19 +93,42 @@ class BackgroundFlusher:
     def submit(self, job: FlushJob) -> None:
         if not self._started:
             raise StorageError("flusher not started")
+        if self._stopped:
+            # A submit after stop() would sit in the queue forever with
+            # no worker — refuse loudly instead of stranding silently.
+            raise StorageError("flusher stopped; checkpoint would be stranded")
         self._queue.put(job)
 
     def drain(self, timeout: float = 30.0) -> None:
         """Block until every queued flush has been processed."""
+        deadline = time.monotonic() + timeout
         with self._queue.all_tasks_done:
-            deadline = timeout
             while self._queue.unfinished_tasks:
-                if not self._queue.all_tasks_done.wait(deadline):
-                    raise StorageError("flusher drain timed out")
+                if self._dead:
+                    # The worker died at a kill point; its queue will
+                    # never drain — fail fast instead of timing out.
+                    raise StorageError("flusher worker died; queue not drained")
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._queue.all_tasks_done.wait(
+                    min(remaining, 0.05)
+                ):
+                    if time.monotonic() >= deadline:
+                        raise StorageError("flusher drain timed out")
 
-    def stop(self, timeout: float = 30.0) -> None:
-        if not self._started:
+    def stop(self, timeout: float = 30.0, *, drain: bool = True) -> None:
+        """Shut the worker down; by default only after the queue drains.
+
+        ``drain=False`` abandons queued jobs promptly: each is recorded
+        in :attr:`stranded_keys` (its checkpoint stays non-durable) so
+        the caller — or journal-driven recovery — can account for it.
+        """
+        if not self._started or self._stopped:
             return
+        if drain:
+            self.drain(timeout)
+        else:
+            self._abort = True
+        self._stopped = True
         self._queue.put(None)
         self._thread.join(timeout)
 
@@ -106,6 +144,12 @@ class BackgroundFlusher:
             return tuple(self._failed)
 
     @property
+    def stranded_keys(self) -> Tuple[str, ...]:
+        """Jobs abandoned by ``stop(drain=False)`` — still non-durable."""
+        with self._lock:
+            return tuple(self._stranded)
+
+    @property
     def background_cost(self) -> Cost:
         """Total simulated time spent flushing (off the training path)."""
         with self._lock:
@@ -113,17 +157,34 @@ class BackgroundFlusher:
 
     # ------------------------------------------------------------------
     def _run(self) -> None:
-        while True:
-            job = self._queue.get()
-            if job is None:
-                self._queue.task_done()
-                return
-            try:
-                self._flush_one(job)
-            finally:
-                self._queue.task_done()
+        try:
+            while True:
+                job = self._queue.get()
+                if job is None:
+                    self._queue.task_done()
+                    return
+                try:
+                    if self._abort:
+                        with self._lock:
+                            self._stranded.append(job.key)
+                        self.metrics.counter(
+                            "flush_jobs_total", status="stranded"
+                        ).inc()
+                        continue
+                    self._flush_one(job)
+                finally:
+                    self._queue.task_done()
+        except SimulatedCrash:
+            # The chaos harness killed this "process"; die silently like
+            # SIGKILL would — no traceback through threading.excepthook.
+            self._dead = True
+            with self._queue.all_tasks_done:
+                self._queue.all_tasks_done.notify_all()
+            return
 
     def _flush_one(self, job: FlushJob) -> None:
+        if self.crashpoints is not None:
+            self.crashpoints.reached("flush.start")
         with self.tracer.span("flush.job", track="viper-flusher", key=job.key) as sp:
             for attempt in range(self.max_retries + 1):
                 try:
@@ -136,6 +197,11 @@ class BackgroundFlusher:
                         nobjects=job.record.ntensors,
                         version=job.record.version,
                     )
+                    if self.crashpoints is not None:
+                        # Mid-flush kill point: the blob is durable but the
+                        # metadata record still says durable=False; recovery
+                        # must complete the acknowledgement exactly once.
+                        self.crashpoints.reached("flush.staged")
                     current, _ = self.metadata.record(
                         job.record.model_name, job.record.version
                     )

@@ -182,6 +182,14 @@ class ModelWeightsHandler:
         self._clock_lock = threading.Lock()
         self._sim_now = 0.0
         self._versions: Dict[str, int] = {}
+        # Crash-point hook (duck-typed CrashPlan or None): checked at the
+        # publish-path kill points; zero overhead when no plan is armed.
+        self.crashpoints = None
+
+    def _crash(self, site: str) -> None:
+        cp = self.crashpoints
+        if cp is not None:
+            cp.reached(site)
 
     # ------------------------------------------------------------------
     # Simulated wall clock for metadata timestamps
@@ -391,6 +399,9 @@ class ModelWeightsHandler:
                 final, backoff = self._stage_resilient(
                     key, blob, chosen, wire, vtensors, ver
                 )
+                # Kill point: blob staged, metadata not yet journaled.
+                # Recovery must not invent a version the journal never saw.
+                self._crash("publish.staged")
                 if final is chosen:
                     rec, fin = record, timings
                 else:
@@ -408,6 +419,9 @@ class ModelWeightsHandler:
                         vbytes, vtensors, pipeline=self.pipeline,
                     )
                 cost = self.metadata.publish_version(rec)
+                # Kill point: journaled + published, but consumers were
+                # never notified; recovery re-announces from metadata.
+                self._crash("publish.metadata")
                 self.broker.publish(
                     self.topic,
                     model_name=model_name,
@@ -416,6 +430,9 @@ class ModelWeightsHandler:
                     now=self.sim_now,
                     payload={"path": key, "nbytes": vbytes},
                 )
+                # Kill point: notified but the history flush never ran;
+                # the checkpoint is published yet still non-durable.
+                self._crash("publish.notified")
                 if self.flush_history and final is not TransferStrategy.PFS:
                     self.flusher.submit(FlushJob(key=key, blob=blob, record=rec))
                 if backoff:
@@ -578,6 +595,73 @@ class ModelWeightsHandler:
         if location == "pfs":
             return self.cluster.pfs
         raise TransferError(f"unknown checkpoint location {location!r}")
+
+    # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+    def restore_version_counters(self) -> None:
+        """Resume version numbering from the replayed metadata.
+
+        After journal replay the store knows every version the previous
+        incarnation journaled; the producer must continue *above* them or
+        ``publish_version`` would reject the duplicate.
+        """
+        with self._clock_lock:
+            for model_name in self.metadata.models():
+                versions = self.metadata.versions(model_name)
+                if versions:
+                    self._versions[model_name] = max(
+                        self._versions.get(model_name, 0), max(versions)
+                    )
+
+    def recover_pending(self) -> Dict[str, int]:
+        """Reconcile journaled-but-not-durable checkpoints after replay.
+
+        For every record with ``durable=False`` there are three cases:
+
+        - the blob already sits in the PFS (the crash hit between the
+          flusher's put and its metadata acknowledgement): *complete* the
+          acknowledgement exactly once;
+        - the blob survives only in a volatile replica (the flush never
+          ran): *requeue* it on the background flusher;
+        - the blob is gone everywhere (volatile memory died with the
+          process): *prune* the record via a journaled drop, so consumers
+          can never be pointed at bytes that no longer exist.
+        """
+        completed = requeued = pruned = 0
+        for model_name in self.metadata.models():
+            for version in self.metadata.versions(model_name):
+                rec, _ = self.metadata.record(model_name, version)
+                if rec.durable:
+                    continue
+                if rec.path in self.cluster.pfs:
+                    self.metadata.compare_and_swap(
+                        replace(
+                            rec,
+                            durable=True,
+                            replicas=tuple(
+                                dict.fromkeys(rec.replicas + ("pfs",))
+                            ),
+                        )
+                    )
+                    completed += 1
+                    continue
+                blob = None
+                if self.flush_history:
+                    for location in rec.replicas:
+                        if location == "pfs":
+                            continue
+                        store = self._store_for_location(location)
+                        if rec.path in store:
+                            blob, _ = store.get(rec.path)
+                            break
+                if blob is not None:
+                    self.flusher.submit(FlushJob(key=rec.path, blob=blob, record=rec))
+                    requeued += 1
+                else:
+                    self.metadata.drop_version(model_name, version)
+                    pruned += 1
+        return {"completed": completed, "requeued": requeued, "pruned": pruned}
 
     # ------------------------------------------------------------------
     # Lifecycle

@@ -93,6 +93,14 @@ class StaleVersionError(MetadataError):
         self.actual = int(actual)
 
 
+class RecoveryError(ViperError):
+    """Crash recovery could not restore a consistent state."""
+
+
+class JournalError(RecoveryError):
+    """The metadata write-ahead journal is unreadable or inconsistent."""
+
+
 class NotificationError(ViperError):
     """The publish-subscribe notification module failed."""
 

@@ -15,6 +15,12 @@ citizen:
   clock, per-attempt deadline) and the :func:`execute_with_retry`
   executor used by the transfer engine and the weights handler.
 
+- :mod:`repro.resilience.recovery` — crash recovery: a durable
+  write-ahead :class:`MetadataJournal` (JSONL append + snapshot
+  compaction + idempotent replay) and the seeded :class:`CrashPlan` /
+  :class:`SimulatedCrash` kill points that the crash-restart chaos
+  harness uses to die mid-publish, mid-flush, or mid-notify.
+
 Strategy failover down the paper's GPU -> HOST -> PFS chain and
 checksum-verified deserialization live in the transfer layer
 (:mod:`repro.core.transfer.handler`, :mod:`repro.dnn.serialization`);
@@ -29,6 +35,13 @@ from repro.resilience.faults import (
     FaultRule,
     Injection,
 )
+from repro.resilience.recovery import (
+    CrashPlan,
+    CrashPoint,
+    JournalEntry,
+    MetadataJournal,
+    SimulatedCrash,
+)
 from repro.resilience.retry import (
     RETRYABLE_ERRORS,
     RetryOutcome,
@@ -42,6 +55,11 @@ __all__ = [
     "FaultPlan",
     "FaultRule",
     "Injection",
+    "CrashPlan",
+    "CrashPoint",
+    "JournalEntry",
+    "MetadataJournal",
+    "SimulatedCrash",
     "RETRYABLE_ERRORS",
     "RetryOutcome",
     "RetryPolicy",

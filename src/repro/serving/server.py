@@ -13,6 +13,14 @@ Updates can be applied in two discovery modes:
   applies the newest checkpoint (Viper's mode);
 - ``pull``: a repository poller checks the metadata store at a fixed
   interval (the Triton/TF-Serving baseline).
+
+A push-mode server can additionally arm a **staleness watchdog**
+(``staleness_deadline``): when no update has arrived for that much
+simulated time, the server performs one direct metadata poll — so a dead
+producer, a crashed broker, or a dropped notification degrades to the
+polling baseline instead of serving stale forever.  Every fallback is
+counted (``server_stale_fallbacks_total`` and the Stats Manager's
+``stale_fallbacks``).
 """
 
 from __future__ import annotations
@@ -58,15 +66,21 @@ class InferenceServer:
         *,
         loss_fn: Optional[Loss] = None,
         t_infer: float = 0.005,
+        staleness_deadline: Optional[float] = None,
         tracer=None,
         metrics=None,
     ):
         if t_infer <= 0:
             raise ServingError("t_infer must be positive")
+        if staleness_deadline is not None and staleness_deadline <= 0:
+            raise ServingError("staleness_deadline must be positive")
         self.consumer = consumer
         self.model_name = model_name
         self.loss_fn = loss_fn
         self.t_infer = t_infer
+        self.staleness_deadline = staleness_deadline
+        self.stale_fallbacks = 0
+        self._last_update_sim = 0.0
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else NULL_METRICS
         self._m_requests = self.metrics.counter(
@@ -94,10 +108,30 @@ class InferenceServer:
     # Model updates (the "model updating thread" of §4.3)
     # ------------------------------------------------------------------
     def poll_updates(self) -> bool:
-        """Apply the newest pushed checkpoint if any; True if swapped."""
-        result = self.consumer.refresh(self.model_name)
+        """Apply the newest pushed checkpoint if any; True if swapped.
+
+        Without a subscription (or without a staleness deadline) this is
+        a direct metadata poll — the pull baseline.  With both, updates
+        arrive purely by push; only after ``staleness_deadline`` of
+        simulated silence does the watchdog fall back to one poll.
+        """
+        if self.consumer._sub is None or self.staleness_deadline is None:
+            result = self.consumer.refresh(self.model_name)
+        else:
+            result = self.consumer.refresh()
+            if result is None and (
+                self._sim_time - self._last_update_sim >= self.staleness_deadline
+            ):
+                result = self.consumer.refresh(self.model_name)
+                self.stale_fallbacks += 1
+                self._last_update_sim = self._sim_time  # re-arm the watchdog
+                self.consumer.viper.handler.stats.record_stale_fallback()
+                self.metrics.counter(
+                    "server_stale_fallbacks_total", model=self.model_name
+                ).inc()
         if result is not None:
             self._m_swaps.inc()
+            self._last_update_sim = self._sim_time
         if self.metrics.enabled:
             record, _ = self.consumer.viper.metadata.latest(self.model_name)
             if record is not None and record.version > self._latest_known:

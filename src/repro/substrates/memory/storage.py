@@ -10,14 +10,27 @@ larger than the laptop-sized test tensors.
 
 Capacity is accounted against the virtual size, so eviction and
 out-of-space behaviour match what the modeled hardware would do.
+
+A tier that models durable hardware (the PFS) can additionally mirror
+its objects to a *media directory* on the real filesystem
+(:meth:`TierStore.attach_media`).  Media writes are atomic — payload and
+header go to a temp file that is ``os.replace``-d into place — so a
+crash mid-flush leaves either the old object or a complete new one,
+never a torn mix; any torn write that slips through a non-atomic path is
+still caught by the serialization CRC header at load time.  A restarted
+deployment reloads the surviving objects with ``attach_media(load=True)``.
 """
 
 from __future__ import annotations
 
 import enum
+import json
+import os
 import threading
+import urllib.parse
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import CapacityError, ObjectNotFoundError, StorageError
@@ -75,6 +88,85 @@ class TierStore:
         # repro.resilience.faults) or None.  The single attribute check in
         # put()/get() is the entire overhead when no plan is armed.
         self.faults = None
+        # Crash-point hook: an armed CrashPlan (duck-typed, see
+        # repro.resilience.recovery) or None; same zero-overhead contract.
+        self.crashpoints = None
+        self._media_dir: Optional[Path] = None
+
+    # ------------------------------------------------------------------
+    # Durable media (crash recovery)
+    # ------------------------------------------------------------------
+    def attach_media(self, media_dir, *, load: bool = False) -> int:
+        """Mirror this tier's objects to ``media_dir`` on the filesystem.
+
+        With ``load=True``, objects already on the media (survivors of a
+        previous incarnation) are restored into the in-memory store
+        first; returns how many were loaded.  Stray ``.tmp`` files — the
+        footprint of a write that crashed before its atomic rename — are
+        discarded: the rename never happened, so the object was never
+        durable.
+        """
+        media = Path(media_dir)
+        media.mkdir(parents=True, exist_ok=True)
+        loaded = 0
+        with self._lock:
+            self._media_dir = media
+            if load:
+                for tmp in media.glob("*.tmp"):
+                    tmp.unlink()
+                for path in sorted(media.glob("*.obj")):
+                    obj = self._media_read(path)
+                    self._objects[obj.key] = obj
+                    self._used += obj.virtual_bytes
+                    loaded += 1
+        return loaded
+
+    def _media_path(self, key: str) -> Path:
+        assert self._media_dir is not None
+        return self._media_dir / (urllib.parse.quote(key, safe="") + ".obj")
+
+    def _media_write(self, obj: StoredObject) -> None:
+        """Persist one object: temp file + fsync-free atomic rename."""
+        final = self._media_path(obj.key)
+        tmp = final.with_suffix(".tmp")
+        header = json.dumps(
+            {
+                "key": obj.key,
+                "virtual_bytes": obj.virtual_bytes,
+                "nobjects": obj.nobjects,
+                "version": obj.version,
+                "pinned": obj.pinned,
+            }
+        ).encode("utf-8")
+        with open(tmp, "wb") as fh:
+            fh.write(header + b"\n")
+            fh.write(obj.data)
+            fh.flush()
+        if self.crashpoints is not None:
+            # The kill point between the complete temp write and the
+            # atomic rename: a crash here leaves a .tmp the next boot
+            # discards, never a torn object.
+            self.crashpoints.reached(f"media.staged:{self.spec.name}")
+        os.replace(tmp, final)
+
+    @staticmethod
+    def _media_read(path: Path) -> StoredObject:
+        with open(path, "rb") as fh:
+            header = json.loads(fh.readline())
+            data = fh.read()
+        return StoredObject(
+            key=header["key"],
+            data=data,
+            virtual_bytes=int(header["virtual_bytes"]),
+            nobjects=int(header.get("nobjects", 1)),
+            version=int(header.get("version", 0)),
+            pinned=bool(header.get("pinned", False)),
+        )
+
+    def _media_delete(self, key: str) -> None:
+        path = self._media_path(key)
+        if path.exists():
+            path.unlink()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -160,6 +252,8 @@ class TierStore:
             )
             self._objects[key] = obj
             self._used += vbytes
+            if self._media_dir is not None:
+                self._media_write(obj)
         cost = self.spec.write_cost(vbytes, nobjects)
         return cost if cost_scale == 1.0 else cost.scaled(cost_scale)
 
@@ -194,6 +288,8 @@ class TierStore:
             if obj is None:
                 raise ObjectNotFoundError(f"{self.spec.name}: no object {key!r}")
             self._used -= obj.virtual_bytes
+            if self._media_dir is not None:
+                self._media_delete(key)
 
     def pin(self, key: str, pinned: bool = True) -> None:
         """Protect / unprotect an object from eviction."""
@@ -202,6 +298,9 @@ class TierStore:
 
     def clear(self) -> None:
         with self._lock:
+            if self._media_dir is not None:
+                for key in self._objects:
+                    self._media_delete(key)
             self._objects.clear()
             self._used = 0
 
@@ -231,6 +330,8 @@ class TierStore:
             obj = self._objects.pop(key)
             self._used -= obj.virtual_bytes
             self._evictions.append(key)
+            if self._media_dir is not None:
+                self._media_delete(key)
         if self._used + needed > self.spec.capacity_bytes:
             raise CapacityError(
                 f"{self.spec.name}: eviction could not free enough space "

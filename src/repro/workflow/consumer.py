@@ -14,12 +14,20 @@ the inference serving thread from the model updating thread"):
 Inference losses are accounted analytically from the version-switch
 timeline (requests are at fixed, known times), which is exact and keeps
 the event count independent of the number of inferences.
+
+An optional **staleness watchdog** (``staleness_deadline`` +
+``poll_fn``) guards the push pipeline: if no notification or load
+activity happens for the deadline, the consumer performs one fallback
+poll (``poll_fn`` returns the newest announcement, or None) instead of
+trusting a silent producer forever.  The watchdog is one-shot per
+arming — activity re-arms it, an idle tail does not — so the event loop
+still terminates.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
@@ -91,12 +99,20 @@ class ConsumerSim:
         initial_iteration: int = 0,
         tracer=None,
         ckpt_spans=None,
+        staleness_deadline: Optional[float] = None,
+        poll_fn: Optional[Callable[[], Optional[CheckpointAnnouncement]]] = None,
     ):
         if t_load < 0:
             raise WorkflowError("t_load must be non-negative")
+        if staleness_deadline is not None and staleness_deadline <= 0:
+            raise WorkflowError("staleness_deadline must be positive")
         self.loop = loop
         self.trace = trace
         self.t_load = t_load
+        self.staleness_deadline = staleness_deadline
+        self.poll_fn = poll_fn
+        self.stale_fallbacks = 0
+        self._watchdog_gen = 0
         self.tracer = tracer if tracer is not None else NULL_TRACER
         #: version -> open "checkpoint" span (shared with the producer);
         #: the consumer closes a version's span when it swaps in.
@@ -109,14 +125,41 @@ class ConsumerSim:
         self._pending: Optional[CheckpointAnnouncement] = None
         self.loads_started = 0
         self.loads_superseded = 0
+        if staleness_deadline is not None:
+            self._arm_watchdog()
 
     # ------------------------------------------------------------------
     @property
     def current_version(self) -> int:
         return self.switches[-1].version
 
+    def _arm_watchdog(self) -> None:
+        """(Re-)schedule the staleness fallback; later activity supersedes."""
+        if self.staleness_deadline is None:
+            return
+        self._watchdog_gen += 1
+        gen = self._watchdog_gen
+
+        def _fire():
+            if gen != self._watchdog_gen:
+                return  # activity since arming; that arming re-scheduled us
+            self.stale_fallbacks += 1
+            self.trace.add(
+                self.loop.clock.now(), "stale_fallback", "consumer",
+                version=self.current_version,
+            )
+            ann = self.poll_fn() if self.poll_fn is not None else None
+            if ann is not None and ann.version > self.current_version:
+                # The poll found a model the pushes never announced; the
+                # resulting load activity re-arms the watchdog.
+                self.on_notify(ann)
+            # Nothing new: stay quiet so the event loop can drain.
+
+        self.loop.schedule_after(self.staleness_deadline, _fire, "stale_watchdog")
+
     def on_notify(self, ann: CheckpointAnnouncement) -> None:
         """Notification handler wired into the producer."""
+        self._arm_watchdog()
         now = self.loop.clock.now()
         if ann.version <= self.current_version:
             self.trace.add(now, "superseded", "consumer", version=ann.version)
@@ -159,6 +202,7 @@ class ConsumerSim:
                 if span is not None:
                     self.tracer.close(span, end_sim=t, outcome="swapped")
             self._loading = None
+            self._arm_watchdog()
             if self._pending is not None:
                 nxt, self._pending = self._pending, None
                 if nxt.version > self.current_version:

@@ -148,3 +148,88 @@ class TestLifecycle:
         with pytest.raises(NotificationError):
             sub.get(timeout=0.5)
         assert broker.subscriber_count("t") == 0
+
+
+class TestSequencing:
+    def test_seq_is_monotonic_per_topic(self):
+        broker = NotificationBroker()
+        assert broker.current_seq("t") == 0
+        notes = [publish(broker, v) for v in (1, 2, 3)]
+        assert [n.seq for n in notes] == [1, 2, 3]
+        assert broker.current_seq("t") == 3
+        # Topics sequence independently.
+        assert publish(broker, 1, topic="other").seq == 1
+
+    def test_retained_is_last_published(self):
+        broker = NotificationBroker()
+        assert broker.retained("t") is None
+        publish(broker, 1)
+        publish(broker, 2)
+        assert broker.retained("t").version == 2
+
+    def test_consume_tracks_last_seq(self):
+        broker = NotificationBroker()
+        sub = broker.subscribe("t")
+        publish(broker, 1)
+        publish(broker, 2)
+        sub.get(timeout=1)
+        sub.get(timeout=1)
+        assert sub.last_seq == 2
+        assert sub.gaps == 0
+        assert not sub.needs_catchup
+
+
+class TestBoundedQueue:
+    def test_overflow_coalesces_oldest(self):
+        broker = NotificationBroker(queue_max=2)
+        sub = broker.subscribe("t")
+        for v in (1, 2, 3, 4):
+            publish(broker, v)
+        assert sub.pending == 2
+        assert sub.coalesced == 2
+        # The survivors are the newest messages — all a latest-model
+        # consumer ever wants.
+        assert [n.version for n in sub.drain()] == [3, 4]
+
+    def test_gap_detected_at_consume_after_coalesce(self):
+        broker = NotificationBroker(queue_max=1)
+        sub = broker.subscribe("t")
+        publish(broker, 1)
+        sub.get(timeout=1)           # last_seq = 1
+        publish(broker, 2)
+        publish(broker, 3)           # coalesces away seq 2
+        note = sub.get(timeout=1)
+        assert note.seq == 3
+        assert sub.gaps == 1
+        assert sub.needs_catchup
+
+
+class TestResubscribe:
+    def test_matching_seq_needs_no_catchup(self):
+        broker = NotificationBroker()
+        publish(broker, 1)
+        sub = broker.resubscribe("t", since=1)
+        assert not sub.needs_catchup
+        assert sub.gaps == 0
+        # Nothing newer than `since` exists, so nothing is re-delivered.
+        assert sub.pending == 0
+
+    def test_missed_publishes_flag_catchup_and_redeliver_retained(self):
+        broker = NotificationBroker()
+        publish(broker, 1)
+        publish(broker, 2)
+        publish(broker, 3)
+        sub = broker.resubscribe("t", since=1)  # consumer died after v1
+        assert sub.needs_catchup
+        assert sub.gaps == 1
+        # The retained (newest) notification arrives without polling.
+        note = sub.poll()
+        assert note is not None and note.version == 3
+
+    def test_broker_restart_regressed_seq_flags_catchup(self):
+        # A fresh broker's counter restarts at 0; a consumer claiming a
+        # higher `since` must not trust the push stream blindly.
+        broker = NotificationBroker()
+        sub = broker.resubscribe("t", since=7)
+        assert sub.needs_catchup
+        assert sub.last_seq == 0  # reconciled downward, never invented

@@ -103,3 +103,98 @@ class TestServing:
         viper, consumer, _server = setup
         with pytest.raises(ServingError):
             InferenceServer(consumer, "m", t_infer=0.0)
+
+
+class TestStalenessWatchdog:
+    def test_invalid_deadline(self, setup):
+        _viper, consumer, _server = setup
+        with pytest.raises(ServingError, match="staleness_deadline"):
+            InferenceServer(consumer, "m", staleness_deadline=0.0)
+
+    def test_fallback_after_push_silence(self):
+        viper = Viper()
+        consumer = viper.consumer(model_builder=builder)
+        consumer.subscribe()
+        server = InferenceServer(
+            consumer, "m", t_infer=0.01, staleness_deadline=0.05
+        )
+        # Sever the push channel (a crashed broker / dropped delivery):
+        # publishes land in metadata but never reach this subscriber.
+        viper.broker.unsubscribe(consumer._sub)
+        publish_weights(viper, 2.0)
+        x = np.ones((1, 2), dtype=np.float32)
+
+        # Inside the deadline the server trusts the (silent) push stream.
+        for _ in range(4):
+            server.handle(x)            # sim_time -> 0.04
+            assert not server.poll_updates()
+        assert server.stale_fallbacks == 0
+
+        # Past the deadline the watchdog performs exactly one poll, which
+        # discovers the missed version.
+        server.handle(x)                # sim_time -> 0.05
+        assert server.poll_updates()
+        assert server.stale_fallbacks == 1
+        assert consumer.current_version == 1
+        assert viper.handler.stats.snapshot().stale_fallbacks == 1
+
+        # The watchdog re-armed: no immediate second fallback.
+        assert not server.poll_updates()
+        assert server.stale_fallbacks == 1
+        viper.close()
+
+    def test_no_fallback_when_pushes_flow(self):
+        viper = Viper()
+        consumer = viper.consumer(model_builder=builder)
+        consumer.subscribe()
+        server = InferenceServer(
+            consumer, "m", t_infer=0.01, staleness_deadline=0.05
+        )
+        x = np.ones((1, 2), dtype=np.float32)
+        for value in (1.0, 2.0, 3.0):
+            publish_weights(viper, value)
+            for _ in range(10):
+                server.handle(x)
+            assert server.poll_updates()
+        assert server.stale_fallbacks == 0
+        assert consumer.current_version == 3
+        viper.close()
+
+
+class TestCorruptLoadRejection:
+    def test_corrupt_update_keeps_last_good_model(self):
+        from repro.errors import IntegrityError, RetriesExhausted
+        from repro.resilience import FaultKind, FaultPlan, FaultRule
+
+        viper = Viper()
+        consumer = viper.consumer(model_builder=builder)
+        consumer.subscribe()
+        server = InferenceServer(consumer, "m", t_infer=0.01)
+        x = np.ones((1, 2), dtype=np.float32)
+
+        publish_weights(viper, 3.0)
+        assert server.poll_updates()
+        pred_good, _ = server.handle(x)
+
+        # Every subsequent read returns corrupt bytes on all replicas.
+        plan = FaultPlan(
+            [FaultRule(site="store.get:*", kind=FaultKind.CORRUPT,
+                       probability=1.0)],
+            seed=11,
+        )
+        plan.arm(viper.cluster)
+        publish_weights(viper, 9.0)
+        with pytest.raises((IntegrityError, RetriesExhausted)):
+            consumer.refresh()
+        plan.disarm()
+
+        # The corrupt checkpoint never reached either buffer slot: the
+        # live model still serves v1 with identical predictions, and the
+        # rejection is visible in both the buffer and the Stats Manager.
+        assert consumer.current_version == 1
+        pred_after, req = server.handle(x)
+        assert req.model_version == 1
+        np.testing.assert_array_equal(pred_after, pred_good)
+        assert consumer._buffer.swaps_rejected == 1
+        assert viper.handler.stats.snapshot().swaps_rejected == 1
+        viper.close()

@@ -47,6 +47,9 @@ class TestViperConfig:
             {"mode": "turbo"},
             {"strategy": "carrier-pigeon"},
             {"poll_interval": -1.0},
+            {"recover": True},                      # requires journal_dir
+            {"notify_queue_max": -1},
+            {"staleness_deadline": 0.0},
         ],
     )
     def test_invalid_values(self, kwargs):

@@ -132,3 +132,55 @@ class TestConsumerSim:
     def test_negative_load_time_rejected(self):
         with pytest.raises(WorkflowError):
             ConsumerSim(EventLoop(), Trace(), t_load=-0.1, initial_loss=1.0)
+
+
+class TestStalenessWatchdog:
+    def test_invalid_deadline(self):
+        with pytest.raises(WorkflowError):
+            ConsumerSim(
+                EventLoop(), Trace(), t_load=0.1, initial_loss=1.0,
+                staleness_deadline=0.0,
+            )
+
+    def test_fallback_poll_discovers_missed_version(self):
+        # The producer "publishes" v1 but the push never arrives; the
+        # watchdog's fallback poll finds it after the deadline.
+        loop = EventLoop()
+        trace = Trace()
+        missed = [ann(1)]
+        consumer = ConsumerSim(
+            loop, trace, t_load=0.1, initial_loss=1.0,
+            staleness_deadline=2.0,
+            poll_fn=lambda: missed.pop() if missed else None,
+        )
+        loop.run()
+        assert consumer.stale_fallbacks >= 1
+        assert consumer.current_version == 1
+        events = [e.kind for e in trace.events()]
+        assert "stale_fallback" in events
+        # The fallback's load is a normal load: begin/done/swap traced.
+        assert "swap" in events
+
+    def test_push_activity_rearms_watchdog(self):
+        # Pushes at 1.0 and 2.0 with a 3.0 deadline: no fallback fires
+        # between them — only the trailing silence after the last load
+        # triggers the (empty-handed) final poll.
+        loop = EventLoop()
+        polls = []
+
+        def poll_fn():
+            polls.append(loop.clock.now())
+            return None
+
+        consumer = ConsumerSim(
+            loop, Trace(), t_load=0.1, initial_loss=1.0,
+            staleness_deadline=3.0, poll_fn=poll_fn,
+        )
+        loop.schedule_at(1.0, lambda: consumer.on_notify(ann(1)))
+        loop.schedule_at(2.0, lambda: consumer.on_notify(ann(2)))
+        loop.run()
+        assert consumer.current_version == 2
+        # Exactly one fallback: the one after all activity stopped, a
+        # full deadline past the last load completion (2.0 + 0.1 + 3.0).
+        assert consumer.stale_fallbacks == 1
+        assert polls == [pytest.approx(5.1)]
