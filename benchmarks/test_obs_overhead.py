@@ -1,0 +1,166 @@
+"""Wall-clock gate: full observability must cost ~nothing on the hot path.
+
+The lineage/freshness/tracer/metrics layers all default to null objects;
+arming every one of them at once must keep the live save -> notify ->
+load -> serve loop within a few percent of the untraced loop.  This is
+the CI ``obs-overhead`` regression gate: a change that puts real work
+(string formatting, header parsing, lock contention) on the hot path
+fails here before it ships.
+
+Methodology: the same workload runs twice per repeat — once with every
+observability object at its NULL default, once fully armed (SpanTracer +
+LifecycleLedger + FreshnessTracker + MetricsRegistry, servers polling
+and serving between versions).  Min-of-repeats on both sides discards
+scheduler noise; the gate compares the minima.  The payload is sized so
+serialization dominates and per-event bookkeeping is measurable only if
+it regresses badly.  ``VIPER_PERF_QUICK=1`` shrinks it for CI.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro import CaptureMode, Viper
+from repro.dnn.layers import Dense
+from repro.dnn.losses import MSELoss
+from repro.dnn.models import Sequential
+from repro.dnn.optimizers import SGD
+from repro.obs import (
+    FreshnessTracker,
+    LifecycleLedger,
+    MetricsRegistry,
+    SpanTracer,
+)
+from repro.serving.server import InferenceServer
+from repro.substrates.cost import MB
+
+QUICK = os.environ.get("VIPER_PERF_QUICK", "") not in ("", "0")
+
+PAYLOAD_BYTES = 4 * MB if QUICK else 16 * MB
+VERSIONS = 6 if QUICK else 12
+SERVES_PER_VERSION = 4
+CONSUMERS = 2
+REPEATS = 3 if QUICK else 5
+
+#: Relative gate (the acceptance criterion) plus a small absolute slack
+#: so a sub-millisecond baseline cannot fail on scheduler jitter alone.
+MAX_RELATIVE_OVERHEAD = 0.05
+ABSOLUTE_SLACK_S = 0.010
+
+
+def _width(total_bytes: int) -> int:
+    return max(2, total_bytes // 4)
+
+
+def make_builder(total_bytes: int):
+    """A one-layer model wide enough that its weights ARE the payload."""
+    width = _width(total_bytes)
+
+    def builder():
+        model = Sequential([Dense(1, name="d")], input_shape=(width,), seed=3)
+        model.compile(SGD(0.01), MSELoss())
+        return model
+
+    return builder
+
+
+def build_state(total_bytes: int) -> dict:
+    return make_builder(total_bytes)().state_dict()
+
+
+def run_loop(*, armed: bool) -> float:
+    """One full save/notify/load/serve workload; returns wall seconds."""
+    if armed:
+        kwargs = dict(
+            tracer=SpanTracer(),
+            metrics=MetricsRegistry(),
+            lineage=LifecycleLedger(),
+            freshness=FreshnessTracker(),
+        )
+    else:
+        kwargs = {}
+    builder = make_builder(PAYLOAD_BYTES)
+    state = build_state(PAYLOAD_BYTES)
+    x = np.ones((1, _width(PAYLOAD_BYTES)), dtype=np.float32)
+    with Viper(**kwargs) as viper:
+        servers = []
+        for _ in range(CONSUMERS):
+            consumer = viper.consumer(model_builder=builder)
+            consumer.subscribe()
+            servers.append(InferenceServer(consumer, "m", t_infer=0.001))
+        # Time only the steady-state save/notify/load/serve loop; model
+        # construction and teardown are identical on both sides and only
+        # add noise to the comparison.
+        t0 = time.perf_counter()
+        for v in range(VERSIONS):
+            state["d/W"][...] = float(v)
+            viper.save_weights("m", state, mode=CaptureMode.SYNC)
+            for server in servers:
+                server.poll_updates()
+                for _ in range(SERVES_PER_VERSION):
+                    server.handle(x)
+        elapsed = time.perf_counter() - t0
+    for server in servers:
+        assert server.requests[-1].model_version == VERSIONS
+    return elapsed
+
+
+@pytest.fixture(scope="module")
+def overhead_results(results_dir):
+    run_loop(armed=False)  # warm up allocators and import machinery
+    null_times, armed_times = [], []
+    for _ in range(REPEATS):
+        null_times.append(run_loop(armed=False))
+        armed_times.append(run_loop(armed=True))
+    report = {
+        "quick": QUICK,
+        "payload_bytes": PAYLOAD_BYTES,
+        "versions": VERSIONS,
+        "consumers": CONSUMERS,
+        "null_s": min(null_times),
+        "armed_s": min(armed_times),
+        "overhead": min(armed_times) / min(null_times) - 1.0,
+        "gate_relative": MAX_RELATIVE_OVERHEAD,
+        "gate_absolute_s": ABSOLUTE_SLACK_S,
+    }
+    path = results_dir / "BENCH_obs_overhead.json"
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"\nobs overhead: null {report['null_s'] * 1e3:.1f} ms, "
+        f"armed {report['armed_s'] * 1e3:.1f} ms "
+        f"({report['overhead'] * 100:+.1f}%)"
+    )
+    return report
+
+
+class TestObsOverheadGate:
+    def test_within_five_percent(self, overhead_results):
+        null_s = overhead_results["null_s"]
+        armed_s = overhead_results["armed_s"]
+        assert armed_s <= null_s * (1.0 + MAX_RELATIVE_OVERHEAD) + ABSOLUTE_SLACK_S, (
+            f"observability overhead {armed_s / null_s - 1.0:+.1%} exceeds "
+            f"{MAX_RELATIVE_OVERHEAD:.0%} gate (null {null_s:.3f}s, "
+            f"armed {armed_s:.3f}s)"
+        )
+
+    def test_armed_run_recorded_everything(self):
+        # The gate is meaningless if arming silently recorded nothing.
+        ledger = LifecycleLedger()
+        fresh = FreshnessTracker()
+        builder = make_builder(1 * MB)
+        state = build_state(1 * MB)
+        with Viper(lineage=ledger, freshness=fresh) as viper:
+            consumer = viper.consumer(model_builder=builder)
+            consumer.subscribe()
+            server = InferenceServer(consumer, "m", t_infer=0.001)
+            for v in range(3):
+                state["d/W"][...] = float(v)
+                viper.save_weights("m", state, mode=CaptureMode.SYNC)
+                server.poll_updates()
+                server.handle(np.ones((1, _width(1 * MB)), dtype=np.float32))
+        for version in ledger.versions("m"):
+            assert ledger.complete("m", version), version
+        assert fresh.fleet("m")

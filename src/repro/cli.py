@@ -8,6 +8,8 @@ Usage::
     python -m repro table1 [--scale 0.25]
     python -m repro timeline [--app tc1] [--scale 0.1]
     python -m repro obs [--export-trace t.json]   # per-stage latency breakdown
+    python -m repro obs lineage [VERSION]   # one version's capture->serve trace
+    python -m repro obs fleet               # per-consumer freshness scorecard
     python -m repro apps                    # list workload profiles
 
 Figures 9/10 and Table 1 train the real model first (pass ``--scale`` to
@@ -222,6 +224,90 @@ def cmd_obs(args) -> int:
     return 0
 
 
+def _lineage_run(args):
+    """Run a lineage-armed DES fanout for the obs lineage/fleet reports.
+
+    No model is trained: a synthetic convex loss curve keeps the command
+    instant, and the lineage/freshness content only depends on the app's
+    timing law, not on actual losses.
+    """
+    from repro.core.predictor.schedules import epoch_schedule
+    from repro.core.transfer.strategies import CaptureMode, TransferStrategy
+    from repro.obs import FreshnessTracker, LifecycleLedger, SLOTarget
+    from repro.workflow.multi import run_fanout
+
+    app = get_app(args.app or "tc1")
+    end = app.warmup_iters + args.epochs * app.iters_per_epoch
+    schedule = epoch_schedule(app.warmup_iters, end, app.iters_per_epoch)
+    ledger = LifecycleLedger()
+    fresh = FreshnessTracker(
+        slo=SLOTarget(
+            update_latency=args.slo_latency,
+            max_stale_seconds=args.slo_stale,
+            max_version_lag=args.slo_lag,
+        )
+    )
+    result = run_fanout(
+        app,
+        schedule,
+        lambda i: 1.0 / (1.0 + i),
+        n_consumers=args.consumers,
+        strategy=TransferStrategy(args.strategy),
+        mode=CaptureMode.SYNC if args.sync else CaptureMode.ASYNC,
+        lineage=ledger,
+        freshness=fresh,
+    )
+    return app, ledger, fresh, result
+
+
+def _export_lineage(args, ledger) -> None:
+    if args.export_lineage:
+        n = ledger.write_jsonl(args.export_lineage)
+        print(f"wrote {n} lineage transitions: {args.export_lineage}",
+              file=sys.stderr)
+
+
+def cmd_obs_lineage(args) -> int:
+    """``repro obs lineage [VERSION]``: one version's cradle-to-serve trace."""
+    from repro.obs import format_lineage_table
+
+    app, ledger, _fresh, _result = _lineage_run(args)
+    versions = ledger.versions(app.name)
+    if not versions:
+        print("no checkpoints recorded (schedule produced none)")
+        return 1
+    if args.version is not None and args.version not in versions:
+        print(f"version {args.version} not recorded; have {list(versions)}")
+        return 1
+    targets = [args.version] if args.version is not None else list(versions)
+    for i, version in enumerate(targets):
+        if i:
+            print()
+        print(format_lineage_table(ledger, app.name, version))
+    _export_lineage(args, ledger)
+    return 0
+
+
+def cmd_obs_fleet(args) -> int:
+    """``repro obs fleet``: per-consumer freshness/SLO scorecard."""
+    from repro.obs import format_fleet_table
+
+    app, ledger, fresh, result = _lineage_run(args)
+    print(f"{app.display_name}: {result.checkpoints} checkpoint(s), "
+          f"{args.consumers} consumer(s), total CIL {result.total_cil:.1f}")
+    print()
+    print(format_fleet_table(fresh.fleet(app.name),
+                             fresh.latest_version(app.name)))
+    incomplete = [
+        v for v in ledger.versions(app.name) if not ledger.complete(app.name, v)
+    ]
+    if incomplete:
+        print()
+        print(f"WARNING: incomplete lineage for version(s) {incomplete}")
+    _export_lineage(args, ledger)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -267,6 +353,39 @@ def build_parser() -> argparse.ArgumentParser:
     po.add_argument("--export-events", metavar="PATH",
                     help="write spans and trace events as JSONL")
     po.set_defaults(fn=cmd_obs)
+
+    obs_modes = po.add_subparsers(
+        dest="obs_mode", metavar="{lineage,fleet}",
+        help="lineage/fleet reports over a lineage-armed fanout run",
+    )
+    pl = obs_modes.add_parser(
+        "lineage", help="per-version capture -> first-serve trace"
+    )
+    pl.add_argument("version", nargs="?", type=int, default=None,
+                    help="checkpoint version to trace (default: all)")
+    pf = obs_modes.add_parser(
+        "fleet", help="per-consumer freshness/SLO scorecard"
+    )
+    for pm in (pl, pf):
+        pm.add_argument("--app", choices=["nt3b", "tc1", "ptychonn"])
+        pm.add_argument("--consumers", type=int, default=4,
+                        help="serving replicas in the fanout (default 4)")
+        pm.add_argument("--epochs", type=int, default=3,
+                        help="checkpointing epochs to simulate (default 3)")
+        pm.add_argument("--strategy", choices=["gpu", "host", "pfs"],
+                        default="gpu")
+        pm.add_argument("--sync", action="store_true",
+                        help="synchronous capture (default: async)")
+        pm.add_argument("--slo-latency", type=float, default=None,
+                        help="SLO: publish->swap latency budget (sim s)")
+        pm.add_argument("--slo-stale", type=float, default=None,
+                        help="SLO: per-interval staleness budget (sim s)")
+        pm.add_argument("--slo-lag", type=int, default=None,
+                        help="SLO: max tolerated version lag at swap")
+        pm.add_argument("--export-lineage", metavar="PATH",
+                        help="write the lineage ledger as JSONL")
+    pl.set_defaults(fn=cmd_obs_lineage)
+    pf.set_defaults(fn=cmd_obs_fleet)
 
     pt = sub.add_parser("timeline", help="ASCII timeline of a coupled run")
     pt.add_argument("--app", choices=["nt3b", "tc1", "ptychonn"])

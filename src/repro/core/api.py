@@ -71,13 +71,19 @@ class Viper:
         recover: bool = False,
         crash_plan=None,
         notify_queue_max: int = 0,
+        lineage=None,
+        freshness=None,
     ):
+        from repro.obs.freshness import NULL_FRESHNESS
+        from repro.obs.lineage import NULL_LINEAGE
         from repro.obs.metrics import NULL_METRICS
         from repro.obs.tracer import NULL_TRACER
 
         self.profile = profile
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.lineage = lineage if lineage is not None else NULL_LINEAGE
+        self.freshness = freshness if freshness is not None else NULL_FRESHNESS
         self.cluster, self.producer_node, self.consumer_node = (
             make_producer_consumer_pair(profile)
         )
@@ -125,8 +131,11 @@ class Viper:
             pipeline=pipeline,
             retry_policy=retry_policy,
             failover=failover,
+            lineage=self.lineage,
+            freshness=self.freshness,
         )
         self.topic = topic
+        self._consumer_seq = 0
         if self.journal is not None:
             # The PFS mirrors to durable media beside the journal; a
             # recovering deployment reloads the surviving objects first.
@@ -165,8 +174,15 @@ class Viper:
     def producer(self) -> "ViperProducer":
         return ViperProducer(self)
 
-    def consumer(self, model_builder: Callable[[], object]) -> "ViperConsumer":
-        return ViperConsumer(self, model_builder)
+    def consumer(
+        self,
+        model_builder: Callable[[], object],
+        name: Optional[str] = None,
+    ) -> "ViperConsumer":
+        if name is None:
+            name = f"consumer-{self._consumer_seq}"
+            self._consumer_seq += 1
+        return ViperConsumer(self, model_builder, name=name)
 
     # -- lifecycle ----------------------------------------------------------
     def drain(self) -> None:
@@ -213,12 +229,22 @@ class ViperConsumer:
     on every update, so inference never observes a half-loaded model.
     """
 
-    def __init__(self, viper: Viper, model_builder: Callable[[], object]):
+    def __init__(
+        self,
+        viper: Viper,
+        model_builder: Callable[[], object],
+        name: str = "consumer-0",
+    ):
         self.viper = viper
+        self.name = name
         self._builder = model_builder
         self._spare = model_builder()
         self._buffer: DoubleBuffer = DoubleBuffer(
-            model_builder(), version=0, metrics=viper.metrics
+            model_builder(),
+            version=0,
+            metrics=viper.metrics,
+            freshness=viper.freshness,
+            owner=name,
         )
         self._sub: Optional[Subscription] = None
         self._lock = threading.Lock()
@@ -282,6 +308,7 @@ class ViperConsumer:
                     sp.set(outcome="swap_rejected")
                 raise
             if result.version <= self._buffer.version:
+                self.viper.freshness.record_stale_rejection(self.name, model_name)
                 raise ServingError(
                     f"update {result.version} is not newer than live "
                     f"{self._buffer.version}"
@@ -295,6 +322,21 @@ class ViperConsumer:
             self.updates_applied += 1
             self.load_seconds += result.cost.total
             self._last_model = model_name
+            # Lifecycle + freshness: the load and swap land at the
+            # handler's simulated "now" (already advanced by the load).
+            sim_now = self.viper.handler.sim_now
+            header = result.record.trace_ctx
+            self.viper.lineage.record_header(
+                header, "load", sim_time=sim_now, actor=self.name,
+                sim_seconds=result.cost.total, location=result.location,
+            )
+            self.viper.lineage.record_header(
+                header, "swap", sim_time=sim_now, actor=self.name,
+                location=result.location,
+            )
+            self.viper.freshness.record_swap(
+                self.name, model_name, result.version, sim_now
+            )
             sp.set(version=result.version, location=result.location)
             return result
 

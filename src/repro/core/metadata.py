@@ -55,6 +55,10 @@ class ModelRecord:
     created_at: float = 0.0  # simulated timestamp
     train_iteration: int = 0 # producer iteration the checkpoint captures
     train_loss: float = float("nan")
+    #: compact lineage trace header (see
+    #: :meth:`repro.obs.lineage.TraceContext.to_header`); empty when the
+    #: producing handler had no lineage ledger armed.
+    trace_ctx: str = ""
     #: every location holding a replica of this checkpoint (the Stats
     #: Manager's raw material); always includes ``location``.
     replicas: Tuple[str, ...] = ()
@@ -85,6 +89,7 @@ class ModelRecord:
             "train_iteration": self.train_iteration,
             # NaN is not valid JSON; null survives every parser.
             "train_loss": None if math.isnan(self.train_loss) else self.train_loss,
+            "trace_ctx": self.trace_ctx,
             "replicas": list(self.replicas),
         }
 

@@ -59,6 +59,10 @@ class Notification:
     #: Per-topic monotonic sequence number (1-based; 0 = unsequenced,
     #: for notifications constructed outside a broker).
     seq: int = 0
+    #: Lineage trace header carried from the publishing handler (see
+    #: :meth:`repro.obs.lineage.TraceContext.to_header`); empty when the
+    #: publisher had no lineage armed.
+    trace_ctx: str = ""
 
 
 class Subscription:
@@ -290,6 +294,7 @@ class NotificationBroker:
         location: str,
         now: float,
         payload: Optional[Dict[str, Any]] = None,
+        trace_ctx: str = "",
     ) -> Notification:
         """Fan a notification out to every subscriber of ``topic``.
 
@@ -309,6 +314,7 @@ class NotificationBroker:
                 deliver_at=now + self.push_latency,
                 payload=dict(payload or {}),
                 seq=seq,
+                trace_ctx=trace_ctx,
             )
             self._retained[topic] = note
             subs = list(self._subs.get(topic, ()))

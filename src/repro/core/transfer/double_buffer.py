@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Generic, Optional, TypeVar
 
 from repro.errors import ServingError
+from repro.obs.freshness import NULL_FRESHNESS
 from repro.obs.metrics import NULL_METRICS
 
 __all__ = ["DoubleBuffer", "BufferSnapshot"]
@@ -40,7 +41,16 @@ class BufferSnapshot(Generic[T]):
 class DoubleBuffer(Generic[T]):
     """Two model slots with an atomic primary/alternate swap."""
 
-    def __init__(self, initial: T, version: int = 0, *, metrics=None, name: str = "model"):
+    def __init__(
+        self,
+        initial: T,
+        version: int = 0,
+        *,
+        metrics=None,
+        name: str = "model",
+        freshness=None,
+        owner: str = "",
+    ):
         self._lock = threading.Lock()
         self._primary: BufferSnapshot[T] = BufferSnapshot(initial, version)
         self._alternate: Optional[BufferSnapshot[T]] = None
@@ -49,6 +59,10 @@ class DoubleBuffer(Generic[T]):
         self.swaps = 0
         self.swaps_rejected = 0
         self.metrics = metrics if metrics is not None else NULL_METRICS
+        #: Freshness tracker + owning consumer name: stale rejections at
+        #: the buffer feed the same staleness accounting as the server.
+        self.freshness = freshness if freshness is not None else NULL_FRESHNESS
+        self.owner = owner
         self._name = name
         self._m_swaps = self.metrics.counter("buffer_swaps_total", buffer=name)
         self._m_rejected = self.metrics.counter(
@@ -78,23 +92,28 @@ class DoubleBuffer(Generic[T]):
     def stage(self, model: T, version: int) -> None:
         """Write the new model into the alternate slot (slow I/O happens
         before this call; staging itself is just installing the object)."""
+        error = None
         with self._lock:
             if version <= self._primary.version and self._alternate is None:
                 # Stale update: a newer model is already live.  Viper keeps
                 # only the latest (paper: memory channels "only buffer and
                 # transfer the latest DNN model").
-                raise ServingError(
+                error = ServingError(
                     f"stale stage: version {version} <= live "
                     f"{self._primary.version}"
                 )
-            if self._alternate is not None and version <= self._alternate.version:
-                raise ServingError(
+            elif self._alternate is not None and version <= self._alternate.version:
+                error = ServingError(
                     f"stale stage: version {version} <= staged "
                     f"{self._alternate.version}"
                 )
-            self._alternate = BufferSnapshot(model, version)
-            self._staging = True
-            self._staged_wall = time.perf_counter()
+            else:
+                self._alternate = BufferSnapshot(model, version)
+                self._staging = True
+                self._staged_wall = time.perf_counter()
+        if error is not None:
+            self.freshness.record_stale_rejection(self.owner, self._name)
+            raise error
 
     def commit(self) -> BufferSnapshot[T]:
         """Atomically swap alternate into primary; returns the new primary."""

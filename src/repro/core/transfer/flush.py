@@ -25,6 +25,7 @@ from dataclasses import dataclass, replace
 from typing import Callable, List, Optional, Tuple
 
 from repro.errors import StorageError
+from repro.obs.lineage import NULL_LINEAGE
 from repro.obs.metrics import NULL_METRICS
 from repro.obs.tracer import NULL_TRACER
 from repro.resilience.recovery import SimulatedCrash
@@ -42,6 +43,8 @@ class FlushJob:
     key: str
     blob: bytes
     record: ModelRecord
+    #: Lineage trace header; falls back to ``record.trace_ctx`` when empty.
+    trace_ctx: str = ""
 
 
 class BackgroundFlusher:
@@ -56,6 +59,8 @@ class BackgroundFlusher:
         fail_hook: Optional[Callable[[FlushJob, int], bool]] = None,
         tracer=None,
         metrics=None,
+        lineage=None,
+        sim_now: Optional[Callable[[], float]] = None,
     ):
         self.pfs = pfs
         self.metadata = metadata
@@ -63,6 +68,8 @@ class BackgroundFlusher:
         self.fail_hook = fail_hook
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.lineage = lineage if lineage is not None else NULL_LINEAGE
+        self._sim_now = sim_now
         self._m_ok = self.metrics.counter("flush_jobs_total", status="ok")
         self._m_failed = self.metrics.counter("flush_jobs_total", status="failed")
         self._m_sim_seconds = self.metrics.histogram("flush_sim_seconds")
@@ -218,6 +225,16 @@ class BackgroundFlusher:
                     sp.set(attempts=attempt + 1, sim_seconds=cost.total)
                     self._m_ok.inc()
                     self._m_sim_seconds.observe(cost.total)
+                    self.lineage.record_header(
+                        job.trace_ctx or job.record.trace_ctx,
+                        "flush",
+                        sim_time=(
+                            self._sim_now() if self._sim_now is not None else 0.0
+                        ),
+                        actor="flusher",
+                        attempts=attempt + 1,
+                        sim_seconds=cost.total,
+                    )
                     return
                 except StorageError:
                     continue

@@ -41,6 +41,8 @@ from repro.errors import (
 )
 from repro.resilience.faults import default_seed
 from repro.resilience.retry import RetryPolicy, execute_with_retry
+from repro.obs.freshness import NULL_FRESHNESS
+from repro.obs.lineage import NULL_LINEAGE, TraceContext
 from repro.obs.metrics import NULL_METRICS
 from repro.obs.tracer import NULL_TRACER
 from repro.core.stats import StatsManager
@@ -138,6 +140,8 @@ class ModelWeightsHandler:
         pipeline: Optional[PipelineConfig] = None,
         retry_policy: Optional[RetryPolicy] = None,
         failover: bool = True,
+        lineage=None,
+        freshness=None,
     ):
         self.cluster = cluster
         self.producer = producer
@@ -145,6 +149,8 @@ class ModelWeightsHandler:
         self.profile = profile
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.lineage = lineage if lineage is not None else NULL_LINEAGE
+        self.freshness = freshness if freshness is not None else NULL_FRESHNESS
         self.metadata = metadata if metadata is not None else MetadataStore()
         self.broker = (
             broker
@@ -177,7 +183,12 @@ class ModelWeightsHandler:
             retry_rng=random.Random(f"{default_seed()}/engine.retry"),
         ).start()
         self.flusher = BackgroundFlusher(
-            cluster.pfs, self.metadata, tracer=self.tracer, metrics=self.metrics
+            cluster.pfs,
+            self.metadata,
+            tracer=self.tracer,
+            metrics=self.metrics,
+            lineage=self.lineage,
+            sim_now=lambda: self.sim_now,
         ).start()
         self._clock_lock = threading.Lock()
         self._sim_now = 0.0
@@ -250,6 +261,12 @@ class ModelWeightsHandler:
             pipeline=self.pipeline,
         )
         ver = self.next_version(model_name) if version is None else version
+        # Mint this version's causal identity at capture; everything
+        # downstream (record, notification, flush job, chunk spans)
+        # carries it, never re-derives it.
+        ctx = (
+            TraceContext.make(model_name, ver) if self.lineage.enabled else None
+        )
         save_span = self.tracer.span(
             "handler.save",
             track="producer",
@@ -260,6 +277,10 @@ class ModelWeightsHandler:
             nbytes=vbytes,
         )
         with save_span as sp:
+            if ctx is not None and self.tracer.enabled:
+                # Re-parent under the save span so the distributed trace
+                # hangs off the producing operation.
+                ctx = ctx.child(sp.span_id)
             with self.tracer.span(
                 "handler.serialize",
                 track="producer",
@@ -274,12 +295,13 @@ class ModelWeightsHandler:
                         self.pipeline,
                         tracer=self.tracer,
                         metrics=self.metrics,
+                        trace_ctx=ctx.to_header() if ctx is not None else "",
                     )
                 else:
                     blob = self.serializer.dumps(state)
             result = self._stage_and_publish(
                 model_name, blob, chosen, mode, timings, ver, vbytes,
-                vtensors, train_iteration, train_loss,
+                vtensors, train_iteration, train_loss, ctx=ctx,
             )
             sp.set(sim_stall=result.stall.total, sim_background=result.background.total)
         self.metrics.counter(
@@ -373,8 +395,10 @@ class ModelWeightsHandler:
         vtensors: int,
         train_iteration: int,
         train_loss: float,
+        ctx: Optional[TraceContext] = None,
     ) -> UpdateResult:
         key = f"{model_name}/v{ver}"
+        header = ctx.to_header() if ctx is not None else ""
         # Optimistic record: the producer's stall was paid for ``chosen``
         # regardless of any later failover, so created_at advances now.
         record = ModelRecord(
@@ -388,7 +412,18 @@ class ModelWeightsHandler:
             created_at=self._advance_now(timings.stall.total),
             train_iteration=train_iteration,
             train_loss=train_loss,
+            trace_ctx=header,
         )
+        if ctx is not None:
+            self.lineage.record(
+                ctx,
+                "capture",
+                sim_time=record.created_at,
+                actor="producer",
+                strategy=chosen.value,
+                mode=mode.value,
+                nbytes=vbytes,
+            )
 
         wire = self.serializer.wire_bytes(vbytes)
 
@@ -419,6 +454,22 @@ class ModelWeightsHandler:
                         vbytes, vtensors, pipeline=self.pipeline,
                     )
                 cost = self.metadata.publish_version(rec)
+                # Lifecycle timestamps on the handler's simulated clock:
+                # the transfer lands deliver-time after capture, the
+                # publish adds the metadata write, the notify adds the
+                # broker push latency.
+                t_xfer = record.created_at + fin.deliver.total
+                t_pub = t_xfer + cost.total
+                if ctx is not None:
+                    self.lineage.record(
+                        ctx, "transfer", sim_time=t_xfer, actor="engine",
+                        strategy=final.value, key=key,
+                    )
+                    self.lineage.record(
+                        ctx, "publish", sim_time=t_pub, actor="metadata",
+                        location=rec.location, durable=rec.durable,
+                    )
+                self.freshness.record_publish(model_name, ver, t_pub)
                 # Kill point: journaled + published, but consumers were
                 # never notified; recovery re-announces from metadata.
                 self._crash("publish.metadata")
@@ -429,12 +480,25 @@ class ModelWeightsHandler:
                     location=rec.location,
                     now=self.sim_now,
                     payload={"path": key, "nbytes": vbytes},
+                    trace_ctx=header,
                 )
+                if ctx is not None:
+                    self.lineage.record(
+                        ctx,
+                        "notify",
+                        sim_time=t_pub + self.broker.push_latency,
+                        actor="broker",
+                        topic=self.topic,
+                    )
                 # Kill point: notified but the history flush never ran;
                 # the checkpoint is published yet still non-durable.
                 self._crash("publish.notified")
                 if self.flush_history and final is not TransferStrategy.PFS:
-                    self.flusher.submit(FlushJob(key=key, blob=blob, record=rec))
+                    self.flusher.submit(
+                        FlushJob(
+                            key=key, blob=blob, record=rec, trace_ctx=header
+                        )
+                    )
                 if backoff:
                     cost = cost + Cost.of("retry.backoff", backoff)
                 return final, rec, fin, fin.deliver + cost

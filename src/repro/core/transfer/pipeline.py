@@ -237,6 +237,7 @@ class PipelinedTransfer:
         tracer=None,
         metrics=None,
         name: str = "pipeline",
+        trace_ctx: str = "",
     ):
         if not stages:
             raise ConfigurationError("PipelinedTransfer needs at least one stage")
@@ -247,6 +248,9 @@ class PipelinedTransfer:
         self.name = name
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else NULL_METRICS
+        #: Lineage trace header stamped onto every chunk span, so the
+        #: per-chunk work joins the version's distributed trace.
+        self.trace_ctx = trace_ctx
 
     def run(self, chunks: Iterable, timeout: float = 120.0) -> PipelineResult:
         start = time.perf_counter()
@@ -257,6 +261,8 @@ class PipelinedTransfer:
         lock = threading.Lock()
         errors: List[BaseException] = []
         stop = threading.Event()
+        # Precomputed once: empty headers add zero per-chunk span attrs.
+        span_extra = {"trace_ctx": self.trace_ctx} if self.trace_ctx else {}
 
         def worker(stage_idx: int) -> None:
             sname, fn = self.stages[stage_idx]
@@ -270,7 +276,8 @@ class PipelinedTransfer:
                 try:
                     t0 = time.perf_counter()
                     with self.tracer.span(
-                        f"pipeline.{sname}", track=self.name, chunk=index
+                        f"pipeline.{sname}", track=self.name, chunk=index,
+                        **span_extra,
                     ):
                         out = fn(payload, index)
                     dt = time.perf_counter() - t0
@@ -365,6 +372,7 @@ def serialize_pipelined(
     tracer=None,
     metrics=None,
     pool: Optional[BufferPool] = None,
+    trace_ctx: str = "",
 ):
     """Serialize ``state`` through the chunk pipeline into one blob.
 
@@ -400,6 +408,7 @@ def serialize_pipelined(
         tracer=tracer,
         metrics=metrics,
         name="serialize-pipeline",
+        trace_ctx=trace_ctx,
     )
     pipe.run(pieces)
     if pool is None:

@@ -1,21 +1,29 @@
-"""Observability: spans, metrics, and exportable timelines.
+"""Observability: spans, metrics, lineage, freshness, exportable timelines.
 
 The rest of the repository argues about *where a checkpoint's time
 goes* (capture -> stage -> transfer -> notify -> load -> swap, paper
-Fig. 8-10); this package is how you see it.  Three pillars:
+Fig. 8-10); this package is how you see it.  Five pillars:
 
 - :mod:`repro.obs.tracer` — nested, attributed spans carrying both
   sim-clock and wall-clock timestamps, with a zero-cost
   :class:`NullTracer` default so uninstrumented runs pay nothing;
 - :mod:`repro.obs.metrics` — a thread-safe registry of counters,
   gauges, and fixed-bucket histograms keyed by name+labels;
+- :mod:`repro.obs.lineage` — causal :class:`TraceContext` propagation
+  and the per-version :class:`LifecycleLedger`, reconstructing one
+  checkpoint's capture -> first-serve life as a single cross-actor
+  distributed trace;
+- :mod:`repro.obs.freshness` — per-consumer version lag,
+  stale-serving-seconds, update-latency quantiles, and declarative
+  :class:`SLOTarget` burn accounting behind the fleet report;
 - :mod:`repro.obs.exporters` — Chrome/Perfetto ``trace_event`` JSON,
   Prometheus-style text, and JSONL event logs, plus a converter that
   renders the existing :class:`~repro.workflow.trace.Trace` onto the
   same Chrome-trace timeline.
 
 :mod:`repro.obs.report` aggregates a coupled-run trace into the
-per-stage latency breakdown behind ``python -m repro obs``.
+per-stage latency breakdown behind ``python -m repro obs`` and renders
+the per-version lineage critical path behind ``repro obs lineage``.
 """
 
 from repro.obs.tracer import NULL_TRACER, NullTracer, Span, SpanTracer
@@ -27,15 +35,40 @@ from repro.obs.metrics import (
     NULL_METRICS,
     NullMetricsRegistry,
 )
+from repro.obs.lineage import (
+    LIFECYCLE_STAGES,
+    LifecycleLedger,
+    NULL_LINEAGE,
+    NullLineage,
+    REQUIRED_STAGES,
+    TraceContext,
+    Transition,
+    read_lineage_jsonl,
+)
+from repro.obs.freshness import (
+    ConsumerFreshness,
+    FreshnessTracker,
+    NULL_FRESHNESS,
+    NullFreshness,
+    SLOTarget,
+    format_fleet_table,
+)
 from repro.obs.exporters import (
     chrome_trace,
+    lineage_chrome_trace,
     prometheus_text,
     spans_to_chrome_events,
     trace_to_chrome_events,
     write_chrome_trace,
     write_jsonl_events,
+    write_lineage_chrome_trace,
 )
-from repro.obs.report import StageBreakdown, format_stage_table, stage_breakdown
+from repro.obs.report import (
+    StageBreakdown,
+    format_lineage_table,
+    format_stage_table,
+    stage_breakdown,
+)
 
 __all__ = [
     "Span",
@@ -48,13 +81,30 @@ __all__ = [
     "MetricsRegistry",
     "NullMetricsRegistry",
     "NULL_METRICS",
+    "TraceContext",
+    "Transition",
+    "LifecycleLedger",
+    "NullLineage",
+    "NULL_LINEAGE",
+    "LIFECYCLE_STAGES",
+    "REQUIRED_STAGES",
+    "read_lineage_jsonl",
+    "FreshnessTracker",
+    "ConsumerFreshness",
+    "SLOTarget",
+    "NullFreshness",
+    "NULL_FRESHNESS",
+    "format_fleet_table",
     "chrome_trace",
     "spans_to_chrome_events",
     "trace_to_chrome_events",
     "write_chrome_trace",
     "write_jsonl_events",
+    "lineage_chrome_trace",
+    "write_lineage_chrome_trace",
     "prometheus_text",
     "StageBreakdown",
     "stage_breakdown",
     "format_stage_table",
+    "format_lineage_table",
 ]

@@ -17,6 +17,14 @@ Prometheus text
 JSONL
     :func:`write_jsonl_events` streams spans and/or trace events as one
     JSON object per line, the format log-ingestion pipelines eat.
+
+Lineage
+    :func:`lineage_chrome_trace` wraps a
+    :class:`~repro.obs.lineage.LifecycleLedger`'s multi-track Chrome
+    events into a complete trace document (one track per checkpoint
+    version); the ledger's own :meth:`write_jsonl` / the module-level
+    :func:`~repro.obs.lineage.read_lineage_jsonl` cover the JSONL
+    round trip.
 """
 
 from __future__ import annotations
@@ -34,6 +42,8 @@ __all__ = [
     "trace_to_chrome_events",
     "chrome_trace",
     "write_chrome_trace",
+    "lineage_chrome_trace",
+    "write_lineage_chrome_trace",
     "prometheus_text",
     "write_prometheus",
     "write_jsonl_events",
@@ -219,6 +229,25 @@ def write_chrome_trace(path: str, spans: Sequence[Span] = (), trace: Optional[Tr
     doc = chrome_trace(spans, trace, **kwargs)
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(doc, fh, default=_json_default)
+    return path
+
+
+# ----------------------------------------------------------------------
+# Lineage -> Chrome trace
+# ----------------------------------------------------------------------
+def lineage_chrome_trace(ledger) -> Dict[str, Any]:
+    """A full Chrome trace document from a lifecycle ledger.
+
+    One track per checkpoint version: critical-path edges as duration
+    events, every recorded transition as an instant.
+    """
+    return {"traceEvents": ledger.to_chrome_events(), "displayTimeUnit": "ms"}
+
+
+def write_lineage_chrome_trace(path: str, ledger) -> str:
+    """Write :func:`lineage_chrome_trace` to ``path``; returns the path."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(lineage_chrome_trace(ledger), fh, default=_json_default)
     return path
 
 

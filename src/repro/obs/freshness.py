@@ -1,0 +1,389 @@
+"""Freshness and SLO accounting for the serving fleet.
+
+Checkmate-style freshness as a first-class metric of a model-update
+fabric: every consumer is scored on *how far behind* it is (version
+lag), *how long* it served behind (stale-serving seconds), and *how
+fast* updates reach it (publish -> swap latency, summarized at
+p50/p99/p99.9 through the fixed-bucket
+:class:`~repro.obs.metrics.Histogram`).
+
+One staleness definition, used everywhere
+    A consumer is **stale** from the simulated instant a newer version
+    is *published* (registered in the metadata store — loadable) until
+    the instant it *swaps* to the then-newest version.  The serving
+    server, the DES consumer, and the double buffer all route their
+    staleness decisions through this tracker, so stats snapshots and
+    the Prometheus export agree by construction.
+
+Declarative SLOs
+    :class:`SLOTarget` states per-update budgets; every violation bumps
+    a burn counter (``viper_slo_burn_total{slo=...}``), so an alerting
+    pipeline consumes plain counters, not re-derived math.
+
+:class:`NullFreshness` preserves the null-object contract: serving hot
+paths pay one attribute load and a no-op call when freshness tracking
+is off.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.metrics import DEFAULT_BUCKETS, NULL_METRICS, Histogram
+
+__all__ = [
+    "SLOTarget",
+    "ConsumerFreshness",
+    "FreshnessTracker",
+    "NullFreshness",
+    "NULL_FRESHNESS",
+    "format_fleet_table",
+    "DEFAULT_QUANTILES",
+]
+
+#: The fleet report's latency quantiles (paper-style p50/p99/p99.9).
+DEFAULT_QUANTILES: Tuple[float, ...] = (0.5, 0.99, 0.999)
+
+
+@dataclass(frozen=True)
+class SLOTarget:
+    """Declarative freshness targets; ``None`` disables a dimension."""
+
+    #: Budget for one update's publish -> swap latency (sim seconds).
+    update_latency: Optional[float] = None
+    #: Budget for one contiguous stale interval (sim seconds).
+    max_stale_seconds: Optional[float] = None
+    #: Maximum tolerated version lag observed at swap time.
+    max_version_lag: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class ConsumerFreshness:
+    """One fleet-report row: a consumer's freshness scorecard."""
+
+    consumer: str
+    model_name: str
+    current_version: int
+    version_lag: int
+    stale_seconds: float        # closed + currently-open stale intervals
+    updates: int                # swaps applied
+    serves: int
+    stale_serves: int
+    slo_burns: int
+    latency_quantiles: Tuple[Tuple[float, float], ...]  # (q, seconds)
+
+    def quantile(self, q: float) -> float:
+        for qq, v in self.latency_quantiles:
+            if qq == q:
+                return v
+        return float("nan")
+
+
+class _ConsumerState:
+    """Mutable per-(model, consumer) accounting (lock held by tracker)."""
+
+    __slots__ = (
+        "current_version", "stale_since", "stale_seconds", "updates",
+        "serves", "stale_serves", "slo_burns", "latency",
+    )
+
+    def __init__(self, buckets: Sequence[float]):
+        self.current_version = 0
+        self.stale_since: Optional[float] = None
+        self.stale_seconds = 0.0
+        self.updates = 0
+        self.serves = 0
+        self.stale_serves = 0
+        self.slo_burns = 0
+        self.latency = Histogram("update_latency", buckets=buckets)
+
+
+class FreshnessTracker:
+    """Event-driven freshness accounting over publishes, swaps, serves."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        *,
+        metrics=None,
+        slo: Optional[SLOTarget] = None,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.slo = slo if slo is not None else SLOTarget()
+        self._buckets = tuple(buckets)
+        self._lock = threading.Lock()
+        #: model -> version -> publish sim time (first publish wins).
+        self._published: Dict[str, Dict[int, float]] = {}
+        self._latest: Dict[str, int] = {}
+        #: (model, consumer) -> state.
+        self._states: Dict[Tuple[str, str], _ConsumerState] = {}
+        self.stale_rejections = 0
+        self.stale_fallbacks = 0
+
+    # ------------------------------------------------------------------
+    def _state_locked(self, model_name: str, consumer: str) -> _ConsumerState:
+        key = (model_name, consumer)
+        state = self._states.get(key)
+        if state is None:
+            state = self._states[key] = _ConsumerState(self._buckets)
+        return state
+
+    def _burn_locked(
+        self, state: _ConsumerState, slo: str, consumer: str, model_name: str
+    ) -> None:
+        state.slo_burns += 1
+        self.metrics.counter(
+            "viper_slo_burn_total", slo=slo, consumer=consumer, model=model_name
+        ).inc()
+
+    # ------------------------------------------------------------------
+    # Event intake
+    # ------------------------------------------------------------------
+    def record_publish(
+        self, model_name: str, version: int, sim_time: float
+    ) -> None:
+        """A version became loadable: start every lagging consumer's clock."""
+        with self._lock:
+            self._published.setdefault(model_name, {}).setdefault(
+                version, float(sim_time)
+            )
+            if version > self._latest.get(model_name, 0):
+                self._latest[model_name] = version
+                for (m, _c), state in self._states.items():
+                    if m != model_name:
+                        continue
+                    if state.current_version < version and state.stale_since is None:
+                        state.stale_since = float(sim_time)
+            latest = self._latest.get(model_name, 0)
+        self.metrics.gauge(
+            "viper_latest_published_version", model=model_name
+        ).set(latest)
+
+    def record_swap(
+        self, consumer: str, model_name: str, version: int, sim_time: float
+    ) -> float:
+        """A consumer swapped ``version`` live; returns its update latency.
+
+        The update latency is publish -> swap on the simulated clock
+        (0.0 when the publish instant was never observed, e.g. a ledger
+        armed mid-run).
+        """
+        now = float(sim_time)
+        with self._lock:
+            state = self._state_locked(model_name, consumer)
+            published = self._published.get(model_name, {}).get(version)
+            latency = max(0.0, now - published) if published is not None else 0.0
+            # Close the open stale interval (if any).
+            if state.stale_since is not None:
+                delta = max(0.0, now - state.stale_since)
+                state.stale_seconds += delta
+                state.stale_since = None
+                self.metrics.counter(
+                    "viper_stale_serving_seconds_total",
+                    consumer=consumer, model=model_name,
+                ).inc(delta)
+                if (
+                    self.slo.max_stale_seconds is not None
+                    and delta > self.slo.max_stale_seconds
+                ):
+                    self._burn_locked(state, "stale_seconds", consumer, model_name)
+            latest = self._latest.get(model_name, 0)
+            lag = max(0, latest - version)
+            state.current_version = max(state.current_version, version)
+            state.updates += 1
+            state.latency.observe(latency)
+            # Swapped to an already-superseded version: still stale.
+            if lag > 0:
+                state.stale_since = now
+            if (
+                self.slo.update_latency is not None
+                and latency > self.slo.update_latency
+            ):
+                self._burn_locked(state, "update_latency", consumer, model_name)
+            if (
+                self.slo.max_version_lag is not None
+                and lag > self.slo.max_version_lag
+            ):
+                self._burn_locked(state, "version_lag", consumer, model_name)
+        self.metrics.gauge(
+            "viper_consumer_version_lag", consumer=consumer, model=model_name
+        ).set(lag)
+        self.metrics.histogram(
+            "viper_update_latency_sim_seconds",
+            buckets=self._buckets, consumer=consumer, model=model_name,
+        ).observe(latency)
+        return latency
+
+    def record_serve(
+        self, consumer: str, model_name: str, version: int, sim_time: float
+    ) -> bool:
+        """One request served with ``version``; True when it was stale."""
+        with self._lock:
+            state = self._state_locked(model_name, consumer)
+            stale = version < self._latest.get(model_name, 0)
+            state.serves += 1
+            if stale:
+                state.stale_serves += 1
+        if stale:
+            self.metrics.counter(
+                "viper_stale_serves_total", consumer=consumer, model=model_name
+            ).inc()
+        return stale
+
+    def record_stale_rejection(self, consumer: str, model_name: str) -> None:
+        """A stale version was refused at the double-buffer stage."""
+        with self._lock:
+            self.stale_rejections += 1
+        self.metrics.counter(
+            "viper_stale_rejections_total", consumer=consumer, model=model_name
+        ).inc()
+
+    def record_stale_fallback(self, consumer: str, model_name: str) -> None:
+        """A staleness watchdog fired and fell back to a metadata poll."""
+        with self._lock:
+            self.stale_fallbacks += 1
+        self.metrics.counter(
+            "viper_stale_fallbacks_by_consumer_total",
+            consumer=consumer, model=model_name,
+        ).inc()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def latest_version(self, model_name: str) -> int:
+        with self._lock:
+            return self._latest.get(model_name, 0)
+
+    def is_stale(self, consumer: str, model_name: str, version: int) -> bool:
+        """The one staleness predicate: behind the newest publish."""
+        with self._lock:
+            return version < self._latest.get(model_name, 0)
+
+    def version_lag(self, consumer: str, model_name: str) -> int:
+        with self._lock:
+            state = self._states.get((model_name, consumer))
+            current = state.current_version if state is not None else 0
+            return max(0, self._latest.get(model_name, 0) - current)
+
+    def stale_seconds(
+        self, consumer: str, model_name: str, now: Optional[float] = None
+    ) -> float:
+        """Closed stale intervals plus the open one up to ``now``."""
+        with self._lock:
+            state = self._states.get((model_name, consumer))
+            if state is None:
+                return 0.0
+            total = state.stale_seconds
+            if state.stale_since is not None and now is not None:
+                total += max(0.0, float(now) - state.stale_since)
+            return total
+
+    def update_latency_quantiles(
+        self,
+        consumer: str,
+        model_name: str,
+        quantiles: Sequence[float] = DEFAULT_QUANTILES,
+    ) -> Tuple[Tuple[float, float], ...]:
+        with self._lock:
+            state = self._states.get((model_name, consumer))
+        if state is None:
+            return tuple((q, float("nan")) for q in quantiles)
+        return tuple((q, state.latency.quantile(q)) for q in quantiles)
+
+    def fleet(
+        self,
+        model_name: str,
+        now: Optional[float] = None,
+        quantiles: Sequence[float] = DEFAULT_QUANTILES,
+    ) -> Tuple[ConsumerFreshness, ...]:
+        """Snapshot every consumer of ``model_name``, sorted by name."""
+        with self._lock:
+            latest = self._latest.get(model_name, 0)
+            consumers = sorted(
+                c for (m, c) in self._states if m == model_name
+            )
+        rows: List[ConsumerFreshness] = []
+        for consumer in consumers:
+            with self._lock:
+                state = self._states[(model_name, consumer)]
+                stale = state.stale_seconds
+                if state.stale_since is not None and now is not None:
+                    stale += max(0.0, float(now) - state.stale_since)
+                row = ConsumerFreshness(
+                    consumer=consumer,
+                    model_name=model_name,
+                    current_version=state.current_version,
+                    version_lag=max(0, latest - state.current_version),
+                    stale_seconds=stale,
+                    updates=state.updates,
+                    serves=state.serves,
+                    stale_serves=state.stale_serves,
+                    slo_burns=state.slo_burns,
+                    latency_quantiles=tuple(
+                        (q, state.latency.quantile(q)) for q in quantiles
+                    ),
+                )
+            rows.append(row)
+        return tuple(rows)
+
+
+def format_fleet_table(
+    rows: Sequence[ConsumerFreshness], latest_version: int = 0
+) -> str:
+    """Render the fleet freshness report behind ``repro obs fleet``."""
+    if not rows:
+        return "(no consumers tracked)"
+    header = (
+        f"{'consumer':<14} {'ver':>4} {'lag':>4} {'stale_s':>9} "
+        f"{'updates':>8} {'stale_srv':>10} {'burns':>6} "
+        f"{'p50':>9} {'p99':>9} {'p99.9':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        qs = dict(row.latency_quantiles)
+        lines.append(
+            f"{row.consumer:<14} {row.current_version:>4} {row.version_lag:>4} "
+            f"{row.stale_seconds:>9.4f} {row.updates:>8} "
+            f"{row.stale_serves:>10} {row.slo_burns:>6} "
+            f"{qs.get(0.5, float('nan')):>9.4f} "
+            f"{qs.get(0.99, float('nan')):>9.4f} "
+            f"{qs.get(0.999, float('nan')):>9.4f}"
+        )
+    if latest_version:
+        lines.append(f"latest published version: v{latest_version}")
+    return "\n".join(lines)
+
+
+class NullFreshness(FreshnessTracker):
+    """Do-nothing tracker: the zero-overhead default."""
+
+    enabled = False
+
+    def __init__(self):
+        super().__init__()
+
+    def record_publish(self, model_name, version, sim_time):  # type: ignore[override]
+        pass
+
+    def record_swap(self, consumer, model_name, version, sim_time):  # type: ignore[override]
+        return 0.0
+
+    def record_serve(self, consumer, model_name, version, sim_time):  # type: ignore[override]
+        return False
+
+    def record_stale_rejection(self, consumer, model_name):  # type: ignore[override]
+        pass
+
+    def record_stale_fallback(self, consumer, model_name):  # type: ignore[override]
+        pass
+
+    def fleet(self, model_name, now=None, quantiles=DEFAULT_QUANTILES):  # type: ignore[override]
+        return ()
+
+
+#: Shared default for instrumented components.
+NULL_FRESHNESS = NullFreshness()

@@ -176,8 +176,12 @@ class Histogram:
     def quantile(self, q: float) -> float:
         """Estimate the q-quantile (0..1) by in-bucket interpolation.
 
-        The estimate is clamped to the observed min/max so tiny samples
-        don't report a bucket bound no sample ever reached.
+        Exact at the edges — ``q=0`` returns the observed minimum,
+        ``q=1`` the observed maximum, and a single observation reports
+        itself at every ``q`` — and every interior estimate is clamped
+        to the observed min/max so tiny samples don't report a bucket
+        bound no sample ever reached.  Values beyond the last bucket
+        bound interpolate between that bound and the observed maximum.
         """
         if not 0.0 <= q <= 1.0:
             raise ViperError(f"quantile {q!r} outside [0, 1]")
@@ -187,12 +191,22 @@ class Histogram:
             lo, hi = self._min, self._max
         if total == 0:
             return float("nan")
+        if q == 0.0:
+            return lo
+        if q == 1.0 or total == 1:
+            return hi
         rank = q * total
         running = 0.0
         for i, c in enumerate(counts):
             if running + c >= rank and c > 0:
-                lower = self.bounds[i - 1] if i > 0 else 0.0
-                upper = self.bounds[i] if i < len(self.bounds) else hi
+                if i < len(self.bounds):
+                    lower = self.bounds[i - 1] if i > 0 else min(lo, self.bounds[i])
+                    upper = self.bounds[i]
+                else:
+                    # Overflow bucket: everything here is > bounds[-1]
+                    # and <= the observed maximum.
+                    lower = max(self.bounds[-1], lo)
+                    upper = hi
                 frac = (rank - running) / c
                 est = lower + frac * (upper - lower)
                 return min(max(est, lo), hi)

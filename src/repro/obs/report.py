@@ -27,7 +27,13 @@ import numpy as np
 
 from repro.workflow.trace import Trace
 
-__all__ = ["StageStats", "StageBreakdown", "stage_breakdown", "format_stage_table"]
+__all__ = [
+    "StageStats",
+    "StageBreakdown",
+    "stage_breakdown",
+    "format_stage_table",
+    "format_lineage_table",
+]
 
 #: Stage emission order for tables and exports.
 STAGE_ORDER = ("capture", "transfer", "notify", "wait", "load", "swap", "end_to_end")
@@ -156,4 +162,44 @@ def format_stage_table(breakdown: StageBreakdown) -> str:
             f"unfinished (superseded before swap): "
             f"{', '.join(f'v{v}' for v in breakdown.unfinished)}"
         )
+    return "\n".join(lines)
+
+
+def format_lineage_table(ledger, model_name: str, version: int) -> str:
+    """Critical-path breakdown of one version's lifecycle ledger.
+
+    Renders the earliest-per-stage path (capture -> ... -> first_serve)
+    with per-edge durations, the trace id(s), the consumers that swapped
+    the version live, and any missing required stages.  ``ledger`` is a
+    :class:`repro.obs.lineage.LifecycleLedger` (duck-typed to avoid an
+    import cycle through the workflow layer).
+    """
+    life = ledger.lifecycle(model_name, version)
+    if not life:
+        return f"no lineage recorded for {model_name} v{version}"
+    lines = [f"lineage: {model_name} v{version}"]
+    trace_ids = ledger.trace_ids(model_name, version)
+    lines.append(
+        f"trace id: {trace_ids[0]}" if len(trace_ids) == 1
+        else f"trace ids (BROKEN CAUSALITY): {', '.join(trace_ids)}"
+    )
+    header = f"{'edge':<26} {'start':>10} {'end':>10} {'dur':>10}  actor"
+    lines += [header, "-" * len(header)]
+    path = ledger.critical_path(model_name, version)
+    for seg in path:
+        lines.append(
+            f"{seg.from_stage + ' -> ' + seg.to_stage:<26} "
+            f"{seg.start:>10.4f} {seg.end:>10.4f} {seg.duration:>10.4f}  "
+            f"{seg.actor}"
+        )
+    e2e = ledger.end_to_end(model_name, version)
+    if e2e == e2e:  # not NaN
+        lines.append(f"end-to-end (capture -> first serve): {e2e:.4f}s")
+    consumers = ledger.consumers(model_name, version)
+    if consumers:
+        lines.append(f"swapped on: {', '.join(consumers)}")
+    missing = ledger.missing_stages(model_name, version)
+    if missing:
+        lines.append(f"MISSING STAGES: {', '.join(missing)}")
+    lines.append(f"{len(life)} transition(s) recorded")
     return "\n".join(lines)

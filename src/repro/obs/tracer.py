@@ -110,6 +110,12 @@ class SpanTracer:
         self._finished: List[Span] = []
         self._open: Dict[int, Span] = {}
         self._local = threading.local()
+        #: span_id -> the per-thread stack the span was pushed onto, so
+        #: close() can evict it from the *owning* thread's stack even
+        #: when the close happens out of order or on another thread —
+        #: long-lived workers (flusher, broker) must not accumulate
+        #: dead stack entries.
+        self._stack_of: Dict[int, List[Span]] = {}
 
     # ------------------------------------------------------------------
     # Clock access
@@ -126,7 +132,14 @@ class SpanTracer:
     def current(self) -> Optional[Span]:
         """The innermost context-manager span on this thread, if any."""
         stack = self._stack()
-        return stack[-1] if stack else None
+        try:
+            return stack[-1]
+        except IndexError:
+            return None
+
+    def stack_depth(self) -> int:
+        """Open context-manager spans on the calling thread's stack."""
+        return len(self._stack())
 
     # ------------------------------------------------------------------
     # Context-manager / decorator form (implicit per-thread nesting)
@@ -134,7 +147,10 @@ class SpanTracer:
     def span(self, name: str, track: Optional[str] = None, **attrs: Any) -> _SpanContext:
         """Open a span that closes when the ``with`` block exits."""
         sp = self.open(name, track=track, parent=self.current(), **attrs)
-        self._stack().append(sp)
+        stack = self._stack()
+        stack.append(sp)
+        with self._lock:
+            self._stack_of[sp.span_id] = stack
         return _SpanContext(self, sp)
 
     def trace(self, name: Optional[str] = None, **attrs: Any) -> Callable:
@@ -198,9 +214,15 @@ class SpanTracer:
             sp.end_sim = self._sim() if end_sim is None else float(end_sim)
             sp.attrs.update(attrs)
             self._finished.append(sp)
-        stack = self._stack()
-        if stack and stack[-1].span_id == span_id:
-            stack.pop()
+            stack = self._stack_of.pop(span_id, None)
+            if stack is not None:
+                # Evict from the owning thread's stack wherever it sits:
+                # an out-of-order or cross-thread close must not leave a
+                # dead entry pinned under live ones.
+                for i in range(len(stack) - 1, -1, -1):
+                    if stack[i].span_id == span_id:
+                        del stack[i]
+                        break
         return sp
 
     def record(
@@ -250,6 +272,7 @@ class SpanTracer:
         with self._lock:
             self._finished.clear()
             self._open.clear()
+            self._stack_of.clear()
 
     def __len__(self) -> int:
         with self._lock:

@@ -73,3 +73,20 @@ class RequestGenerator:
             xs.append(req.x)
             ys.append(req.y)
         return xs, ys
+
+    def replay(self, server, total: int, *, poll_between: bool = True) -> list:
+        """Drive ``total`` requests through an inference server.
+
+        Polls for model updates between requests when ``poll_between``
+        (the segregated update-thread behaviour), so freshness and
+        first-serve lineage accounting advance exactly as a live fleet
+        member's would.  Returns the list of
+        :class:`~repro.serving.server.ServedRequest` records.
+        """
+        served = []
+        for req in self.stream(total):
+            if poll_between:
+                server.poll_updates()
+            _, record = server.handle(req.x, req.y)
+            served.append(record)
+        return served

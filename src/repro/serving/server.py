@@ -69,6 +69,7 @@ class InferenceServer:
         staleness_deadline: Optional[float] = None,
         tracer=None,
         metrics=None,
+        name: Optional[str] = None,
     ):
         if t_infer <= 0:
             raise ServingError("t_infer must be positive")
@@ -76,6 +77,7 @@ class InferenceServer:
             raise ServingError("staleness_deadline must be positive")
         self.consumer = consumer
         self.model_name = model_name
+        self.name = name if name is not None else consumer.name
         self.loss_fn = loss_fn
         self.t_infer = t_infer
         self.staleness_deadline = staleness_deadline
@@ -83,6 +85,12 @@ class InferenceServer:
         self._last_update_sim = 0.0
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else NULL_METRICS
+        # Lineage/freshness ride along from the deployment: the server is
+        # where first_serve lands and where the one staleness definition
+        # (behind the newest publish) is applied to live requests.
+        self.lineage = consumer.viper.lineage
+        self.freshness = consumer.viper.freshness
+        self._first_served: set = set()
         self._m_requests = self.metrics.counter(
             "server_requests_total", model=model_name
         )
@@ -126,11 +134,19 @@ class InferenceServer:
                 self.stale_fallbacks += 1
                 self._last_update_sim = self._sim_time  # re-arm the watchdog
                 self.consumer.viper.handler.stats.record_stale_fallback()
+                self.freshness.record_stale_fallback(self.name, self.model_name)
                 self.metrics.counter(
                     "server_stale_fallbacks_total", model=self.model_name
                 ).inc()
         if result is not None:
             self._m_swaps.inc()
+            # Anchor the serving clock to the pipeline clock: a request
+            # served after this swap cannot precede the swap's sim time,
+            # so lineage/freshness timestamps stay on one timeline.
+            with self._lock:
+                self._sim_time = max(
+                    self._sim_time, self.consumer.viper.handler.sim_now
+                )
             self._last_update_sim = self._sim_time
         if self.metrics.enabled:
             record, _ = self.consumer.viper.metadata.latest(self.model_name)
@@ -158,8 +174,6 @@ class InferenceServer:
             loss = self.loss_fn.forward(pred, y_true)
         self._m_requests.inc()
         self._m_latency.observe(time.perf_counter() - wall_start)
-        if snapshot.version < self._latest_known:
-            self._m_stale.inc()
         with self._lock:
             self._sim_time += self.t_infer
             req = ServedRequest(
@@ -170,7 +184,37 @@ class InferenceServer:
             )
             self._next_id += 1
             self.requests.append(req)
+        # One staleness definition: behind the newest publish.  With a
+        # freshness tracker armed, its predicate decides; otherwise the
+        # legacy metadata-poll watermark applies.
+        if self.freshness.enabled:
+            stale = self.freshness.record_serve(
+                self.name, self.model_name, snapshot.version, req.sim_time
+            )
+        else:
+            stale = snapshot.version < self._latest_known
+        if stale:
+            self._m_stale.inc()
+        if self.lineage.enabled and snapshot.version not in self._first_served:
+            self._first_served.add(snapshot.version)
+            self.lineage.record_once(
+                self._trace_header(snapshot.version),
+                "first_serve",
+                sim_time=req.sim_time,
+                actor=self.name,
+                request_id=req.request_id,
+            )
         return pred, req
+
+    def _trace_header(self, version: int) -> str:
+        """The lineage header of ``version`` (empty when unknown)."""
+        if version <= 0:
+            return ""
+        try:
+            rec, _ = self.consumer.viper.metadata.record(self.model_name, version)
+        except Exception:  # noqa: BLE001 - lineage degrades, never breaks serving
+            return ""
+        return rec.trace_ctx
 
     def serve_batch(
         self,

@@ -31,7 +31,11 @@ from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
+import math
+
 from repro.errors import WorkflowError
+from repro.obs.freshness import NULL_FRESHNESS
+from repro.obs.lineage import NULL_LINEAGE
 from repro.obs.tracer import NULL_TRACER
 from repro.substrates.simclock import EventLoop
 from repro.workflow.producer import CheckpointAnnouncement
@@ -101,11 +105,18 @@ class ConsumerSim:
         ckpt_spans=None,
         staleness_deadline: Optional[float] = None,
         poll_fn: Optional[Callable[[], Optional[CheckpointAnnouncement]]] = None,
+        name: str = "consumer-0",
+        model_name: str = "model",
+        lineage=None,
+        freshness=None,
+        t_infer: Optional[float] = None,
     ):
         if t_load < 0:
             raise WorkflowError("t_load must be non-negative")
         if staleness_deadline is not None and staleness_deadline <= 0:
             raise WorkflowError("staleness_deadline must be positive")
+        if t_infer is not None and t_infer <= 0:
+            raise WorkflowError("t_infer must be positive")
         self.loop = loop
         self.trace = trace
         self.t_load = t_load
@@ -114,6 +125,13 @@ class ConsumerSim:
         self.stale_fallbacks = 0
         self._watchdog_gen = 0
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.name = name
+        self.model_name = model_name
+        self.lineage = lineage if lineage is not None else NULL_LINEAGE
+        self.freshness = freshness if freshness is not None else NULL_FRESHNESS
+        #: Fixed request cadence used to place the version's first serve
+        #: on the request grid; None leaves first_serve at the swap time.
+        self.t_infer = t_infer
         #: version -> open "checkpoint" span (shared with the producer);
         #: the consumer closes a version's span when it swaps in.
         self.ckpt_spans = ckpt_spans if ckpt_spans is not None else {}
@@ -148,6 +166,7 @@ class ConsumerSim:
                 self.loop.clock.now(), "stale_fallback", "consumer",
                 version=self.current_version,
             )
+            self.freshness.record_stale_fallback(self.name, self.model_name)
             ann = self.poll_fn() if self.poll_fn is not None else None
             if ann is not None and ann.version > self.current_version:
                 # The poll found a model the pushes never announced; the
@@ -201,6 +220,28 @@ class ConsumerSim:
                 span = self.ckpt_spans.pop(ann.version, None)
                 if span is not None:
                     self.tracer.close(span, end_sim=t, outcome="swapped")
+            self.lineage.record_header(
+                ann.trace_ctx, "load", sim_time=t, actor=self.name,
+                sim_seconds=t - now,
+            )
+            self.lineage.record_header(
+                ann.trace_ctx, "swap", sim_time=t, actor=self.name,
+            )
+            self.freshness.record_swap(
+                self.name, self.model_name, ann.version, t
+            )
+            if self.lineage.enabled and ann.trace_ctx:
+                # First request served by this version: the next tick of
+                # the fixed-rate request grid at or after the swap.
+                first = (
+                    math.ceil(t / self.t_infer) * self.t_infer
+                    if self.t_infer is not None
+                    else t
+                )
+                self.lineage.record_once(
+                    ann.trace_ctx, "first_serve", sim_time=first,
+                    actor=self.name,
+                )
             self._loading = None
             self._arm_watchdog()
             if self._pending is not None:

@@ -64,12 +64,17 @@ def run_fanout(
     profile: HardwareProfile = POLARIS,
     notify_latency: float = PUSH_LATENCY,
     consumer_rates: Optional[Sequence[float]] = None,
+    lineage=None,
+    freshness=None,
 ) -> MultiResult:
     """One producer feeding ``n_consumers`` independent serving replicas.
 
     ``consumer_rates`` optionally sets a per-replica ``t_infer`` (a
     heterogeneous serving fleet — e.g. edge devices of different speed);
-    defaults to the app's rate for every replica.
+    defaults to the app's rate for every replica.  Passing a
+    :class:`~repro.obs.lineage.LifecycleLedger` and/or
+    :class:`~repro.obs.freshness.FreshnessTracker` records every
+    version's capture -> first-serve life and the fleet's freshness.
     """
     if n_consumers < 1:
         raise WorkflowError("need at least one consumer")
@@ -89,8 +94,16 @@ def run_fanout(
             t_load=timings.load.total,
             initial_loss=loss_at(schedule.start_iter),
             initial_iteration=schedule.start_iter,
+            name=f"consumer-{i}",
+            model_name=app.name,
+            lineage=lineage,
+            freshness=freshness,
+            t_infer=(
+                consumer_rates[i] if consumer_rates is not None
+                else app.timing.t_infer
+            ),
         )
-        for _ in range(n_consumers)
+        for i in range(n_consumers)
     ]
 
     def fanout(ann):
@@ -108,6 +121,9 @@ def run_fanout(
         loss_at=loss_at,
         notify_latency=notify_latency,
         on_notify=fanout,
+        model_name=app.name,
+        lineage=lineage,
+        freshness=freshness,
     )
     producer.start()
     loop.run()
@@ -141,6 +157,8 @@ def run_sharded(
     serializer: Optional[Serializer] = None,
     profile: HardwareProfile = POLARIS,
     notify_latency: float = PUSH_LATENCY,
+    lineage=None,
+    freshness=None,
 ) -> MultiResult:
     """``n_shards`` data-parallel producers, tensor-sharded checkpoints.
 
@@ -167,6 +185,11 @@ def run_sharded(
         t_load=timings.load.total,
         initial_loss=loss_at(schedule.start_iter),
         initial_iteration=schedule.start_iter,
+        name="consumer-0",
+        model_name=app.name,
+        lineage=lineage,
+        freshness=freshness,
+        t_infer=app.timing.t_infer,
     )
     producer = ProducerSim(
         loop,
@@ -179,6 +202,9 @@ def run_sharded(
         loss_at=loss_at,
         notify_latency=notify_latency,
         on_notify=consumer.on_notify,
+        model_name=app.name,
+        lineage=lineage,
+        freshness=freshness,
     )
     producer.start()
     loop.run()

@@ -17,6 +17,8 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.errors import WorkflowError
+from repro.obs.freshness import NULL_FRESHNESS
+from repro.obs.lineage import NULL_LINEAGE, TraceContext
 from repro.obs.tracer import NULL_TRACER
 from repro.substrates.simclock import EventLoop
 from repro.core.predictor.schedules import Schedule
@@ -34,6 +36,8 @@ class CheckpointAnnouncement:
     iteration: int
     loss: float
     delivered_at: float   # simulated time the blob is in consumer-side reach
+    #: Lineage trace header minted at capture (empty when unarmed).
+    trace_ctx: str = ""
 
 
 class ProducerSim:
@@ -55,6 +59,9 @@ class ProducerSim:
         adapter=None,
         tracer=None,
         ckpt_spans=None,
+        model_name: str = "model",
+        lineage=None,
+        freshness=None,
     ):
         if total_iters <= start_iter:
             raise WorkflowError(
@@ -72,9 +79,15 @@ class ProducerSim:
         self.on_notify = on_notify
         self.adapter = adapter
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.model_name = model_name
+        self.lineage = lineage if lineage is not None else NULL_LINEAGE
+        self.freshness = freshness if freshness is not None else NULL_FRESHNESS
         #: version -> open "checkpoint" span; shared with the consumer,
         #: which closes a span when that version swaps in.
         self.ckpt_spans = ckpt_spans if ckpt_spans is not None else {}
+        #: version -> minted lineage context (producer side only; the
+        #: announcement carries the wire header downstream).
+        self._ctxs = {}
 
         self._schedule_set = frozenset(schedule.iterations)
         self._iteration = start_iter
@@ -123,6 +136,11 @@ class ProducerSim:
                 "checkpoint", track="pipeline", start_sim=now,
                 version=version, iteration=iteration,
             )
+        if self.lineage.enabled:
+            self._ctxs[version] = TraceContext.make(self.model_name, version)
+        header = (
+            self._ctxs[version].to_header() if version in self._ctxs else ""
+        )
 
         def _stall_over():
             t = self.loop.clock.now()
@@ -132,7 +150,13 @@ class ProducerSim:
                     "capture", start_sim=now, end_sim=t, track="producer",
                     parent=self.ckpt_spans.get(version), version=version,
                 )
-            ann = CheckpointAnnouncement(version, iteration, loss, delivered_at=t)
+            self.lineage.record_header(
+                header, "capture", sim_time=t, actor="producer",
+                iteration=iteration, stall=t - now,
+            )
+            ann = CheckpointAnnouncement(
+                version, iteration, loss, delivered_at=t, trace_ctx=header
+            )
             if self.timings.mode is CaptureMode.SYNC:
                 # Delivery completed within the stall; notify immediately.
                 self._deliver(ann, extra_delay=0.0)
@@ -177,7 +201,10 @@ class ProducerSim:
                     parent=self.ckpt_spans.get(ann.version), version=ann.version,
                 )
             self._deliver(
-                CheckpointAnnouncement(ann.version, ann.iteration, ann.loss, t),
+                CheckpointAnnouncement(
+                    ann.version, ann.iteration, ann.loss, t,
+                    trace_ctx=ann.trace_ctx,
+                ),
                 extra_delay=0.0,
             )
             if self._pending is not None:
@@ -190,6 +217,15 @@ class ProducerSim:
         """Publish the notification ``notify_latency`` after delivery."""
         self.checkpoints_completed += 1
         published_at = self.loop.clock.now()
+        # The blob is in consumer-side reach (transfer) and the version is
+        # visible (publish) at the delivery instant on the DES substrate.
+        self.lineage.record_header(
+            ann.trace_ctx, "transfer", sim_time=ann.delivered_at, actor="engine",
+        )
+        self.lineage.record_header(
+            ann.trace_ctx, "publish", sim_time=published_at, actor="metadata",
+        )
+        self.freshness.record_publish(self.model_name, ann.version, published_at)
 
         def _notify():
             t = self.loop.clock.now()
@@ -199,6 +235,9 @@ class ProducerSim:
                     "notify", start_sim=published_at, end_sim=t, track="producer",
                     parent=self.ckpt_spans.get(ann.version), version=ann.version,
                 )
+            self.lineage.record_header(
+                ann.trace_ctx, "notify", sim_time=t, actor="broker",
+            )
             self.on_notify(ann)
 
         self.loop.schedule_after(

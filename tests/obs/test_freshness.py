@@ -1,0 +1,196 @@
+"""Freshness/SLO tracker unit tests: interval math, burns, fleet report."""
+
+import math
+
+import pytest
+
+from repro.obs.freshness import (
+    DEFAULT_QUANTILES,
+    NULL_FRESHNESS,
+    ConsumerFreshness,
+    FreshnessTracker,
+    NullFreshness,
+    SLOTarget,
+    format_fleet_table,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestStaleIntervals:
+    def test_publish_opens_swap_closes(self):
+        fresh = FreshnessTracker()
+        fresh.record_swap("c0", "m", 1, 0.0)   # v1 live from the origin
+        fresh.record_publish("m", 2, 10.0)     # c0 now behind
+        fresh.record_swap("c0", "m", 2, 13.0)  # caught up
+        assert fresh.stale_seconds("c0", "m") == pytest.approx(3.0)
+        assert fresh.version_lag("c0", "m") == 0
+
+    def test_open_interval_counts_up_to_now(self):
+        fresh = FreshnessTracker()
+        fresh.record_swap("c0", "m", 1, 0.0)
+        fresh.record_publish("m", 2, 5.0)
+        assert fresh.stale_seconds("c0", "m", now=9.0) == pytest.approx(4.0)
+        assert fresh.stale_seconds("c0", "m") == 0.0  # closed intervals only
+
+    def test_swap_to_superseded_version_stays_stale(self):
+        fresh = FreshnessTracker()
+        fresh.record_publish("m", 1, 0.0)
+        fresh.record_publish("m", 2, 1.0)
+        fresh.record_swap("c0", "m", 1, 4.0)   # still one behind
+        assert fresh.version_lag("c0", "m") == 1
+        assert fresh.stale_seconds("c0", "m", now=6.0) == pytest.approx(2.0)
+
+    def test_update_latency_is_publish_to_swap(self):
+        fresh = FreshnessTracker()
+        fresh.record_publish("m", 1, 2.0)
+        assert fresh.record_swap("c0", "m", 1, 3.5) == pytest.approx(1.5)
+
+    def test_unseen_publish_latency_zero(self):
+        fresh = FreshnessTracker()
+        assert fresh.record_swap("c0", "m", 1, 3.5) == 0.0
+
+    def test_stale_predicate_and_serve_counting(self):
+        fresh = FreshnessTracker()
+        fresh.record_publish("m", 2, 0.0)
+        assert fresh.is_stale("c0", "m", 1)
+        assert not fresh.is_stale("c0", "m", 2)
+        assert fresh.record_serve("c0", "m", 1, 0.1) is True
+        assert fresh.record_serve("c0", "m", 2, 0.2) is False
+        row = fresh.fleet("m")[0]
+        assert row.serves == 2 and row.stale_serves == 1
+
+
+class TestSLOBurns:
+    def test_latency_burn(self):
+        fresh = FreshnessTracker(slo=SLOTarget(update_latency=1.0))
+        fresh.record_publish("m", 1, 0.0)
+        fresh.record_swap("c0", "m", 1, 0.5)   # within budget
+        fresh.record_publish("m", 2, 1.0)
+        fresh.record_swap("c0", "m", 2, 3.0)   # 2.0s > 1.0s budget
+        assert fresh.fleet("m")[0].slo_burns == 1
+
+    def test_stale_interval_burn(self):
+        fresh = FreshnessTracker(slo=SLOTarget(max_stale_seconds=1.0))
+        fresh.record_swap("c0", "m", 1, 0.0)
+        fresh.record_publish("m", 2, 0.0)
+        fresh.record_swap("c0", "m", 2, 5.0)   # 5s stale interval
+        assert fresh.fleet("m")[0].slo_burns == 1
+
+    def test_version_lag_burn(self):
+        fresh = FreshnessTracker(slo=SLOTarget(max_version_lag=1))
+        for v in (1, 2, 3):
+            fresh.record_publish("m", v, float(v))
+        fresh.record_swap("c0", "m", 1, 4.0)   # lag 2 > 1
+        assert fresh.fleet("m")[0].slo_burns == 1
+
+    def test_burns_counted_in_metrics(self):
+        metrics = MetricsRegistry()
+        fresh = FreshnessTracker(
+            metrics=metrics, slo=SLOTarget(update_latency=0.1)
+        )
+        fresh.record_publish("m", 1, 0.0)
+        fresh.record_swap("c0", "m", 1, 5.0)
+        counter = metrics.counter(
+            "viper_slo_burn_total", slo="update_latency",
+            consumer="c0", model="m",
+        )
+        assert counter.value == 1
+
+    def test_no_slo_no_burns(self):
+        fresh = FreshnessTracker()
+        fresh.record_publish("m", 1, 0.0)
+        fresh.record_swap("c0", "m", 1, 100.0)
+        assert fresh.fleet("m")[0].slo_burns == 0
+
+
+class TestCountersAndMetrics:
+    def test_rejections_and_fallbacks(self):
+        metrics = MetricsRegistry()
+        fresh = FreshnessTracker(metrics=metrics)
+        fresh.record_stale_rejection("c0", "m")
+        fresh.record_stale_fallback("c0", "m")
+        fresh.record_stale_fallback("c1", "m")
+        assert fresh.stale_rejections == 1
+        assert fresh.stale_fallbacks == 2
+        assert metrics.counter(
+            "viper_stale_rejections_total", consumer="c0", model="m"
+        ).value == 1
+        assert metrics.counter(
+            "viper_stale_fallbacks_by_consumer_total", consumer="c1", model="m"
+        ).value == 1
+
+    def test_latest_version_gauge(self):
+        metrics = MetricsRegistry()
+        fresh = FreshnessTracker(metrics=metrics)
+        fresh.record_publish("m", 3, 0.0)
+        fresh.record_publish("m", 2, 1.0)  # late, lower: gauge holds
+        assert fresh.latest_version("m") == 3
+        assert metrics.gauge(
+            "viper_latest_published_version", model="m"
+        ).value == 3
+
+
+class TestFleetReport:
+    def test_rows_sorted_by_consumer(self):
+        fresh = FreshnessTracker()
+        for name in ("c2", "c0", "c1"):
+            fresh.record_swap(name, "m", 1, 0.0)
+        assert [r.consumer for r in fresh.fleet("m")] == ["c0", "c1", "c2"]
+
+    def test_quantiles_in_rows(self):
+        fresh = FreshnessTracker()
+        for v, latency in ((1, 1.0), (2, 2.0), (3, 3.0)):
+            fresh.record_publish("m", v, 0.0)
+            fresh.record_swap("c0", "m", v, latency)
+        row = fresh.fleet("m")[0]
+        qs = dict(row.latency_quantiles)
+        assert set(qs) == set(DEFAULT_QUANTILES)
+        assert 1.0 <= qs[0.5] <= 3.0
+        assert qs[0.999] == pytest.approx(3.0)
+        assert row.quantile(0.5) == qs[0.5]
+        assert math.isnan(row.quantile(0.123))
+
+    def test_format_fleet_table(self):
+        fresh = FreshnessTracker()
+        fresh.record_publish("m", 1, 0.0)
+        fresh.record_swap("c0", "m", 1, 0.5)
+        text = format_fleet_table(fresh.fleet("m"), fresh.latest_version("m"))
+        assert "consumer" in text and "p99.9" in text
+        assert "c0" in text
+        assert "latest published version: v1" in text
+
+    def test_format_empty_fleet(self):
+        assert "no consumers" in format_fleet_table(())
+
+    def test_update_latency_quantiles_unknown_consumer_nan(self):
+        fresh = FreshnessTracker()
+        for _q, value in fresh.update_latency_quantiles("ghost", "m"):
+            assert math.isnan(value)
+
+
+class TestNullFreshness:
+    def test_everything_noop(self):
+        null = NullFreshness()
+        null.record_publish("m", 1, 0.0)
+        assert null.record_swap("c0", "m", 1, 1.0) == 0.0
+        assert null.record_serve("c0", "m", 0, 1.0) is False
+        null.record_stale_rejection("c0", "m")
+        null.record_stale_fallback("c0", "m")
+        assert null.fleet("m") == ()
+        assert not null.enabled
+
+    def test_shared_singleton(self):
+        assert not NULL_FRESHNESS.enabled
+        assert isinstance(NULL_FRESHNESS, FreshnessTracker)
+        assert isinstance(NULL_FRESHNESS.fleet("m"), tuple)
+
+
+class TestRowDataclass:
+    def test_consumer_freshness_is_frozen(self):
+        row = ConsumerFreshness(
+            consumer="c0", model_name="m", current_version=1, version_lag=0,
+            stale_seconds=0.0, updates=1, serves=0, stale_serves=0,
+            slo_burns=0, latency_quantiles=((0.5, 0.1),),
+        )
+        with pytest.raises(AttributeError):
+            row.updates = 2  # type: ignore[misc]

@@ -1,0 +1,228 @@
+"""Lineage ledger unit tests: headers, ordering, paths, exporters."""
+
+import json
+
+import pytest
+
+from repro.errors import ViperError
+from repro.obs.lineage import (
+    LIFECYCLE_STAGES,
+    NULL_LINEAGE,
+    REQUIRED_STAGES,
+    LifecycleLedger,
+    NullLineage,
+    TraceContext,
+    Transition,
+    read_lineage_jsonl,
+)
+
+
+def walk(ledger, ctx, *, start=0.0, step=0.1, actor="producer",
+         stages=REQUIRED_STAGES):
+    """Record one clean pass through ``stages`` at fixed cadence."""
+    for i, stage in enumerate(stages):
+        ledger.record(ctx, stage, sim_time=start + i * step, actor=actor)
+
+
+class TestTraceContext:
+    def test_header_round_trip(self):
+        ctx = TraceContext.make("m", 7)
+        back = TraceContext.from_header(ctx.to_header())
+        assert back == ctx
+
+    def test_make_mints_distinct_trace_ids(self):
+        a = TraceContext.make("m", 1)
+        b = TraceContext.make("m", 1)
+        assert a.trace_id != b.trace_id
+
+    def test_child_keeps_trace_reparents_span(self):
+        ctx = TraceContext.make("m", 1)
+        kid = ctx.child(42)
+        assert kid.trace_id == ctx.trace_id
+        assert kid.span_id == 42
+        assert kid.version == ctx.version
+
+    @pytest.mark.parametrize("header", [
+        "nonsense", "a;b;c", "a;b;c;d;e", "tid;not-an-int;m;1", "tid;0;m;x",
+    ])
+    def test_malformed_header_raises(self, header):
+        with pytest.raises(ViperError):
+            TraceContext.from_header(header)
+
+    def test_model_name_with_semicolon_rejected(self):
+        with pytest.raises(ViperError):
+            TraceContext.make("bad;name", 1)
+
+
+class TestLedgerRecording:
+    def test_lifecycle_ordered_and_complete(self):
+        ledger = LifecycleLedger()
+        ctx = TraceContext.make("m", 1)
+        walk(ledger, ctx)
+        stages = [t.stage for t in ledger.lifecycle("m", 1)]
+        assert stages == list(REQUIRED_STAGES)
+        assert ledger.complete("m", 1)
+        assert ledger.missing_stages("m", 1) == ()
+        assert ledger.trace_ids("m", 1) == (ctx.trace_id,)
+
+    def test_out_of_order_appends_sort_by_sim_time(self):
+        ledger = LifecycleLedger()
+        ctx = TraceContext.make("m", 1)
+        ledger.record(ctx, "publish", sim_time=2.0, actor="metadata")
+        ledger.record(ctx, "capture", sim_time=1.0, actor="producer")
+        assert [t.stage for t in ledger.lifecycle("m", 1)] == [
+            "capture", "publish",
+        ]
+
+    def test_missing_stage_reported(self):
+        ledger = LifecycleLedger()
+        ctx = TraceContext.make("m", 1)
+        walk(ledger, ctx, stages=("capture", "transfer", "publish"))
+        assert not ledger.complete("m", 1)
+        assert ledger.missing_stages("m", 1) == (
+            "notify", "swap", "first_serve",
+        )
+
+    def test_record_header_empty_is_silent_noop(self):
+        ledger = LifecycleLedger()
+        assert ledger.record_header("", "capture", sim_time=0.0,
+                                    actor="producer") is None
+        assert len(ledger) == 0
+
+    def test_record_once_dedupes_per_actor(self):
+        ledger = LifecycleLedger()
+        header = TraceContext.make("m", 1).to_header()
+        first = ledger.record_once(header, "first_serve", sim_time=1.0,
+                                   actor="c0")
+        dup = ledger.record_once(header, "first_serve", sim_time=2.0,
+                                 actor="c0")
+        other = ledger.record_once(header, "first_serve", sim_time=3.0,
+                                   actor="c1")
+        assert first is not None and other is not None and dup is None
+        assert len(ledger) == 2
+
+    def test_versions_and_models_enumerate(self):
+        ledger = LifecycleLedger()
+        for model, version in (("a", 1), ("a", 2), ("b", 1)):
+            walk(ledger, TraceContext.make(model, version))
+        assert ledger.models() == ("a", "b")
+        assert ledger.versions("a") == [1, 2]
+
+    def test_consumers_lists_swapping_actors(self):
+        ledger = LifecycleLedger()
+        ctx = TraceContext.make("m", 1)
+        for name in ("c1", "c0"):
+            ledger.record(ctx, "swap", sim_time=1.0, actor=name)
+        ledger.record(ctx, "capture", sim_time=0.0, actor="producer")
+        assert ledger.consumers("m", 1) == ("c0", "c1")
+
+
+class TestCriticalPath:
+    def test_edges_follow_earliest_occurrence(self):
+        ledger = LifecycleLedger()
+        ctx = TraceContext.make("m", 1)
+        walk(ledger, ctx, actor="c-fast")
+        # A slower replica's swap/first_serve must not move the path.
+        ledger.record(ctx, "swap", sim_time=9.0, actor="c-slow")
+        ledger.record(ctx, "first_serve", sim_time=9.5, actor="c-slow")
+        path = ledger.critical_path("m", 1)
+        assert [s.to_stage for s in path] == list(REQUIRED_STAGES[1:])
+        assert all(s.actor != "c-slow" for s in path)
+        assert all(s.duration >= 0 for s in path)
+        assert path[-1].end == pytest.approx(0.5)
+
+    def test_end_to_end_capture_to_first_serve(self):
+        ledger = LifecycleLedger()
+        walk(ledger, TraceContext.make("m", 1), start=2.0, step=0.25)
+        assert ledger.end_to_end("m", 1) == pytest.approx(
+            0.25 * (len(REQUIRED_STAGES) - 1)
+        )
+
+    def test_end_to_end_nan_while_open(self):
+        import math
+
+        ledger = LifecycleLedger()
+        ctx = TraceContext.make("m", 1)
+        ledger.record(ctx, "capture", sim_time=0.0, actor="producer")
+        assert math.isnan(ledger.end_to_end("m", 1))
+
+
+class TestExportRoundTrip:
+    def test_jsonl_chrome_reparse_round_trip(self, tmp_path):
+        ledger = LifecycleLedger()
+        for version in (1, 2):
+            walk(ledger, TraceContext.make("m", version),
+                 start=float(version))
+        path = str(tmp_path / "lineage.jsonl")
+        n = ledger.write_jsonl(path)
+        assert n == len(ledger)
+
+        back = read_lineage_jsonl(path)
+        assert len(back) == len(ledger)
+        for version in (1, 2):
+            assert back.complete("m", version)
+            assert back.trace_ids("m", version) == ledger.trace_ids("m", version)
+            assert back.lifecycle("m", version) == ledger.lifecycle("m", version)
+        # The re-parsed ledger exports the identical Chrome document.
+        assert back.to_chrome_events() == ledger.to_chrome_events()
+
+    def test_chrome_events_shape(self):
+        ledger = LifecycleLedger()
+        walk(ledger, TraceContext.make("m", 1))
+        events = ledger.to_chrome_events()
+        phases = {e["ph"] for e in events}
+        assert phases == {"M", "X", "i"}
+        durations = [e for e in events if e["ph"] == "X"]
+        assert len(durations) == len(REQUIRED_STAGES) - 1
+        assert all(e["dur"] >= 0 for e in durations)
+        non_meta = [e for e in events if e["ph"] != "M"]
+        assert [e["ts"] for e in non_meta] == sorted(
+            e["ts"] for e in non_meta
+        )
+
+    def test_reparse_skips_foreign_lines(self, tmp_path):
+        ledger = LifecycleLedger()
+        walk(ledger, TraceContext.make("m", 1))
+        path = tmp_path / "mixed.jsonl"
+        lines = [json.dumps(t.to_dict()) for t in ledger.transitions()]
+        lines.insert(1, json.dumps({"type": "span", "name": "other"}))
+        path.write_text("\n".join(lines) + "\n")
+        back = read_lineage_jsonl(str(path))
+        assert len(back) == len(ledger)
+
+    def test_transition_dict_round_trip(self):
+        tr = Transition(
+            trace_id="t", span_id=3, model_name="m", version=2,
+            stage="swap", sim_time=1.5, wall_time=9.0, actor="c0",
+            attrs={"location": "pfs"},
+        )
+        assert Transition.from_dict(tr.to_dict()) == tr
+
+
+class TestNullLineage:
+    def test_records_nothing(self):
+        null = NullLineage()
+        ctx = TraceContext.make("m", 1)
+        assert null.record(ctx, "capture", sim_time=0.0, actor="p") is None
+        assert null.record_header(ctx.to_header(), "swap", sim_time=0.0,
+                                  actor="c") is None
+        assert null.record_once(ctx.to_header(), "first_serve", sim_time=0.0,
+                                actor="c") is None
+        assert len(null) == 0
+        assert not null.enabled
+
+    def test_shared_singleton_disabled(self):
+        assert not NULL_LINEAGE.enabled
+        assert isinstance(NULL_LINEAGE, LifecycleLedger)
+
+
+class TestStageOrder:
+    def test_required_is_subset_of_lifecycle(self):
+        assert set(REQUIRED_STAGES) <= set(LIFECYCLE_STAGES)
+
+    def test_stages_method_orders_pipeline_first(self):
+        ledger = LifecycleLedger()
+        ctx = TraceContext.make("m", 1)
+        ledger.record(ctx, "custom_stage", sim_time=0.1, actor="x")
+        ledger.record(ctx, "capture", sim_time=0.0, actor="p")
+        assert ledger.stages("m", 1) == ("capture", "custom_stage")

@@ -185,3 +185,88 @@ class TestNullRegistry:
         inst.set(9)
         inst.observe(1.0)
         assert inst.value == 0.0
+
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is in the image
+    HAVE_HYPOTHESIS = False
+
+
+def reference_quantile(samples, q):
+    """Inverse empirical CDF over the sorted raw samples.
+
+    The same rank convention the bucketed estimator uses (rank =
+    ``q * n``, take the ``ceil(rank)``-th smallest), so the bucketed
+    estimate must land in the same bucket as this reference."""
+    ordered = sorted(samples)
+    if q == 0.0:
+        return ordered[0]
+    idx = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+    return ordered[idx]
+
+
+@pytest.mark.skipif(not HAVE_HYPOTHESIS, reason="hypothesis not installed")
+class TestQuantileProperties:
+    """The bucketed estimate vs a sorted-sample reference.
+
+    The histogram only keeps per-bucket counts, so exact agreement is
+    impossible — but the estimate must stay inside the observed range,
+    be monotone in q, hit the edges exactly, and never stray from the
+    reference by more than the width of the bucket it landed in."""
+
+    samples = st.lists(
+        st.floats(min_value=1e-6, max_value=1e4,
+                  allow_nan=False, allow_infinity=False),
+        min_size=1, max_size=120,
+    )
+    qs = st.floats(min_value=0.0, max_value=1.0,
+                   allow_nan=False, allow_infinity=False)
+
+    @settings(max_examples=150, deadline=None)
+    @given(samples=samples, q=qs)
+    def test_estimate_within_observed_range(self, samples, q):
+        h = Histogram("x")
+        for s in samples:
+            h.observe(s)
+        est = h.quantile(q)
+        assert min(samples) <= est <= max(samples)
+
+    @settings(max_examples=150, deadline=None)
+    @given(samples=samples)
+    def test_edges_exact_and_monotone_in_q(self, samples):
+        h = Histogram("x")
+        for s in samples:
+            h.observe(s)
+        assert h.quantile(0.0) == min(samples)
+        assert h.quantile(1.0) == max(samples)
+        grid = [h.quantile(q / 10) for q in range(11)]
+        assert all(b >= a - 1e-12 for a, b in zip(grid, grid[1:]))
+
+    @settings(max_examples=150, deadline=None)
+    @given(samples=samples, q=qs)
+    def test_within_one_bucket_of_reference(self, samples, q):
+        h = Histogram("x")
+        for s in samples:
+            h.observe(s)
+        est = h.quantile(q)
+        ref = reference_quantile(samples, q)
+        # The bucket the reference landed in bounds the possible error.
+        bounds = [0.0] + list(h.bounds) + [max(max(samples), h.bounds[-1])]
+        width = max(
+            hi - lo for lo, hi in zip(bounds, bounds[1:])
+            if lo <= ref <= hi
+        )
+        assert abs(est - ref) <= width + 1e-9
+
+    @settings(max_examples=50, deadline=None)
+    @given(sample=st.floats(min_value=1e-6, max_value=1e4,
+                            allow_nan=False, allow_infinity=False),
+           q=qs)
+    def test_single_observation_reports_itself(self, sample, q):
+        h = Histogram("x")
+        h.observe(sample)
+        assert h.quantile(q) == sample

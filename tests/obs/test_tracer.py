@@ -214,3 +214,63 @@ class TestThreadSafety:
         assert tracer.open_spans() == ()
         ids = [s.span_id for s in tracer.spans()]
         assert len(set(ids)) == len(ids)
+
+
+class TestStackHygiene:
+    def test_thousand_span_cycles_leave_no_residue(self):
+        """Per-thread stacks and the owning-stack registry must not grow
+        across span open/close cycles — long-lived workers (flusher,
+        broker, serving threads) would otherwise leak one entry per
+        checkpoint forever."""
+        tracer = SpanTracer()
+        errors = []
+
+        def worker(tag):
+            try:
+                for i in range(1000):
+                    with tracer.span(f"{tag}", track=tag, i=i):
+                        with tracer.span(f"{tag}-inner", track=tag):
+                            pass
+                    if tracer.stack_depth() != 0:
+                        errors.append(
+                            f"{tag}: depth {tracer.stack_depth()} at {i}"
+                        )
+                        return
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(f"{tag}: {exc!r}")
+
+        threads = [
+            threading.Thread(target=worker, args=(f"t{k}",)) for k in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert len(tracer) == 4 * 2000
+        assert tracer.open_spans() == ()
+        # The owning-stack registry is fully drained: nothing pins the
+        # per-thread lists after their spans closed.
+        assert tracer._stack_of == {}
+
+    def test_cross_thread_close_evicts_from_owner_stack(self):
+        tracer = SpanTracer()
+        opened = {}
+        ready = threading.Event()
+        release = threading.Event()
+
+        def owner():
+            # Enter the span but never exit: a supervisor on another
+            # thread force-closes it (as the flusher teardown path does).
+            opened["span"] = tracer.span("long-lived", track="owner").__enter__()
+            ready.set()
+            release.wait(5.0)
+
+        t = threading.Thread(target=owner)
+        t.start()
+        assert ready.wait(5.0)
+        tracer.close(opened["span"], end_sim=1.0)  # from the main thread
+        release.set()
+        t.join()
+        assert tracer._stack_of == {}
+        assert tracer.open_spans() == ()

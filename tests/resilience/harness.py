@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.core.api import Viper, ViperConsumer
 from repro.core.transfer.strategies import CaptureMode, TransferStrategy
+from repro.obs.lineage import LifecycleLedger
 from repro.resilience.recovery import (
     CrashPlan,
     CrashPoint,
@@ -107,10 +108,14 @@ class CrashRestartHarness:
         # Half the runs compact aggressively so recovery exercises the
         # snapshot path, not just raw journal replay.
         self.compact_every = self.rng.choice((0, 4))
+        # One ledger spans crash and restart, so the artifact shows each
+        # version's whole life across incarnations (including retries).
+        self.lineage = LifecycleLedger()
 
     # ------------------------------------------------------------------
     def _make_viper(self, journal_root, *, recover: bool,
-                    crash_plan: Optional[CrashPlan] = None) -> Viper:
+                    crash_plan: Optional[CrashPlan] = None,
+                    lineage: Optional[LifecycleLedger] = None) -> Viper:
         journal = MetadataJournal(journal_root, compact_every=self.compact_every)
         return Viper(
             flush_history=True,
@@ -118,6 +123,7 @@ class CrashRestartHarness:
             recover=recover,
             crash_plan=crash_plan,
             notify_queue_max=4,
+            lineage=lineage if lineage is not None else self.lineage,
         )
 
     def _produce_until(self, viper: Viper, consumer: ViperConsumer,
@@ -142,7 +148,9 @@ class CrashRestartHarness:
     def reference_state(self, tmp_root) -> Dict[str, object]:
         """The crash-free end state every recovered run must match."""
         root = os.path.join(str(tmp_root), "reference")
-        viper = self._make_viper(root, recover=False)
+        # The reference run gets its own throwaway ledger so its events
+        # never interleave with the crashed run's artifact.
+        viper = self._make_viper(root, recover=False, lineage=LifecycleLedger())
         consumer = viper.consumer(model_builder=DictModel)
         consumer.subscribe()
         swaps: List[int] = []
@@ -177,6 +185,8 @@ class CrashRestartHarness:
         except AssertionError:
             self._save_artifacts(root)
             raise
+        finally:
+            self._write_lineage()
         return result
 
     def _run_inner(self, root: str, result: HarnessResult, reference) -> None:
@@ -321,3 +331,13 @@ class CrashRestartHarness:
         dest = os.path.join(dest_root, f"seed-{self.seed}")
         shutil.rmtree(dest, ignore_errors=True)
         shutil.copytree(root, dest)
+
+    def _write_lineage(self) -> None:
+        """Persist the run's lineage ledger for CI post-mortems."""
+        dest_root = os.environ.get("VIPER_CRASH_ARTIFACT_DIR")
+        if not dest_root:
+            return
+        os.makedirs(dest_root, exist_ok=True)
+        self.lineage.write_jsonl(
+            os.path.join(dest_root, f"lineage-seed-{self.seed}.jsonl")
+        )

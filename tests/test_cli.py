@@ -73,6 +73,54 @@ class TestObsCommand:
         assert "pipeline_stage_sim_seconds" in metrics_path.read_text()
 
 
+class TestObsLineageFleet:
+    def test_lineage_args(self):
+        args = build_parser().parse_args(
+            ["obs", "lineage", "2", "--consumers", "2", "--epochs", "1",
+             "--slo-latency", "0.5", "--export-lineage", "l.jsonl"]
+        )
+        assert args.obs_mode == "lineage" and args.version == 2
+        assert args.consumers == 2 and args.epochs == 1
+        assert args.slo_latency == 0.5
+        assert args.export_lineage == "l.jsonl"
+
+    def test_fleet_defaults(self):
+        args = build_parser().parse_args(["obs", "fleet"])
+        assert args.obs_mode == "fleet"
+        assert args.consumers == 4 and args.epochs == 3
+        assert args.version is None if hasattr(args, "version") else True
+
+    def test_lineage_prints_trace_per_version(self, capsys):
+        assert main(["obs", "lineage", "--consumers", "2",
+                     "--epochs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "lineage:" in out and "trace id:" in out
+        assert "capture -> transfer" in out
+        assert "end-to-end (capture -> first serve):" in out
+        assert "BROKEN CAUSALITY" not in out
+        assert "MISSING STAGES" not in out
+
+    def test_lineage_unknown_version_fails(self, capsys):
+        assert main(["obs", "lineage", "999", "--consumers", "2",
+                     "--epochs", "1"]) == 1
+        assert "not recorded" in capsys.readouterr().out
+
+    def test_fleet_report_and_export(self, capsys, tmp_path):
+        from repro.obs.lineage import read_lineage_jsonl
+
+        path = tmp_path / "lineage.jsonl"
+        assert main(["obs", "fleet", "--consumers", "3", "--epochs", "1",
+                     "--export-lineage", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "consumer" in out and "p99.9" in out
+        assert "latest published version:" in out
+        assert "3 consumer(s)" in out
+        back = read_lineage_jsonl(str(path))
+        assert len(back) > 0
+        for version in back.versions(back.models()[0]):
+            assert back.complete(back.models()[0], version)
+
+
 class TestTimelineRendering:
     def make_trace(self):
         trace = Trace()
