@@ -1,6 +1,6 @@
 # Convenience targets for the Viper reproduction.
 
-.PHONY: install test lint chaos bench examples experiments clean
+.PHONY: install test lint chaos bench bench-delta examples experiments clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -22,6 +22,11 @@ chaos:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Delta wire-path benchmark at full payload; regenerates
+# benchmarks/results/BENCH_delta.json and enforces the wire/latency gates.
+bench-delta:
+	PYTHONPATH=src python -m pytest -x -q -s benchmarks/test_perf_delta_transfer.py
 
 examples:
 	for ex in examples/*.py; do echo "== $$ex"; python $$ex || exit 1; done

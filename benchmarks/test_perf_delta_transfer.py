@@ -1,0 +1,191 @@
+"""Perf benchmark + regression gates for the delta wire path.
+
+Two questions, answered with real bytes and the simulated timing law:
+
+1. **Bytes on the wire** — serialize a payload, mutate a fraction of its
+   tensors, and measure the *actual* encoded frame size against the full
+   blob.  The acceptance gate: a 10%-changed update moves >= 3x fewer
+   bytes than the monolithic path.
+2. **Update latency** — drive the same scenario through the Viper facade
+   at paper scale (virtual descriptors) and compare end-to-end simulated
+   update latency with the delta path on vs off.  Gates: measurably
+   faster when 10% changed; within 5% of monolithic when 100% changed
+   (the fallback must not regress the worst case).
+
+Wall-clock encode/decode throughput is reported (not gated) so a codec
+or digest regression shows up in the JSON history.
+
+Outputs ``benchmarks/results/BENCH_delta.json``.  ``VIPER_PERF_QUICK=1``
+shrinks the real payload for the CI smoke job.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro import CaptureMode, TransferStrategy, Viper
+from repro.apps import get_app
+from repro.core.transfer.compression import get_codec
+from repro.core.transfer.delta import ChunkIndex, decode_frame, encode_frame
+from repro.dnn.serialization import ViperSerializer
+from repro.substrates.cost import MB
+
+QUICK = os.environ.get("VIPER_PERF_QUICK", "") not in ("", "0")
+
+REAL_PAYLOAD_BYTES = 8 * MB if QUICK else 64 * MB
+N_TENSORS = 20
+CHUNK_BYTES = 64 * 1024
+
+#: The acceptance gates.
+MIN_WIRE_REDUCTION_10PCT = 3.0   # >= 3x fewer bytes, 10% changed
+MAX_LATENCY_REGRESSION = 1.05    # <= 5% slower, 100% changed (fallback)
+
+
+def build_state(seed=9):
+    rng = np.random.default_rng(seed)
+    per = max(1, REAL_PAYLOAD_BYTES // N_TENSORS // 4)
+    return {
+        f"layer{i}/W": rng.standard_normal(per).astype(np.float32)
+        for i in range(N_TENSORS)
+    }
+
+
+def mutate(state, fraction, seed=10):
+    """Return a copy with ``fraction`` of the tensors fully rewritten."""
+    rng = np.random.default_rng(seed)
+    n_changed = max(1, int(round(fraction * len(state))))
+    out = {k: v.copy() for k, v in state.items()}
+    for key in list(out)[:n_changed]:
+        out[key] = rng.standard_normal(out[key].shape).astype(np.float32)
+    return out
+
+
+def measure_wire(fraction: float, compression: str = "none") -> dict:
+    """Real encoded-frame bytes for a ``fraction``-changed update."""
+    ser = ViperSerializer()
+    base_state = build_state()
+    new_state = mutate(base_state, fraction)
+    base_blob = ser.dumps(base_state)
+    base_lengths = [memoryview(p).nbytes for p in ser.dump_chunks(base_state)]
+    index = ChunkIndex(base_blob, CHUNK_BYTES, base_lengths)
+    codec = get_codec(compression)
+
+    t0 = time.perf_counter()
+    frame, stats = encode_frame(
+        index, ser.dump_chunks(new_state), CHUNK_BYTES, codec
+    )
+    encode_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    out = decode_frame(frame, base_blob)
+    decode_s = time.perf_counter() - t0
+    assert out == ser.dumps(new_state)  # the benchmark never ships garbage
+
+    full = stats.bytes_total
+    wire = min(len(frame), full)  # the handler falls back when frame >= full
+    return {
+        "changed_fraction": fraction,
+        "compression": compression,
+        "full_bytes": full,
+        "wire_bytes": wire,
+        "reduction_x": full / wire,
+        "dedup_hit_ratio": round(stats.dedup_hit_ratio, 4),
+        "encode_mbps": round(full / max(encode_s, 1e-9) / MB, 1),
+        "decode_mbps": round(full / max(decode_s, 1e-9) / MB, 1),
+    }
+
+
+def simulated_latency(app_name: str, fraction: float, delta: bool) -> float:
+    """End-to-end simulated update latency through the Viper facade."""
+    app = get_app(app_name)
+    state = build_state()
+    kwargs = dict(
+        mode=CaptureMode.SYNC,
+        strategy=TransferStrategy.HOST_TO_HOST,
+        virtual_bytes=app.checkpoint_bytes,
+        virtual_tensors=app.checkpoint_tensors,
+    )
+    with Viper(delta=delta) as viper:
+        viper.save_weights("bench", state, **kwargs)
+        viper.load_weights("bench")  # register the consumer-held base
+        changed = mutate(state, fraction)
+        result = viper.save_weights("bench", changed, **kwargs)
+        load = viper.load_weights("bench")
+        # Exact bytes either way: the speed never costs correctness.
+        for key in changed:
+            np.testing.assert_array_equal(load.state[key], changed[key])
+    return result.update_latency
+
+
+APPS = ("nt3a",) if QUICK else ("nt3a", "tc1")
+
+
+@pytest.fixture(scope="module")
+def bench_results(results_dir):
+    wire_rows = [
+        measure_wire(0.1),
+        measure_wire(0.5),
+        measure_wire(1.0),
+        measure_wire(0.1, compression="zlib"),
+    ]
+    latency = {}
+    for name in APPS:
+        latency[name] = {
+            "mono_10pct_s": simulated_latency(name, 0.1, delta=False),
+            "delta_10pct_s": simulated_latency(name, 0.1, delta=True),
+            "mono_100pct_s": simulated_latency(name, 1.0, delta=False),
+            "delta_100pct_s": simulated_latency(name, 1.0, delta=True),
+        }
+    report = {
+        "quick": QUICK,
+        "real_payload_bytes": REAL_PAYLOAD_BYTES,
+        "chunk_bytes": CHUNK_BYTES,
+        "wire": wire_rows,
+        "simulated_latency": latency,
+    }
+    path = results_dir / "BENCH_delta.json"
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    lines = ["Delta wire path: bytes moved per update (real payload)"]
+    for row in wire_rows:
+        lines.append(
+            f"  {row['changed_fraction'] * 100:5.0f}% changed"
+            f" [{row['compression']:4s}]  "
+            f"{row['full_bytes'] / MB:6.1f} MB -> "
+            f"{row['wire_bytes'] / MB:6.1f} MB   "
+            f"({row['reduction_x']:.1f}x)"
+        )
+    print("\n" + "\n".join(lines))
+    return report
+
+
+class TestBytesOnWire:
+    def test_10pct_change_moves_3x_fewer_bytes(self, bench_results):
+        row = bench_results["wire"][0]
+        assert row["changed_fraction"] == 0.1
+        assert row["reduction_x"] >= MIN_WIRE_REDUCTION_10PCT
+
+    def test_full_change_never_ships_more_than_monolithic(self, bench_results):
+        for row in bench_results["wire"]:
+            assert row["wire_bytes"] <= row["full_bytes"]
+
+    def test_compression_stacks_on_dedup(self, bench_results):
+        plain = bench_results["wire"][0]
+        compressed = bench_results["wire"][3]
+        # Random float payloads barely compress; the codec must at least
+        # never cost wire bytes on top of the dedup win.
+        assert compressed["wire_bytes"] <= plain["wire_bytes"] * 1.01
+
+
+class TestSimulatedLatency:
+    def test_10pct_change_is_measurably_faster(self, bench_results):
+        for name, row in bench_results["simulated_latency"].items():
+            assert row["delta_10pct_s"] < row["mono_10pct_s"] * 0.95, name
+
+    def test_100pct_change_within_5pct_of_monolithic(self, bench_results):
+        for name, row in bench_results["simulated_latency"].items():
+            assert (
+                row["delta_100pct_s"]
+                <= row["mono_100pct_s"] * MAX_LATENCY_REGRESSION
+            ), name

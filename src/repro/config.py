@@ -19,6 +19,7 @@ if TYPE_CHECKING:  # resilience imports lazily to avoid a module cycle
     from repro.resilience.retry import RetryPolicy
 from repro.substrates.profiles import FRONTIER, LAPTOP, POLARIS, HardwareProfile
 from repro.dnn.serialization import H5LikeSerializer, Serializer, ViperSerializer
+from repro.core.transfer.delta import DEFAULT_DELTA_CHUNK_BYTES, DeltaConfig
 from repro.core.transfer.pipeline import DEFAULT_CHUNK_BYTES, PipelineConfig
 from repro.core.transfer.strategies import CaptureMode, TransferStrategy
 
@@ -43,6 +44,12 @@ class ViperConfig:
     pipeline: bool = False
     pipeline_chunk_bytes: int = DEFAULT_CHUNK_BYTES
     pipeline_lanes: int = 2
+    # Delta/compressed wire path (off = every save ships the full blob).
+    # ``compression`` applies to the literal chunks of a delta frame:
+    # "none", "zlib", or "lz4" (when the package is installed).
+    delta: bool = False
+    delta_chunk_bytes: int = DEFAULT_DELTA_CHUNK_BYTES
+    compression: str = "none"
     # Resilience: retry budget per site, strategy failover down the
     # GPU -> HOST -> PFS chain, and an optional fault plan (plain-dict
     # form of resilience.FaultPlan.to_dict) armed for the session.
@@ -86,6 +93,9 @@ class ViperConfig:
             raise ConfigurationError("pipeline_chunk_bytes must be positive")
         if self.pipeline_lanes < 1:
             raise ConfigurationError("pipeline_lanes must be >= 1")
+        # DeltaConfig re-validates chunk size and codec name; building it
+        # here fails fast at the bad knob.
+        self.delta_config()
         if self.recover and self.journal_dir is None:
             raise ConfigurationError("recover=True requires journal_dir")
         if self.notify_queue_max < 0:
@@ -120,6 +130,13 @@ class ViperConfig:
             enabled=self.pipeline,
             chunk_bytes=self.pipeline_chunk_bytes,
             lanes=self.pipeline_lanes,
+        )
+
+    def delta_config(self) -> DeltaConfig:
+        return DeltaConfig(
+            enabled=self.delta,
+            chunk_bytes=self.delta_chunk_bytes,
+            compression=self.compression,
         )
 
     def retry_policy(self) -> "RetryPolicy":

@@ -64,6 +64,8 @@ class Viper:
         tracer=None,
         metrics=None,
         pipeline=None,
+        delta=None,
+        compression: Optional[str] = None,
         retry_policy=None,
         failover: bool = True,
         fault_plan=None,
@@ -129,6 +131,7 @@ class Viper:
             tracer=self.tracer,
             metrics=self.metrics,
             pipeline=pipeline,
+            delta=self._delta_config(delta, compression),
             retry_policy=retry_policy,
             failover=failover,
             lineage=self.lineage,
@@ -160,6 +163,30 @@ class Viper:
         self.crash_plan = crash_plan
         if crash_plan is not None:
             crash_plan.arm(self)
+
+    @staticmethod
+    def _delta_config(delta, compression: Optional[str]):
+        """Normalize the delta/compression knobs to one DeltaConfig.
+
+        ``delta`` accepts a :class:`~repro.core.transfer.delta.DeltaConfig`
+        or a plain bool; ``compression`` alone implies the delta path
+        with an all-literal (compression-only) wire form.
+        """
+        from repro.core.transfer.delta import DeltaConfig
+
+        if isinstance(delta, DeltaConfig):
+            if compression is not None and compression != delta.compression:
+                raise ConfigurationError(
+                    f"compression={compression!r} conflicts with "
+                    f"DeltaConfig(compression={delta.compression!r})"
+                )
+            return delta
+        if delta is None and compression is None:
+            return None
+        return DeltaConfig(
+            enabled=bool(delta) or compression is not None,
+            compression=compression if compression is not None else "none",
+        )
 
     # -- paper Fig. 4 API -------------------------------------------------
     def save_weights(self, model_name: str, model_weights, **kwargs) -> UpdateResult:

@@ -62,6 +62,10 @@ class ModelRecord:
     #: every location holding a replica of this checkpoint (the Stats
     #: Manager's raw material); always includes ``location``.
     replicas: Tuple[str, ...] = ()
+    #: virtual bytes that actually crossed the wire for this version; 0
+    #: means the full (monolithic) ``nbytes`` moved, anything smaller is
+    #: a delta/compressed frame (see :mod:`repro.core.transfer.delta`).
+    wire_bytes: int = 0
 
     def __post_init__(self):
         if self.version < 0:
@@ -72,6 +76,13 @@ class ModelRecord:
             object.__setattr__(
                 self, "replicas", tuple(self.replicas) + (self.location,)
             )
+
+    @property
+    def wire_fraction(self) -> float:
+        """Wire bytes / full bytes (1.0 when the whole blob moved)."""
+        if self.wire_bytes <= 0 or self.nbytes <= 0:
+            return 1.0
+        return min(1.0, self.wire_bytes / self.nbytes)
 
     # ------------------------------------------------------------------
     # Journal wire form (plain JSON-able dicts)
@@ -91,6 +102,7 @@ class ModelRecord:
             "train_loss": None if math.isnan(self.train_loss) else self.train_loss,
             "trace_ctx": self.trace_ctx,
             "replicas": list(self.replicas),
+            "wire_bytes": self.wire_bytes,
         }
 
     @classmethod

@@ -57,6 +57,21 @@ class StatsSnapshot:
     notification_gaps: int = 0  # sequence gaps observed by consumers
     stale_fallbacks: int = 0    # staleness-watchdog polls after silent pushes
     swaps_rejected: int = 0     # corrupt loads that never reached the buffer
+    bytes_total: int = 0             # full bytes the saves represented
+    bytes_on_wire: int = 0           # bytes that actually moved
+    bytes_saved_dedup: int = 0       # satisfied by reuse ops against a base
+    bytes_saved_compression: int = 0 # removed by the literal codec
+    delta_chunks_total: int = 0      # chunks considered by delta encodes
+    delta_chunks_reused: int = 0     # chunks served from the held base
+    delta_hits: int = 0              # saves that shipped a delta frame
+    delta_fallbacks: int = 0         # delta path degraded to monolithic
+
+    @property
+    def dedup_hit_ratio(self) -> float:
+        """Fraction of delta-considered chunks served from the base."""
+        if self.delta_chunks_total == 0:
+            return 0.0
+        return self.delta_chunks_reused / self.delta_chunks_total
 
     def __getitem__(self, location: str) -> LocationStats:
         return self.locations[location]
@@ -86,6 +101,14 @@ class StatsManager:
         self.notification_gaps = 0  # see StatsSnapshot.notification_gaps
         self.stale_fallbacks = 0    # see StatsSnapshot.stale_fallbacks
         self.swaps_rejected = 0     # see StatsSnapshot.swaps_rejected
+        self.bytes_total = 0             # see StatsSnapshot.bytes_total
+        self.bytes_on_wire = 0           # see StatsSnapshot.bytes_on_wire
+        self.bytes_saved_dedup = 0       # see StatsSnapshot.bytes_saved_dedup
+        self.bytes_saved_compression = 0
+        self.delta_chunks_total = 0
+        self.delta_chunks_reused = 0
+        self.delta_hits = 0
+        self.delta_fallbacks = 0
         self.metrics = metrics if metrics is not None else NULL_METRICS
 
     def rank(self, location: str) -> int:
@@ -165,6 +188,49 @@ class StatsManager:
             self.swaps_rejected += 1
         self.metrics.counter("viper_swaps_rejected_total").inc()
 
+    def record_wire(
+        self,
+        bytes_total: int,
+        bytes_on_wire: int,
+        *,
+        saved_dedup: int = 0,
+        saved_compression: int = 0,
+        chunks_total: int = 0,
+        chunks_reused: int = 0,
+        delta: bool = False,
+    ) -> None:
+        """One save's wire accounting (delta or monolithic).
+
+        ``bytes_total`` is what the monolithic path would have moved;
+        ``bytes_on_wire`` is what actually moved.  The difference splits
+        into dedup (reuse ops) and compression (codec) savings.
+        """
+        with self._lock:
+            self.bytes_total += int(bytes_total)
+            self.bytes_on_wire += int(bytes_on_wire)
+            self.bytes_saved_dedup += int(saved_dedup)
+            self.bytes_saved_compression += int(saved_compression)
+            self.delta_chunks_total += int(chunks_total)
+            self.delta_chunks_reused += int(chunks_reused)
+            if delta:
+                self.delta_hits += 1
+        self.metrics.counter("viper_bytes_total").inc(int(bytes_total))
+        self.metrics.counter("viper_bytes_on_wire_total").inc(int(bytes_on_wire))
+        if saved_dedup:
+            self.metrics.counter("viper_bytes_saved_dedup_total").inc(int(saved_dedup))
+        if saved_compression:
+            self.metrics.counter("viper_bytes_saved_compression_total").inc(
+                int(saved_compression)
+            )
+        if delta:
+            self.metrics.counter("viper_delta_hits_total").inc()
+
+    def record_delta_fallback(self, reason: str = "") -> None:
+        """The delta path degraded to monolithic (by design, not error)."""
+        with self._lock:
+            self.delta_fallbacks += 1
+        self.metrics.counter("viper_delta_fallbacks_total", reason=reason).inc()
+
     # ------------------------------------------------------------------
     def loads_from(self, location: str) -> int:
         with self._lock:
@@ -188,6 +254,14 @@ class StatsManager:
                 notification_gaps=self.notification_gaps,
                 stale_fallbacks=self.stale_fallbacks,
                 swaps_rejected=self.swaps_rejected,
+                bytes_total=self.bytes_total,
+                bytes_on_wire=self.bytes_on_wire,
+                bytes_saved_dedup=self.bytes_saved_dedup,
+                bytes_saved_compression=self.bytes_saved_compression,
+                delta_chunks_total=self.delta_chunks_total,
+                delta_chunks_reused=self.delta_chunks_reused,
+                delta_hits=self.delta_hits,
+                delta_fallbacks=self.delta_fallbacks,
             )
 
     def summary(self) -> str:
@@ -211,5 +285,13 @@ class StatsManager:
                 f"gaps: {snap.notification_gaps}, "
                 f"stale fallbacks: {snap.stale_fallbacks}, "
                 f"swaps rejected: {snap.swaps_rejected}"
+            )
+        if snap.bytes_total:
+            parts.append(
+                f"wire: {snap.bytes_on_wire}/{snap.bytes_total} B "
+                f"(dedup {snap.bytes_saved_dedup} B @ "
+                f"{snap.dedup_hit_ratio:.0%} hit, "
+                f"codec {snap.bytes_saved_compression} B; "
+                f"{snap.delta_hits} delta, {snap.delta_fallbacks} fallback)"
             )
         return "; ".join(parts)

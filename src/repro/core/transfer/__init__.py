@@ -12,10 +12,23 @@
 - :mod:`engine` — the producer-side asynchronous capture/transfer worker.
 - :mod:`pipeline` — the chunked, pipelined, zero-copy transfer path
   (Chunker / BufferPool / PipelinedTransfer) and its config knob.
+- :mod:`delta` — the delta/compressed wire path (chunk digests, recipe
+  frames, DeltaManager negotiation) and :mod:`compression`, its codec
+  registry.
 - :mod:`handler` — the Model Weights Handler facade processing
   save/load requests end to end.
 """
 
+from repro.core.transfer.compression import Codec, available_codecs, get_codec
+from repro.core.transfer.delta import (
+    ChunkIndex,
+    DeltaConfig,
+    DeltaManager,
+    DeltaStats,
+    decode_frame,
+    encode_frame,
+    is_delta_frame,
+)
 from repro.core.transfer.pipeline import (
     BufferPool,
     Chunker,
@@ -45,6 +58,16 @@ __all__ = [
     "Chunker",
     "BufferPool",
     "PipelinedTransfer",
+    "Codec",
+    "get_codec",
+    "available_codecs",
+    "ChunkIndex",
+    "DeltaConfig",
+    "DeltaManager",
+    "DeltaStats",
+    "encode_frame",
+    "decode_frame",
+    "is_delta_frame",
     "TransferSelector",
     "DoubleBuffer",
     "BackgroundFlusher",

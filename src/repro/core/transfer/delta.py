@@ -1,0 +1,667 @@
+"""Delta + compressed checkpoint transfer: stop moving unchanged bytes.
+
+The monolithic path ships every serialized byte of every version, even
+when a fine-tuning step touched a fraction of the parameters — exactly
+the paper's PFS-tier worst case (7.6 s per update).  This module makes
+the per-update wire cost proportional to what *changed* (Checkmate-style
+delta replication), with optional lossless compression layered on the
+bytes that do move:
+
+1. **Chunking** — the serialized v2 blob is cut into bounded chunks
+   whose boundaries follow the serializer's iovec piece boundaries
+   (header pieces and per-tensor payloads), so an unchanged tensor
+   produces bit-identical chunks between versions even when a
+   neighbouring tensor changed.  Each chunk is identified by a 16-byte
+   BLAKE2b digest.
+2. **Chunk index** — per consumer-held version, a digest -> (offset,
+   length) map over the base blob (:class:`ChunkIndex`).
+3. **Negotiation** — the producer-side :class:`DeltaManager` knows which
+   version each consumer last loaded (registered on every successful
+   load) and diffs the new blob against that base.  The snapshot-level
+   tensor diff (:func:`repro.core.transfer.incremental.changed_fraction`)
+   runs first: a near-fully-changed state short-circuits straight to the
+   monolithic path before any digest is computed.
+4. **Recipe** — the producer ships a *delta frame* (wire format v3): an
+   ordered list of ``reuse(offset, length, digest)`` /
+   ``literal(codec, bytes)`` ops plus the reconstruction target's length
+   and CRC-32.  Literal chunks are compressed through the configured
+   codec (:mod:`repro.core.transfer.compression`), with the compress
+   stage running in the pipelined lanes so it overlaps the copy-out.
+5. **Reconstruction** — the consumer replays the recipe against its held
+   base blob, verifying every reused chunk's digest, every literal's
+   length, and finally the whole reconstructed blob's CRC-32 — *then*
+   the inner v2 header checksum verifies again inside
+   ``Serializer.loads`` before the double-buffer swap.  Corruption at
+   any level raises :class:`~repro.errors.IntegrityError`; a missing or
+   mismatched base raises :class:`DeltaBaseError` so the handler can
+   fall back to the monolithic blob instead of erroring the update wave.
+
+Fallback rules (all decided per save/load, never per deployment):
+
+- no base version registered for the consumer -> monolithic (or an
+  all-literal compressed frame when a codec is configured and it wins);
+- the encoded frame is not smaller than the full blob -> monolithic;
+- the snapshot diff says (almost) everything changed and no codec is
+  configured -> monolithic, skipping the digest pass entirely;
+- the consumer lost its base, or reconstruction failed verification ->
+  the handler re-fetches the producer-retained monolithic blob.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+import threading
+import zlib
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import DeltaBaseError, IntegrityError, StorageError
+from repro.core.transfer.compression import Codec, NullCodec, codec_for_id, get_codec
+from repro.core.transfer.pipeline import PipelinedTransfer
+from repro.substrates.cost import KB
+
+__all__ = [
+    "DeltaConfig",
+    "DeltaBaseError",
+    "ChunkIndex",
+    "DeltaStats",
+    "DELTA_MAGIC",
+    "chunk_bounds",
+    "encode_frame",
+    "decode_frame",
+    "is_delta_frame",
+    "frame_info",
+    "DeltaManager",
+]
+
+DELTA_MAGIC = b"VPRD"
+#: Wire format v3: v1 was the raw packed-tensor stream, v2 added the
+#: CRC-32 header (both in dnn/serialization.py); v3 is this delta frame
+#: wrapping a v2 blob as a recipe against a consumer-held base.
+_FRAME_VERSION = 3
+_DIGEST_BYTES = 16
+_OP_REUSE = 0
+_OP_LITERAL = 1
+#: Frame header: magic | u32 version | u64 base_len | u32 base_crc
+#: | u64 out_len | u32 out_crc | u32 nops
+_HEADER = struct.Struct("<4sIQIQII")
+_REUSE = struct.Struct("<BQQ16s")      # tag, offset, length, digest
+_LITERAL = struct.Struct("<BBQQ16s")   # tag, codec, orig_len, enc_len, digest
+
+#: Default chunk size for content digests.  Small enough that a 10%-row
+#: update to a wide layer re-ships ~10% of it, large enough that the
+#: per-chunk recipe overhead (33-34 B/op) stays under 0.1% of moved
+#: bytes.  Distinct from the pipeline's 256 MB *lane* chunks: digest
+#: chunks bound dedup granularity, lane chunks bound stage overlap.
+DEFAULT_DELTA_CHUNK_BYTES = 64 * KB
+
+
+@dataclass(frozen=True)
+class DeltaConfig:
+    """The delta/compression knob threaded through config -> handler.
+
+    ``enabled=False`` (the default) keeps the monolithic path
+    byte-for-byte intact; delta transfer is strictly opt-in.
+    """
+
+    enabled: bool = False
+    chunk_bytes: int = DEFAULT_DELTA_CHUNK_BYTES
+    compression: str = "none"
+    #: Snapshot-diff early-out: when at least this fraction of payload
+    #: bytes changed (tensor granularity) and no codec is configured,
+    #: skip delta encoding entirely — the recipe cannot win.
+    full_change_threshold: float = 0.9
+    #: Producer-side monolithic blobs retained per model for diffing
+    #: and for the consumer's missing-base fallback.
+    cache_versions: int = 4
+
+    def __post_init__(self):
+        from repro.errors import ConfigurationError
+
+        if self.chunk_bytes <= 0:
+            raise ConfigurationError(
+                f"delta chunk_bytes must be positive, got {self.chunk_bytes}"
+            )
+        if not 0.0 < self.full_change_threshold <= 1.0:
+            raise ConfigurationError(
+                "full_change_threshold must be in (0, 1], got "
+                f"{self.full_change_threshold}"
+            )
+        if self.cache_versions < 1:
+            raise ConfigurationError(
+                f"cache_versions must be >= 1, got {self.cache_versions}"
+            )
+        get_codec(self.compression)  # validate the name at config time
+
+    def codec(self) -> Codec:
+        return get_codec(self.compression)
+
+
+@dataclass(frozen=True)
+class DeltaStats:
+    """What one frame encode decided and saved."""
+
+    mode: str                 # "delta" | "literal" (no base) | "monolithic"
+    bytes_total: int          # reconstructed (full blob) size
+    bytes_on_wire: int        # frame (or full blob) size actually shipped
+    bytes_reused: int = 0     # payload bytes satisfied by reuse ops
+    bytes_literal: int = 0    # payload bytes shipped as literals (pre-codec)
+    bytes_saved_compression: int = 0  # literal bytes the codec removed
+    chunks_total: int = 0
+    chunks_reused: int = 0
+
+    @property
+    def bytes_saved_dedup(self) -> int:
+        return self.bytes_reused
+
+    @property
+    def dedup_hit_ratio(self) -> float:
+        if self.chunks_total == 0:
+            return 0.0
+        return self.chunks_reused / self.chunks_total
+
+    @property
+    def wire_fraction(self) -> float:
+        """Bytes shipped / bytes represented (the timing-law scale)."""
+        if self.bytes_total == 0:
+            return 1.0
+        return self.bytes_on_wire / self.bytes_total
+
+
+def chunk_bounds(piece_lengths: Iterable[int], chunk_bytes: int) -> List[Tuple[int, int]]:
+    """(offset, length) chunk grid over a piece stream.
+
+    Boundaries restart at every piece, so a length-stable prefix of the
+    stream chunks identically across versions regardless of what later
+    pieces did — the property that makes fixed-grid digests behave like
+    content-defined chunking for checkpoint state.
+    """
+    bounds: List[Tuple[int, int]] = []
+    offset = 0
+    for plen in piece_lengths:
+        start = 0
+        while start < plen:
+            size = min(chunk_bytes, plen - start)
+            bounds.append((offset + start, size))
+            start += size
+        offset += plen
+    return bounds
+
+
+def _digest(chunk) -> bytes:
+    return hashlib.blake2b(chunk, digest_size=_DIGEST_BYTES).digest()
+
+
+class ChunkIndex:
+    """digest -> (offset, length) map over one base blob."""
+
+    def __init__(self, blob: bytes, chunk_bytes: int,
+                 piece_lengths: Optional[Iterable[int]] = None):
+        self.blob = bytes(blob)
+        self.chunk_bytes = chunk_bytes
+        self.crc = zlib.crc32(self.blob)
+        lengths = [len(self.blob)] if piece_lengths is None else list(piece_lengths)
+        mv = memoryview(self.blob)
+        self._by_digest: Dict[bytes, Tuple[int, int]] = {}
+        for offset, length in chunk_bounds(lengths, chunk_bytes):
+            d = _digest(mv[offset : offset + length])
+            # First occurrence wins; duplicate chunks (zero pages) all
+            # resolve to one base location, which is exactly dedup.
+            self._by_digest.setdefault(d, (offset, length))
+
+    def lookup(self, digest: bytes) -> Optional[Tuple[int, int]]:
+        return self._by_digest.get(digest)
+
+    def __len__(self) -> int:
+        return len(self._by_digest)
+
+
+def encode_frame(
+    base: Optional[ChunkIndex],
+    pieces: Iterable,
+    chunk_bytes: int,
+    codec: Optional[Codec] = None,
+    *,
+    lanes: int = 1,
+    tracer=None,
+    metrics=None,
+) -> Tuple[bytes, DeltaStats]:
+    """Encode a piece stream as a v3 delta frame against ``base``.
+
+    ``pieces`` is the serializer's iovec (``dump_chunks`` output);
+    ``base=None`` produces an all-literal frame (compression-only mode).
+    With ``lanes > 1`` the literal compress stage runs through the
+    pipelined executor so codec CPU overlaps the frame copy-out.
+    Returns ``(frame, stats)``; the caller compares ``len(frame)``
+    against the full blob and falls back to monolithic when the recipe
+    does not win.
+    """
+    codec = codec if codec is not None else NullCodec()
+    null_codec = isinstance(codec, NullCodec)
+    views = []
+    for piece in pieces:
+        mv = memoryview(piece)
+        if mv.ndim != 1 or mv.itemsize != 1:
+            mv = mv.cast("B")
+        if len(mv):
+            views.append(mv)
+    bounds = chunk_bounds((len(v) for v in views), chunk_bytes)
+
+    # Flatten chunk views without copying: walk the piece list alongside
+    # the bounds (bounds never straddle a piece).
+    chunks: List[memoryview] = []
+    piece_idx = 0
+    piece_start = 0
+    for offset, length in bounds:
+        while offset >= piece_start + len(views[piece_idx]):
+            piece_start += len(views[piece_idx])
+            piece_idx += 1
+        local = offset - piece_start
+        chunks.append(views[piece_idx][local : local + length])
+
+    out_len = sum(len(v) for v in views)
+    out_crc = 0
+    for v in views:
+        out_crc = zlib.crc32(v, out_crc)
+
+    reused: Dict[int, Tuple[int, int, bytes]] = {}
+    literal_idx: List[int] = []
+    digests: List[bytes] = []
+    for i, chunk in enumerate(chunks):
+        d = _digest(chunk)
+        digests.append(d)
+        hit = base.lookup(d) if base is not None else None
+        if hit is not None:
+            reused[i] = (hit[0], hit[1], d)
+        else:
+            literal_idx.append(i)
+
+    # Compress literals — in pipelined lanes when asked, so the codec
+    # overlaps the assemble copy below on multi-chunk frames.
+    def _compress(i: int) -> bytes:
+        return codec.encode(chunks[i])
+
+    encoded: Dict[int, bytes] = {}
+    if null_codec:
+        pass  # literals ship as raw views; no copy before the join
+    elif lanes > 1 and len(literal_idx) > 1:
+        pipe = PipelinedTransfer(
+            [("compress", lambda i, _idx: (i, _compress(i)))],
+            lanes=lanes,
+            tracer=tracer,
+            metrics=metrics,
+            name="delta-compress",
+        )
+        for i, blob in pipe.run(literal_idx).results:
+            encoded[i] = blob
+    else:
+        for i in literal_idx:
+            encoded[i] = _compress(i)
+
+    parts: List = [b""]  # placeholder for the header
+    bytes_reused = 0
+    bytes_literal = 0
+    saved_compression = 0
+    for i, chunk in enumerate(chunks):
+        if i in reused:
+            offset, length, d = reused[i]
+            parts.append(_REUSE.pack(_OP_REUSE, offset, length, d))
+            bytes_reused += length
+            continue
+        orig_len = len(chunk)
+        bytes_literal += orig_len
+        if null_codec:
+            parts.append(
+                _LITERAL.pack(_OP_LITERAL, codec.wire_id, orig_len,
+                              orig_len, digests[i])
+            )
+            parts.append(chunk)
+        else:
+            enc = encoded[i]
+            if len(enc) < orig_len:
+                parts.append(
+                    _LITERAL.pack(_OP_LITERAL, codec.wire_id, orig_len,
+                                  len(enc), digests[i])
+                )
+                parts.append(enc)
+                saved_compression += orig_len - len(enc)
+            else:
+                # Incompressible chunk: ship raw, marked codec "none".
+                parts.append(
+                    _LITERAL.pack(_OP_LITERAL, 0, orig_len, orig_len,
+                                  digests[i])
+                )
+                parts.append(chunk)
+    parts[0] = _HEADER.pack(
+        DELTA_MAGIC,
+        _FRAME_VERSION,
+        len(base.blob) if base is not None else 0,
+        base.crc if base is not None else 0,
+        out_len,
+        out_crc,
+        len(chunks),
+    )
+    frame = b"".join(parts)
+    stats = DeltaStats(
+        mode="delta" if base is not None else "literal",
+        bytes_total=out_len,
+        bytes_on_wire=len(frame),
+        bytes_reused=bytes_reused,
+        bytes_literal=bytes_literal,
+        bytes_saved_compression=saved_compression,
+        chunks_total=len(chunks),
+        chunks_reused=len(reused),
+    )
+    return frame, stats
+
+
+def is_delta_frame(blob) -> bool:
+    """True when ``blob`` is a v3 delta frame (by magic)."""
+    return bytes(memoryview(blob)[:4]) == DELTA_MAGIC
+
+
+def frame_info(frame) -> Dict[str, int]:
+    """Header fields of a v3 frame (without decoding the ops)."""
+    mv = memoryview(frame)
+    if len(mv) < _HEADER.size or bytes(mv[:4]) != DELTA_MAGIC:
+        raise StorageError("not a delta frame (bad magic)")
+    magic, version, base_len, base_crc, out_len, out_crc, nops = (
+        _HEADER.unpack_from(mv, 0)
+    )
+    if version != _FRAME_VERSION:
+        raise StorageError(f"unsupported delta frame version {version}")
+    return {
+        "version": version,
+        "base_len": base_len,
+        "base_crc": base_crc,
+        "out_len": out_len,
+        "out_crc": out_crc,
+        "nops": nops,
+    }
+
+
+def decode_frame(frame, base_blob: Optional[bytes]) -> bytes:
+    """Reconstruct the full v2 blob from a frame plus the held base.
+
+    Verification is layered: reuse ops re-digest the base range,
+    literal ops check post-codec length against the recipe, and the
+    whole reconstruction checks against the frame's CRC-32 — any
+    mismatch raises :class:`~repro.errors.IntegrityError` before a
+    single byte can reach the double buffer.  A missing/mismatched base
+    raises :class:`DeltaBaseError` (fall back, don't fail).
+    """
+    info = frame_info(frame)
+    mv = memoryview(frame)
+    if info["base_len"]:
+        if base_blob is None:
+            raise DeltaBaseError(
+                f"delta frame needs a {info['base_len']}-byte base blob "
+                f"but none is held"
+            )
+        if (
+            len(base_blob) != info["base_len"]
+            or zlib.crc32(base_blob) != info["base_crc"]
+        ):
+            raise DeltaBaseError(
+                f"held base does not match the frame's negotiated base "
+                f"(len {len(base_blob)} vs {info['base_len']})"
+            )
+        base_mv = memoryview(base_blob)
+    else:
+        base_mv = memoryview(b"")
+
+    out = bytearray(info["out_len"])
+    out_mv = memoryview(out)
+    pos = _HEADER.size
+    write = 0
+    for _ in range(info["nops"]):
+        if pos >= len(mv):
+            raise IntegrityError("truncated delta frame (ops)")
+        tag = mv[pos]
+        if tag == _OP_REUSE:
+            _tag, offset, length, digest = _REUSE.unpack_from(mv, pos)
+            pos += _REUSE.size
+            if offset + length > len(base_mv):
+                raise DeltaBaseError(
+                    f"reuse op [{offset}:{offset + length}] exceeds the "
+                    f"held base ({len(base_mv)} bytes)"
+                )
+            chunk = base_mv[offset : offset + length]
+            if _digest(chunk) != digest:
+                raise IntegrityError(
+                    "reused chunk digest mismatch (base blob corrupt?)"
+                )
+        elif tag == _OP_LITERAL:
+            _tag, codec_id, orig_len, enc_len, digest = (
+                _LITERAL.unpack_from(mv, pos)
+            )
+            pos += _LITERAL.size
+            if pos + enc_len > len(mv):
+                raise IntegrityError("truncated delta frame (literal)")
+            chunk = codec_for_id(codec_id).decode(
+                mv[pos : pos + enc_len], orig_len
+            )
+            pos += enc_len
+            if _digest(chunk) != digest:
+                raise IntegrityError("literal chunk digest mismatch")
+        else:
+            raise IntegrityError(f"unknown delta op tag {tag}")
+        if write + len(chunk) > len(out_mv):
+            raise IntegrityError("delta recipe overflows the declared length")
+        out_mv[write : write + len(chunk)] = chunk
+        write += len(chunk)
+    if write != info["out_len"]:
+        raise IntegrityError(
+            f"delta recipe reconstructed {write} bytes, header says "
+            f"{info['out_len']}"
+        )
+    actual = zlib.crc32(out)
+    if actual != info["out_crc"]:
+        raise IntegrityError(
+            f"reconstructed blob CRC mismatch: frame says "
+            f"{info['out_crc']:#010x}, got {actual:#010x}",
+            expected=info["out_crc"],
+            actual=actual,
+        )
+    return bytes(out)
+
+
+@dataclass
+class _ProducerEntry:
+    """Producer-retained encode state for one version."""
+
+    blob: bytes
+    index: ChunkIndex
+
+
+class DeltaManager:
+    """Negotiation state for the delta wire path (both ends).
+
+    Producer side: retains the last ``cache_versions`` monolithic blobs
+    (plus chunk indexes) per model, knows which version the consumer
+    holds, and decides delta vs monolithic per save.  Consumer side:
+    retains the reconstructed blob of the last successful load per
+    model, which is the base the next frame reuses against.  In this
+    reproduction both ends live in one process, but the two maps are
+    kept strictly separate so losing one side (a restarted consumer)
+    exercises the real fallback.
+    """
+
+    def __init__(self, config: Optional[DeltaConfig] = None, *,
+                 serializer=None, lanes: int = 1,
+                 tracer=None, metrics=None):
+        self.config = config if config is not None else DeltaConfig()
+        self.serializer = serializer
+        self.lanes = max(1, lanes)
+        self.tracer = tracer
+        self.metrics = metrics
+        self._lock = threading.Lock()
+        # producer: model -> {version: _ProducerEntry}, insertion-ordered
+        self._produced: Dict[str, Dict[int, _ProducerEntry]] = {}
+        # negotiation: model -> version the consumer last confirmed
+        self._held_version: Dict[str, int] = {}
+        # consumer: model -> (version, full blob)
+        self._held_blob: Dict[str, Tuple[int, bytes]] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self.config.enabled
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+    def _remember(self, model_name: str, version: int, blob: bytes,
+                  piece_lengths: Iterable[int]) -> None:
+        entry = _ProducerEntry(
+            blob=bytes(blob),
+            index=ChunkIndex(blob, self.config.chunk_bytes, piece_lengths),
+        )
+        with self._lock:
+            cache = self._produced.setdefault(model_name, {})
+            cache[version] = entry
+            while len(cache) > self.config.cache_versions:
+                cache.pop(next(iter(cache)))
+
+    def _pieces_of(self, blob: bytes, state) -> Tuple[List, List[int]]:
+        """The iovec to chunk: serializer pieces when possible, else the
+        whole blob as one piece (still correct, coarser boundaries)."""
+        if self.serializer is not None and state is not None:
+            pieces = list(self.serializer.dump_chunks(state))
+        else:
+            pieces = [memoryview(blob)]
+        lengths = []
+        for p in pieces:
+            mv = memoryview(p)
+            if mv.ndim != 1 or mv.itemsize != 1:
+                mv = mv.cast("B")
+            lengths.append(len(mv))
+        return pieces, lengths
+
+    def remember_saved(
+        self, model_name: str, version: int, blob: bytes, state=None
+    ) -> None:
+        """Retain a monolithic save for future diffs and fallbacks.
+
+        Used when the wire decision was made elsewhere (e.g. a direct
+        PFS save, which always ships monolithic): the version still
+        enters the producer cache so later volatile-tier saves can diff
+        against it and baseless consumers can re-fetch it.
+        """
+        if not self.config.enabled:
+            return
+        _, piece_lengths = self._pieces_of(blob, state)
+        self._remember(model_name, version, blob, piece_lengths)
+
+    def encode_for_save(
+        self,
+        model_name: str,
+        version: int,
+        blob: bytes,
+        state=None,
+        prev_state=None,
+    ) -> Tuple[Optional[bytes], DeltaStats]:
+        """Decide and encode the wire form for one save.
+
+        Returns ``(frame, stats)``; ``frame=None`` means ship the
+        monolithic ``blob`` (stats then records the monolithic bytes).
+        Always retains ``blob`` for future diffs and for the consumer's
+        missing-base fallback, even when the decision is monolithic.
+        """
+        pieces, piece_lengths = self._pieces_of(blob, state)
+        mono = DeltaStats(
+            mode="monolithic", bytes_total=len(blob), bytes_on_wire=len(blob)
+        )
+        if not self.config.enabled:
+            return None, mono
+
+        with self._lock:
+            held = self._held_version.get(model_name)
+            base_entry = (
+                self._produced.get(model_name, {}).get(held)
+                if held is not None
+                else None
+            )
+        codec = self.config.codec()
+        null_codec = isinstance(codec, NullCodec)
+
+        try:
+            if base_entry is None:
+                if null_codec:
+                    # No base and nothing to compress: the frame could
+                    # only add overhead.
+                    return None, mono
+                frame, stats = encode_frame(
+                    None, pieces, self.config.chunk_bytes, codec,
+                    lanes=self.lanes, tracer=self.tracer, metrics=self.metrics,
+                )
+            else:
+                # Snapshot-level early-out (the promoted incremental
+                # diff): when (almost) everything changed and no codec
+                # can claw bytes back, skip the digest pass entirely.
+                if null_codec and state is not None:
+                    if prev_state is None and self.serializer is not None:
+                        # The retained base blob *is* the previous state;
+                        # zero-copy views make the comparison cheap
+                        # relative to digesting every chunk.
+                        try:
+                            prev_state = self.serializer.loads(
+                                base_entry.blob, copy=False
+                            )
+                        except Exception:
+                            prev_state = None
+                    from repro.core.transfer.incremental import changed_fraction
+
+                    if (
+                        prev_state is not None
+                        and changed_fraction(prev_state, state)
+                        >= self.config.full_change_threshold
+                    ):
+                        return None, mono
+                frame, stats = encode_frame(
+                    base_entry.index, pieces, self.config.chunk_bytes, codec,
+                    lanes=self.lanes, tracer=self.tracer, metrics=self.metrics,
+                )
+        finally:
+            self._remember(model_name, version, blob, piece_lengths)
+        if len(frame) >= len(blob):
+            # The delta would be larger (fully-changed or incompressible
+            # payload): monolithic fallback, by construction never worse.
+            return None, mono
+        return frame, stats
+
+    # ------------------------------------------------------------------
+    # Consumer side
+    # ------------------------------------------------------------------
+    def decode_for_load(self, model_name: str, frame) -> bytes:
+        """Reconstruct a fetched frame against the held base."""
+        with self._lock:
+            held = self._held_blob.get(model_name)
+        base = held[1] if held is not None else None
+        return decode_frame(frame, base)
+
+    def register_loaded(self, model_name: str, version: int, blob: bytes) -> None:
+        """A consumer finished loading ``version``: new negotiation base."""
+        with self._lock:
+            self._held_blob[model_name] = (version, bytes(blob))
+            self._held_version[model_name] = version
+
+    def held_version(self, model_name: str) -> Optional[int]:
+        with self._lock:
+            return self._held_version.get(model_name)
+
+    def forget_held(self, model_name: Optional[str] = None) -> None:
+        """Drop the consumer-side base(s) (a restarted consumer)."""
+        with self._lock:
+            if model_name is None:
+                self._held_blob.clear()
+                self._held_version.clear()
+            else:
+                self._held_blob.pop(model_name, None)
+                self._held_version.pop(model_name, None)
+
+    def full_blob(self, model_name: str, version: int) -> Optional[bytes]:
+        """The producer-retained monolithic blob (fallback source)."""
+        with self._lock:
+            entry = self._produced.get(model_name, {}).get(version)
+            return entry.blob if entry is not None else None

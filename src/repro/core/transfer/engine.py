@@ -35,6 +35,10 @@ class TransferJob:
     done: threading.Event = field(default_factory=threading.Event)
     cost: Cost = field(default_factory=Cost.zero)
     error: Optional[BaseException] = None
+    #: wire bytes this job moves (0 = unknown); drives the engine's
+    #: ``engine_wire_bytes_total`` counter so delta savings show up in
+    #: background-transfer accounting, not only in the save-side stats.
+    nbytes: int = 0
 
 
 class AsyncTransferEngine:
@@ -168,6 +172,10 @@ class AsyncTransferEngine:
                     self._background_cost = self._background_cost + job.cost
                 self._m_jobs_ok.inc()
                 self._m_sim_seconds.observe(job.cost.total)
+                if job.nbytes:
+                    self.metrics.counter(
+                        "engine_wire_bytes_total", engine=self.name
+                    ).inc(job.nbytes)
             except BaseException as exc:  # noqa: BLE001 - surfaced on drain
                 job.error = exc
                 with self._lock:

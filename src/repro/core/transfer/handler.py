@@ -33,6 +33,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro.errors import (
+    DeltaBaseError,
     IntegrityError,
     MetadataError,
     ObjectNotFoundError,
@@ -54,6 +55,12 @@ from repro.substrates.profiles import HardwareProfile
 from repro.dnn.serialization import Serializer, ViperSerializer, state_dict_nbytes
 from repro.core.metadata import MetadataStore, ModelRecord
 from repro.core.notification import NotificationBroker
+from repro.core.transfer.delta import (
+    DeltaConfig,
+    DeltaManager,
+    DeltaStats,
+    is_delta_frame,
+)
 from repro.core.transfer.engine import AsyncTransferEngine, TransferJob
 from repro.core.transfer.flush import BackgroundFlusher, FlushJob
 from repro.core.transfer.pipeline import (
@@ -138,6 +145,7 @@ class ModelWeightsHandler:
         tracer=None,
         metrics=None,
         pipeline: Optional[PipelineConfig] = None,
+        delta: Optional[DeltaConfig] = None,
         retry_policy: Optional[RetryPolicy] = None,
         failover: bool = True,
         lineage=None,
@@ -170,6 +178,15 @@ class ModelWeightsHandler:
         #: Reusable staging buffers for the pipelined serialize path.
         self.buffer_pool = BufferPool(max_buffers=4)
         self.stats = StatsManager(metrics=self.metrics)
+        #: Delta/compressed wire path (strictly opt-in; a disabled
+        #: manager leaves the monolithic path byte-for-byte intact).
+        self.delta = DeltaManager(
+            delta if delta is not None else DeltaConfig(),
+            serializer=self.serializer,
+            lanes=self.pipeline.lanes if self.pipeline.enabled else 1,
+            tracer=self.tracer,
+            metrics=self.metrics,
+        )
         self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
         self.failover = failover
         # Seeded jitter streams (keyed off VIPER_FAULT_SEED like the fault
@@ -256,10 +273,6 @@ class ModelWeightsHandler:
         vbytes = payload_bytes if virtual_bytes is None else int(virtual_bytes)
         vtensors = len(state) if virtual_tensors is None else int(virtual_tensors)
         chosen = strategy if strategy is not None else self.selector.select(vbytes)
-        timings = compute_timings(
-            self.profile, self.serializer, chosen, mode, vbytes, vtensors,
-            pipeline=self.pipeline,
-        )
         ver = self.next_version(model_name) if version is None else version
         # Mint this version's causal identity at capture; everything
         # downstream (record, notification, flush job, chunk spans)
@@ -299,9 +312,60 @@ class ModelWeightsHandler:
                     )
                 else:
                     blob = self.serializer.dumps(state)
+            # Delta encode before the timing law: the law's wire terms
+            # scale to what actually moves.  Digest/codec CPU is a real
+            # (wall-clock) producer cost; the simulated law scales bytes.
+            wire_blob: bytes = blob
+            dstats: Optional[DeltaStats] = None
+            if self.delta.enabled and chosen is TransferStrategy.PFS:
+                # The durable root always ships the self-contained blob;
+                # retain it so later volatile-tier saves can diff it.
+                self.delta.remember_saved(model_name, ver, blob, state=state)
+            elif self.delta.enabled:
+                had_base = self.delta.held_version(model_name) is not None
+                with self.tracer.span(
+                    "handler.delta_encode", track="producer", version=ver
+                ) as dsp:
+                    frame, dstats = self.delta.encode_for_save(
+                        model_name, ver, blob, state=state
+                    )
+                    if frame is not None:
+                        wire_blob = frame
+                    elif had_base:
+                        # A base was negotiated but the recipe lost
+                        # (fully-changed or incompressible payload).
+                        self.stats.record_delta_fallback("encode")
+                    dsp.set(
+                        mode=dstats.mode,
+                        wire_bytes=dstats.bytes_on_wire,
+                        dedup_ratio=round(dstats.dedup_hit_ratio, 4),
+                    )
+            wire_scale = dstats.wire_fraction if dstats is not None else 1.0
+            # Wire accounting in virtual (paper-scale) bytes, matching
+            # every other byte counter in the stats snapshot.
+            wire_virtual = max(1, int(round(vbytes * wire_scale)))
+            scale_v = vbytes / dstats.bytes_total if dstats is not None and dstats.bytes_total else 0.0
+            self.stats.record_wire(
+                vbytes,
+                wire_virtual,
+                saved_dedup=int(dstats.bytes_reused * scale_v) if dstats else 0,
+                saved_compression=(
+                    int(dstats.bytes_saved_compression * scale_v) if dstats else 0
+                ),
+                chunks_total=dstats.chunks_total if dstats else 0,
+                chunks_reused=dstats.chunks_reused if dstats else 0,
+                delta=wire_blob is not blob,
+            )
+            timings = compute_timings(
+                self.profile, self.serializer, chosen, mode, vbytes, vtensors,
+                pipeline=self.pipeline, wire_scale=wire_scale,
+            )
             result = self._stage_and_publish(
                 model_name, blob, chosen, mode, timings, ver, vbytes,
                 vtensors, train_iteration, train_loss, ctx=ctx,
+                wire_blob=wire_blob,
+                wire_virtual=wire_virtual if wire_blob is not blob else 0,
+                dstats=dstats,
             )
             sp.set(sim_stall=result.stall.total, sim_background=result.background.total)
         self.metrics.counter(
@@ -320,8 +384,21 @@ class ModelWeightsHandler:
         wire: int,
         vtensors: int,
         ver: int,
+        wire_blob: Optional[bytes] = None,
+        wire_virtual: int = 0,
     ) -> Cost:
-        """One staging attempt: put the blob into the strategy's tier."""
+        """One staging attempt: put the wire form into the strategy's tier.
+
+        Volatile tiers (GPU/host) receive the delta frame when one was
+        encoded; the PFS — the crash-recovery root — always receives the
+        self-contained monolithic blob, so durability never depends on a
+        consumer-held base surviving a restart.
+        """
+        if wire_blob is not None and strategy is not TransferStrategy.PFS:
+            return self._dest_store(strategy).put(
+                key, wire_blob, virtual_bytes=wire_virtual,
+                nobjects=vtensors, version=ver,
+            )
         return self._dest_store(strategy).put(
             key, blob, virtual_bytes=wire, nobjects=vtensors, version=ver
         )
@@ -334,6 +411,8 @@ class ModelWeightsHandler:
         wire: int,
         vtensors: int,
         ver: int,
+        wire_blob: Optional[bytes] = None,
+        wire_virtual: int = 0,
     ) -> Tuple[TransferStrategy, float]:
         """Stage with retries, failing over down the strategy chain.
 
@@ -351,7 +430,8 @@ class ModelWeightsHandler:
             try:
                 outcome = execute_with_retry(
                     lambda s=strat: self._stage_once(
-                        key, blob, s, wire, vtensors, ver
+                        key, blob, s, wire, vtensors, ver,
+                        wire_blob=wire_blob, wire_virtual=wire_virtual,
                     ),
                     self.retry_policy,
                     site=f"stage.{strat.value}",
@@ -396,9 +476,19 @@ class ModelWeightsHandler:
         train_iteration: int,
         train_loss: float,
         ctx: Optional[TraceContext] = None,
+        wire_blob: Optional[bytes] = None,
+        wire_virtual: int = 0,
+        dstats: Optional[DeltaStats] = None,
     ) -> UpdateResult:
         key = f"{model_name}/v{ver}"
         header = ctx.to_header() if ctx is not None else ""
+        if wire_blob is None:
+            wire_blob = blob
+        # The PFS stages the monolithic blob even when a frame was
+        # encoded, so a PFS-resident record always moves full bytes.
+        frame_shipped = (
+            wire_blob is not blob and chosen is not TransferStrategy.PFS
+        )
         # Optimistic record: the producer's stall was paid for ``chosen``
         # regardless of any later failover, so created_at advances now.
         record = ModelRecord(
@@ -413,6 +503,7 @@ class ModelWeightsHandler:
             train_iteration=train_iteration,
             train_loss=train_loss,
             trace_ctx=header,
+            wire_bytes=wire_virtual if frame_shipped else 0,
         )
         if ctx is not None:
             self.lineage.record(
@@ -432,7 +523,13 @@ class ModelWeightsHandler:
                 "handler.publish", track="engine", key=key, version=ver
             ):
                 final, backoff = self._stage_resilient(
-                    key, blob, chosen, wire, vtensors, ver
+                    key, blob, chosen, wire, vtensors, ver,
+                    wire_blob=wire_blob if frame_shipped else None,
+                    wire_virtual=(
+                        self.serializer.wire_bytes(wire_virtual)
+                        if frame_shipped
+                        else 0
+                    ),
                 )
                 # Kill point: blob staged, metadata not yet journaled.
                 # Recovery must not invent a version the journal never saw.
@@ -442,16 +539,23 @@ class ModelWeightsHandler:
                 else:
                     # Failover changed where the checkpoint lives: the
                     # published metadata and the deliver/load laws follow
-                    # the strategy that actually succeeded.
+                    # the strategy that actually succeeded.  A failover
+                    # into the PFS ships the monolithic blob, so the
+                    # record's wire accounting reverts with it.
+                    frame_final = (
+                        frame_shipped and final is not TransferStrategy.PFS
+                    )
                     rec = replace(
                         record,
                         location=_locname(final),
                         durable=(final is TransferStrategy.PFS),
                         replicas=(),
+                        wire_bytes=wire_virtual if frame_final else 0,
                     )
                     fin = compute_timings(
                         self.profile, self.serializer, final, mode,
                         vbytes, vtensors, pipeline=self.pipeline,
+                        wire_scale=rec.wire_fraction,
                     )
                 cost = self.metadata.publish_version(rec)
                 # Lifecycle timestamps on the handler's simulated clock:
@@ -461,9 +565,18 @@ class ModelWeightsHandler:
                 t_xfer = record.created_at + fin.deliver.total
                 t_pub = t_xfer + cost.total
                 if ctx is not None:
+                    xfer_attrs = dict(strategy=final.value, key=key)
+                    if rec.wire_bytes:
+                        xfer_attrs.update(
+                            wire_bytes=rec.wire_bytes,
+                            bytes=vbytes,
+                            dedup_ratio=round(
+                                dstats.dedup_hit_ratio, 4
+                            ) if dstats is not None else 0.0,
+                        )
                     self.lineage.record(
                         ctx, "transfer", sim_time=t_xfer, actor="engine",
-                        strategy=final.value, key=key,
+                        **xfer_attrs,
                     )
                     self.lineage.record(
                         ctx, "publish", sim_time=t_pub, actor="metadata",
@@ -523,6 +636,7 @@ class ModelWeightsHandler:
         job = TransferJob(
             description=f"save {key} via {chosen.value}",
             action=lambda: _deliver()[3],
+            nbytes=wire_virtual if frame_shipped else vbytes,
         )
         self.engine.submit(job)
         return UpdateResult(
@@ -563,6 +677,7 @@ class ModelWeightsHandler:
             candidates = self.stats.order(record.replicas)
             chosen = None
             state = None
+            used_delta = False
             backoff = 0.0
             last_exc: Optional[RetriesExhausted] = None
             for location in candidates:
@@ -578,7 +693,7 @@ class ModelWeightsHandler:
                 try:
                     outcome = execute_with_retry(
                         lambda s=store, loc=location: self._fetch_once(
-                            s, record.path, loc
+                            s, record, loc
                         ),
                         self.retry_policy,
                         site=f"load.{location}",
@@ -594,7 +709,7 @@ class ModelWeightsHandler:
                         for a in range(1, self.retry_policy.max_attempts)
                     )
                     continue
-                state = outcome.value
+                state, used_delta = outcome.value
                 backoff += outcome.backoff_seconds
                 chosen = location
                 break
@@ -613,6 +728,9 @@ class ModelWeightsHandler:
                 record.nbytes,
                 record.ntensors,
                 pipeline=self.pipeline,
+                # A delta frame that small was fetched instead of the full
+                # blob; a monolithic fallback pays the full read.
+                wire_scale=record.wire_fraction if used_delta else 1.0,
             )
             if backoff:
                 cost = cost + Cost.of("retry.backoff", backoff)
@@ -626,18 +744,40 @@ class ModelWeightsHandler:
             )
 
     def _fetch_once(
-        self, store: TierStore, path: str, location: str
-    ) -> Dict[str, np.ndarray]:
-        """One fetch attempt: read the blob and deserialize it, verified.
+        self, store: TierStore, record: ModelRecord, location: str
+    ) -> Tuple[Dict[str, np.ndarray], bool]:
+        """One fetch attempt: read, reconstruct (delta), deserialize.
 
-        The serializer's checksum check runs before any tensor reaches
-        the caller; a mismatch is counted and re-raised so the retry
-        executor re-requests the blob instead of serving garbage.
+        Returns ``(state, used_delta)``.  Verification is layered: a
+        delta frame's per-chunk digests and reconstruction CRC check
+        first, then the serializer's v2 checksum — a mismatch anywhere is
+        counted and re-raised so the retry executor re-requests the blob
+        instead of serving garbage.  A frame whose base the consumer no
+        longer holds degrades to the producer-retained monolithic blob
+        (:class:`~repro.errors.DeltaBaseError` propagates only when that
+        fallback is gone too, sending the load to the next replica).
         """
         with self.tracer.span(
             "handler.fetch", track="consumer", location=location
         ):
-            blob, _store_cost = store.get(path)
+            blob, _store_cost = store.get(record.path)
+        used_delta = False
+        if is_delta_frame(blob):
+            with self.tracer.span(
+                "handler.delta_decode", track="consumer", location=location
+            ):
+                try:
+                    blob = self.delta.decode_for_load(record.model_name, blob)
+                    used_delta = True
+                except DeltaBaseError:
+                    full = self.delta.full_blob(record.model_name, record.version)
+                    if full is None:
+                        raise
+                    self.stats.record_delta_fallback("missing_base")
+                    blob = full
+                except IntegrityError:
+                    self.stats.record_corruption(location)
+                    raise
         with self.tracer.span(
             "handler.deserialize",
             track="consumer",
@@ -646,10 +786,17 @@ class ModelWeightsHandler:
             try:
                 # Zero-copy fast path: the pipelined consumer reads the
                 # weights in place (read-only views over the staged blob).
-                return self.serializer.loads(blob, copy=not self.pipeline.enabled)
+                state = self.serializer.loads(
+                    blob, copy=not self.pipeline.enabled
+                )
             except IntegrityError:
                 self.stats.record_corruption(location)
                 raise
+        if self.delta.enabled:
+            # Only a fully-verified blob becomes the next negotiation
+            # base — corrupt reconstructions can never poison a diff.
+            self.delta.register_loaded(record.model_name, record.version, blob)
+        return state, used_delta
 
     def _store_for_location(self, location: str) -> TierStore:
         if location == "gpu":

@@ -21,11 +21,19 @@ motivating workflow describes: once the PtychoNN encoder is frozen and
 only the decoders refine, a delta carries a fraction of the bytes, and
 both the producer stall and the consumer load shrink proportionally
 (see ``benchmarks/test_ablation_incremental.py``).
+
+This snapshot-level diff also *feeds* the chunk-level delta wire path
+(:mod:`repro.core.transfer.delta`): :func:`changed_names` /
+:func:`changed_fraction` are the negotiation heuristic the
+``DeltaManager`` runs against the consumer's held base before paying
+for per-chunk digests — a near-fully-changed snapshot short-circuits
+straight to the monolithic path, which is what keeps the 100%-changed
+worst case regression-free.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Tuple
 
 import numpy as np
 
@@ -36,12 +44,53 @@ __all__ = [
     "apply_delta",
     "is_delta",
     "delta_payload_bytes",
+    "changed_names",
+    "changed_fraction",
 ]
 
 _MARK = "__delta__/base_version"
 _FULL = "full/"
 _ROWS_IDX = "rows_idx/"
 _ROWS_VAL = "rows_val/"
+
+
+def changed_names(
+    prev: Dict[str, np.ndarray],
+    curr: Dict[str, np.ndarray],
+) -> Tuple[str, ...]:
+    """Names of tensors in ``curr`` that differ from ``prev``.
+
+    A tensor missing from ``prev`` or with a different shape/dtype
+    counts as changed; comparison is exact (bit-level), matching
+    :func:`encode_delta`'s unchanged-tensor elision.
+    """
+    out = []
+    for name in sorted(curr):
+        a = prev.get(name)
+        b = curr[name]
+        if a is None or a.shape != b.shape or a.dtype != b.dtype:
+            out.append(name)
+        elif not np.array_equal(a, b):
+            out.append(name)
+    return tuple(out)
+
+
+def changed_fraction(
+    prev: Dict[str, np.ndarray],
+    curr: Dict[str, np.ndarray],
+) -> float:
+    """Fraction of ``curr``'s payload bytes held by changed tensors.
+
+    The tensor is the granularity: one flipped element marks its whole
+    tensor changed, so this is an upper bound on what a finer-grained
+    (chunk- or row-level) diff would move.  1.0 for an empty ``curr``
+    keeps the degenerate case on the conservative (monolithic) side.
+    """
+    total = sum(int(t.nbytes) for t in curr.values())
+    if total == 0:
+        return 1.0
+    changed = changed_names(prev, curr)
+    return sum(int(curr[name].nbytes) for name in changed) / total
 
 
 def encode_delta(
@@ -72,8 +121,8 @@ def encode_delta(
         a, b = prev[name], curr[name]
         if a.shape != b.shape or a.dtype != b.dtype:
             raise StorageError(f"tensor {name!r} changed shape/dtype")
-        if np.array_equal(a, b):
-            continue
+    for name in changed_names(prev, curr):
+        a, b = prev[name], curr[name]
         if b.ndim >= 2:
             changed_rows = np.nonzero(
                 np.any(a.reshape(a.shape[0], -1) != b.reshape(b.shape[0], -1), axis=1)

@@ -141,19 +141,33 @@ class BufferPool:
     ``acquire(nbytes)`` hands out a ``bytearray`` with capacity >= nbytes,
     recycling released buffers so steady-state transfers perform zero
     allocations.  Thread-safe; ``release`` returns a buffer to the pool.
+
+    Retention is capped: a buffer grown beyond ``max_retain_bytes`` is
+    shrunk back to the cap when released, so one giant transfer cannot
+    pin its peak footprint for the lifetime of the pool (the
+    large-then-small sequence: without the cap, a 1 GB acquire followed
+    by 4 KB steady-state traffic retains the full gigabyte forever).
+    ``max_retain_bytes=None`` disables the cap.
     """
 
-    def __init__(self, max_buffers: int = 4, initial_bytes: int = 0):
+    def __init__(self, max_buffers: int = 4, initial_bytes: int = 0,
+                 max_retain_bytes: Optional[int] = DEFAULT_CHUNK_BYTES):
         if max_buffers < 1:
             raise ConfigurationError(
                 f"max_buffers must be >= 1, got {max_buffers}"
             )
+        if max_retain_bytes is not None and max_retain_bytes < 1:
+            raise ConfigurationError(
+                f"max_retain_bytes must be >= 1 or None, got {max_retain_bytes}"
+            )
         self._max = max_buffers
+        self._max_retain = max_retain_bytes
         self._lock = threading.Lock()
         self._free: List[bytearray] = []
         self._outstanding = 0
         self.allocations = 0  # buffers created or grown
         self.reuses = 0       # acquisitions served without allocating
+        self.shrinks = 0      # oversized buffers trimmed on release
         if initial_bytes > 0:
             self._free.append(bytearray(initial_bytes))
             self.allocations += 1
@@ -190,6 +204,12 @@ class BufferPool:
         return bytearray(nbytes)
 
     def release(self, buf: bytearray) -> None:
+        if self._max_retain is not None and len(buf) > self._max_retain:
+            # Shrink outside the lock; del on a bytearray tail releases
+            # the memory immediately (unlike slicing, no second copy).
+            del buf[self._max_retain:]
+            with self._lock:
+                self.shrinks += 1
         with self._lock:
             self._outstanding -= 1
             if len(self._free) < self._max:
@@ -199,6 +219,12 @@ class BufferPool:
     def outstanding(self) -> int:
         with self._lock:
             return self._outstanding
+
+    @property
+    def retained_bytes(self) -> int:
+        """Total capacity currently held idle in the free list."""
+        with self._lock:
+            return sum(len(b) for b in self._free)
 
 
 @dataclass(frozen=True)

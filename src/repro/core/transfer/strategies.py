@@ -173,40 +173,53 @@ def compute_timings(
     ntensors: int,
     *,
     pipeline: Optional[PipelineConfig] = None,
+    wire_scale: float = 1.0,
 ) -> StrategyTimings:
     """Evaluate the timing law for one (strategy, mode) combination.
 
     With an enabled ``pipeline``, each phase is reduced by the
     chunked-overlap law (:func:`pipelined_phase_cost`); the default
     ``None`` keeps the monolithic law exactly.
+
+    ``wire_scale`` models the delta/compressed wire path
+    (:mod:`repro.core.transfer.delta`): the producer still serializes and
+    snapshots the *full* state locally, but only ``wire_scale`` of the
+    wire bytes cross the inter-node hop and land in the destination tier
+    — so the network/PFS terms and the consumer-side read scale while
+    serialize/deserialize and the local capture copy do not.
     """
     if payload_bytes < 0 or ntensors < 1:
         raise ConfigurationError(
             f"payload_bytes={payload_bytes}, ntensors={ntensors} out of range"
         )
+    if not 0.0 < wire_scale <= 1.0:
+        raise ConfigurationError(
+            f"wire_scale must be in (0, 1], got {wire_scale}"
+        )
     wire = serializer.wire_bytes(payload_bytes)
+    net = wire if wire_scale == 1.0 else max(1, int(wire * wire_scale))
     ser = Cost.of("serialize", serializer.serialize_seconds(ntensors))
     deser = Cost.of("deserialize", serializer.deserialize_seconds(ntensors))
 
     if strategy is TransferStrategy.GPU_TO_GPU:
         snapshot = profile.hbm_copy.transfer_cost(wire)
-        wire_cost = profile.nvlink.transfer_cost(wire)
-        load = Cost.of("gpu_hbm.read", profile.gpu_hbm.read_time(wire)) + deser
+        wire_cost = profile.nvlink.transfer_cost(net)
+        load = Cost.of("gpu_hbm.read", profile.gpu_hbm.read_time(net)) + deser
         if mode is CaptureMode.SYNC:
             timings = StrategyTimings(
                 strategy, mode, ser + snapshot + wire_cost, Cost.zero(), load
             )
         else:
-            extra = profile.hbm_copy.transfer_cost(wire)
+            extra = profile.hbm_copy.transfer_cost(net)
             timings = StrategyTimings(
                 strategy, mode, ser + snapshot, extra + wire_cost, load
             )
     elif strategy is TransferStrategy.HOST_TO_HOST:
         d2h = profile.pcie.transfer_cost(wire)
-        wire_cost = profile.infiniband.transfer_cost(wire)
+        wire_cost = profile.infiniband.transfer_cost(net)
         load = (
-            Cost.of("host_dram.read", profile.host_dram.read_time(wire))
-            + profile.pcie.transfer_cost(wire)
+            Cost.of("host_dram.read", profile.host_dram.read_time(net))
+            + profile.pcie.transfer_cost(net)
             + deser
         )
         if mode is CaptureMode.SYNC:
@@ -214,16 +227,16 @@ def compute_timings(
                 strategy, mode, ser + d2h + wire_cost, Cost.zero(), load
             )
         else:
-            extra = profile.dram_copy.transfer_cost(wire)
+            extra = profile.dram_copy.transfer_cost(net)
             timings = StrategyTimings(
                 strategy, mode, ser + d2h, extra + wire_cost, load
             )
     elif strategy is TransferStrategy.PFS:
         d2h = profile.pcie.transfer_cost(wire)
-        write = Cost.of("pfs.write", profile.pfs.write_time(wire, ntensors))
+        write = Cost.of("pfs.write", profile.pfs.write_time(net, ntensors))
         load = (
-            Cost.of("pfs.read", profile.pfs.read_time(wire, ntensors))
-            + profile.pcie.transfer_cost(wire)
+            Cost.of("pfs.read", profile.pfs.read_time(net, ntensors))
+            + profile.pcie.transfer_cost(net)
             + deser
         )
         if mode is CaptureMode.SYNC:
@@ -245,8 +258,8 @@ def compute_timings(
         strategy,
         mode,
         pipelined_phase_cost(timings.stall, link, wire, pipeline),
-        pipelined_phase_cost(timings.deliver, link, wire, pipeline),
-        pipelined_phase_cost(timings.load, link, wire, pipeline),
+        pipelined_phase_cost(timings.deliver, link, net, pipeline),
+        pipelined_phase_cost(timings.load, link, net, pipeline),
     )
 
 
@@ -258,6 +271,7 @@ def load_cost_for_location(
     ntensors: int,
     *,
     pipeline: Optional[PipelineConfig] = None,
+    wire_scale: float = 1.0,
 ) -> Cost:
     """Consumer-side load cost given where the checkpoint resides.
 
@@ -265,9 +279,18 @@ def load_cost_for_location(
     ``"dram"``, or ``"pfs"`` — the same keys the strategies stage into.
     An enabled ``pipeline`` applies the chunked-overlap law, with the
     staging hop (local HBM copy for GPU-resident blobs, PCIe otherwise)
-    supplying the per-chunk setup cost.
+    supplying the per-chunk setup cost.  ``wire_scale`` < 1 means the
+    tier holds a delta frame that small instead of the full blob, so
+    every byte-proportional term shrinks (deserialize does not — the
+    reconstructed state is full-size).
     """
+    if not 0.0 < wire_scale <= 1.0:
+        raise ConfigurationError(
+            f"wire_scale must be in (0, 1], got {wire_scale}"
+        )
     wire = serializer.wire_bytes(payload_bytes)
+    if wire_scale != 1.0:
+        wire = max(1, int(wire * wire_scale))
     deser = Cost.of("deserialize", serializer.deserialize_seconds(ntensors))
     if location == "gpu":
         cost = Cost.of("gpu_hbm.read", profile.gpu_hbm.read_time(wire)) + deser

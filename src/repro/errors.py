@@ -66,6 +66,15 @@ class FaultInjected(TransferError):
         self.kind = kind
 
 
+class DeltaBaseError(TransferError):
+    """A delta frame's negotiated base blob is missing or mismatched.
+
+    Not a corruption: the frame itself is intact, the *reader* lacks the
+    base version it was encoded against (a restarted consumer, an evicted
+    cache).  Handlers catch this and degrade to the monolithic path.
+    """
+
+
 class RetriesExhausted(TransferError):
     """Every retry attempt at one site failed; the last error is chained.
 

@@ -195,6 +195,18 @@ def format_lineage_table(ledger, model_name: str, version: int) -> str:
     e2e = ledger.end_to_end(model_name, version)
     if e2e == e2e:  # not NaN
         lines.append(f"end-to-end (capture -> first serve): {e2e:.4f}s")
+    for tr in life:
+        if tr.stage == "transfer" and "wire_bytes" in tr.attrs:
+            wire = int(tr.attrs["wire_bytes"])
+            total = int(tr.attrs.get("bytes", 0))
+            ratio = tr.attrs.get("dedup_ratio")
+            line = f"wire: {wire:,} B on wire"
+            if total:
+                line += f" of {total:,} B ({wire / total:.1%})"
+            if ratio is not None:
+                line += f", dedup hit ratio {float(ratio):.1%}"
+            lines.append(line)
+            break
     consumers = ledger.consumers(model_name, version)
     if consumers:
         lines.append(f"swapped on: {', '.join(consumers)}")

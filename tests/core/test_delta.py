@@ -1,0 +1,404 @@
+"""Delta wire path: chunk grid, frame codec, manager negotiation."""
+
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    DeltaBaseError,
+    IntegrityError,
+    StorageError,
+)
+from repro.dnn.serialization import ViperSerializer
+from repro.core.transfer.compression import available_codecs, get_codec
+from repro.core.transfer.delta import (
+    _HEADER,
+    _LITERAL,
+    ChunkIndex,
+    DeltaConfig,
+    DeltaManager,
+    DeltaStats,
+    chunk_bounds,
+    decode_frame,
+    encode_frame,
+    frame_info,
+    is_delta_frame,
+)
+
+CHUNK = 256
+
+
+def make_state(seed, n=4, shape=(32, 16)):
+    rng = np.random.default_rng(seed)
+    return {
+        f"t{i}": rng.standard_normal(shape).astype(np.float32)
+        for i in range(n)
+    }
+
+
+def pieces_and_lengths(serializer, state):
+    pieces = list(serializer.dump_chunks(state))
+    return pieces, [memoryview(p).nbytes for p in pieces]
+
+
+def encode_against(serializer, base_state, new_state, chunk=CHUNK, codec=None):
+    base_blob = serializer.dumps(base_state)
+    _, base_lengths = pieces_and_lengths(serializer, base_state)
+    index = ChunkIndex(base_blob, chunk, base_lengths)
+    pieces, _ = pieces_and_lengths(serializer, new_state)
+    frame, stats = encode_frame(index, pieces, chunk, codec)
+    return base_blob, frame, stats
+
+
+class TestChunkBounds:
+    def test_grid_restarts_at_piece_boundaries(self):
+        assert chunk_bounds([10, 5], 4) == [
+            (0, 4), (4, 4), (8, 2), (10, 4), (14, 1)
+        ]
+
+    def test_empty_pieces_skipped(self):
+        assert chunk_bounds([0, 3, 0], 4) == [(0, 3)]
+
+    def test_exact_multiple(self):
+        assert chunk_bounds([8], 4) == [(0, 4), (4, 4)]
+
+
+class TestChunkIndex:
+    def test_lookup_finds_every_chunk(self):
+        blob = bytes(range(256)) * 5
+        index = ChunkIndex(blob, 100)
+        import hashlib
+
+        for offset, length in chunk_bounds([len(blob)], 100):
+            d = hashlib.blake2b(
+                blob[offset : offset + length], digest_size=16
+            ).digest()
+            hit = index.lookup(d)
+            assert hit is not None
+            start, size = hit
+            assert blob[start : start + size] == blob[offset : offset + length]
+
+    def test_duplicate_chunks_dedup_to_one_entry(self):
+        blob = b"\x00" * 1024
+        index = ChunkIndex(blob, 256)
+        assert len(index) == 1  # four zero chunks, one digest
+
+    def test_crc_matches_zlib(self):
+        blob = b"hello delta"
+        assert ChunkIndex(blob, 4).crc == zlib.crc32(blob)
+
+
+class TestFrameCodec:
+    def test_roundtrip_partial_change(self):
+        ser = ViperSerializer()
+        base = make_state(1)
+        new = {k: v.copy() for k, v in base.items()}
+        new["t0"] = new["t0"] + 1.0
+        base_blob, frame, stats = encode_against(ser, base, new)
+        assert is_delta_frame(frame)
+        assert decode_frame(frame, base_blob) == ser.dumps(new)
+        assert stats.mode == "delta"
+        assert stats.chunks_reused > 0
+        assert stats.bytes_on_wire == len(frame) < stats.bytes_total
+
+    def test_zero_change_reuses_everything(self):
+        ser = ViperSerializer()
+        base = make_state(2)
+        base_blob, frame, stats = encode_against(ser, base, base)
+        assert stats.chunks_reused == stats.chunks_total
+        assert stats.bytes_saved_dedup == stats.bytes_total
+        assert decode_frame(frame, base_blob) == base_blob
+
+    def test_all_literal_frame_without_base(self):
+        ser = ViperSerializer()
+        state = make_state(3)
+        pieces, _ = pieces_and_lengths(ser, state)
+        frame, stats = encode_frame(None, pieces, CHUNK, get_codec("zlib"))
+        assert stats.mode == "literal"
+        assert stats.chunks_reused == 0
+        assert decode_frame(frame, None) == ser.dumps(state)
+
+    def test_incompressible_literals_ship_raw(self):
+        # Random float noise barely compresses: every chunk the zlib
+        # codec fails to shrink must ship raw (codec id 0), so the frame
+        # can never exceed literal bytes + per-op overhead.
+        ser = ViperSerializer()
+        state = make_state(4, n=2)
+        pieces, lengths = pieces_and_lengths(ser, state)
+        frame, stats = encode_frame(None, pieces, CHUNK, get_codec("zlib"))
+        overhead = _HEADER.size + stats.chunks_total * _LITERAL.size
+        assert len(frame) <= sum(lengths) + overhead
+        assert decode_frame(frame, None) == ser.dumps(state)
+
+    def test_frame_info_rejects_bad_magic(self):
+        with pytest.raises(StorageError):
+            frame_info(b"NOPE" + b"\x00" * 64)
+        with pytest.raises(StorageError):
+            frame_info(b"VP")  # truncated before the magic completes
+
+    def test_frame_info_rejects_unknown_version(self):
+        ser = ViperSerializer()
+        base = make_state(5)
+        _, frame, _ = encode_against(ser, base, base)
+        bad = bytearray(frame)
+        bad[4] = 99
+        with pytest.raises(StorageError):
+            frame_info(bytes(bad))
+
+    def test_v2_blob_is_not_a_frame(self):
+        ser = ViperSerializer()
+        assert not is_delta_frame(ser.dumps(make_state(6)))
+
+    def test_missing_base_raises_base_error(self):
+        ser = ViperSerializer()
+        base = make_state(7)
+        _, frame, _ = encode_against(ser, base, base)
+        with pytest.raises(DeltaBaseError):
+            decode_frame(frame, None)
+
+    def test_mismatched_base_raises_base_error(self):
+        ser = ViperSerializer()
+        base = make_state(8)
+        _, frame, _ = encode_against(ser, base, base)
+        with pytest.raises(DeltaBaseError):
+            decode_frame(frame, ser.dumps(make_state(9)))
+
+    def test_corrupt_literal_raises_integrity_error(self):
+        ser = ViperSerializer()
+        state = make_state(10)
+        pieces, _ = pieces_and_lengths(ser, state)
+        frame, _ = encode_frame(None, pieces, CHUNK)  # null codec: raw literals
+        bad = bytearray(frame)
+        bad[_HEADER.size + _LITERAL.size] ^= 0xFF  # first literal payload byte
+        with pytest.raises(IntegrityError):
+            decode_frame(bytes(bad), None)
+
+    def test_truncated_frame_raises_integrity_error(self):
+        ser = ViperSerializer()
+        state = make_state(11)
+        pieces, _ = pieces_and_lengths(ser, state)
+        frame, _ = encode_frame(None, pieces, CHUNK)
+        with pytest.raises(IntegrityError):
+            decode_frame(frame[: len(frame) // 2], None)
+
+    def test_lanes_match_serial_encode(self):
+        ser = ViperSerializer()
+        base = make_state(12)
+        new = {k: v + 1.0 for k, v in base.items()}
+        base_blob = ser.dumps(base)
+        _, base_lengths = pieces_and_lengths(ser, base)
+        index = ChunkIndex(base_blob, CHUNK, base_lengths)
+        pieces, _ = pieces_and_lengths(ser, new)
+        codec = get_codec("zlib")
+        serial, _ = encode_frame(index, pieces, CHUNK, codec, lanes=1)
+        pieces, _ = pieces_and_lengths(ser, new)
+        laned, _ = encode_frame(index, pieces, CHUNK, codec, lanes=3)
+        assert serial == laned
+
+
+class TestDeltaConfig:
+    def test_defaults_off(self):
+        cfg = DeltaConfig()
+        assert not cfg.enabled
+        assert cfg.compression == "none"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(chunk_bytes=0),
+            dict(full_change_threshold=0.0),
+            dict(full_change_threshold=1.5),
+            dict(cache_versions=0),
+            dict(compression="bogus"),
+        ],
+    )
+    def test_bad_knobs_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            DeltaConfig(**kwargs)
+
+    def test_codec_resolves(self):
+        assert "zlib" in available_codecs()
+        assert DeltaConfig(compression="zlib").codec().name == "zlib"
+
+
+class TestDeltaStats:
+    def test_ratios(self):
+        stats = DeltaStats(
+            mode="delta", bytes_total=100, bytes_on_wire=25,
+            bytes_reused=80, chunks_total=10, chunks_reused=8,
+        )
+        assert stats.bytes_saved_dedup == 80
+        assert stats.dedup_hit_ratio == 0.8
+        assert stats.wire_fraction == 0.25
+
+    def test_empty_is_neutral(self):
+        stats = DeltaStats(mode="monolithic", bytes_total=0, bytes_on_wire=0)
+        assert stats.dedup_hit_ratio == 0.0
+        assert stats.wire_fraction == 1.0
+
+
+class TestDeltaManager:
+    def _manager(self, **kwargs):
+        cfg = DeltaConfig(enabled=True, chunk_bytes=CHUNK, **kwargs)
+        return DeltaManager(cfg, serializer=ViperSerializer())
+
+    def test_disabled_always_monolithic(self):
+        mgr = DeltaManager(DeltaConfig(enabled=False))
+        blob = ViperSerializer().dumps(make_state(20))
+        frame, stats = mgr.encode_for_save("m", 1, blob)
+        assert frame is None and stats.mode == "monolithic"
+        assert stats.bytes_on_wire == len(blob)
+
+    def test_no_base_null_codec_monolithic(self):
+        mgr = self._manager()
+        state = make_state(21)
+        blob = ViperSerializer().dumps(state)
+        frame, stats = mgr.encode_for_save("m", 1, blob, state=state)
+        assert frame is None and stats.mode == "monolithic"
+
+    def test_delta_after_consumer_registers(self):
+        ser = ViperSerializer()
+        mgr = self._manager()
+        v1 = make_state(22)
+        b1 = ser.dumps(v1)
+        mgr.encode_for_save("m", 1, b1, state=v1)
+        mgr.register_loaded("m", 1, b1)
+        assert mgr.held_version("m") == 1
+        v2 = {k: v.copy() for k, v in v1.items()}
+        v2["t0"] = v2["t0"] + 1.0
+        b2 = ser.dumps(v2)
+        frame, stats = mgr.encode_for_save("m", 2, b2, state=v2)
+        assert frame is not None and stats.mode == "delta"
+        assert len(frame) < len(b2)
+        assert mgr.decode_for_load("m", frame) == b2
+
+    def test_full_change_early_out(self):
+        ser = ViperSerializer()
+        mgr = self._manager()
+        v1 = make_state(23)
+        b1 = ser.dumps(v1)
+        mgr.encode_for_save("m", 1, b1, state=v1)
+        mgr.register_loaded("m", 1, b1)
+        v2 = {k: v + 1.0 for k, v in v1.items()}  # every tensor changed
+        frame, stats = mgr.encode_for_save("m", 2, ser.dumps(v2), state=v2)
+        assert frame is None and stats.mode == "monolithic"
+
+    def test_forget_held_forces_base_error_then_fallback(self):
+        ser = ViperSerializer()
+        mgr = self._manager()
+        v1 = make_state(24)
+        b1 = ser.dumps(v1)
+        mgr.encode_for_save("m", 1, b1, state=v1)
+        mgr.register_loaded("m", 1, b1)
+        v2 = {k: v.copy() for k, v in v1.items()}
+        v2["t1"] = v2["t1"] * 2.0
+        b2 = ser.dumps(v2)
+        frame, _ = mgr.encode_for_save("m", 2, b2, state=v2)
+        assert frame is not None
+        mgr.forget_held("m")  # the consumer restarted
+        with pytest.raises(DeltaBaseError):
+            mgr.decode_for_load("m", frame)
+        assert mgr.full_blob("m", 2) == b2  # producer-retained fallback
+
+    def test_cache_eviction_bounds_retention(self):
+        ser = ViperSerializer()
+        mgr = self._manager(cache_versions=2)
+        state = make_state(25)
+        for v in range(1, 5):
+            mgr.encode_for_save("m", v, ser.dumps(state), state=state)
+        assert mgr.full_blob("m", 1) is None
+        assert mgr.full_blob("m", 2) is None
+        assert mgr.full_blob("m", 4) is not None
+
+    def test_remember_saved_enables_later_diff(self):
+        # A direct-PFS save ships monolithic but still seeds the cache.
+        ser = ViperSerializer()
+        mgr = self._manager()
+        v1 = make_state(26)
+        b1 = ser.dumps(v1)
+        mgr.remember_saved("m", 1, b1, state=v1)
+        mgr.register_loaded("m", 1, b1)
+        v2 = {k: v.copy() for k, v in v1.items()}
+        v2["t2"] = v2["t2"] + 0.5
+        frame, stats = mgr.encode_for_save("m", 2, ser.dumps(v2), state=v2)
+        assert frame is not None and stats.chunks_reused > 0
+
+
+# ---------------------------------------------------------------------------
+# Property tests: reconstruct(base, recipe) == original, for any mutation.
+# ---------------------------------------------------------------------------
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is in the image
+    HAVE_HYPOTHESIS = False
+
+
+@pytest.mark.skipif(not HAVE_HYPOTHESIS, reason="hypothesis not installed")
+class TestDeltaProperties:
+    @given(
+        n=st.integers(1, 6),
+        changed=st.sets(st.integers(0, 5)),
+        seed=st.integers(0, 2**16),
+        chunk=st.sampled_from([64, 256, 4096]),
+        codec=st.sampled_from(["none", "zlib"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_reconstruct_equals_original(self, n, changed, seed, chunk, codec):
+        # Covers zero-change (empty set), partial, and full mutation.
+        ser = ViperSerializer()
+        base = make_state(seed, n=n, shape=(8, 8))
+        new = {k: v.copy() for k, v in base.items()}
+        for i in changed:
+            if i < n:
+                new[f"t{i}"] = new[f"t{i}"] + float(i + 1)
+        base_blob, frame, stats = encode_against(
+            ser, base, new, chunk=chunk, codec=get_codec(codec)
+        )
+        assert decode_frame(frame, base_blob) == ser.dumps(new)
+        if not {i for i in changed if i < n}:
+            assert stats.chunks_reused == stats.chunks_total
+
+    @given(
+        seed=st.integers(0, 2**16),
+        dtype=st.sampled_from(["float32", "float64", "int32", "uint8"]),
+        rows=st.integers(1, 16),
+        cols=st.integers(1, 16),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_dtype_and_shape_changes_reconstruct(self, seed, dtype, rows, cols):
+        # A layer swapped out between versions: its dtype and shape both
+        # change, shifting every downstream piece boundary.
+        ser = ViperSerializer()
+        base = make_state(seed, n=3, shape=(8, 8))
+        rng = np.random.default_rng(seed + 1)
+        new = {k: v.copy() for k, v in base.items()}
+        new["t1"] = (rng.standard_normal((rows, cols)) * 10).astype(dtype)
+        base_blob, frame, _ = encode_against(ser, base, new)
+        out = decode_frame(frame, base_blob)
+        assert out == ser.dumps(new)
+        back = ser.loads(out)
+        assert back["t1"].dtype == np.dtype(dtype)
+        assert back["t1"].shape == (rows, cols)
+
+    @given(seed=st.integers(0, 2**16), burn=st.integers(0, 2**20))
+    @settings(max_examples=30, deadline=None)
+    def test_corrupt_literal_never_reconstructs(self, seed, burn):
+        # Flip any byte of the first literal's payload: the per-chunk
+        # digest must catch it — corrupt bytes never come back as a
+        # valid blob.
+        ser = ViperSerializer()
+        state = make_state(seed, n=2, shape=(8, 8))
+        pieces = list(ser.dump_chunks(state))
+        frame, _ = encode_frame(None, pieces, CHUNK)
+        _tag, _codec, _orig, enc_len, _d = _LITERAL.unpack_from(
+            frame, _HEADER.size
+        )
+        bad = bytearray(frame)
+        bad[_HEADER.size + _LITERAL.size + (burn % enc_len)] ^= 0xA5
+        with pytest.raises(IntegrityError):
+            decode_frame(bytes(bad), None)

@@ -100,6 +100,32 @@ class TestBufferPool:
         with pytest.raises(ConfigurationError):
             BufferPool().acquire(-1)
 
+    def test_large_then_small_does_not_pin_peak(self):
+        # Regression: one giant transfer must not pin its peak footprint
+        # for the lifetime of the pool.
+        pool = BufferPool(max_buffers=2, max_retain_bytes=4096)
+        big = pool.acquire(1 << 20)
+        pool.release(big)
+        assert pool.shrinks == 1
+        assert pool.retained_bytes == 4096
+        small = pool.acquire(1024)
+        assert small is big  # shrunk in place, still reused
+        assert len(small) == 4096
+        pool.release(small)
+        assert pool.shrinks == 1  # within the cap: no second trim
+        assert pool.retained_bytes == 4096
+
+    def test_retention_cap_disabled(self):
+        pool = BufferPool(max_buffers=1, max_retain_bytes=None)
+        buf = pool.acquire(1 << 20)
+        pool.release(buf)
+        assert pool.shrinks == 0
+        assert pool.retained_bytes == 1 << 20
+
+    def test_retention_cap_validated(self):
+        with pytest.raises(ConfigurationError):
+            BufferPool(max_retain_bytes=0)
+
 
 class TestPipelinedTransfer:
     def test_results_in_chunk_order(self):

@@ -1,0 +1,164 @@
+"""End-to-end delta transfer through the Viper facade.
+
+The wire-level unit tests live in tests/core/test_delta.py; here the
+whole stack runs — serialize, negotiate, frame, stage, fetch,
+reconstruct, verify, swap — and the assertions are about what a
+deployment observes: fewer bytes on the wire, bit-exact served weights,
+and graceful degradation to the monolithic path when the delta
+machinery loses its base.
+"""
+
+import numpy as np
+import pytest
+
+from repro import CaptureMode, TransferStrategy, Viper
+
+
+def fleet_state(seed=0, n=8, shape=(64, 32)):
+    rng = np.random.default_rng(seed)
+    return {
+        f"layer{i}": rng.standard_normal(shape).astype(np.float32)
+        for i in range(n)
+    }
+
+
+def perturb(state, names, scale=1.0):
+    out = {k: v.copy() for k, v in state.items()}
+    for name in names:
+        out[name] = out[name] + scale
+    return out
+
+
+class TestDeltaEndToEnd:
+    def test_partial_update_ships_fraction_of_bytes(self):
+        with Viper(delta=True) as viper:
+            v1 = fleet_state()
+            viper.save_weights(
+                "m", v1, mode=CaptureMode.SYNC,
+                strategy=TransferStrategy.HOST_TO_HOST,
+            )
+            viper.load_weights("m")  # registers the consumer-held base
+            v2 = perturb(v1, ["layer0"])  # 1 of 8 tensors changed
+            result = viper.save_weights(
+                "m", v2, mode=CaptureMode.SYNC,
+                strategy=TransferStrategy.HOST_TO_HOST,
+            )
+            # The record accounts the frame, not the full blob.
+            assert 0 < result.record.wire_bytes < result.record.nbytes // 3
+            loaded = viper.load_weights("m")
+            assert loaded.version == 2
+            for key in v2:
+                np.testing.assert_array_equal(loaded.state[key], v2[key])
+            snap = viper.handler.stats.snapshot()
+            assert snap.bytes_on_wire < snap.bytes_total
+            assert snap.delta_hits >= 1
+            assert snap.dedup_hit_ratio > 0.5
+
+    def test_missing_base_falls_back_to_monolithic(self):
+        with Viper(delta=True) as viper:
+            v1 = fleet_state(seed=1)
+            viper.save_weights(
+                "m", v1, mode=CaptureMode.SYNC,
+                strategy=TransferStrategy.HOST_TO_HOST,
+            )
+            viper.load_weights("m")
+            v2 = perturb(v1, ["layer1"])
+            viper.save_weights(
+                "m", v2, mode=CaptureMode.SYNC,
+                strategy=TransferStrategy.HOST_TO_HOST,
+            )
+            # The consumer restarts: its held base is gone, but the
+            # staged blob for v2 is a delta frame against v1.
+            viper.handler.delta.forget_held("m")
+            loaded = viper.load_weights("m")
+            assert loaded.version == 2
+            for key in v2:
+                np.testing.assert_array_equal(loaded.state[key], v2[key])
+            snap = viper.handler.stats.snapshot()
+            assert snap.delta_fallbacks >= 1
+
+    def test_pfs_strategy_always_ships_monolithic(self):
+        with Viper(delta=True) as viper:
+            v1 = fleet_state(seed=2)
+            viper.save_weights(
+                "m", v1, mode=CaptureMode.SYNC, strategy=TransferStrategy.PFS
+            )
+            viper.load_weights("m")
+            v2 = perturb(v1, ["layer0"])
+            result = viper.save_weights(
+                "m", v2, mode=CaptureMode.SYNC, strategy=TransferStrategy.PFS
+            )
+            # The durable root stays self-contained for crash recovery.
+            assert result.record.wire_bytes == 0
+            loaded = viper.load_weights("m")
+            for key in v2:
+                np.testing.assert_array_equal(loaded.state[key], v2[key])
+
+    def test_compression_only_first_save(self):
+        # No base exists for version 1, but a codec still shrinks the
+        # wire: an all-literal compressed frame ships when it wins.
+        state = {"z": np.zeros((256, 256), dtype=np.float32)}
+        with Viper(compression="zlib") as viper:
+            result = viper.save_weights(
+                "m", state, mode=CaptureMode.SYNC,
+                strategy=TransferStrategy.HOST_TO_HOST,
+            )
+            assert 0 < result.record.wire_bytes < result.record.nbytes // 10
+            loaded = viper.load_weights("m")
+            np.testing.assert_array_equal(loaded.state["z"], state["z"])
+
+    def test_delta_off_keeps_monolithic_accounting(self):
+        with Viper() as viper:
+            viper.save_weights(
+                "m", fleet_state(seed=3), mode=CaptureMode.SYNC,
+                strategy=TransferStrategy.HOST_TO_HOST,
+            )
+            rec = viper.load_weights("m").record
+            assert rec.wire_bytes == 0
+            assert rec.wire_fraction == 1.0
+            snap = viper.handler.stats.snapshot()
+            assert snap.delta_hits == 0
+
+    def test_async_delta_saves_drain_clean(self):
+        with Viper(delta=True) as viper:
+            v1 = fleet_state(seed=4)
+            viper.save_weights(
+                "m", v1, mode=CaptureMode.SYNC,
+                strategy=TransferStrategy.HOST_TO_HOST,
+            )
+            viper.load_weights("m")
+            state = v1
+            for i in range(3):
+                state = perturb(state, [f"layer{i % 8}"], scale=0.1)
+                viper.save_weights(
+                    "m", state, mode=CaptureMode.ASYNC,
+                    strategy=TransferStrategy.HOST_TO_HOST,
+                )
+                viper.drain()
+                loaded = viper.load_weights("m")
+                for key in state:
+                    np.testing.assert_array_equal(loaded.state[key], state[key])
+
+    def test_consumer_refresh_over_delta_path(self):
+        # The full consumer wave: subscribe, refresh, double-buffer swap.
+        from repro.dnn.layers import Dense
+        from repro.dnn.models import Sequential
+
+        def builder():
+            return Sequential([Dense(4, name="d")], input_shape=(8,), seed=7)
+
+        with Viper(delta=True) as viper:
+            consumer = viper.consumer(model_builder=builder)
+            consumer.subscribe()
+            state = builder().state_dict()
+            for i in range(3):
+                state = {k: v.copy() for k, v in state.items()}
+                state["d/W"][...] = float(i)
+                viper.save_weights(
+                    "m", state, mode=CaptureMode.SYNC,
+                    strategy=TransferStrategy.HOST_TO_HOST,
+                )
+                consumer.refresh("m")
+                live = consumer.current_model().state_dict()
+                np.testing.assert_allclose(live["d/W"], float(i))
+            assert consumer.current_version == 3

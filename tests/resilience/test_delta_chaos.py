@@ -1,0 +1,134 @@
+"""Chaos suite for the delta wire path.
+
+Same contract as tests/resilience/test_chaos.py — the assertions are
+invariants that must hold for ANY ``VIPER_FAULT_SEED``: a reconstruction
+that passed verification is bit-exact, a corrupt frame is never swapped
+in, and losing the consumer-held base mid-stream degrades to the
+monolithic path instead of erroring the update wave.
+
+To replay a CI failure locally::
+
+    VIPER_FAULT_SEED=<seed from the CI log> \\
+        python -m pytest tests/resilience/test_delta_chaos.py -q
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    CaptureMode,
+    FaultKind,
+    FaultPlan,
+    FaultRule,
+    RetryPolicy,
+    TransferStrategy,
+    Viper,
+)
+from repro.resilience.faults import default_seed
+
+pytestmark = pytest.mark.chaos
+
+#: Volatile staging tiers misbehave; the PFS stays clean so the failover
+#: chain (and the delta path's monolithic fallback) always has a way out.
+CHAOS_RULES = [
+    FaultRule(site="store.put:*hbm*", kind=FaultKind.WRITE_FAIL,
+              probability=0.25),
+    FaultRule(site="store.put:*ddr*", kind=FaultKind.WRITE_FAIL,
+              probability=0.2),
+    FaultRule(site="store.get:*hbm*", kind=FaultKind.CORRUPT,
+              probability=0.2),
+    FaultRule(site="store.get:*ddr*", kind=FaultKind.CORRUPT,
+              probability=0.2),
+    FaultRule(site="store.get:*ddr*", kind=FaultKind.DROP,
+              probability=0.1),
+]
+
+N_ROUNDS = 20
+
+
+def evolving_states(n, seed=11, tensors=6, shape=(32, 16)):
+    """A training run's worth of states, each a partial mutation."""
+    rng = np.random.default_rng(seed)
+    state = {
+        f"t{i}": rng.standard_normal(shape).astype(np.float32)
+        for i in range(tensors)
+    }
+    yield state
+    for step in range(1, n):
+        state = {k: v.copy() for k, v in state.items()}
+        touched = f"t{step % tensors}"
+        state[touched] = state[touched] + rng.standard_normal(shape).astype(
+            np.float32
+        ) * 0.01
+        yield state
+
+
+def test_delta_round_trips_survive_corrupt_and_drop():
+    plan = FaultPlan(CHAOS_RULES, seed=default_seed())
+    with Viper(delta=True, fault_plan=plan, flush_history=True,
+               retry_policy=RetryPolicy(max_attempts=5)) as viper:
+        for state in evolving_states(N_ROUNDS):
+            viper.save_weights("chaos", state, mode=CaptureMode.SYNC)
+            viper.drain()  # PFS mirror lands before the load tries it
+            loaded = viper.load_weights("chaos")
+            # THE invariant: whatever the fetch path did — retried a
+            # corrupt frame, fell back to the monolithic blob, failed
+            # over to the PFS replica — the served weights are
+            # bit-exact.  A corrupt reconstruction never swaps.
+            for key in state:
+                np.testing.assert_array_equal(loaded.state[key], state[key])
+        snap = viper.handler.stats.snapshot()
+        injected_corrupt = plan.injection_count(FaultKind.CORRUPT)
+    # Detected corruptions are bounded by injected ones (a corrupt read
+    # can also surface as a non-frame parse error before the counter).
+    assert snap.corruptions <= injected_corrupt
+    # The delta path was actually on the wire this run.
+    assert snap.delta_hits > 0
+    assert snap.bytes_on_wire < snap.bytes_total
+
+
+def test_consumer_restarts_under_chaos_degrade_to_monolithic():
+    # The consumer loses its held base every few rounds (a restart) while
+    # the tiers corrupt reads: every load must still serve exact bytes.
+    seed = default_seed()
+    plan = FaultPlan(CHAOS_RULES, seed=seed)
+    restarts = np.random.default_rng(seed).integers(0, 3, size=N_ROUNDS)
+    with Viper(delta=True, fault_plan=plan, flush_history=True,
+               retry_policy=RetryPolicy(max_attempts=5)) as viper:
+        for i, state in enumerate(evolving_states(N_ROUNDS, seed=13)):
+            viper.save_weights("chaos", state, mode=CaptureMode.SYNC)
+            viper.drain()
+            if restarts[i] == 0:
+                viper.handler.delta.forget_held("chaos")
+            loaded = viper.load_weights("chaos")
+            for key in state:
+                np.testing.assert_array_equal(loaded.state[key], state[key])
+        snap = viper.handler.stats.snapshot()
+    # At least one restart round hit a staged frame without a base and
+    # took the fallback, or every such round happened to stage
+    # monolithic — either way no error escaped; the counter just records
+    # which world this seed drew.
+    assert snap.delta_fallbacks >= 0
+
+
+def test_delta_chaos_is_reproducible_for_the_env_seed():
+    seed = default_seed()
+
+    def run():
+        plan = FaultPlan(CHAOS_RULES, seed=seed)
+        with Viper(delta=True, fault_plan=plan, flush_history=True,
+                   retry_policy=RetryPolicy(max_attempts=5)) as viper:
+            for state in evolving_states(8, seed=17):
+                viper.save_weights("chaos", state, mode=CaptureMode.SYNC)
+                viper.drain()
+                viper.load_weights("chaos")
+            snap = viper.handler.stats.snapshot()
+        return (
+            snap.retries, snap.failovers, snap.corruptions,
+            snap.bytes_on_wire, snap.delta_hits, snap.delta_fallbacks,
+            [(i.site, i.op_index, i.kind) for i in plan.injections],
+        )
+
+    assert run() == run()
