@@ -169,11 +169,15 @@ class Viper:
         """Normalize the delta/compression knobs to one DeltaConfig.
 
         ``delta`` accepts a :class:`~repro.core.transfer.delta.DeltaConfig`
-        or a plain bool; ``compression`` alone implies the delta path
-        with an all-literal (compression-only) wire form.
+        or a plain bool; a *real* ``compression`` codec alone implies the
+        delta path with an all-literal (compression-only) wire form.  An
+        explicit ``compression="none"`` means the same as leaving it
+        unset — it never opts a deployment into the delta path.
         """
         from repro.core.transfer.delta import DeltaConfig
 
+        if compression == "none":
+            compression = None
         if isinstance(delta, DeltaConfig):
             if compression is not None and compression != delta.compression:
                 raise ConfigurationError(

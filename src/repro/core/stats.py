@@ -231,6 +231,42 @@ class StatsManager:
             self.delta_fallbacks += 1
         self.metrics.counter("viper_delta_fallbacks_total", reason=reason).inc()
 
+    def revert_wire_savings(
+        self,
+        bytes_total: int,
+        bytes_on_wire: int,
+        *,
+        saved_dedup: int = 0,
+        saved_compression: int = 0,
+        chunks_total: int = 0,
+        chunks_reused: int = 0,
+    ) -> None:
+        """Undo one save's delta savings after staging failed over.
+
+        ``record_wire`` runs optimistically at encode time; when the
+        blob later fails over into the PFS the monolithic form actually
+        ships, so the save's full ``bytes_total`` moved and the recorded
+        dedup/compression savings never happened.  Pass the same values
+        the original ``record_wire`` call saw.
+        """
+        extra = max(0, int(bytes_total) - int(bytes_on_wire))
+        with self._lock:
+            self.bytes_on_wire += extra
+            self.bytes_saved_dedup -= min(int(saved_dedup), self.bytes_saved_dedup)
+            self.bytes_saved_compression -= min(
+                int(saved_compression), self.bytes_saved_compression
+            )
+            self.delta_chunks_total -= min(
+                int(chunks_total), self.delta_chunks_total
+            )
+            self.delta_chunks_reused -= min(
+                int(chunks_reused), self.delta_chunks_reused
+            )
+            if self.delta_hits:
+                self.delta_hits -= 1
+        if extra:
+            self.metrics.counter("viper_bytes_on_wire_total").inc(extra)
+
     # ------------------------------------------------------------------
     def loads_from(self, location: str) -> int:
         with self._lock:

@@ -420,6 +420,8 @@ def decode_frame(frame, base_blob: Optional[bytes]) -> bytes:
             raise IntegrityError("truncated delta frame (ops)")
         tag = mv[pos]
         if tag == _OP_REUSE:
+            if pos + _REUSE.size > len(mv):
+                raise IntegrityError("truncated delta frame (reuse op header)")
             _tag, offset, length, digest = _REUSE.unpack_from(mv, pos)
             pos += _REUSE.size
             if offset + length > len(base_mv):
@@ -433,6 +435,10 @@ def decode_frame(frame, base_blob: Optional[bytes]) -> bytes:
                     "reused chunk digest mismatch (base blob corrupt?)"
                 )
         elif tag == _OP_LITERAL:
+            if pos + _LITERAL.size > len(mv):
+                raise IntegrityError(
+                    "truncated delta frame (literal op header)"
+                )
             _tag, codec_id, orig_len, enc_len, digest = (
                 _LITERAL.unpack_from(mv, pos)
             )

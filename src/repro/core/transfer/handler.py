@@ -545,6 +545,31 @@ class ModelWeightsHandler:
                     frame_final = (
                         frame_shipped and final is not TransferStrategy.PFS
                     )
+                    if frame_shipped and not frame_final:
+                        # The PFS failover shipped the monolithic blob:
+                        # the optimistic record_wire savings never
+                        # happened, so the stats counters revert with
+                        # the record's wire accounting.
+                        scale_v = (
+                            vbytes / dstats.bytes_total
+                            if dstats is not None and dstats.bytes_total
+                            else 0.0
+                        )
+                        self.stats.revert_wire_savings(
+                            vbytes,
+                            wire_virtual,
+                            saved_dedup=(
+                                int(dstats.bytes_reused * scale_v)
+                                if dstats else 0
+                            ),
+                            saved_compression=(
+                                int(dstats.bytes_saved_compression * scale_v)
+                                if dstats else 0
+                            ),
+                            chunks_total=dstats.chunks_total if dstats else 0,
+                            chunks_reused=dstats.chunks_reused if dstats else 0,
+                        )
+                        self.stats.record_delta_fallback("failover")
                     rec = replace(
                         record,
                         location=_locname(final),

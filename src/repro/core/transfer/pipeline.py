@@ -205,9 +205,17 @@ class BufferPool:
 
     def release(self, buf: bytearray) -> None:
         if self._max_retain is not None and len(buf) > self._max_retain:
-            # Shrink outside the lock; del on a bytearray tail releases
-            # the memory immediately (unlike slicing, no second copy).
-            del buf[self._max_retain:]
+            try:
+                # Shrink outside the lock; del on a bytearray tail releases
+                # the memory immediately (unlike slicing, no second copy).
+                del buf[self._max_retain:]
+            except BufferError:
+                # A live memoryview export pins the bytearray's size, so
+                # it can't be shrunk.  Drop it instead of retaining an
+                # oversized buffer; the caller keeps its view valid.
+                with self._lock:
+                    self._outstanding -= 1
+                return
             with self._lock:
                 self.shrinks += 1
         with self._lock:
@@ -440,5 +448,9 @@ def serialize_pipelined(
     if pool is None:
         return buf if len(buf) == total else bytes(out[:total])
     blob = bytes(out[:total])
+    # Release the export before handing the buffer back: a live
+    # memoryview pins the bytearray's size, which would defeat (or
+    # crash) the pool's shrink-on-release retention cap.
+    out.release()
     pool.release(buf)
     return blob

@@ -42,6 +42,23 @@ class TestViperFacade:
             assert viper.load_weights("m").version == 1
 
 
+class TestDeltaKnobs:
+    def test_compression_none_keeps_delta_off(self):
+        # Regression: an explicit compression="none" must read as
+        # "unset", not as opting the deployment into the delta path.
+        with Viper(compression="none") as viper:
+            assert not viper.handler.delta.enabled
+
+    def test_compression_codec_enables_delta(self):
+        with Viper(compression="zlib") as viper:
+            assert viper.handler.delta.enabled
+
+    def test_delta_true_with_compression_none(self):
+        with Viper(delta=True, compression="none") as viper:
+            assert viper.handler.delta.enabled
+            assert viper.handler.delta.config.compression == "none"
+
+
 class TestConsumer:
     def test_refresh_applies_newest(self):
         with Viper() as viper:

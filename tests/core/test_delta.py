@@ -183,6 +183,23 @@ class TestFrameCodec:
         with pytest.raises(IntegrityError):
             decode_frame(frame[: len(frame) // 2], None)
 
+    def test_truncated_literal_op_header_raises_integrity_error(self):
+        # Regression: cutting the frame mid-op-header used to escape as
+        # struct.error instead of IntegrityError.
+        ser = ViperSerializer()
+        state = make_state(13)
+        pieces, _ = pieces_and_lengths(ser, state)
+        frame, _ = encode_frame(None, pieces, CHUNK)
+        with pytest.raises(IntegrityError):
+            decode_frame(frame[: _HEADER.size + 1], None)
+
+    def test_truncated_reuse_op_header_raises_integrity_error(self):
+        ser = ViperSerializer()
+        base = make_state(14)
+        base_blob, frame, _ = encode_against(ser, base, base)
+        with pytest.raises(IntegrityError):
+            decode_frame(frame[: _HEADER.size + 1], base_blob)
+
     def test_lanes_match_serial_encode(self):
         ser = ViperSerializer()
         base = make_state(12)

@@ -115,6 +115,20 @@ class TestBufferPool:
         assert pool.shrinks == 1  # within the cap: no second trim
         assert pool.retained_bytes == 4096
 
+    def test_release_with_live_view_drops_buffer(self):
+        # Regression: a live memoryview export pins the bytearray's
+        # size, so the shrink-on-release cap must drop the buffer
+        # instead of raising BufferError ("Existing exports of data").
+        pool = BufferPool(max_buffers=2, max_retain_bytes=4096)
+        buf = pool.acquire(1 << 20)
+        view = memoryview(buf)
+        pool.release(buf)  # must not raise
+        assert pool.outstanding == 0
+        assert pool.retained_bytes == 0  # dropped, not retained oversized
+        assert len(view) == 1 << 20  # the caller's view stays intact
+        view.release()
+        assert pool.acquire(16) is not buf
+
     def test_retention_cap_disabled(self):
         pool = BufferPool(max_buffers=1, max_retain_bytes=None)
         buf = pool.acquire(1 << 20)
@@ -201,3 +215,17 @@ class TestSerializePipelined:
         assert blob1 == blob2 == ser.dumps(state)
         assert pool.outstanding == 0
         assert pool.reuses >= 1
+
+    def test_pool_blob_larger_than_retain_cap(self):
+        # Regression: a blob bigger than max_retain_bytes used to crash
+        # at release time — the serialize path still held its memoryview
+        # when the pool tried to shrink the buffer.
+        ser = ViperSerializer()
+        state = sample_state()
+        cfg = PipelineConfig(enabled=True, chunk_bytes=512, lanes=2)
+        pool = BufferPool(max_buffers=2, max_retain_bytes=64)
+        blob = serialize_pipelined(ser, state, cfg, pool=pool)
+        assert blob == ser.dumps(state)
+        assert pool.outstanding == 0
+        assert pool.shrinks == 1
+        assert pool.retained_bytes <= 64

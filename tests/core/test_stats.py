@@ -39,6 +39,26 @@ class TestStatsManager:
         assert snap["gpu"].bytes_loaded == 300
         assert snap["gpu"].seconds == pytest.approx(0.75)
 
+    def test_revert_wire_savings_restores_monolithic_accounting(self):
+        # Regression: a PFS failover ships the monolithic blob after the
+        # delta savings were optimistically recorded — the revert must
+        # leave the counters as if the save had never gone delta.
+        stats = StatsManager()
+        stats.record_wire(100, 100)
+        stats.record_wire(100, 30, saved_dedup=60, saved_compression=10,
+                          chunks_total=10, chunks_reused=6, delta=True)
+        stats.revert_wire_savings(100, 30, saved_dedup=60,
+                                  saved_compression=10,
+                                  chunks_total=10, chunks_reused=6)
+        snap = stats.snapshot()
+        assert snap.bytes_total == 200
+        assert snap.bytes_on_wire == 200
+        assert snap.bytes_saved_dedup == 0
+        assert snap.bytes_saved_compression == 0
+        assert snap.delta_chunks_total == 0
+        assert snap.delta_chunks_reused == 0
+        assert snap.delta_hits == 0
+
     def test_summary_renders(self):
         stats = StatsManager()
         stats.record_load("gpu", 10, 0.1)

@@ -96,6 +96,34 @@ class TestEndToEndFailover:
             assert loaded.location == "pfs"
             np.testing.assert_array_equal(loaded.state["w"], STATE["w"])
 
+    def test_pfs_failover_reverts_delta_wire_accounting(self):
+        # Regression: record_wire runs optimistically at encode time;
+        # when staging fails over into the PFS the monolithic blob
+        # actually ships, so the recorded dedup/compression savings
+        # must be undone in the stats counters too (the record's
+        # wire_bytes already reverted).
+        rng = np.random.default_rng(3)
+        v1 = {f"t{i}": rng.standard_normal((64, 32)).astype(np.float32)
+              for i in range(8)}
+        v2 = {k: v.copy() for k, v in v1.items()}
+        v2["t0"] = v2["t0"] + 1.0
+        with make_viper(GPU_HOST_DOWN, delta=True) as viper:
+            viper.save_weights("m", v1, mode=CaptureMode.SYNC,
+                               strategy=TransferStrategy.HOST_TO_HOST)
+            viper.load_weights("m")  # registers the held base
+            result = viper.save_weights(
+                "m", v2, mode=CaptureMode.SYNC,
+                strategy=TransferStrategy.HOST_TO_HOST,
+            )
+            assert result.strategy is TransferStrategy.PFS
+            assert result.record.wire_bytes == 0
+            snap = viper.handler.stats.snapshot()
+        assert snap.bytes_on_wire == snap.bytes_total
+        assert snap.bytes_saved_dedup == 0
+        assert snap.bytes_saved_compression == 0
+        assert snap.delta_hits == 0
+        assert snap.delta_fallbacks >= 1
+
     def test_telemetry_snapshot_shows_retries_and_failovers(self):
         metrics = MetricsRegistry()
         with make_viper(GPU_HOST_DOWN, metrics=metrics) as viper:
