@@ -24,6 +24,7 @@ from repro.core.callback import CheckpointCallback
 from repro.core.predictor import InferencePerformancePredictor
 from repro.core.transfer import CaptureMode, TransferStrategy
 from repro.resilience import FaultKind, FaultPlan, FaultRule, RetryPolicy
+from repro.rollout import RolloutPolicy
 from repro.substrates.profiles import LAPTOP, POLARIS
 
 __version__ = "1.0.0"
@@ -40,6 +41,7 @@ __all__ = [
     "FaultPlan",
     "FaultRule",
     "RetryPolicy",
+    "RolloutPolicy",
     "POLARIS",
     "LAPTOP",
     "__version__",

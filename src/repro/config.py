@@ -68,6 +68,19 @@ class ViperConfig:
     recover: bool = False
     notify_queue_max: int = 0
     staleness_deadline: Optional[float] = None
+    # Canary rollout (off = every discovered version swaps in
+    # unconditionally).  See repro.rollout.RolloutPolicy for semantics;
+    # None thresholds disable the corresponding health check.
+    rollout: bool = False
+    rollout_canary_fraction: float = 0.1
+    rollout_min_canary_samples: int = 8
+    rollout_window: int = 64
+    rollout_max_loss_ratio: Optional[float] = 1.5
+    rollout_loss_tolerance: float = 1e-6
+    rollout_max_latency_ratio: Optional[float] = None
+    rollout_max_integrity_errors: int = 0
+    rollout_stagger: float = 0.0
+    rollout_seed: int = 0
 
     def __post_init__(self):
         if self.profile not in _PROFILES:
@@ -105,6 +118,8 @@ class ViperConfig:
         # RetryPolicy re-validates, but failing at config-construction
         # time points at the bad knob instead of the first transfer.
         self.retry_policy()
+        # Same fail-fast rule for the rollout knobs.
+        self.rollout_policy()
         if self.fault_plan is not None:
             self.make_fault_plan()
 
@@ -147,6 +162,25 @@ class ViperConfig:
             base_delay=self.retry_base_delay,
             max_delay=self.retry_max_delay,
             jitter=self.retry_jitter,
+        )
+
+    def rollout_policy(self):
+        """The configured :class:`~repro.rollout.RolloutPolicy`, or None
+        when rollout is off."""
+        if not self.rollout:
+            return None
+        from repro.rollout.policy import RolloutPolicy
+
+        return RolloutPolicy(
+            canary_fraction=self.rollout_canary_fraction,
+            min_canary_samples=self.rollout_min_canary_samples,
+            window=self.rollout_window,
+            max_loss_ratio=self.rollout_max_loss_ratio,
+            loss_tolerance=self.rollout_loss_tolerance,
+            max_latency_ratio=self.rollout_max_latency_ratio,
+            max_integrity_errors=self.rollout_max_integrity_errors,
+            stagger=self.rollout_stagger,
+            seed=self.rollout_seed,
         )
 
     def make_fault_plan(self) -> Optional["FaultPlan"]:

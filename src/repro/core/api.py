@@ -42,7 +42,7 @@ from repro.dnn.serialization import Serializer
 from repro.core.callback import CheckpointCallback
 from repro.core.metadata import MetadataStore
 from repro.core.notification import NotificationBroker, Subscription
-from repro.core.transfer.double_buffer import DoubleBuffer
+from repro.core.transfer.double_buffer import BufferSnapshot, DoubleBuffer
 from repro.core.transfer.handler import LoadResult, ModelWeightsHandler, UpdateResult
 from repro.core.transfer.selector import TransferSelector
 
@@ -282,6 +282,9 @@ class ViperConsumer:
         self.updates_applied = 0
         self.load_seconds = 0.0
         self._last_model: Optional[str] = None
+        #: Lazily-built third model replica backing the canary slot (the
+        #: rollout path needs primary + spare + canary live at once).
+        self._canary_model = None
 
     # ------------------------------------------------------------------
     def subscribe(self) -> Subscription:
@@ -338,6 +341,14 @@ class ViperConsumer:
                     self.viper.handler.stats.record_swap_rejected()
                     sp.set(outcome="swap_rejected")
                 raise
+            if result.record.quarantined:
+                # Never swap a condemned version live, even when a caller
+                # names it explicitly (metadata.latest already skips it).
+                self.viper.freshness.record_stale_rejection(self.name, model_name)
+                raise ServingError(
+                    f"version {result.version} of {model_name!r} is "
+                    f"quarantined ({result.record.quarantine_reason})"
+                )
             if result.version <= self._buffer.version:
                 self.viper.freshness.record_stale_rejection(self.name, model_name)
                 raise ServingError(
@@ -370,6 +381,98 @@ class ViperConsumer:
             )
             sp.set(version=result.version, location=result.location)
             return result
+
+    # ------------------------------------------------------------------
+    # Canary lifecycle (driven by the rollout controller)
+    # ------------------------------------------------------------------
+    def stage_candidate(
+        self, model_name: str, version: Optional[int] = None
+    ) -> LoadResult:
+        """Load a checkpoint into the canary slot without touching the
+        primary.  The candidate serves only the traffic the rollout
+        controller routes to it until a promote/rollback verdict lands.
+
+        Rejects quarantined versions outright; integrity failures follow
+        the same swap-rejection accounting as :meth:`apply_update`.
+        """
+        with self._lock, self.viper.tracer.span(
+            "consumer.stage_candidate", track="consumer", model=model_name
+        ) as sp:
+            try:
+                result = self.viper.load_weights(model_name, version)
+            except (IntegrityError, RetriesExhausted) as exc:
+                cause = exc if isinstance(exc, IntegrityError) else exc.__cause__
+                if isinstance(cause, IntegrityError):
+                    self._buffer.record_rejection()
+                    self.viper.handler.stats.record_swap_rejected()
+                    sp.set(outcome="swap_rejected")
+                raise
+            if result.record.quarantined:
+                self.viper.freshness.record_stale_rejection(self.name, model_name)
+                raise ServingError(
+                    f"version {result.version} of {model_name!r} is "
+                    f"quarantined ({result.record.quarantine_reason})"
+                )
+            if self._canary_model is None:
+                self._canary_model = self._builder()
+            self._canary_model.load_state_dict(result.state)
+            self._buffer.stage_canary(self._canary_model, result.version)
+            self.load_seconds += result.cost.total
+            self._last_model = model_name
+            sim_now = self.viper.handler.sim_now
+            header = result.record.trace_ctx
+            self.viper.lineage.record_header(
+                header, "load", sim_time=sim_now, actor=self.name,
+                sim_seconds=result.cost.total, location=result.location,
+            )
+            self.viper.lineage.record_header(
+                header, "canary", sim_time=sim_now, actor=self.name,
+                location=result.location,
+            )
+            sp.set(version=result.version, location=result.location)
+            return result
+
+    def canary_snapshot(self) -> Optional[BufferSnapshot]:
+        """The staged candidate (model + version), or None when idle."""
+        return self._buffer.acquire_canary()
+
+    @property
+    def candidate_version(self) -> Optional[int]:
+        return self._buffer.canary_version
+
+    def promote_candidate(self, model_name: str) -> BufferSnapshot:
+        """Atomically swap the canary into the primary (health-gate
+        verdict: promote).  The displaced primary's model object becomes
+        the next canary replica."""
+        with self._lock:
+            staged = self._buffer.acquire_canary()
+            if staged is None:
+                raise ServingError("promote_candidate() with no canary staged")
+            displaced = self._buffer.promote_canary()
+            self._canary_model = displaced.model
+            self.updates_applied += 1
+            self._last_model = model_name
+            sim_now = self.viper.handler.sim_now
+            self.viper.freshness.record_swap(
+                self.name, model_name, staged.version, sim_now
+            )
+            try:
+                record, _cost = self.viper.metadata.record(
+                    model_name, staged.version
+                )
+                header = record.trace_ctx
+            except Exception:
+                header = ""
+            self.viper.lineage.record_header(
+                header, "swap", sim_time=sim_now, actor=self.name,
+            )
+            return staged
+
+    def drop_candidate(self) -> Optional[int]:
+        """Discard the canary (rollback or supersede); returns its
+        version, or None when no candidate was staged."""
+        with self._lock:
+            return self._buffer.drop_canary()
 
     def refresh(self, model_name: Optional[str] = None) -> Optional[LoadResult]:
         """Pick up the newest checkpoint if it is newer than the live one.

@@ -11,6 +11,16 @@ thread-safe, versioned key-value store:
 - ``latest`` / ``record`` are wait-free reads.
 - ``compare_and_swap`` supports optimistic concurrency for components that
   update a record in place (e.g. the flusher marking a version durable).
+- ``quarantine_version`` condemns a version with a reason code (the
+  rollout controller's rollback path).  A quarantined record stays in the
+  store as evidence, but the ``latest`` pointer always names the newest
+  *non-quarantined* version, so every consumer path that resolves
+  "latest" — ``ViperConsumer.refresh``, the staleness watchdog's fallback
+  poll, crash recovery — converges on the last-known-good checkpoint
+  without special-casing.  Quarantine is sticky: ``compare_and_swap``
+  merges the live record's quarantine flags into the caller's copy, so a
+  flusher holding a pre-quarantine snapshot cannot resurrect a condemned
+  version.
 
 The store charges a small simulated access latency per operation to model
 the Redis round trip.
@@ -28,7 +38,7 @@ from __future__ import annotations
 
 import math
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import MetadataError, StaleVersionError
@@ -66,6 +76,13 @@ class ModelRecord:
     #: means the full (monolithic) ``nbytes`` moved, anything smaller is
     #: a delta/compressed frame (see :mod:`repro.core.transfer.delta`).
     wire_bytes: int = 0
+    #: condemned by the rollout controller: never resolved as "latest",
+    #: never re-served.  The record survives as evidence; ``replicas``
+    #: still names where its bytes sit for GC.
+    quarantined: bool = False
+    #: machine-readable rollback reason (see
+    #: :class:`repro.rollout.gate.RollbackReason`); empty unless quarantined.
+    quarantine_reason: str = ""
 
     def __post_init__(self):
         if self.version < 0:
@@ -103,6 +120,8 @@ class ModelRecord:
             "trace_ctx": self.trace_ctx,
             "replicas": list(self.replicas),
             "wire_bytes": self.wire_bytes,
+            "quarantined": self.quarantined,
+            "quarantine_reason": self.quarantine_reason,
         }
 
     @classmethod
@@ -191,13 +210,18 @@ class MetadataStore:
 
         Returns True when the store state changed.  Replay semantics:
 
-        - ``publish``: insert-if-absent; the latest pointer only advances.
+        - ``publish``: insert-if-absent; the latest pointer only advances
+          (and never onto a quarantined record).
         - ``cas``: upsert the record (replacing with the journaled value a
-          second time is a no-op).
+          second time is a no-op); a record carrying the quarantine flag
+          recomputes the latest pointer instead of advancing it.
+        - ``quarantine``: flag-if-present and rewind the latest pointer to
+          the newest non-quarantined survivor (flagging twice is a no-op).
         - ``drop_version`` / ``drop_model``: remove-if-present.
 
         Replaying a prefix twice therefore converges to the same state as
-        replaying it once, and no replay order can regress ``latest``.
+        replaying it once, and no replay order can regress ``latest``
+        past a quarantine that was journaled after it.
         """
         with self._lock:
             if op == "publish":
@@ -206,7 +230,9 @@ class MetadataStore:
                 if key in self._records:
                     return False
                 self._records[key] = rec
-                if rec.version > self._latest.get(rec.model_name, -1):
+                if not rec.quarantined and rec.version > self._latest.get(
+                    rec.model_name, -1
+                ):
                     self._latest[rec.model_name] = rec.version
                 return True
             if op == "cas":
@@ -215,8 +241,17 @@ class MetadataStore:
                 if self._records.get(key) == rec:
                     return False
                 self._records[key] = rec
-                if rec.version > self._latest.get(rec.model_name, -1):
+                if rec.quarantined:
+                    self._recompute_latest_locked(rec.model_name)
+                elif rec.version > self._latest.get(rec.model_name, -1):
                     self._latest[rec.model_name] = rec.version
+                return True
+            if op == "quarantine":
+                key = (data["model_name"], int(data["version"]))
+                old = self._records.get(key)
+                if old is None or old.quarantined:
+                    return False
+                self._quarantine_locked(old, str(data.get("reason", "")))
                 return True
             if op == "drop_version":
                 key = (data["model_name"], int(data["version"]))
@@ -252,7 +287,7 @@ class MetadataStore:
             self._journal_op("publish", record.to_dict())
             self._records[key] = record
             current = self._latest.get(record.model_name, -1)
-            if record.version > current:
+            if not record.quarantined and record.version > current:
                 self._latest[record.model_name] = record.version
             self._maybe_compact_locked()
         return Cost.of("metadata.write", DB_ACCESS_LATENCY)
@@ -274,10 +309,65 @@ class MetadataStore:
                     expected=int(expected_durable),
                     actual=int(old.durable),
                 )
+            if old.quarantined and not updated.quarantined:
+                # Quarantine is sticky: a writer holding a pre-quarantine
+                # copy (the flusher, recovery's re-CAS) merges the live
+                # flags instead of silently resurrecting the version.
+                updated = replace(
+                    updated,
+                    quarantined=True,
+                    quarantine_reason=old.quarantine_reason,
+                )
             self._journal_op("cas", updated.to_dict())
             self._records[key] = updated
             self._maybe_compact_locked()
         return Cost.of("metadata.write", DB_ACCESS_LATENCY)
+
+    def quarantine_version(
+        self, model_name: str, version: int, reason: str
+    ) -> Cost:
+        """Condemn a version with a reason code (rollback path).
+
+        Idempotent: quarantining an already-quarantined version keeps the
+        original reason and journals nothing.  The latest pointer rewinds
+        to the newest non-quarantined survivor (or disappears when every
+        version of the model is condemned — consumers then keep serving
+        whatever they already hold).
+        """
+        with self._lock:
+            old = self._records.get((model_name, version))
+            if old is None:
+                raise MetadataError(f"no record for {model_name!r} v{version}")
+            if not old.quarantined:
+                self._journal_op(
+                    "quarantine",
+                    {
+                        "model_name": model_name,
+                        "version": version,
+                        "reason": reason,
+                    },
+                )
+                self._quarantine_locked(old, reason)
+                self._maybe_compact_locked()
+        return Cost.of("metadata.write", DB_ACCESS_LATENCY)
+
+    def _quarantine_locked(self, old: ModelRecord, reason: str) -> None:
+        self._records[(old.model_name, old.version)] = replace(
+            old, quarantined=True, quarantine_reason=reason
+        )
+        self._recompute_latest_locked(old.model_name)
+
+    def _recompute_latest_locked(self, model_name: str) -> None:
+        """Point ``latest`` at the newest non-quarantined version."""
+        survivors = [
+            v
+            for (name, v), rec in self._records.items()
+            if name == model_name and not rec.quarantined
+        ]
+        if survivors:
+            self._latest[model_name] = max(survivors)
+        else:
+            self._latest.pop(model_name, None)
 
     def drop_version(self, model_name: str, version: int) -> None:
         """Remove one version's record (GC path).  Dropping the latest
@@ -294,13 +384,7 @@ class MetadataStore:
     def _drop_locked(self, model_name: str, version: int) -> None:
         del self._records[(model_name, version)]
         if self._latest.get(model_name) == version:
-            survivors = [
-                v for (name, v) in self._records if name == model_name
-            ]
-            if survivors:
-                self._latest[model_name] = max(survivors)
-            else:
-                del self._latest[model_name]
+            self._recompute_latest_locked(model_name)
 
     def drop_model(self, model_name: str) -> int:
         """Remove every version of a model; returns how many were dropped."""
@@ -336,9 +420,21 @@ class MetadataStore:
         with self._lock:
             return sorted(v for (name, v) in self._records if name == model_name)
 
-    def models(self) -> Tuple[str, ...]:
+    def quarantined_versions(self, model_name: str) -> List[int]:
+        """Condemned versions of a model, oldest first."""
         with self._lock:
-            return tuple(sorted(self._latest))
+            return sorted(
+                v
+                for (name, v), rec in self._records.items()
+                if name == model_name and rec.quarantined
+            )
+
+    def models(self) -> Tuple[str, ...]:
+        """Every model with at least one record (quarantined included:
+        a model whose every version is condemned still exists — recovery
+        and GC must be able to see it)."""
+        with self._lock:
+            return tuple(sorted({name for (name, _v) in self._records}))
 
     def __len__(self) -> int:
         with self._lock:

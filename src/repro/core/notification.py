@@ -39,10 +39,28 @@ from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 from repro.errors import NotificationError
 from repro.obs.metrics import NULL_METRICS
 
-__all__ = ["Notification", "Subscription", "NotificationBroker", "PUSH_LATENCY"]
+__all__ = [
+    "Notification",
+    "Subscription",
+    "NotificationBroker",
+    "PUSH_LATENCY",
+    "QUARANTINE_EVENT",
+    "is_quarantine",
+]
 
 #: Simulated publish->deliver latency (paper: "less than 1 ms").
 PUSH_LATENCY = 0.0005
+
+#: ``payload["event"]`` marker on a quarantine fan-out: the named version
+#: was condemned by a rollout controller and peers must drop any canary
+#: they hold for it (``payload["reason"]`` carries the reason code).
+#: Ordinary update notifications carry no ``event`` key.
+QUARANTINE_EVENT = "quarantine"
+
+
+def is_quarantine(note: "Notification") -> bool:
+    """True when ``note`` announces a quarantine, not a new version."""
+    return note.payload.get("event") == QUARANTINE_EVENT
 
 
 @dataclass(frozen=True)

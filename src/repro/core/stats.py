@@ -65,6 +65,8 @@ class StatsSnapshot:
     delta_chunks_reused: int = 0     # chunks served from the held base
     delta_hits: int = 0              # saves that shipped a delta frame
     delta_fallbacks: int = 0         # delta path degraded to monolithic
+    canary_promotions: int = 0       # candidates promoted by the health gate
+    canary_rollbacks: int = 0        # candidates quarantined by the gate
 
     @property
     def dedup_hit_ratio(self) -> float:
@@ -109,6 +111,8 @@ class StatsManager:
         self.delta_chunks_reused = 0
         self.delta_hits = 0
         self.delta_fallbacks = 0
+        self.canary_promotions = 0   # see StatsSnapshot.canary_promotions
+        self.canary_rollbacks = 0    # see StatsSnapshot.canary_rollbacks
         self.metrics = metrics if metrics is not None else NULL_METRICS
 
     def rank(self, location: str) -> int:
@@ -187,6 +191,18 @@ class StatsManager:
         with self._lock:
             self.swaps_rejected += 1
         self.metrics.counter("viper_swaps_rejected_total").inc()
+
+    def record_promotion(self) -> None:
+        """A canary candidate passed its health gate and was swapped in."""
+        with self._lock:
+            self.canary_promotions += 1
+        self.metrics.counter("viper_promotions_total").inc()
+
+    def record_rollback(self, reason: str = "") -> None:
+        """A canary candidate was quarantined with ``reason``."""
+        with self._lock:
+            self.canary_rollbacks += 1
+        self.metrics.counter("viper_rollbacks_total", reason=reason).inc()
 
     def record_wire(
         self,
@@ -298,6 +314,8 @@ class StatsManager:
                 delta_chunks_reused=self.delta_chunks_reused,
                 delta_hits=self.delta_hits,
                 delta_fallbacks=self.delta_fallbacks,
+                canary_promotions=self.canary_promotions,
+                canary_rollbacks=self.canary_rollbacks,
             )
 
     def summary(self) -> str:
@@ -321,6 +339,11 @@ class StatsManager:
                 f"gaps: {snap.notification_gaps}, "
                 f"stale fallbacks: {snap.stale_fallbacks}, "
                 f"swaps rejected: {snap.swaps_rejected}"
+            )
+        if snap.canary_promotions or snap.canary_rollbacks:
+            parts.append(
+                f"rollout: {snap.canary_promotions} promotions, "
+                f"{snap.canary_rollbacks} rollbacks"
             )
         if snap.bytes_total:
             parts.append(

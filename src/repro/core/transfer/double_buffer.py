@@ -12,6 +12,14 @@ for nanoseconds — never across an inference).  The update thread stages
 into the alternate with :meth:`stage` and flips with :meth:`commit`.
 Readers always see either the old or the new model, never a torn mix —
 the invariant the property tests hammer on.
+
+A third, optional **canary** slot carries a candidate version under
+rollout evaluation.  It is deliberately separate from the alternate slot:
+the alternate is a transient staging area consumed by :meth:`commit`,
+while the canary serves live (fractional) traffic for as long as the
+health gate deliberates, then is either promoted into the primary
+(:meth:`promote_canary` — same atomic flip, same swap accounting) or
+dropped (:meth:`drop_canary`).
 """
 
 from __future__ import annotations
@@ -54,10 +62,13 @@ class DoubleBuffer(Generic[T]):
         self._lock = threading.Lock()
         self._primary: BufferSnapshot[T] = BufferSnapshot(initial, version)
         self._alternate: Optional[BufferSnapshot[T]] = None
+        self._canary: Optional[BufferSnapshot[T]] = None
         self._staging = False
         self._staged_wall = 0.0
         self.swaps = 0
         self.swaps_rejected = 0
+        self.canary_promotions = 0
+        self.canary_drops = 0
         self.metrics = metrics if metrics is not None else NULL_METRICS
         #: Freshness tracker + owning consumer name: stale rejections at
         #: the buffer feed the same staleness accounting as the server.
@@ -72,6 +83,16 @@ class DoubleBuffer(Generic[T]):
         self._m_version.set(version)
         self._m_stage_to_commit = self.metrics.histogram(
             "buffer_stage_to_commit_wall_seconds", buffer=name
+        )
+        self._m_canary_version = self.metrics.gauge(
+            "buffer_canary_version", buffer=name
+        )
+        self._m_canary_version.set(-1)
+        self._m_canary_promotions = self.metrics.counter(
+            "buffer_canary_promotions_total", buffer=name
+        )
+        self._m_canary_drops = self.metrics.counter(
+            "buffer_canary_drops_total", buffer=name
         )
 
     # ------------------------------------------------------------------
@@ -135,6 +156,87 @@ class DoubleBuffer(Generic[T]):
         """Convenience: stage + commit in one call."""
         self.stage(model, version)
         return self.commit()
+
+    # ------------------------------------------------------------------
+    # Canary slot (rollout controller)
+    # ------------------------------------------------------------------
+    def stage_canary(self, model: T, version: int) -> None:
+        """Install a candidate version into the canary slot.
+
+        Same staleness discipline as :meth:`stage`: a candidate no newer
+        than the live primary (or an already-staged canary) is rejected,
+        and the rejection feeds stale-serve accounting.  A strictly newer
+        candidate silently replaces an older one — Viper keeps only the
+        latest model in flight.
+        """
+        error = None
+        with self._lock:
+            if version <= self._primary.version:
+                error = ServingError(
+                    f"stale canary: version {version} <= live "
+                    f"{self._primary.version}"
+                )
+            elif self._canary is not None and version <= self._canary.version:
+                error = ServingError(
+                    f"stale canary: version {version} <= staged canary "
+                    f"{self._canary.version}"
+                )
+            else:
+                self._canary = BufferSnapshot(model, version)
+        if error is not None:
+            self.freshness.record_stale_rejection(self.owner, self._name)
+            raise error
+        self._m_canary_version.set(version)
+
+    def acquire_canary(self) -> Optional[BufferSnapshot[T]]:
+        """Grab the canary snapshot, or None when no candidate is staged."""
+        with self._lock:
+            return self._canary
+
+    @property
+    def canary_version(self) -> Optional[int]:
+        snap = self.acquire_canary()
+        return snap.version if snap is not None else None
+
+    def promote_canary(self) -> BufferSnapshot[T]:
+        """Atomically swap the canary into the primary; returns the
+        displaced primary snapshot (its model object is reusable)."""
+        with self._lock:
+            if self._canary is None:
+                raise ServingError("promote_canary() with no canary staged")
+            if self._canary.version <= self._primary.version:
+                # A direct commit of an even newer version raced us; the
+                # candidate is obsolete, not promotable.
+                stale = self._canary.version
+                self._canary = None
+                self.canary_drops += 1
+                raise ServingError(
+                    f"stale canary promote: version {stale} <= live "
+                    f"{self._primary.version}"
+                )
+            displaced = self._primary
+            self._primary = self._canary
+            self._canary = None
+            self.swaps += 1
+            self.canary_promotions += 1
+            self._m_swaps.inc()
+            self._m_version.set(self._primary.version)
+        self._m_canary_promotions.inc()
+        self._m_canary_version.set(-1)
+        return displaced
+
+    def drop_canary(self) -> Optional[int]:
+        """Discard the canary (rollback / supersede); returns its version
+        or None when the slot was already empty."""
+        with self._lock:
+            if self._canary is None:
+                return None
+            version = self._canary.version
+            self._canary = None
+            self.canary_drops += 1
+        self._m_canary_drops.inc()
+        self._m_canary_version.set(-1)
+        return version
 
     def record_rejection(self) -> None:
         """Count an update that was refused before reaching either slot

@@ -126,6 +126,10 @@ class ServingError(ViperError):
     """The inference serving substrate failed."""
 
 
+class RolloutError(ServingError):
+    """The canary rollout controller was misconfigured or misused."""
+
+
 class WorkflowError(ViperError):
     """A coupled producer/consumer workflow run failed."""
 

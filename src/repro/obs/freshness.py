@@ -121,8 +121,11 @@ class FreshnessTracker:
         self._latest: Dict[str, int] = {}
         #: (model, consumer) -> state.
         self._states: Dict[Tuple[str, str], _ConsumerState] = {}
+        #: model -> quarantined versions; these never define freshness.
+        self._quarantined: Dict[str, set] = {}
         self.stale_rejections = 0
         self.stale_fallbacks = 0
+        self.quarantines = 0
 
     # ------------------------------------------------------------------
     def _state_locked(self, model_name: str, consumer: str) -> _ConsumerState:
@@ -151,7 +154,11 @@ class FreshnessTracker:
             self._published.setdefault(model_name, {}).setdefault(
                 version, float(sim_time)
             )
-            if version > self._latest.get(model_name, 0):
+            if version in self._quarantined.get(model_name, ()):
+                # A condemned version can be re-announced (journal replay,
+                # broker catch-up) but never re-defines freshness.
+                pass
+            elif version > self._latest.get(model_name, 0):
                 self._latest[model_name] = version
                 for (m, _c), state in self._states.items():
                     if m != model_name:
@@ -250,6 +257,58 @@ class FreshnessTracker:
             "viper_stale_fallbacks_by_consumer_total",
             consumer=consumer, model=model_name,
         ).inc()
+
+    def record_quarantine(
+        self, model_name: str, version: int, sim_time: float
+    ) -> None:
+        """``version`` was condemned: it no longer defines freshness.
+
+        Rewinds the model's latest pointer to the newest published
+        non-quarantined version and closes the open stale interval of
+        every consumer that is now current again — consumers were only
+        "behind" relative to a version that turned out to be poison, and
+        staleness accounting must not keep charging them for it.
+        """
+        now = float(sim_time)
+        closed: List[Tuple[str, float]] = []  # (consumer, interval seconds)
+        with self._lock:
+            self._quarantined.setdefault(model_name, set())
+            if version in self._quarantined[model_name]:
+                return
+            self._quarantined[model_name].add(version)
+            self.quarantines += 1
+            survivors = [
+                v
+                for v in self._published.get(model_name, {})
+                if v not in self._quarantined[model_name]
+            ]
+            latest = max(survivors) if survivors else 0
+            self._latest[model_name] = latest
+            for (m, consumer), state in self._states.items():
+                if m != model_name:
+                    continue
+                if (
+                    state.stale_since is not None
+                    and state.current_version >= latest
+                ):
+                    delta = max(0.0, now - state.stale_since)
+                    state.stale_seconds += delta
+                    state.stale_since = None
+                    closed.append((consumer, delta))
+        self.metrics.counter(
+            "viper_quarantines_total", model=model_name
+        ).inc()
+        self.metrics.gauge(
+            "viper_latest_published_version", model=model_name
+        ).set(latest)
+        for consumer, delta in closed:
+            self.metrics.counter(
+                "viper_stale_serving_seconds_total",
+                consumer=consumer, model=model_name,
+            ).inc(delta)
+            self.metrics.gauge(
+                "viper_consumer_version_lag", consumer=consumer, model=model_name
+            ).set(0)
 
     # ------------------------------------------------------------------
     # Queries
@@ -379,6 +438,9 @@ class NullFreshness(FreshnessTracker):
         pass
 
     def record_stale_fallback(self, consumer, model_name):  # type: ignore[override]
+        pass
+
+    def record_quarantine(self, model_name, version, sim_time):  # type: ignore[override]
         pass
 
     def fleet(self, model_name, now=None, quantiles=DEFAULT_QUANTILES):  # type: ignore[override]

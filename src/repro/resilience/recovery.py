@@ -12,7 +12,15 @@ of the recovery protocol:
   bounds replay time.  Replay is idempotent (replaying any prefix twice
   yields the same store state) and preserves the monotonic
   latest-version invariant, so a recovery interrupted by a second crash
-  simply replays again.
+  simply replays again.  The journal is op-agnostic: replay hands every
+  entry to ``MetadataStore.apply_journal_op``, so the rollout
+  controller's ``quarantine`` ops replay with no journal-side support —
+  a recovered deployment re-condemns the same versions and its latest
+  pointer lands back on the last-known-good checkpoint, never on a
+  quarantined one (quarantine survives crashes by construction, and the
+  flush-completion re-CAS of :meth:`~repro.core.transfer.handler.
+  ModelWeightsHandler.recover_pending` cannot resurrect a condemned
+  record because the store merges quarantine flags into every CAS).
 - :class:`CrashPlan` / :class:`SimulatedCrash` — seeded kill points for
   the crash-restart chaos harness.  A plan names one ``(site, op)``
   point; the first thread to reach it dies with :class:`SimulatedCrash`

@@ -1,0 +1,23 @@
+"""Canary rollout: health-gated promotion and automatic rollback.
+
+Layered between update discovery and the double-buffer swap: a
+:class:`RolloutPolicy` caps the candidate's traffic share, a
+:class:`HealthGate` scores it live against the incumbent, and the
+:class:`RolloutController` executes the verdict — staggered fleet
+promotion or quarantine + rollback to the last-known-good version.
+"""
+
+from repro.rollout.controller import Candidate, RolloutController
+from repro.rollout.gate import GateDecision, HealthGate, RollbackReason, Verdict
+from repro.rollout.policy import CanaryRouter, RolloutPolicy
+
+__all__ = [
+    "Candidate",
+    "CanaryRouter",
+    "GateDecision",
+    "HealthGate",
+    "RollbackReason",
+    "RolloutController",
+    "RolloutPolicy",
+    "Verdict",
+]

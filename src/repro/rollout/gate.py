@@ -1,0 +1,179 @@
+"""Health gate: live scoring of a canary candidate against the incumbent.
+
+The gate holds one sliding window of scored samples per arm (incumbent
+primary vs. candidate canary) and renders a :class:`GateDecision` on
+demand:
+
+- **hard failures** fire at any sample count: a single non-finite
+  prediction (NaN/inf anywhere in the candidate's output) or more than
+  ``max_integrity_errors`` candidate-load checksum failures;
+- **statistical checks** wait for ``min_canary_samples`` scored canary
+  requests *and* at least one scored incumbent request, then compare
+  windowed mean loss (ratio + absolute tolerance) and windowed p99
+  request latency (ratio);
+- with enough samples and no threshold tripped the verdict is
+  :attr:`Verdict.PROMOTE`.
+
+The gate is deliberately clock-free — callers stamp decisions with
+their own simulated time — and lock-free: the serving thread is the
+only writer (the server already serializes request accounting).
+"""
+
+from __future__ import annotations
+
+import collections
+import enum
+import math
+from dataclasses import dataclass
+from typing import Deque, Optional, Sequence
+
+import numpy as np
+
+from repro.rollout.policy import RolloutPolicy
+
+__all__ = ["Verdict", "RollbackReason", "GateDecision", "HealthGate"]
+
+
+class Verdict(enum.Enum):
+    """What the gate currently believes about the candidate."""
+
+    PENDING = "pending"      # not enough evidence yet
+    PROMOTE = "promote"      # healthy: full swap is justified
+    ROLLBACK = "rollback"    # unhealthy: quarantine the candidate
+
+
+class RollbackReason(enum.Enum):
+    """Why a candidate was (or should be) quarantined."""
+
+    LOSS_REGRESSION = "loss_regression"
+    LATENCY_REGRESSION = "latency_regression"
+    NAN_OUTPUT = "nan_output"
+    INTEGRITY = "integrity"
+    PEER = "peer"            # another consumer quarantined it first
+    SUPERSEDED = "superseded"  # a newer candidate displaced it (no quarantine)
+
+
+@dataclass(frozen=True)
+class GateDecision:
+    """One rendered verdict plus its supporting evidence."""
+
+    verdict: Verdict
+    reason: Optional[RollbackReason] = None
+    detail: str = ""
+
+
+def _p99(samples: Sequence[float]) -> float:
+    """Windowed p99 (nearest-rank); NaN when the window is empty."""
+    if not samples:
+        return float("nan")
+    ordered = sorted(samples)
+    rank = max(0, math.ceil(0.99 * len(ordered)) - 1)
+    return ordered[rank]
+
+
+class HealthGate:
+    """Sliding-window health comparison of candidate vs. incumbent."""
+
+    def __init__(self, policy: RolloutPolicy):
+        self.policy = policy
+        self.incumbent_loss: Deque[float] = collections.deque(maxlen=policy.window)
+        self.canary_loss: Deque[float] = collections.deque(maxlen=policy.window)
+        self.incumbent_latency: Deque[float] = collections.deque(maxlen=policy.window)
+        self.canary_latency: Deque[float] = collections.deque(maxlen=policy.window)
+        self.canary_scored = 0       # scored canary requests (finite loss)
+        self.canary_served = 0       # all canary requests, scored or not
+        self.nonfinite_outputs = 0
+        self.integrity_errors = 0
+
+    # ------------------------------------------------------------------
+    # Evidence intake (serving thread)
+    # ------------------------------------------------------------------
+    def observe_primary(self, loss: float, latency: float) -> None:
+        """One request served by the incumbent primary."""
+        if math.isfinite(loss):
+            self.incumbent_loss.append(loss)
+        if math.isfinite(latency):
+            self.incumbent_latency.append(latency)
+
+    def observe_canary(
+        self, prediction, loss: float, latency: float
+    ) -> None:
+        """One request served by the candidate.
+
+        ``prediction`` is the raw model output; any non-finite element
+        is a hard failure (a model emitting NaN/inf must never win the
+        fleet, whatever its loss window says — NaN losses would simply
+        fall out of the mean).
+        """
+        self.canary_served += 1
+        if prediction is not None and not np.all(np.isfinite(prediction)):
+            self.nonfinite_outputs += 1
+        if math.isfinite(loss):
+            self.canary_loss.append(loss)
+            self.canary_scored += 1
+        if math.isfinite(latency):
+            self.canary_latency.append(latency)
+
+    def record_integrity_error(self) -> None:
+        """A candidate load failed verification after exhausting retries."""
+        self.integrity_errors += 1
+
+    # ------------------------------------------------------------------
+    # Verdict
+    # ------------------------------------------------------------------
+    def decision(self) -> GateDecision:
+        """Render the current verdict; cheap enough to call per request."""
+        policy = self.policy
+        if self.nonfinite_outputs > 0:
+            return GateDecision(
+                Verdict.ROLLBACK,
+                RollbackReason.NAN_OUTPUT,
+                f"{self.nonfinite_outputs} non-finite prediction(s)",
+            )
+        if self.integrity_errors > policy.max_integrity_errors:
+            return GateDecision(
+                Verdict.ROLLBACK,
+                RollbackReason.INTEGRITY,
+                f"{self.integrity_errors} integrity error(s) "
+                f"(tolerated {policy.max_integrity_errors})",
+            )
+        if self.canary_scored < policy.min_canary_samples:
+            return GateDecision(
+                Verdict.PENDING,
+                detail=f"{self.canary_scored}/{policy.min_canary_samples} "
+                       f"scored canary samples",
+            )
+        if policy.max_loss_ratio is not None:
+            if not self.incumbent_loss:
+                return GateDecision(
+                    Verdict.PENDING, detail="no scored incumbent samples yet"
+                )
+            incumbent = float(np.mean(self.incumbent_loss))
+            candidate = float(np.mean(self.canary_loss))
+            threshold = incumbent * policy.max_loss_ratio + policy.loss_tolerance
+            if candidate > threshold:
+                return GateDecision(
+                    Verdict.ROLLBACK,
+                    RollbackReason.LOSS_REGRESSION,
+                    f"candidate mean loss {candidate:.6g} > "
+                    f"{threshold:.6g} (incumbent {incumbent:.6g} x "
+                    f"{policy.max_loss_ratio})",
+                )
+        if policy.max_latency_ratio is not None:
+            incumbent_p99 = _p99(self.incumbent_latency)
+            candidate_p99 = _p99(self.canary_latency)
+            if math.isnan(incumbent_p99) or math.isnan(candidate_p99):
+                return GateDecision(
+                    Verdict.PENDING, detail="latency windows not filled"
+                )
+            if candidate_p99 > incumbent_p99 * policy.max_latency_ratio:
+                return GateDecision(
+                    Verdict.ROLLBACK,
+                    RollbackReason.LATENCY_REGRESSION,
+                    f"candidate p99 {candidate_p99:.6g}s > incumbent "
+                    f"p99 {incumbent_p99:.6g}s x {policy.max_latency_ratio}",
+                )
+        return GateDecision(
+            Verdict.PROMOTE,
+            detail=f"{self.canary_scored} scored canary samples healthy",
+        )

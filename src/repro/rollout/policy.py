@@ -1,0 +1,145 @@
+"""Rollout policy: how much traffic a candidate gets, and when it wins.
+
+A freshly published checkpoint is not trusted with the fleet.  The
+:class:`RolloutPolicy` states the contract a candidate version must meet
+before a full double-buffer swap:
+
+- it serves at most ``canary_fraction`` of live requests while under
+  evaluation (a **hard cap**, enforced by the deterministic
+  :class:`CanaryRouter` — the canary share can round down, never up);
+- the :class:`~repro.rollout.gate.HealthGate` must score at least
+  ``min_canary_samples`` canary requests without tripping a rollback
+  threshold (loss ratio, p99 latency ratio, non-finite outputs,
+  integrity errors);
+- once the gate votes *promote*, the actual swap is delayed by a
+  deterministic per-consumer jitter in ``[0, stagger)`` simulated
+  seconds, so a fleet of consumers never drains its serving capacity by
+  swapping in the same instant.
+
+The policy is a frozen value object; all mutable rollout state lives in
+the :class:`~repro.rollout.controller.RolloutController`.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import RolloutError
+
+__all__ = ["RolloutPolicy", "CanaryRouter"]
+
+
+@dataclass(frozen=True)
+class RolloutPolicy:
+    """Knobs of one canary rollout deployment.
+
+    Attributes:
+        canary_fraction: maximum share of requests the candidate may
+            serve while under evaluation (0 < f <= 1; 1 degenerates to
+            an unconditional swap after ``min_canary_samples``).
+        min_canary_samples: scored canary requests required before the
+            gate may vote promote (hard failures — non-finite outputs,
+            integrity errors — roll back earlier).
+        window: sliding-window length of the per-arm loss/latency
+            samples the gate compares.
+        max_loss_ratio: roll back when the candidate's mean windowed
+            loss exceeds ``incumbent_mean * max_loss_ratio +
+            loss_tolerance``; ``None`` disables the loss check.
+        loss_tolerance: absolute slack added to the loss threshold so a
+            near-zero incumbent loss does not make the ratio test
+            vacuous.
+        max_latency_ratio: roll back when the candidate's windowed p99
+            request latency exceeds ``incumbent_p99 *
+            max_latency_ratio``; ``None`` disables the latency check.
+        max_integrity_errors: candidate-load integrity failures (each
+            one already survived the retry layer) tolerated before an
+            immediate rollback.
+        stagger: width of the fleet promotion wave in simulated
+            seconds; each consumer draws a deterministic delay in
+            ``[0, stagger)`` from ``seed`` and its own name.
+        seed: jitter stream seed (kept in the policy so a fleet sharing
+            one policy staggers reproducibly).
+    """
+
+    canary_fraction: float = 0.1
+    min_canary_samples: int = 8
+    window: int = 64
+    max_loss_ratio: Optional[float] = 1.5
+    loss_tolerance: float = 1e-6
+    max_latency_ratio: Optional[float] = None
+    max_integrity_errors: int = 0
+    stagger: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self):
+        if not 0.0 < self.canary_fraction <= 1.0:
+            raise RolloutError(
+                f"canary_fraction {self.canary_fraction} outside (0, 1]"
+            )
+        if self.min_canary_samples < 1:
+            raise RolloutError("min_canary_samples must be >= 1")
+        if self.window < self.min_canary_samples:
+            raise RolloutError(
+                f"window {self.window} smaller than min_canary_samples "
+                f"{self.min_canary_samples}"
+            )
+        if self.max_loss_ratio is not None and self.max_loss_ratio <= 0:
+            raise RolloutError("max_loss_ratio must be positive")
+        if self.loss_tolerance < 0:
+            raise RolloutError("loss_tolerance must be non-negative")
+        if self.max_latency_ratio is not None and self.max_latency_ratio <= 0:
+            raise RolloutError("max_latency_ratio must be positive")
+        if self.max_integrity_errors < 0:
+            raise RolloutError("max_integrity_errors must be non-negative")
+        if self.stagger < 0:
+            raise RolloutError("stagger must be non-negative")
+
+    def promote_delay(self, consumer: str) -> float:
+        """Deterministic promotion jitter for ``consumer`` in [0, stagger).
+
+        String seeds hash via SHA-512 in CPython, so the same (seed,
+        consumer) pair draws the same delay in every process — a fleet
+        re-running a wave staggers identically.
+        """
+        if self.stagger <= 0.0:
+            return 0.0
+        rng = random.Random(f"rollout/{self.seed}/{consumer}")
+        return rng.random() * self.stagger
+
+
+class CanaryRouter:
+    """Deterministic stride routing with a hard canary share cap.
+
+    Request ``k`` (0-based, counted from the instant the candidate was
+    staged) routes to the canary iff ``floor((k+1) * f) > floor(k * f)``.
+    After any ``n`` requests the canary has served exactly
+    ``floor(n * f)`` of them, so its share can never exceed ``f`` — the
+    chaos harness's "a bad version never exceeds its canary share"
+    invariant holds by construction, not statistically.
+    """
+
+    def __init__(self, fraction: float):
+        if not 0.0 < fraction <= 1.0:
+            raise RolloutError(f"canary fraction {fraction} outside (0, 1]")
+        self.fraction = fraction
+        self.requests = 0       # requests routed (both arms)
+        self.canary_requests = 0
+
+    def route(self) -> bool:
+        """Decide the next request; True routes it to the canary."""
+        k = self.requests
+        self.requests += 1
+        hit = math.floor((k + 1) * self.fraction) > math.floor(k * self.fraction)
+        if hit:
+            self.canary_requests += 1
+        return hit
+
+    @property
+    def canary_share(self) -> float:
+        """Realized canary share so far (0.0 before any request)."""
+        if self.requests == 0:
+            return 0.0
+        return self.canary_requests / self.requests

@@ -20,15 +20,24 @@ simulated time, the server performs one direct metadata poll — so a dead
 producer, a crashed broker, or a dropped notification degrades to the
 polling baseline instead of serving stale forever.  Every fallback is
 counted (``server_stale_fallbacks_total`` and the Stats Manager's
-``stale_fallbacks``).
+``stale_fallbacks``).  Because the fallback resolves "latest" through
+the metadata store, it can never resurrect a quarantined version — the
+latest pointer always names the newest non-quarantined checkpoint.
+
+With a :class:`~repro.rollout.policy.RolloutPolicy` armed, discovery no
+longer swaps unconditionally: new versions are staged as **canaries**,
+served to at most the policy's traffic fraction, scored live by the
+health gate, and promoted or quarantined by the server's
+:class:`~repro.rollout.controller.RolloutController` (``self.rollout``).
 """
 
 from __future__ import annotations
 
+import collections
 import threading
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -37,6 +46,9 @@ from repro.dnn.losses import Loss
 from repro.obs.metrics import NULL_METRICS
 from repro.obs.tracer import NULL_TRACER
 from repro.core.api import ViperConsumer
+from repro.core.notification import is_quarantine
+from repro.rollout.controller import RolloutController
+from repro.rollout.policy import RolloutPolicy
 
 __all__ = ["ServedRequest", "InferenceServer"]
 
@@ -70,11 +82,15 @@ class InferenceServer:
         tracer=None,
         metrics=None,
         name: Optional[str] = None,
+        rollout: Optional[RolloutPolicy] = None,
+        max_request_log: Optional[int] = None,
     ):
         if t_infer <= 0:
             raise ServingError("t_infer must be positive")
         if staleness_deadline is not None and staleness_deadline <= 0:
             raise ServingError("staleness_deadline must be positive")
+        if max_request_log is not None and max_request_log < 1:
+            raise ServingError("max_request_log must be >= 1 (or None)")
         self.consumer = consumer
         self.model_name = model_name
         self.name = name if name is not None else consumer.name
@@ -103,10 +119,29 @@ class InferenceServer:
         self._m_swaps = self.metrics.counter(
             "server_updates_applied_total", model=model_name
         )
-        self.requests: List[ServedRequest] = []
+        #: Per-request log, bounded by ``max_request_log`` (None keeps
+        #: everything).  The aggregates below survive eviction, so
+        #: :attr:`cumulative_loss` and :meth:`requests_per_version` stay
+        #: exact under sustained traffic.
+        self.requests: Deque[ServedRequest] = collections.deque(
+            maxlen=max_request_log
+        )
+        self.max_request_log = max_request_log
+        self._cum_loss = 0.0
+        self._scored_requests = 0
+        self._per_version: Dict[int, int] = {}
         self._sim_time = 0.0
         self._lock = threading.Lock()
         self._next_id = 0
+        #: Rollout controller (None = legacy unconditional-swap mode).
+        self.rollout: Optional[RolloutController] = (
+            RolloutController(
+                consumer, model_name, rollout,
+                name=self.name, metrics=self.metrics,
+            )
+            if rollout is not None
+            else None
+        )
         # Newest version known to have been published, maintained by
         # poll_updates(); a request served with an older primary is a
         # "stale serve" (updates pending but not yet swapped in).
@@ -122,7 +157,13 @@ class InferenceServer:
         a direct metadata poll — the pull baseline.  With both, updates
         arrive purely by push; only after ``staleness_deadline`` of
         simulated silence does the watchdog fall back to one poll.
+
+        With a rollout policy armed the same discovery signals feed the
+        canary pipeline instead: new versions stage (never swap) and the
+        return value reports health-gate *promotions*.
         """
+        if self.rollout is not None:
+            return self._poll_updates_rollout()
         if self.consumer._sub is None or self.staleness_deadline is None:
             result = self.consumer.refresh(self.model_name)
         else:
@@ -131,28 +172,84 @@ class InferenceServer:
                 self._sim_time - self._last_update_sim >= self.staleness_deadline
             ):
                 result = self.consumer.refresh(self.model_name)
-                self.stale_fallbacks += 1
-                self._last_update_sim = self._sim_time  # re-arm the watchdog
-                self.consumer.viper.handler.stats.record_stale_fallback()
-                self.freshness.record_stale_fallback(self.name, self.model_name)
-                self.metrics.counter(
-                    "server_stale_fallbacks_total", model=self.model_name
-                ).inc()
+                self._record_stale_fallback()
         if result is not None:
-            self._m_swaps.inc()
-            # Anchor the serving clock to the pipeline clock: a request
-            # served after this swap cannot precede the swap's sim time,
-            # so lineage/freshness timestamps stay on one timeline.
-            with self._lock:
-                self._sim_time = max(
-                    self._sim_time, self.consumer.viper.handler.sim_now
-                )
-            self._last_update_sim = self._sim_time
-        if self.metrics.enabled:
-            record, _ = self.consumer.viper.metadata.latest(self.model_name)
-            if record is not None and record.version > self._latest_known:
-                self._latest_known = record.version
+            self._after_swap()
+        self._advance_watermark()
         return result is not None
+
+    def _record_stale_fallback(self) -> None:
+        """Account one staleness-watchdog fallback poll (and re-arm)."""
+        self.stale_fallbacks += 1
+        self._last_update_sim = self._sim_time
+        self.consumer.viper.handler.stats.record_stale_fallback()
+        self.freshness.record_stale_fallback(self.name, self.model_name)
+        self.metrics.counter(
+            "server_stale_fallbacks_total", model=self.model_name
+        ).inc()
+
+    def _after_swap(self) -> None:
+        """A new version went live: count it and anchor the serving
+        clock to the pipeline clock, so a request served after the swap
+        cannot precede the swap's sim time and lineage/freshness
+        timestamps stay on one timeline."""
+        self._m_swaps.inc()
+        with self._lock:
+            self._sim_time = max(
+                self._sim_time, self.consumer.viper.handler.sim_now
+            )
+        self._last_update_sim = self._sim_time
+
+    def _advance_watermark(self) -> None:
+        """Track the newest published version for legacy stale-serve
+        accounting.  Advances unconditionally — the watermark must not
+        depend on whether a metrics registry is armed."""
+        record, _ = self.consumer.viper.metadata.latest(self.model_name)
+        if record is not None and record.version > self._latest_known:
+            self._latest_known = record.version
+
+    def _poll_updates_rollout(self) -> bool:
+        """Rollout-mode discovery: stage canaries, execute verdicts.
+
+        Returns True when the health gate *promoted* a candidate into
+        the primary this poll (the rollout-mode meaning of "swapped").
+        Quarantine notifications from peer consumers are honored before
+        any staging decision, so a condemned version is dropped rather
+        than re-evaluated.
+        """
+        ctrl = self.rollout
+        sub = self.consumer._sub
+        update_hint = False
+        if sub is not None:
+            for note in sub.drain():
+                if is_quarantine(note):
+                    ctrl.on_quarantine_note(note, self._sim_time)
+                else:
+                    update_hint = True
+            if sub.needs_catchup:
+                # Seq gap: one metadata catch-up read replaces the
+                # pushes that never arrived (the stage below reads it).
+                sub.needs_catchup = False
+                update_hint = True
+        staged = False
+        if sub is None or update_hint:
+            staged = ctrl.maybe_stage(self._sim_time)
+        elif self.staleness_deadline is not None and not ctrl.active and (
+            self._sim_time - self._last_update_sim >= self.staleness_deadline
+        ):
+            # Watchdog fallback: a silent push stream degrades to one
+            # metadata poll.  Resolving "latest" through the store means
+            # a quarantined version can never come back this way.
+            staged = ctrl.maybe_stage(self._sim_time)
+            self._record_stale_fallback()
+        if staged:
+            # Canary activity re-arms the watchdog: the stream is alive.
+            self._last_update_sim = self._sim_time
+        promoted = ctrl.tick(self._sim_time)
+        if promoted:
+            self._after_swap()
+        self._advance_watermark()
+        return promoted
 
     # ------------------------------------------------------------------
     # Serving (the "inference serving thread")
@@ -162,9 +259,11 @@ class InferenceServer:
         x: np.ndarray,
         y_true: Optional[np.ndarray] = None,
     ) -> Tuple[np.ndarray, ServedRequest]:
-        """Serve one request batch with the current primary model."""
+        """Serve one request batch with the current primary model (or,
+        under an active rollout, the canary for its routed fraction)."""
         wall_start = time.perf_counter()
-        snapshot = self.consumer._buffer.acquire()
+        canary = self.rollout.route() if self.rollout is not None else None
+        snapshot = canary if canary is not None else self.consumer._buffer.acquire()
         with self.tracer.span(
             "server.request", track="serving", version=snapshot.version
         ):
@@ -173,7 +272,8 @@ class InferenceServer:
         if y_true is not None and self.loss_fn is not None:
             loss = self.loss_fn.forward(pred, y_true)
         self._m_requests.inc()
-        self._m_latency.observe(time.perf_counter() - wall_start)
+        wall = time.perf_counter() - wall_start
+        self._m_latency.observe(wall)
         with self._lock:
             self._sim_time += self.t_infer
             req = ServedRequest(
@@ -184,6 +284,19 @@ class InferenceServer:
             )
             self._next_id += 1
             self.requests.append(req)
+            if not np.isnan(loss):
+                self._cum_loss += loss
+                self._scored_requests += 1
+            self._per_version[snapshot.version] = (
+                self._per_version.get(snapshot.version, 0) + 1
+            )
+        if self.rollout is not None:
+            # Health evidence: the gate scores the arm that served this
+            # request; a canary rollback can fire right here.
+            if canary is not None:
+                self.rollout.observe_canary(pred, loss, wall, req.sim_time)
+            else:
+                self.rollout.observe_primary(loss, wall)
         # One staleness definition: behind the newest publish.  With a
         # freshness tracker armed, its predicate decides; otherwise the
         # legacy metadata-poll watermark applies.
@@ -238,15 +351,28 @@ class InferenceServer:
     # ------------------------------------------------------------------
     @property
     def cumulative_loss(self) -> float:
-        """Sum of losses over scored requests (the live CIL)."""
-        scored = [r.loss for r in self.requests if not np.isnan(r.loss)]
-        return float(np.sum(scored)) if scored else 0.0
+        """Sum of losses over scored requests (the live CIL).
+
+        Maintained as a running aggregate, so it stays exact even after
+        old entries fall out of a bounded request log.
+        """
+        with self._lock:
+            return self._cum_loss
+
+    @property
+    def scored_requests(self) -> int:
+        """How many served requests carried a finite loss."""
+        with self._lock:
+            return self._scored_requests
 
     def versions_served(self) -> List[int]:
+        """Versions of the *retained* request window, oldest first
+        (bounded by ``max_request_log``; see :meth:`requests_per_version`
+        for the eviction-proof aggregate)."""
         return [r.model_version for r in self.requests]
 
     def requests_per_version(self) -> dict:
-        out: dict = {}
-        for r in self.requests:
-            out[r.model_version] = out.get(r.model_version, 0) + 1
-        return out
+        """Requests served per model version, across the server's whole
+        lifetime (exact past eviction)."""
+        with self._lock:
+            return dict(self._per_version)

@@ -90,3 +90,71 @@ class TestAtomicity:
         assert not errors
         assert buf.version == 499
         assert buf.swaps == 499
+
+
+class TestCanarySlot:
+    def test_stage_and_acquire_canary(self):
+        buf = DoubleBuffer("m0", version=0)
+        assert buf.acquire_canary() is None
+        assert buf.canary_version is None
+        buf.stage_canary("m1", 1)
+        assert buf.acquire().model == "m0"        # primary untouched
+        snap = buf.acquire_canary()
+        assert snap.model == "m1" and snap.version == 1
+        assert buf.canary_version == 1
+
+    def test_stale_canary_rejected(self):
+        buf = DoubleBuffer("m5", version=5)
+        with pytest.raises(ServingError):
+            buf.stage_canary("m5", 5)
+        with pytest.raises(ServingError):
+            buf.stage_canary("m4", 4)
+
+    def test_newer_canary_replaces_older(self):
+        buf = DoubleBuffer("m0", version=0)
+        buf.stage_canary("m1", 1)
+        buf.stage_canary("m2", 2)
+        assert buf.canary_version == 2
+        with pytest.raises(ServingError):
+            buf.stage_canary("m1", 1)             # older than staged canary
+
+    def test_promote_canary(self):
+        buf = DoubleBuffer("m0", version=0)
+        buf.stage_canary("m1", 1)
+        displaced = buf.promote_canary()
+        assert displaced.model == "m0"
+        assert buf.acquire().model == "m1" and buf.version == 1
+        assert buf.acquire_canary() is None
+        assert buf.swaps == 1
+        assert buf.canary_promotions == 1
+
+    def test_promote_without_canary(self):
+        buf = DoubleBuffer("m0")
+        with pytest.raises(ServingError):
+            buf.promote_canary()
+
+    def test_promote_raced_by_newer_commit(self):
+        buf = DoubleBuffer("m0", version=0)
+        buf.stage_canary("m1", 1)
+        buf.update("m2", 2)                       # direct swap races ahead
+        with pytest.raises(ServingError):
+            buf.promote_canary()
+        assert buf.acquire_canary() is None       # obsolete canary dropped
+        assert buf.version == 2
+
+    def test_drop_canary(self):
+        buf = DoubleBuffer("m0", version=0)
+        assert buf.drop_canary() is None
+        buf.stage_canary("m1", 1)
+        assert buf.drop_canary() == 1
+        assert buf.acquire_canary() is None
+        assert buf.canary_drops == 1
+        assert buf.swaps == 0                     # never went live
+
+    def test_canary_does_not_block_alternate_path(self):
+        # The canary slot is independent of stage/commit.
+        buf = DoubleBuffer("m0", version=0)
+        buf.stage_canary("m1", 1)
+        buf.stage("m2", 2)
+        assert buf.commit().version == 2
+        assert buf.canary_version == 1            # still staged

@@ -138,3 +138,129 @@ class TestDropAndConcurrency:
         latest, _ = store.latest("m")
         assert latest.version == 399
         assert len(store) == 400
+
+
+class TestQuarantine:
+    def test_latest_skips_quarantined(self):
+        store = MetadataStore()
+        store.publish_version(rec(1))
+        store.publish_version(rec(2))
+        store.quarantine_version("m", 2, "loss_regression")
+        latest, _ = store.latest("m")
+        assert latest.version == 1
+        record, _ = store.record("m", 2)
+        assert record.quarantined
+        assert record.quarantine_reason == "loss_regression"
+
+    def test_all_versions_quarantined_clears_latest(self):
+        store = MetadataStore()
+        store.publish_version(rec(1))
+        store.quarantine_version("m", 1, "integrity")
+        assert store.latest("m")[0] is None
+        # ...but the model still exists for recovery/GC.
+        assert store.models() == ("m",)
+        assert store.quarantined_versions("m") == [1]
+
+    def test_quarantine_is_idempotent(self):
+        store = MetadataStore()
+        store.publish_version(rec(1))
+        store.quarantine_version("m", 1, "nan_output")
+        store.quarantine_version("m", 1, "loss_regression")
+        record, _ = store.record("m", 1)
+        assert record.quarantine_reason == "nan_output"  # first verdict wins
+
+    def test_quarantine_unknown_version_raises(self):
+        with pytest.raises(MetadataError):
+            MetadataStore().quarantine_version("m", 1, "x")
+
+    def test_later_publish_advances_past_quarantine(self):
+        store = MetadataStore()
+        store.publish_version(rec(1))
+        store.publish_version(rec(2))
+        store.quarantine_version("m", 2, "loss_regression")
+        store.publish_version(rec(3))
+        latest, _ = store.latest("m")
+        assert latest.version == 3
+
+    def test_cas_cannot_resurrect_quarantined_record(self):
+        # The flusher CASes a *pre-quarantine* copy of the record after
+        # the rollback landed; the store must keep the quarantine flags.
+        store = MetadataStore()
+        store.publish_version(rec(1))
+        stale_copy = rec(1, durable=True)  # captured before the rollback
+        store.quarantine_version("m", 1, "nan_output")
+        store.compare_and_swap(stale_copy)
+        record, _ = store.record("m", 1)
+        assert record.durable                 # the CAS payload applied
+        assert record.quarantined             # ...but quarantine stuck
+        assert record.quarantine_reason == "nan_output"
+        assert store.latest("m")[0] is None
+
+    def test_drop_latest_rewinds_past_quarantined(self):
+        store = MetadataStore()
+        store.publish_version(rec(1))
+        store.publish_version(rec(2))
+        store.publish_version(rec(3))
+        store.quarantine_version("m", 2, "integrity")
+        store.drop_version("m", 3)
+        latest, _ = store.latest("m")
+        assert latest.version == 1  # not the quarantined v2
+
+    def test_quarantine_round_trips_the_journal_wire_form(self):
+        original = rec(1, quarantined=True, quarantine_reason="peer")
+        restored = ModelRecord.from_dict(original.to_dict())
+        assert restored == original
+
+
+class TestQuarantineReplay:
+    def test_quarantine_op_replay_is_idempotent(self):
+        store = MetadataStore()
+        store.publish_version(rec(1))
+        store.publish_version(rec(2))
+        op = {"model_name": "m", "version": 2, "reason": "loss_regression"}
+        assert store.apply_journal_op("quarantine", op)
+        assert not store.apply_journal_op("quarantine", op)  # second no-op
+        assert store.latest("m")[0].version == 1
+
+    def test_quarantine_op_for_missing_record_is_noop(self):
+        store = MetadataStore()
+        assert not store.apply_journal_op(
+            "quarantine", {"model_name": "m", "version": 9, "reason": "x"}
+        )
+
+    def test_publish_replay_of_quarantined_record_keeps_latest_back(self):
+        store = MetadataStore()
+        store.publish_version(rec(1))
+        # Replaying a journaled publish whose record carries the flag
+        # (post-compaction snapshot entries) must not advance latest.
+        data = rec(2, quarantined=True, quarantine_reason="integrity").to_dict()
+        assert store.apply_journal_op("publish", data)
+        assert store.latest("m")[0].version == 1
+
+    def test_cas_replay_with_quarantine_rewinds_latest(self):
+        store = MetadataStore()
+        store.publish_version(rec(1))
+        store.publish_version(rec(2))
+        data = rec(2, quarantined=True, quarantine_reason="nan_output").to_dict()
+        assert store.apply_journal_op("cas", data)
+        assert store.latest("m")[0].version == 1
+
+    def test_journaled_quarantine_survives_restart(self, tmp_path):
+        from repro.resilience.recovery import MetadataJournal
+
+        journal = MetadataJournal(tmp_path / "j")
+        store = MetadataStore()
+        store.attach_journal(journal)
+        store.publish_version(rec(1))
+        store.publish_version(rec(2))
+        store.quarantine_version("m", 2, "loss_regression")
+        journal.close()
+
+        # A fresh process replays the journal into an empty store.
+        recovered = MetadataStore()
+        replayed = MetadataJournal(tmp_path / "j").replay_into(recovered)
+        assert replayed >= 3
+        assert recovered.latest("m")[0].version == 1
+        record, _ = recovered.record("m", 2)
+        assert record.quarantined
+        assert record.quarantine_reason == "loss_regression"

@@ -1,0 +1,205 @@
+"""Canary-rollback chaos: seeded bad-checkpoint injection over a fleet.
+
+Every seed publishes a stream of checkpoints where some versions are
+deliberately bad — loss regressions, NaN weights, or corrupt bytes on
+the wire — into a two-consumer fleet running the rollout controller.
+The assertions are invariants that must hold for ANY seed:
+
+* no bad version ever serves more than its configured canary fraction
+  of requests, on any server;
+* every bad version ends quarantined with the expected reason code;
+* the fleet always converges back to the newest good version;
+* rollback time-to-detect is reported through the controller metrics.
+
+CI runs this with ``VIPER_FAULT_SEED=$GITHUB_RUN_ID`` (shifting the
+whole seed block) and ``VIPER_ROLLOUT_ARTIFACT_DIR`` set, in which case
+each run uploads the per-server rollout decision logs as artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import numpy as np
+import pytest
+
+from repro import CaptureMode, FaultKind, FaultPlan, FaultRule, Viper
+from repro.dnn.layers import Dense
+from repro.dnn.losses import MSELoss
+from repro.dnn.models import Sequential
+from repro.dnn.optimizers import SGD
+from repro.resilience.faults import default_seed
+from repro.rollout import RolloutPolicy
+from repro.serving import InferenceServer
+
+pytestmark = pytest.mark.chaos
+
+ARTIFACT_DIR_ENV = "VIPER_ROLLOUT_ARTIFACT_DIR"
+
+N_SEEDS = 24
+N_EXTRA_VERSIONS = 4          # versions 2..5 drawn good/bad per seed
+CANARY_FRACTION = 0.25
+GOOD_W, BAD_W = 1.0, 50.0     # pred 2 (loss 0) vs pred 100 (loss 9604)
+
+X = np.ones((1, 2), dtype=np.float32)
+Y = np.full((1, 1), 2.0, dtype=np.float32)
+
+REASON_FOR_KIND = {
+    "loss": "loss_regression",
+    "nan": "nan_output",
+    "corrupt": "integrity",
+}
+
+
+def builder():
+    model = Sequential([Dense(1, name="d")], input_shape=(2,), seed=3)
+    model.compile(SGD(0.01), MSELoss())
+    return model
+
+
+def publish_weights(viper, value):
+    state = builder().state_dict()
+    state["d/W"][...] = value
+    state["d/b"][...] = 0.0
+    return viper.save_weights("m", state, mode=CaptureMode.SYNC).version
+
+
+def make_server(viper, name):
+    consumer = viper.consumer(model_builder=builder, name=name)
+    consumer.subscribe()
+    policy = RolloutPolicy(
+        canary_fraction=CANARY_FRACTION,
+        min_canary_samples=4,
+        window=16,
+        max_loss_ratio=1.5,
+        max_latency_ratio=None,   # wall-clock free: no latency flakes
+    )
+    return InferenceServer(
+        consumer, "m", loss_fn=MSELoss(), t_infer=0.001,
+        rollout=policy, name=name,
+    )
+
+
+def drive(servers, steps):
+    """Round-robin the fleet so fan-out notes propagate between peers."""
+    for _ in range(steps):
+        for server in servers:
+            server.poll_updates()
+            server.handle(X, Y)
+
+
+def run_seed(seed):
+    rng = random.Random(seed)
+    kinds = ["good"] + [
+        rng.choice(["good", "loss", "nan", "corrupt"])
+        for _ in range(N_EXTRA_VERSIONS)
+    ] + ["good"]  # always end healthy so convergence is well-defined
+
+    bad_versions = {}
+    good_versions = []
+    with Viper() as viper:
+        servers = [make_server(viper, f"srv{i}") for i in range(2)]
+
+        for kind in kinds:
+            if kind == "corrupt":
+                version = publish_weights(viper, GOOD_W)
+                plan = FaultPlan(
+                    [FaultRule(site="store.get:*", kind=FaultKind.CORRUPT,
+                               probability=1.0)],
+                    seed=seed,
+                )
+                plan.arm(viper.cluster)
+                try:
+                    drive(servers, 8)   # the stage attempt hits the fault
+                finally:
+                    plan.disarm()
+                drive(servers, 32)
+                bad_versions[version] = kind
+            else:
+                value = {"good": GOOD_W, "loss": BAD_W,
+                         "nan": float("nan")}[kind]
+                version = publish_weights(viper, value)
+                drive(servers, 40)
+                if kind == "good":
+                    good_versions.append(version)
+                else:
+                    bad_versions[version] = kind
+
+        newest_good = good_versions[-1]
+        for server in servers:
+            per = server.requests_per_version()
+            total = sum(per.values())
+            # Invariant 1: a bad version never exceeds the canary cap.
+            for version in bad_versions:
+                assert per.get(version, 0) <= CANARY_FRACTION * total, (
+                    f"seed {seed}: bad v{version} served "
+                    f"{per.get(version, 0)}/{total} on {server.name}"
+                )
+            # Invariant 3: the fleet converged to the newest good
+            # version and nobody is stuck mid-rollout.
+            assert server.consumer.current_version == newest_good, (
+                f"seed {seed}: {server.name} on "
+                f"v{server.consumer.current_version}, "
+                f"expected v{newest_good}"
+            )
+            assert not server.rollout.active
+
+        # Invariant 2: every bad version is quarantined with the
+        # reason code its failure mode implies.
+        for version, kind in bad_versions.items():
+            record, _ = viper.metadata.record("m", version)
+            assert record.quarantined, f"seed {seed}: v{version} not quarantined"
+            assert record.quarantine_reason == REASON_FOR_KIND[kind], (
+                f"seed {seed}: v{version} reason "
+                f"{record.quarantine_reason!r}, kind {kind!r}"
+            )
+
+        # Invariant 4: rollback detection latency is reported.  Each bad
+        # version was rolled back by at least one controller, and every
+        # rollback carries a non-negative time-to-detect sample.
+        total_rollbacks = sum(
+            s.rollout.rollbacks + s.rollout.peer_drops for s in servers
+        )
+        assert total_rollbacks >= len(bad_versions)
+        for server in servers:
+            assert len(server.rollout.time_to_detect) == server.rollout.rollbacks
+            assert all(t >= 0.0 for t in server.rollout.time_to_detect)
+        stats = viper.handler.stats.snapshot()
+        assert stats.canary_rollbacks >= len(bad_versions)
+        assert stats.canary_promotions >= len(good_versions)
+
+        _export_decision_logs(seed, servers)
+
+    return len(bad_versions)
+
+
+def _export_decision_logs(seed, servers):
+    dest = os.environ.get(ARTIFACT_DIR_ENV)
+    if not dest:
+        return
+    os.makedirs(dest, exist_ok=True)
+    for server in servers:
+        path = os.path.join(dest, f"rollout-seed-{seed}-{server.name}.jsonl")
+        server.rollout.write_decision_log(path)
+
+
+@pytest.mark.parametrize("offset", range(N_SEEDS))
+def test_no_bad_version_escapes_the_canary(offset):
+    seed = default_seed() + offset
+    run_seed(seed)
+
+
+def test_at_least_one_seed_exercises_every_failure_mode():
+    # The per-seed draws are random; make sure the block as a whole
+    # covered loss, NaN, and corrupt injections (otherwise the suite
+    # could silently degenerate into an all-good walk).
+    seen = set()
+    base = default_seed()
+    for offset in range(N_SEEDS):
+        rng = random.Random(base + offset)
+        seen.update(
+            rng.choice(["good", "loss", "nan", "corrupt"])
+            for _ in range(N_EXTRA_VERSIONS)
+        )
+    assert {"loss", "nan", "corrupt"} <= seen

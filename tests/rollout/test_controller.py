@@ -1,0 +1,245 @@
+"""Rollout controller tests: stage, promote, rollback, fleet fan-out."""
+
+import numpy as np
+import pytest
+
+from repro import CaptureMode, Viper
+from repro.core.notification import is_quarantine
+from repro.dnn.layers import Dense
+from repro.dnn.losses import MSELoss
+from repro.dnn.models import Sequential
+from repro.dnn.optimizers import SGD
+from repro.rollout import RolloutController, RolloutPolicy
+
+
+def builder():
+    model = Sequential([Dense(1, name="d")], input_shape=(2,), seed=3)
+    model.compile(SGD(0.01), MSELoss())
+    return model
+
+
+def publish_weights(viper, value):
+    state = builder().state_dict()
+    state["d/W"][...] = value
+    state["d/b"][...] = 0.0
+    viper.save_weights("m", state, mode=CaptureMode.SYNC)
+
+
+def make_policy(**overrides):
+    kwargs = dict(canary_fraction=0.25, min_canary_samples=2, window=8)
+    kwargs.update(overrides)
+    return RolloutPolicy(**kwargs)
+
+
+PRED = np.ones((1, 1), dtype=np.float32)
+
+
+@pytest.fixture
+def setup():
+    viper = Viper()
+    consumer = viper.consumer(model_builder=builder)
+    consumer.subscribe()
+    ctrl = RolloutController(consumer, "m", make_policy())
+    yield viper, consumer, ctrl
+    viper.close()
+
+
+def feed_healthy(ctrl, n=4):
+    for _ in range(n):
+        ctrl.observe_primary(1.0, 0.001)
+    for _ in range(n):
+        snap = ctrl.route()
+        # Force enough canary evidence regardless of routing stride.
+        ctrl.observe_canary(PRED, 0.5, 0.001, 0.1)
+        del snap
+
+
+class TestStaging:
+    def test_stage_newest_without_touching_primary(self, setup):
+        viper, consumer, ctrl = setup
+        publish_weights(viper, 1.0)
+        assert ctrl.maybe_stage(0.0)
+        assert ctrl.candidate_version == 1
+        assert consumer.current_version == 0
+        assert consumer.canary_snapshot().version == 1
+
+    def test_no_stage_when_current(self, setup):
+        viper, consumer, ctrl = setup
+        assert not ctrl.maybe_stage(0.0)
+        assert not ctrl.active
+
+    def test_restage_same_version_is_noop(self, setup):
+        viper, _consumer, ctrl = setup
+        publish_weights(viper, 1.0)
+        assert ctrl.maybe_stage(0.0)
+        assert not ctrl.maybe_stage(0.1)
+
+    def test_newer_publish_supersedes_candidate(self, setup):
+        viper, consumer, ctrl = setup
+        publish_weights(viper, 1.0)
+        ctrl.maybe_stage(0.0)
+        publish_weights(viper, 2.0)
+        assert ctrl.maybe_stage(0.1)
+        assert ctrl.candidate_version == 2
+        # The displaced candidate was outdated, not condemned.
+        record, _ = viper.metadata.record("m", 1)
+        assert not record.quarantined
+        assert any(d["action"] == "superseded" for d in ctrl.decisions)
+
+
+class TestPromotion:
+    def test_healthy_candidate_promotes(self, setup):
+        viper, consumer, ctrl = setup
+        publish_weights(viper, 1.0)
+        ctrl.maybe_stage(0.0)
+        feed_healthy(ctrl)
+        assert ctrl.tick(1.0)
+        assert consumer.current_version == 1
+        assert not ctrl.active
+        assert ctrl.promotions == 1
+        assert viper.handler.stats.snapshot().canary_promotions == 1
+        actions = [d["action"] for d in ctrl.decisions]
+        assert actions == ["stage", "promote"]
+
+    def test_pending_candidate_does_not_promote(self, setup):
+        viper, consumer, ctrl = setup
+        publish_weights(viper, 1.0)
+        ctrl.maybe_stage(0.0)
+        assert not ctrl.tick(0.5)       # no evidence yet
+        assert consumer.current_version == 0
+
+    def test_stagger_defers_the_swap(self):
+        viper = Viper()
+        consumer = viper.consumer(model_builder=builder)
+        consumer.subscribe()
+        policy = make_policy(stagger=2.0, seed=5)
+        ctrl = RolloutController(consumer, "m", policy, name="c0")
+        delay = policy.promote_delay("c0")
+        assert delay > 0
+        publish_weights(viper, 1.0)
+        ctrl.maybe_stage(0.0)
+        feed_healthy(ctrl)
+        verdict_at = 1.0
+        assert not ctrl.tick(verdict_at)                     # schedules
+        assert not ctrl.tick(verdict_at + delay * 0.5)       # not yet due
+        assert ctrl.tick(verdict_at + delay)                 # due now
+        assert consumer.current_version == 1
+        viper.close()
+
+
+class TestRollback:
+    def test_loss_regression_quarantines(self, setup):
+        viper, consumer, ctrl = setup
+        publish_weights(viper, 1.0)
+        ctrl.maybe_stage(0.0)
+        for _ in range(4):
+            ctrl.observe_primary(0.1, 0.001)
+        for _ in range(2):
+            ctrl.observe_canary(PRED, 50.0, 0.001, 0.5)
+        assert not ctrl.active
+        assert ctrl.rollbacks == 1
+        record, _ = viper.metadata.record("m", 1)
+        assert record.quarantined
+        assert record.quarantine_reason == "loss_regression"
+        # Latest rewinds past the condemned version entirely.
+        latest, _ = viper.metadata.latest("m")
+        assert latest is None
+        assert consumer.current_version == 0
+        assert viper.handler.stats.snapshot().canary_rollbacks == 1
+        assert len(ctrl.time_to_detect) == 1
+        assert ctrl.time_to_detect[0] >= 0.0
+
+    def test_rollback_fans_out_a_quarantine_note(self, setup):
+        viper, consumer, ctrl = setup
+        peer_sub = viper.broker.subscribe(viper.topic)
+        publish_weights(viper, 1.0)
+        ctrl.maybe_stage(0.0)
+        ctrl.observe_primary(0.1, 0.001)
+        nan_pred = np.array([[float("nan")]], dtype=np.float32)
+        ctrl.observe_canary(nan_pred, float("nan"), 0.001, 0.2)
+        notes = [n for n in peer_sub.drain() if is_quarantine(n)]
+        assert len(notes) == 1
+        assert notes[0].version == 1
+        assert notes[0].payload["reason"] == "nan_output"
+
+    def test_peer_quarantine_drops_local_candidate(self):
+        viper = Viper()
+        c1 = viper.consumer(model_builder=builder, name="c1")
+        c2 = viper.consumer(model_builder=builder, name="c2")
+        c1.subscribe()
+        c2.subscribe()
+        ctrl1 = RolloutController(c1, "m", make_policy(), name="c1")
+        ctrl2 = RolloutController(c2, "m", make_policy(), name="c2")
+        publish_weights(viper, 1.0)
+        assert ctrl1.maybe_stage(0.0)
+        assert ctrl2.maybe_stage(0.0)
+        # c1's gate condemns v1.
+        ctrl1.observe_primary(0.1, 0.001)
+        nan_pred = np.array([[float("nan")]], dtype=np.float32)
+        ctrl1.observe_canary(nan_pred, float("nan"), 0.001, 0.2)
+        assert ctrl1.rollbacks == 1
+        # c2 honors the fan-out without double-quarantining.
+        for note in c2._sub.drain():
+            if is_quarantine(note):
+                ctrl2.on_quarantine_note(note, 0.3)
+        assert not ctrl2.active
+        assert ctrl2.peer_drops == 1
+        assert ctrl2.rollbacks == 0
+        record, _ = viper.metadata.record("m", 1)
+        assert record.quarantine_reason == "nan_output"  # c1's verdict kept
+        assert viper.handler.stats.snapshot().canary_rollbacks == 1
+        viper.close()
+
+    def test_integrity_failure_at_staging_quarantines(self, setup):
+        from repro.resilience import FaultKind, FaultPlan, FaultRule
+
+        viper, consumer, ctrl = setup
+        publish_weights(viper, 1.0)
+        plan = FaultPlan(
+            [FaultRule(site="store.get:*", kind=FaultKind.CORRUPT,
+                       probability=1.0)],
+            seed=11,
+        )
+        plan.arm(viper.cluster)
+        assert not ctrl.maybe_stage(0.0)
+        plan.disarm()
+        assert not ctrl.active
+        record, _ = viper.metadata.record("m", 1)
+        assert record.quarantined
+        assert record.quarantine_reason == "integrity"
+        # The corrupt candidate never reached any buffer slot.
+        assert consumer.current_version == 0
+        assert consumer.canary_snapshot() is None
+
+    def test_quarantined_version_never_restaged(self, setup):
+        viper, consumer, ctrl = setup
+        publish_weights(viper, 1.0)
+        ctrl.maybe_stage(0.0)
+        ctrl.observe_primary(0.1, 0.001)
+        for _ in range(2):
+            ctrl.observe_canary(PRED, 50.0, 0.001, 0.5)
+        assert ctrl.rollbacks == 1
+        # The condemned version no longer resolves as latest: staging
+        # again is a no-op, the fleet stays on the last-known-good.
+        assert not ctrl.maybe_stage(1.0)
+        publish_weights(viper, 1.0)  # v2, healthy
+        assert ctrl.maybe_stage(2.0)
+        assert ctrl.candidate_version == 2
+
+
+class TestDecisionLog:
+    def test_jsonl_export(self, setup, tmp_path):
+        import json
+
+        viper, _consumer, ctrl = setup
+        publish_weights(viper, 1.0)
+        ctrl.maybe_stage(0.0)
+        feed_healthy(ctrl)
+        ctrl.tick(1.0)
+        path = tmp_path / "decisions.jsonl"
+        count = ctrl.write_decision_log(path)
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert len(lines) == count == len(ctrl.decisions)
+        assert lines[0]["action"] == "stage"
+        assert lines[-1]["action"] == "promote"
+        assert all(e["consumer"] == ctrl.name for e in lines)

@@ -1,0 +1,143 @@
+"""Health-gate tests: verdict ordering, thresholds, hard failures."""
+
+import numpy as np
+import pytest
+
+from repro.rollout import HealthGate, RollbackReason, RolloutPolicy, Verdict
+
+
+def make_gate(**overrides):
+    kwargs = dict(
+        canary_fraction=0.25,
+        min_canary_samples=4,
+        window=16,
+        max_loss_ratio=1.5,
+        max_latency_ratio=None,
+    )
+    kwargs.update(overrides)
+    return HealthGate(RolloutPolicy(**kwargs))
+
+
+def finite_pred():
+    return np.ones((1, 1), dtype=np.float32)
+
+
+class TestVerdicts:
+    def test_pending_without_samples(self):
+        gate = make_gate()
+        decision = gate.decision()
+        assert decision.verdict is Verdict.PENDING
+
+    def test_pending_until_min_samples(self):
+        gate = make_gate()
+        gate.observe_primary(1.0, 0.001)
+        for _ in range(3):
+            gate.observe_canary(finite_pred(), 1.0, 0.001)
+        assert gate.decision().verdict is Verdict.PENDING
+
+    def test_pending_without_incumbent_evidence(self):
+        gate = make_gate()
+        for _ in range(4):
+            gate.observe_canary(finite_pred(), 1.0, 0.001)
+        # Enough canary samples but nothing to compare against.
+        assert gate.decision().verdict is Verdict.PENDING
+
+    def test_promote_when_healthy(self):
+        gate = make_gate()
+        for _ in range(8):
+            gate.observe_primary(1.0, 0.001)
+        for _ in range(4):
+            gate.observe_canary(finite_pred(), 0.9, 0.001)
+        decision = gate.decision()
+        assert decision.verdict is Verdict.PROMOTE
+
+    def test_loss_regression_rolls_back(self):
+        gate = make_gate()
+        for _ in range(8):
+            gate.observe_primary(1.0, 0.001)
+        for _ in range(4):
+            gate.observe_canary(finite_pred(), 10.0, 0.001)
+        decision = gate.decision()
+        assert decision.verdict is Verdict.ROLLBACK
+        assert decision.reason is RollbackReason.LOSS_REGRESSION
+
+    def test_loss_tolerance_covers_zero_incumbent(self):
+        # Incumbent loss ~0 must not make the ratio test fire on an
+        # equally-perfect candidate.
+        gate = make_gate(loss_tolerance=1e-6)
+        for _ in range(8):
+            gate.observe_primary(0.0, 0.001)
+        for _ in range(4):
+            gate.observe_canary(finite_pred(), 0.0, 0.001)
+        assert gate.decision().verdict is Verdict.PROMOTE
+
+    def test_loss_check_disabled_by_none(self):
+        gate = make_gate(max_loss_ratio=None)
+        for _ in range(4):
+            gate.observe_canary(finite_pred(), 1e9, 0.001)
+        assert gate.decision().verdict is Verdict.PROMOTE
+
+
+class TestHardFailures:
+    def test_nan_output_rolls_back_at_any_sample_count(self):
+        gate = make_gate()
+        bad = np.array([[float("nan")]], dtype=np.float32)
+        gate.observe_canary(bad, 1.0, 0.001)
+        decision = gate.decision()
+        assert decision.verdict is Verdict.ROLLBACK
+        assert decision.reason is RollbackReason.NAN_OUTPUT
+
+    def test_inf_output_rolls_back(self):
+        gate = make_gate()
+        bad = np.array([[float("inf")]], dtype=np.float32)
+        gate.observe_canary(bad, 1.0, 0.001)
+        assert gate.decision().reason is RollbackReason.NAN_OUTPUT
+
+    def test_integrity_errors_over_budget_roll_back(self):
+        gate = make_gate(max_integrity_errors=1)
+        gate.record_integrity_error()
+        assert gate.decision().verdict is Verdict.PENDING  # within budget
+        gate.record_integrity_error()
+        decision = gate.decision()
+        assert decision.verdict is Verdict.ROLLBACK
+        assert decision.reason is RollbackReason.INTEGRITY
+
+    def test_nan_loss_never_counts_as_scored(self):
+        gate = make_gate()
+        for _ in range(10):
+            gate.observe_canary(finite_pred(), float("nan"), 0.001)
+        assert gate.canary_scored == 0
+        assert gate.canary_served == 10
+        assert gate.decision().verdict is Verdict.PENDING
+
+
+class TestLatencyGate:
+    def test_latency_regression_rolls_back(self):
+        gate = make_gate(max_latency_ratio=2.0)
+        for _ in range(8):
+            gate.observe_primary(1.0, 0.001)
+        for _ in range(4):
+            gate.observe_canary(finite_pred(), 1.0, 0.010)
+        decision = gate.decision()
+        assert decision.verdict is Verdict.ROLLBACK
+        assert decision.reason is RollbackReason.LATENCY_REGRESSION
+
+    def test_latency_within_ratio_promotes(self):
+        gate = make_gate(max_latency_ratio=2.0)
+        for _ in range(8):
+            gate.observe_primary(1.0, 0.001)
+        for _ in range(4):
+            gate.observe_canary(finite_pred(), 1.0, 0.0015)
+        assert gate.decision().verdict is Verdict.PROMOTE
+
+    def test_windows_slide(self):
+        gate = make_gate(window=4)
+        # Old terrible canary losses fall out of the window.
+        for _ in range(8):
+            gate.observe_primary(1.0, 0.001)
+        for _ in range(4):
+            gate.observe_canary(finite_pred(), 100.0, 0.001)
+        assert gate.decision().verdict is Verdict.ROLLBACK
+        for _ in range(4):
+            gate.observe_canary(finite_pred(), 1.0, 0.001)
+        assert gate.decision().verdict is Verdict.PROMOTE

@@ -1,0 +1,105 @@
+"""Rollout policy tests: validation, routing hard cap, stagger jitter."""
+
+import math
+
+import pytest
+
+from repro.errors import RolloutError
+from repro.rollout import CanaryRouter, RolloutPolicy
+
+
+class TestPolicyValidation:
+    def test_defaults_valid(self):
+        policy = RolloutPolicy()
+        assert 0 < policy.canary_fraction <= 1
+
+    @pytest.mark.parametrize("fraction", [0.0, -0.1, 1.5])
+    def test_bad_fraction(self, fraction):
+        with pytest.raises(RolloutError):
+            RolloutPolicy(canary_fraction=fraction)
+
+    def test_bad_min_samples(self):
+        with pytest.raises(RolloutError):
+            RolloutPolicy(min_canary_samples=0)
+
+    def test_window_must_cover_min_samples(self):
+        with pytest.raises(RolloutError):
+            RolloutPolicy(min_canary_samples=10, window=5)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_loss_ratio": 0.0},
+            {"max_loss_ratio": -1.0},
+            {"loss_tolerance": -1e-9},
+            {"max_latency_ratio": 0.0},
+            {"max_integrity_errors": -1},
+            {"stagger": -0.5},
+        ],
+    )
+    def test_bad_thresholds(self, kwargs):
+        with pytest.raises(RolloutError):
+            RolloutPolicy(**kwargs)
+
+    def test_none_disables_checks(self):
+        policy = RolloutPolicy(max_loss_ratio=None, max_latency_ratio=None)
+        assert policy.max_loss_ratio is None
+        assert policy.max_latency_ratio is None
+
+
+class TestCanaryRouter:
+    @pytest.mark.parametrize(
+        "fraction", [0.01, 0.1, 0.25, 1 / 3, 0.5, 0.75, 0.999, 1.0]
+    )
+    @pytest.mark.parametrize("n", [1, 7, 64, 1000])
+    def test_hard_cap_every_prefix(self, fraction, n):
+        # The cap must hold after EVERY request, not just at the end:
+        # a bad version's exposure is bounded at all times.
+        router = CanaryRouter(fraction)
+        for k in range(1, n + 1):
+            router.route()
+            assert router.canary_requests == math.floor(k * fraction)
+            assert router.canary_requests <= fraction * k
+
+    def test_share_converges_to_fraction(self):
+        router = CanaryRouter(0.2)
+        for _ in range(1000):
+            router.route()
+        assert router.canary_share == pytest.approx(0.2, abs=1e-3)
+
+    def test_fraction_one_routes_everything(self):
+        router = CanaryRouter(1.0)
+        assert all(router.route() for _ in range(10))
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(RolloutError):
+            CanaryRouter(0.0)
+
+    def test_share_zero_before_any_request(self):
+        assert CanaryRouter(0.5).canary_share == 0.0
+
+
+class TestPromoteDelay:
+    def test_zero_stagger_means_no_delay(self):
+        assert RolloutPolicy(stagger=0.0).promote_delay("c0") == 0.0
+
+    def test_delay_within_stagger(self):
+        policy = RolloutPolicy(stagger=2.0, seed=7)
+        for name in ("c0", "c1", "c2", "c3"):
+            delay = policy.promote_delay(name)
+            assert 0.0 <= delay < 2.0
+
+    def test_deterministic_per_consumer(self):
+        a = RolloutPolicy(stagger=1.0, seed=3)
+        b = RolloutPolicy(stagger=1.0, seed=3)
+        assert a.promote_delay("c0") == b.promote_delay("c0")
+
+    def test_consumers_spread_out(self):
+        policy = RolloutPolicy(stagger=1.0, seed=0)
+        delays = {policy.promote_delay(f"c{i}") for i in range(8)}
+        assert len(delays) == 8  # distinct draws: the wave is staggered
+
+    def test_seed_changes_the_wave(self):
+        one = RolloutPolicy(stagger=1.0, seed=1).promote_delay("c0")
+        two = RolloutPolicy(stagger=1.0, seed=2).promote_delay("c0")
+        assert one != two

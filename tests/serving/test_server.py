@@ -161,6 +161,172 @@ class TestStalenessWatchdog:
         viper.close()
 
 
+class TestWatermarkWithoutMetrics:
+    def test_latest_known_advances_with_metrics_off(self):
+        # Regression: the legacy stale-serve watermark used to advance
+        # only when a metrics registry was armed, silently breaking
+        # stale accounting in the (default) unmetered configuration.
+        viper = Viper()
+        consumer = viper.consumer(model_builder=builder)
+        consumer.subscribe()
+        server = InferenceServer(
+            consumer, "m", t_infer=0.01, staleness_deadline=10.0
+        )
+        assert not server.metrics.enabled
+        assert not server.freshness.enabled
+        # Sever the push channel so the publish is discoverable only
+        # through the metadata store (no swap happens: the watchdog is
+        # far from its deadline).
+        viper.broker.unsubscribe(consumer._sub)
+        publish_weights(viper, 2.0)
+        assert not server.poll_updates()
+        assert consumer.current_version == 0
+        assert server._latest_known == 1
+        viper.close()
+
+
+class TestBoundedRequestLog:
+    def test_aggregates_survive_eviction(self):
+        viper = Viper()
+        consumer = viper.consumer(model_builder=builder)
+        consumer.subscribe()
+        server = InferenceServer(
+            consumer, "m", loss_fn=MSELoss(), t_infer=0.01, max_request_log=3
+        )
+        x = np.ones((1, 2), dtype=np.float32)
+        y = np.zeros((1, 1), dtype=np.float32)
+        losses = [server.handle(x, y)[1].loss for _ in range(10)]
+        # The window is bounded...
+        assert len(server.requests) == 3
+        assert len(server.versions_served()) == 3
+        # ...but the aggregates cover all 10 requests.
+        assert server.cumulative_loss == pytest.approx(sum(losses))
+        assert server.scored_requests == 10
+        assert server.requests_per_version() == {0: 10}
+        viper.close()
+
+    def test_unbounded_by_default(self, setup):
+        _viper, _consumer, server = setup
+        x = np.ones((1, 2), dtype=np.float32)
+        for _ in range(5):
+            server.handle(x)
+        assert len(server.requests) == 5
+
+    def test_invalid_cap(self, setup):
+        _viper, consumer, _server = setup
+        with pytest.raises(ServingError, match="max_request_log"):
+            InferenceServer(consumer, "m", max_request_log=0)
+
+
+class TestWatchdogQuarantineInteraction:
+    def test_fallback_poll_does_not_resurrect_quarantined(self):
+        # A watchdog fallback resolves "latest" through the metadata
+        # store, whose pointer skips quarantined versions — so a poll
+        # after a rollback lands on the last-known-good, never the
+        # condemned one.
+        viper = Viper()
+        consumer = viper.consumer(model_builder=builder)
+        consumer.subscribe()
+        server = InferenceServer(
+            consumer, "m", t_infer=0.01, staleness_deadline=0.05
+        )
+        x = np.ones((1, 2), dtype=np.float32)
+        publish_weights(viper, 1.0)
+        assert server.poll_updates()
+        assert consumer.current_version == 1
+
+        # v2 is published but condemned (a peer's rollback), and the
+        # push channel dies so only the watchdog can discover anything.
+        viper.broker.unsubscribe(consumer._sub)
+        publish_weights(viper, 9.0)
+        viper.metadata.quarantine_version("m", 2, "loss_regression")
+
+        for _ in range(6):
+            server.handle(x)
+        assert not server.poll_updates()       # fallback fired, found v1
+        assert server.stale_fallbacks == 1
+        assert consumer.current_version == 1   # v2 stayed dead
+
+        # Even naming the condemned version explicitly is refused.
+        with pytest.raises(ServingError, match="quarantined"):
+            consumer.apply_update("m", 2)
+        assert consumer.current_version == 1
+        viper.close()
+
+
+class TestRolloutServing:
+    def make_server(self, viper, **policy_overrides):
+        from repro.rollout import RolloutPolicy
+
+        kwargs = dict(canary_fraction=0.25, min_canary_samples=2, window=16)
+        kwargs.update(policy_overrides)
+        consumer = viper.consumer(model_builder=builder)
+        consumer.subscribe()
+        server = InferenceServer(
+            consumer, "m", loss_fn=MSELoss(), t_infer=0.01,
+            rollout=RolloutPolicy(**kwargs),
+        )
+        return consumer, server
+
+    def test_good_candidate_canaries_then_promotes(self):
+        viper = Viper()
+        consumer, server = self.make_server(viper)
+        x = np.ones((1, 2), dtype=np.float32)
+        y = np.full((1, 1), 2.0, dtype=np.float32)  # v1 (W=1) predicts 2
+        publish_weights(viper, 1.0)
+        server.serve_batch([x] * 20, [y] * 20)
+        assert consumer.current_version == 1
+        assert server.rollout.promotions == 1
+        # Both arms served while the canary was under evaluation.
+        per = server.requests_per_version()
+        assert per[0] > 0 and per[1] > 0
+        viper.close()
+
+    def test_bad_candidate_rolls_back_within_canary_share(self):
+        viper = Viper()
+        consumer, server = self.make_server(viper)
+        x = np.ones((1, 2), dtype=np.float32)
+        y = np.full((1, 1), 2.0, dtype=np.float32)
+        publish_weights(viper, 1.0)          # good: loss 0
+        server.serve_batch([x] * 20, [y] * 20)
+        assert consumer.current_version == 1
+
+        publish_weights(viper, 50.0)         # bad: predicts 100, loss huge
+        server.serve_batch([x] * 40, [y] * 40)
+        assert consumer.current_version == 1  # never swapped
+        record, _ = viper.metadata.record("m", 2)
+        assert record.quarantined
+        assert record.quarantine_reason == "loss_regression"
+        per = server.requests_per_version()
+        # Hard canary cap: the bad version served at most its fraction.
+        assert per.get(2, 0) <= 0.25 * sum(per.values())
+        assert server.rollout.rollbacks == 1
+        assert server.rollout.time_to_detect[0] >= 0.0
+
+        publish_weights(viper, 1.0)          # v3: healthy again
+        server.serve_batch([x] * 20, [y] * 20)
+        assert consumer.current_version == 3  # fleet converged forward
+        viper.close()
+
+    def test_nan_candidate_rolls_back_immediately(self):
+        viper = Viper()
+        consumer, server = self.make_server(viper)
+        x = np.ones((1, 2), dtype=np.float32)
+        y = np.full((1, 1), 2.0, dtype=np.float32)
+        publish_weights(viper, 1.0)
+        server.serve_batch([x] * 20, [y] * 20)
+        publish_weights(viper, float("nan"))
+        server.serve_batch([x] * 40, [y] * 40)
+        assert consumer.current_version == 1
+        record, _ = viper.metadata.record("m", 2)
+        assert record.quarantined
+        assert record.quarantine_reason == "nan_output"
+        # A single canary-served NaN is enough: exactly one request was
+        # exposed to the bad version.
+        assert server.requests_per_version().get(2, 0) == 1
+        viper.close()
+
+
 class TestCorruptLoadRejection:
     def test_corrupt_update_keeps_last_good_model(self):
         from repro.errors import IntegrityError, RetriesExhausted
