@@ -1,6 +1,6 @@
 # Convenience targets for the Viper reproduction.
 
-.PHONY: install test lint chaos bench bench-delta examples experiments clean
+.PHONY: install test lint chaos bench bench-delta bench-overload examples experiments clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -27,6 +27,12 @@ bench:
 # benchmarks/results/BENCH_delta.json and enforces the wire/latency gates.
 bench-delta:
 	PYTHONPATH=src python -m pytest -x -q -s benchmarks/test_perf_delta_transfer.py
+
+# Overload-protection benchmark over the chaos harness; regenerates
+# benchmarks/results/BENCH_overload.json and enforces the admitted-p99 /
+# shed-rate / broker-memory gates.
+bench-overload:
+	PYTHONPATH=src python -m pytest -x -q -s benchmarks/test_perf_overload.py
 
 examples:
 	for ex in examples/*.py; do echo "== $$ex"; python $$ex || exit 1; done

@@ -1,0 +1,104 @@
+"""Overload-protection benchmark + regression gates.
+
+Reuses the chaos harness in ``tests/resilience/test_overload_chaos.py``
+— each seed drives one fleet through a dying/stalling subscriber stream,
+a 3x open-loop burst against an admission-armed server, and a degraded-
+mode round trip — and aggregates the per-seed measurements:
+
+- **admitted-p99** — 99th-percentile completion latency of *admitted*
+  requests during the burst; the gate holds it (and the max) within the
+  per-request deadline budget, which is the whole point of shedding at
+  the door.
+- **shed rate** — fraction of the 3x burst refused.  Gated to be
+  non-degenerate: a 3x overload must shed something, and must not shed
+  everything.
+- **broker memory bounds** — peak pending notifications after the dead
+  and stalled subscribers are evicted, gated to the configured per-queue
+  cap; reclaimed-message and eviction counts are reported alongside.
+
+Outputs ``benchmarks/results/BENCH_overload.json``.  ``VIPER_PERF_QUICK=1``
+shrinks the seed sweep for the CI smoke job.
+"""
+
+import json
+import os
+
+import pytest
+
+from tests.resilience.test_overload_chaos import (
+    BUDGET,
+    N_BURST,
+    QUEUE_MAX,
+    run_seed,
+)
+from repro.resilience.faults import default_seed
+
+QUICK = os.environ.get("VIPER_PERF_QUICK", "") not in ("", "0")
+
+N_BENCH_SEEDS = 2 if QUICK else 6
+
+#: The acceptance gates.
+MAX_SHED_RATE = 0.95      # a 3x burst must not starve the server outright
+MIN_SHED_RATE = 0.05      # ... and overload protection must actually bite
+
+
+@pytest.fixture(scope="module")
+def bench_results(results_dir):
+    base = default_seed()
+    rows = [run_seed(base + offset) for offset in range(N_BENCH_SEEDS)]
+    for row in rows:
+        row["shed_rate"] = row["shed"] / N_BURST
+    report = {
+        "quick": QUICK,
+        "seeds": N_BENCH_SEEDS,
+        "burst_requests": N_BURST,
+        "deadline_budget_s": BUDGET,
+        "queue_max": QUEUE_MAX,
+        "admitted_p99_s_worst": max(r["admitted_p99_s"] for r in rows),
+        "shed_rate_mean": sum(r["shed_rate"] for r in rows) / len(rows),
+        "broker_pending_peak": max(r["broker_pending_peak"] for r in rows),
+        "per_seed": rows,
+    }
+    path = results_dir / "BENCH_overload.json"
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"\nOverload bench ({N_BENCH_SEEDS} seeds): "
+        f"admitted p99 {report['admitted_p99_s_worst'] * 1e3:.1f} ms "
+        f"(budget {BUDGET * 1e3:.0f} ms), "
+        f"shed rate {report['shed_rate_mean']:.0%}, "
+        f"broker pending peak {report['broker_pending_peak']}"
+    )
+    return report
+
+
+class TestAdmittedLatency:
+    def test_p99_within_deadline_budget(self, bench_results):
+        assert bench_results["admitted_p99_s_worst"] <= BUDGET
+        for row in bench_results["per_seed"]:
+            assert row["admitted_max_s"] <= BUDGET + 1e-9, row["seed"]
+
+
+class TestShedRate:
+    def test_overload_sheds_but_never_starves(self, bench_results):
+        for row in bench_results["per_seed"]:
+            assert MIN_SHED_RATE <= row["shed_rate"] <= MAX_SHED_RATE, (
+                f"seed {row['seed']}: shed rate {row['shed_rate']:.0%}"
+            )
+
+    def test_every_shed_has_a_reason(self, bench_results):
+        for row in bench_results["per_seed"]:
+            assert sum(row["shed_by_reason"].values()) == row["shed"]
+
+
+class TestBrokerMemory:
+    def test_pending_bounded_after_evictions(self, bench_results):
+        assert bench_results["broker_pending_peak"] <= QUEUE_MAX
+        for row in bench_results["per_seed"]:
+            assert row["evictions"] == 2
+            assert row["reclaimed_messages"] > 0
+
+
+class TestDegradedMode:
+    def test_degraded_seconds_reported(self, bench_results):
+        for row in bench_results["per_seed"]:
+            assert row["degraded_seconds"] > 0.0

@@ -81,6 +81,29 @@ class ViperConfig:
     rollout_max_integrity_errors: int = 0
     rollout_stagger: float = 0.0
     rollout_seed: int = 0
+    # Whole-operation retry budget (None = per-attempt checks only).
+    retry_total_deadline: Optional[float] = None
+    # Fleet health: broker leases (None = no membership registry) and
+    # slow-consumer escalation (0 = coalesce only, never evict).
+    lease_ttl: Optional[float] = None
+    slow_consumer_cycles: int = 0
+    # Circuit breakers around the transfer stack's retry sites
+    # (off = every call burns its full retry budget against a dead tier).
+    breaker: bool = False
+    breaker_failure_threshold: int = 3
+    breaker_reset_timeout: float = 0.5
+    breaker_probe_jitter: float = 0.25
+    breaker_half_open_probes: int = 1
+    # Admission control in front of the inference server (off = admit
+    # everything, the historical behavior).
+    admission: bool = False
+    admission_rate: float = 1000.0
+    admission_burst: float = 32.0
+    admission_max_inflight: int = 0
+    admission_default_budget: Optional[float] = None
+    # Graceful degradation: absorb update-path failures and keep serving
+    # last-known-good weights instead of raising out of poll_updates.
+    degraded_ok: bool = False
 
     def __post_init__(self):
         if self.profile not in _PROFILES:
@@ -122,6 +145,17 @@ class ViperConfig:
         self.rollout_policy()
         if self.fault_plan is not None:
             self.make_fault_plan()
+        if self.lease_ttl is not None and self.lease_ttl <= 0:
+            raise ConfigurationError("lease_ttl must be positive")
+        if self.slow_consumer_cycles < 0:
+            raise ConfigurationError("slow_consumer_cycles must be non-negative")
+        if self.slow_consumer_cycles and not self.notify_queue_max:
+            raise ConfigurationError(
+                "slow_consumer_cycles requires notify_queue_max > 0"
+            )
+        # BreakerConfig / AdmissionConfig re-validate their own knobs.
+        self.breaker_config()
+        self.admission_config()
 
     # ------------------------------------------------------------------
     # Resolution to live objects
@@ -162,6 +196,33 @@ class ViperConfig:
             base_delay=self.retry_base_delay,
             max_delay=self.retry_max_delay,
             jitter=self.retry_jitter,
+            total_deadline=self.retry_total_deadline,
+        )
+
+    def breaker_config(self):
+        """The configured BreakerConfig, or None when breakers are off."""
+        if not self.breaker:
+            return None
+        from repro.resilience.breaker import BreakerConfig
+
+        return BreakerConfig(
+            failure_threshold=self.breaker_failure_threshold,
+            reset_timeout=self.breaker_reset_timeout,
+            probe_jitter=self.breaker_probe_jitter,
+            half_open_probes=self.breaker_half_open_probes,
+        )
+
+    def admission_config(self):
+        """The configured AdmissionConfig, or None when admission is off."""
+        if not self.admission:
+            return None
+        from repro.serving.admission import AdmissionConfig
+
+        return AdmissionConfig(
+            rate=self.admission_rate,
+            burst=self.admission_burst,
+            max_inflight=self.admission_max_inflight,
+            default_budget=self.admission_default_budget,
         )
 
     def rollout_policy(self):

@@ -75,7 +75,11 @@ class Viper:
         notify_queue_max: int = 0,
         lineage=None,
         freshness=None,
+        lease_ttl: Optional[float] = None,
+        slow_consumer_cycles: int = 0,
+        breaker=None,
     ):
+        from repro.core.stats import StatsManager
         from repro.obs.freshness import NULL_FRESHNESS
         from repro.obs.lineage import NULL_LINEAGE
         from repro.obs.metrics import NULL_METRICS
@@ -86,6 +90,13 @@ class Viper:
         self.metrics = metrics if metrics is not None else NULL_METRICS
         self.lineage = lineage if lineage is not None else NULL_LINEAGE
         self.freshness = freshness if freshness is not None else NULL_FRESHNESS
+        # One stats manager shared by the broker (lease evictions), the
+        # breaker board (trips), and the handler (transfer accounting),
+        # so fleet-health counters land in a single snapshot.
+        self.stats = StatsManager(metrics=self.metrics)
+        # Circuit breakers for the transfer stack's retry sites; `breaker`
+        # accepts a BreakerConfig or a plain bool (True = defaults).
+        self.breakers = self._breaker_board(breaker)
         self.cluster, self.producer_node, self.consumer_node = (
             make_producer_consumer_pair(profile)
         )
@@ -114,7 +125,11 @@ class Viper:
                     sp.set(replayed_ops=replayed)
             self.metadata.attach_journal(journal)
         self.broker = NotificationBroker(
-            metrics=self.metrics, queue_max=notify_queue_max
+            metrics=self.metrics,
+            queue_max=notify_queue_max,
+            lease_ttl=lease_ttl,
+            slow_consumer_cycles=slow_consumer_cycles,
+            stats=self.stats,
         )
         self.handler = ModelWeightsHandler(
             self.cluster,
@@ -136,6 +151,8 @@ class Viper:
             failover=failover,
             lineage=self.lineage,
             freshness=self.freshness,
+            stats=self.stats,
+            breakers=self.breakers,
         )
         self.topic = topic
         self._consumer_seq = 0
@@ -163,6 +180,21 @@ class Viper:
         self.crash_plan = crash_plan
         if crash_plan is not None:
             crash_plan.arm(self)
+
+    def _breaker_board(self, breaker):
+        """Normalize the ``breaker`` knob to a BreakerBoard (or None)."""
+        from repro.resilience.breaker import BreakerBoard, BreakerConfig
+        from repro.resilience.faults import default_seed
+
+        if breaker is None or breaker is False:
+            return None
+        config = breaker if isinstance(breaker, BreakerConfig) else None
+        return BreakerBoard(
+            config,
+            seed=default_seed(),
+            metrics=self.metrics,
+            stats=self.stats,
+        )
 
     @staticmethod
     def _delta_config(delta, compression: Optional[str]):
@@ -288,10 +320,33 @@ class ViperConsumer:
 
     # ------------------------------------------------------------------
     def subscribe(self) -> Subscription:
-        """Register for push notifications of new checkpoints."""
+        """Register for push notifications of new checkpoints.
+
+        The subscription carries this consumer's name as its lease
+        identity; on a lease-armed broker it must :meth:`heartbeat`
+        within the TTL or be evicted.
+        """
         if self._sub is None:
-            self._sub = self.viper.broker.subscribe(self.viper.topic)
+            self._sub = self.viper.broker.subscribe(
+                self.viper.topic,
+                member=self.name,
+                now=self.viper.handler.sim_now,
+            )
         return self._sub
+
+    def heartbeat(self, now: Optional[float] = None) -> bool:
+        """Renew this consumer's broker lease (serving loops call this on
+        every update poll).  False when leases are off or already lapsed —
+        a lapsed lease means the broker evicted us and the next
+        :meth:`resubscribe` owes a catch-up read."""
+        if now is None:
+            now = self.viper.handler.sim_now
+        return self.viper.broker.heartbeat(self.name, now)
+
+    @property
+    def evicted(self) -> bool:
+        """True when the broker evicted this consumer's subscription."""
+        return self._sub is not None and self._sub.evicted
 
     @property
     def last_seq(self) -> int:
@@ -309,8 +364,16 @@ class ViperConsumer:
         if since is None:
             since = self.last_seq
         old = self._sub
-        self._sub = self.viper.broker.resubscribe(self.viper.topic, since)
-        if old is not None:
+        self._sub = self.viper.broker.resubscribe(
+            self.viper.topic,
+            since,
+            member=self.name,
+            now=self.viper.handler.sim_now,
+        )
+        if old is not None and not old.evicted:
+            # An evicted subscription is already detached and closed;
+            # unsubscribing it would release the lease the resubscribe
+            # just re-granted.
             self.viper.broker.unsubscribe(old)
         if self._sub.needs_catchup:
             self.viper.handler.stats.record_notification_gap()
@@ -481,6 +544,11 @@ class ViperConsumer:
         (keeping only the newest, as Viper's memory channels hold only
         the latest model).  Returns None when already current.
         """
+        if self._sub is not None and self._sub.evicted:
+            # The broker evicted us (lease lapse or slow-consumer); the
+            # resubscribe reconciles sequence numbers, so the catch-up
+            # read below replaces everything the eviction reclaimed.
+            self.resubscribe()
         if model_name is None:
             notes = self._sub.drain() if self._sub is not None else []
             catchup = self._sub is not None and self._sub.needs_catchup

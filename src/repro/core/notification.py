@@ -92,11 +92,16 @@ class Subscription:
     consumers.
 
     With ``maxlen > 0`` the queue is bounded: a push that would overflow
-    drops the oldest queued message instead (counted in
-    :attr:`coalesced`).  Consuming a notification whose ``seq`` is not
-    the successor of the last consumed one records a **gap** and sets
-    :attr:`needs_catchup`, telling the consumer its view of the topic is
-    no longer contiguous and one metadata catch-up read is due.
+    drops the oldest queued *ordinary* message instead (counted in
+    :attr:`coalesced`).  Quarantine events are never the dropped
+    message — a full queue must not silently discard a peer-rollback
+    order — so when everything queued is a quarantine event the queue
+    temporarily exceeds ``maxlen`` (bounded by the number of condemned
+    versions, which retention keeps small).  Consuming a notification
+    whose ``seq`` is not the successor of the last consumed one records
+    a **gap** and sets :attr:`needs_catchup`, telling the consumer its
+    view of the topic is no longer contiguous and one metadata catch-up
+    read is due.
     """
 
     def __init__(
@@ -105,11 +110,15 @@ class Subscription:
         callback: Optional[Callable[[Notification], None]] = None,
         metrics=None,
         maxlen: int = 0,
+        member: str = "",
     ):
         self.topic = topic
         self.callback = callback
         self.metrics = metrics if metrics is not None else NULL_METRICS
         self.maxlen = int(maxlen)
+        #: Lease identity when the broker runs a membership registry
+        #: (empty = anonymous, never lease-evicted).
+        self.member = member
         self._cond = threading.Condition()
         # (notification, wall-clock push time) pairs, FIFO, so get/poll
         # can report the real publish->consume delivery delay.
@@ -121,12 +130,25 @@ class Subscription:
         #: Highest sequence number consumed (or reconciled on resubscribe).
         self.last_seq = 0
         self.needs_catchup = False
+        #: Set when the broker evicted this subscription (lease expiry or
+        #: slow-consumer escalation) and reclaimed its queue; the owning
+        #: consumer must ``resubscribe`` and catch up.
+        self.evicted = False
+        self.evict_reason = ""
+        #: Consecutive pushes observed with the queue at its high
+        #: watermark — the broker's slow-consumer signal.
+        self.hot_pushes = 0
 
     @property
     def pending(self) -> int:
         """Messages queued but not yet consumed."""
         with self._cond:
             return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
 
     def _push(self, note: Notification) -> None:
         with self._cond:
@@ -135,14 +157,25 @@ class Subscription:
             if self.maxlen > 0 and len(self._items) >= self.maxlen:
                 # Bounded queue: coalesce toward the newest messages.  A
                 # Viper consumer only ever loads the latest model, so the
-                # dropped (older) notification carries no information the
-                # surviving ones don't — but the drop creates a seq gap
-                # the consumer will observe and count.
-                self._items.popleft()
-                self.coalesced += 1
-                self.metrics.counter(
-                    "notifications_coalesced_total", topic=self.topic
-                ).inc()
+                # dropped (older) ordinary notification carries no
+                # information the surviving ones don't — but the drop
+                # creates a seq gap the consumer will observe and count.
+                # Quarantine orders are exempt: dropping one would lose a
+                # peer rollback, so the oldest *ordinary* message goes.
+                for i, (queued, _pushed) in enumerate(self._items):
+                    if not is_quarantine(queued):
+                        del self._items[i]
+                        self.coalesced += 1
+                        self.metrics.counter(
+                            "notifications_coalesced_total", topic=self.topic
+                        ).inc()
+                        break
+            if self.maxlen > 0 and len(self._items) + 1 >= self.maxlen:
+                # Queue sits at (or past) its high watermark after this
+                # push: one more tick toward slow-consumer escalation.
+                self.hot_pushes += 1
+            else:
+                self.hot_pushes = 0
             self._items.append((note, time.perf_counter()))
             self.delivered += 1
             self._cond.notify_all()
@@ -211,6 +244,24 @@ class Subscription:
                 return out
             out.append(note)
 
+    def evict(self, reason: str) -> int:
+        """Broker-side eviction: reclaim the queue, mark, and close.
+
+        Returns the number of reclaimed (still-queued) messages.  The
+        owning consumer observes :attr:`evicted` on its next poll and
+        re-joins through ``resubscribe`` — which flags the catch-up read
+        that replaces everything reclaimed here.
+        """
+        with self._cond:
+            reclaimed = len(self._items)
+            self._items.clear()
+            self.evicted = True
+            self.evict_reason = reason
+            self.needs_catchup = True
+            self._closed = True
+            self._cond.notify_all()
+        return reclaimed
+
     def close(self) -> None:
         with self._cond:
             self._closed = True
@@ -218,7 +269,23 @@ class Subscription:
 
 
 class NotificationBroker:
-    """Topic-based fan-out broker (the Redis pub/sub stand-in)."""
+    """Topic-based fan-out broker (the Redis pub/sub stand-in).
+
+    With ``lease_ttl`` set the broker runs a
+    :class:`~repro.resilience.health.LeaseRegistry`: each named
+    subscriber holds a lease, heartbeats renew it (consumers heartbeat
+    through :meth:`heartbeat` on every update poll), and every publish
+    sweeps the table — members silent past the TTL are **evicted**:
+    their queues reclaimed, their subscriptions closed and flagged for a
+    ``resubscribe`` catch-up on return.  So one dead consumer bounds the
+    broker state it can strand at one queue, for one TTL.
+
+    ``slow_consumer_cycles`` escalates the bounded-queue coalescing: a
+    subscriber whose queue sits at its high watermark for that many
+    consecutive pushes is evicted like a dead one (reason
+    ``"slow_consumer"``) — it was consuming broker CPU and memory on
+    every publish while falling ever further behind.
+    """
 
     def __init__(
         self,
@@ -226,31 +293,57 @@ class NotificationBroker:
         *,
         metrics=None,
         queue_max: int = 0,
+        lease_ttl: Optional[float] = None,
+        slow_consumer_cycles: int = 0,
+        stats=None,
     ):
         if push_latency < 0:
             raise NotificationError("push latency must be non-negative")
         if queue_max < 0:
             raise NotificationError("queue_max must be non-negative")
+        if slow_consumer_cycles < 0:
+            raise NotificationError("slow_consumer_cycles must be non-negative")
+        if slow_consumer_cycles and not queue_max:
+            raise NotificationError(
+                "slow_consumer_cycles requires a bounded queue (queue_max > 0)"
+            )
         self.push_latency = push_latency
         self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.stats = stats
         self.queue_max = int(queue_max)
+        self.slow_consumer_cycles = int(slow_consumer_cycles)
         self._lock = threading.RLock()
         self._subs: Dict[str, List[Subscription]] = {}
         self._seqs: Dict[str, int] = {}
         self._retained: Dict[str, Notification] = {}
         self.published = 0
+        self.evictions = 0
+        self.reclaimed_messages = 0
+        self.health = None
+        if lease_ttl is not None:
+            from repro.resilience.health import LeaseRegistry
+
+            self.health = LeaseRegistry(
+                lease_ttl, metrics=self.metrics, stats=stats
+            )
 
     def subscribe(
         self,
         topic: str,
         callback: Optional[Callable[[Notification], None]] = None,
+        *,
+        member: str = "",
+        now: float = 0.0,
     ) -> Subscription:
         sub = Subscription(
-            topic, callback, metrics=self.metrics, maxlen=self.queue_max
+            topic, callback, metrics=self.metrics, maxlen=self.queue_max,
+            member=member,
         )
         with self._lock:
             self._subs.setdefault(topic, []).append(sub)
             sub.last_seq = self._seqs.get(topic, 0)
+        if self.health is not None and member:
+            self.health.grant(member, now)
         return sub
 
     def resubscribe(
@@ -258,6 +351,9 @@ class NotificationBroker:
         topic: str,
         since: int,
         callback: Optional[Callable[[Notification], None]] = None,
+        *,
+        member: str = "",
+        now: float = 0.0,
     ) -> Subscription:
         """Re-attach after a restart, reconciling sequence numbers.
 
@@ -271,7 +367,8 @@ class NotificationBroker:
         model reaches the consumer without any polling.
         """
         sub = Subscription(
-            topic, callback, metrics=self.metrics, maxlen=self.queue_max
+            topic, callback, metrics=self.metrics, maxlen=self.queue_max,
+            member=member,
         )
         with self._lock:
             current = self._seqs.get(topic, 0)
@@ -284,6 +381,10 @@ class NotificationBroker:
         sub.last_seq = min(int(since), current)
         if retained is not None and retained.seq > sub.last_seq:
             sub._push(retained)
+        if self.health is not None and member:
+            # Re-granting revives an evicted member; the seq reconciliation
+            # above already decided whether it owes a catch-up read.
+            self.health.grant(member, now)
         return sub
 
     def unsubscribe(self, sub: Subscription) -> None:
@@ -291,7 +392,48 @@ class NotificationBroker:
             subs = self._subs.get(sub.topic, [])
             if sub in subs:
                 subs.remove(sub)
+        if self.health is not None and sub.member:
+            self.health.release(sub.member, 0.0)
         sub.close()
+
+    # -- liveness ------------------------------------------------------
+    def heartbeat(self, member: str, now: float) -> bool:
+        """Renew ``member``'s lease; False when leases are off or lapsed."""
+        if self.health is None or not member:
+            return False
+        return self.health.heartbeat(member, now)
+
+    def expire_leases(self, now: float) -> List[str]:
+        """Sweep the lease table at ``now`` and evict lapsed members.
+
+        Eviction reclaims the member's queued notifications (broker
+        memory), closes its subscriptions, and flags them for catch-up.
+        Returns the members evicted by this sweep (idempotent — a second
+        sweep at the same ``now`` returns nothing).
+        """
+        if self.health is None:
+            return []
+        lapsed = self.health.expire(now)
+        for member in lapsed:
+            self._evict_member(member, "ttl")
+        return lapsed
+
+    def _evict_member(self, member: str, reason: str) -> None:
+        with self._lock:
+            doomed = [
+                sub
+                for subs in self._subs.values()
+                for sub in subs
+                if sub.member == member
+            ]
+            for subs in self._subs.values():
+                subs[:] = [s for s in subs if s.member != member]
+        for sub in doomed:
+            self.reclaimed_messages += sub.evict(reason)
+            self.evictions += 1
+            self.metrics.counter(
+                "notifications_evicted_total", reason=reason
+            ).inc()
 
     def current_seq(self, topic: str) -> int:
         """The topic's latest assigned sequence number (0 = never published)."""
@@ -338,13 +480,42 @@ class NotificationBroker:
             subs = list(self._subs.get(topic, ()))
             self.published += 1
         self.metrics.counter("notifications_published_total", topic=topic).inc()
+        slow: List[Subscription] = []
         for sub in subs:
             sub._push(note)
+            if (
+                self.slow_consumer_cycles
+                and sub.member
+                and self.health is not None
+                and sub.hot_pushes >= self.slow_consumer_cycles
+            ):
+                slow.append(sub)
+        for sub in slow:
+            # Coalescing wasn't enough: the queue has sat at its high
+            # watermark for `slow_consumer_cycles` straight publishes.
+            # Escalate to eviction — the member rejoins via resubscribe
+            # with one catch-up read instead of draining a stale backlog.
+            if self.health.evict(sub.member, now, "slow_consumer"):
+                self._evict_member(sub.member, "slow_consumer")
+        # Publish doubles as the liveness sweep: dead subscribers are the
+        # ones that would otherwise accumulate queue memory right now.
+        self.expire_leases(now)
         return note
 
     def subscriber_count(self, topic: str) -> int:
         with self._lock:
             return len(self._subs.get(topic, ()))
+
+    def pending_total(self) -> int:
+        """Notifications queued across every live subscription.
+
+        This is the broker's fan-out memory; the overload chaos harness
+        asserts it stays bounded by ``queue_max * live subscribers`` even
+        with dead and stalled consumers in the fleet.
+        """
+        with self._lock:
+            subs = [s for lst in self._subs.values() for s in lst]
+        return sum(s.pending for s in subs)
 
     def close(self) -> None:
         with self._lock:

@@ -67,6 +67,10 @@ class StatsSnapshot:
     delta_fallbacks: int = 0         # delta path degraded to monolithic
     canary_promotions: int = 0       # candidates promoted by the health gate
     canary_rollbacks: int = 0        # candidates quarantined by the gate
+    requests_shed: int = 0           # requests refused by admission control
+    leases_expired: int = 0          # subscribers evicted by the registry
+    breaker_trips: int = 0           # circuit breakers tripped open
+    degraded_entries: int = 0        # servers that entered degraded mode
 
     @property
     def dedup_hit_ratio(self) -> float:
@@ -113,6 +117,10 @@ class StatsManager:
         self.delta_fallbacks = 0
         self.canary_promotions = 0   # see StatsSnapshot.canary_promotions
         self.canary_rollbacks = 0    # see StatsSnapshot.canary_rollbacks
+        self.requests_shed = 0       # see StatsSnapshot.requests_shed
+        self.leases_expired = 0      # see StatsSnapshot.leases_expired
+        self.breaker_trips = 0       # see StatsSnapshot.breaker_trips
+        self.degraded_entries = 0    # see StatsSnapshot.degraded_entries
         self.metrics = metrics if metrics is not None else NULL_METRICS
 
     def rank(self, location: str) -> int:
@@ -203,6 +211,30 @@ class StatsManager:
         with self._lock:
             self.canary_rollbacks += 1
         self.metrics.counter("viper_rollbacks_total", reason=reason).inc()
+
+    def record_shed(self, reason: str = "") -> None:
+        """Admission control refused one request (``reason`` says why)."""
+        with self._lock:
+            self.requests_shed += 1
+        self.metrics.counter("viper_requests_shed_total", reason=reason).inc()
+
+    def record_lease_expired(self, reason: str = "") -> None:
+        """The lease registry evicted one subscriber."""
+        with self._lock:
+            self.leases_expired += 1
+        self.metrics.counter("viper_lease_evictions_total", reason=reason).inc()
+
+    def record_breaker_trip(self, site: str = "") -> None:
+        """A circuit breaker at ``site`` tripped open."""
+        with self._lock:
+            self.breaker_trips += 1
+        self.metrics.counter("viper_breaker_trips_stats_total", site=site).inc()
+
+    def record_degraded_entry(self) -> None:
+        """One server entered degraded (serve-last-known-good) mode."""
+        with self._lock:
+            self.degraded_entries += 1
+        self.metrics.counter("viper_degraded_entries_total").inc()
 
     def record_wire(
         self,
@@ -316,6 +348,10 @@ class StatsManager:
                 delta_fallbacks=self.delta_fallbacks,
                 canary_promotions=self.canary_promotions,
                 canary_rollbacks=self.canary_rollbacks,
+                requests_shed=self.requests_shed,
+                leases_expired=self.leases_expired,
+                breaker_trips=self.breaker_trips,
+                degraded_entries=self.degraded_entries,
             )
 
     def summary(self) -> str:
@@ -344,6 +380,16 @@ class StatsManager:
             parts.append(
                 f"rollout: {snap.canary_promotions} promotions, "
                 f"{snap.canary_rollbacks} rollbacks"
+            )
+        if (
+            snap.requests_shed or snap.leases_expired
+            or snap.breaker_trips or snap.degraded_entries
+        ):
+            parts.append(
+                f"overload: {snap.requests_shed} shed, "
+                f"{snap.leases_expired} leases expired, "
+                f"{snap.breaker_trips} breaker trips, "
+                f"{snap.degraded_entries} degraded entries"
             )
         if snap.bytes_total:
             parts.append(

@@ -33,6 +33,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro.errors import (
+    CircuitOpenError,
     DeltaBaseError,
     IntegrityError,
     MetadataError,
@@ -150,6 +151,8 @@ class ModelWeightsHandler:
         failover: bool = True,
         lineage=None,
         freshness=None,
+        stats=None,
+        breakers=None,
     ):
         self.cluster = cluster
         self.producer = producer
@@ -177,7 +180,12 @@ class ModelWeightsHandler:
         self.pipeline = pipeline if pipeline is not None else PipelineConfig()
         #: Reusable staging buffers for the pipelined serialize path.
         self.buffer_pool = BufferPool(max_buffers=4)
-        self.stats = StatsManager(metrics=self.metrics)
+        self.stats = stats if stats is not None else StatsManager(metrics=self.metrics)
+        #: Optional per-site circuit breakers (BreakerBoard).  A tripped
+        #: site is skipped without burning its retry budget: staging
+        #: moves straight down the failover chain, loads move to the
+        #: next-cheapest replica.
+        self.breakers = breakers
         #: Delta/compressed wire path (strictly opt-in; a disabled
         #: manager leaves the monolithic path byte-for-byte intact).
         self.delta = DeltaManager(
@@ -425,8 +433,20 @@ class ModelWeightsHandler:
         """
         chain = failover_chain(chosen) if self.failover else (chosen,)
         last: Optional[RetriesExhausted] = None
+        skipped_open = 0
         backoff = 0.0
         for i, strat in enumerate(chain):
+            site = f"stage.{strat.value}"
+            if self.breakers is not None and not self.breakers.allow(
+                site, self.sim_now
+            ):
+                # The breaker remembers this site's last exhaustion:
+                # skip straight to the next strategy instead of burning
+                # the full retry budget against a tier that is down.
+                skipped_open += 1
+                if i + 1 < len(chain):
+                    self.stats.record_failover(strat.value, chain[i + 1].value)
+                continue
             try:
                 outcome = execute_with_retry(
                     lambda s=strat: self._stage_once(
@@ -434,15 +454,19 @@ class ModelWeightsHandler:
                         wire_blob=wire_blob, wire_virtual=wire_virtual,
                     ),
                     self.retry_policy,
-                    site=f"stage.{strat.value}",
+                    site=site,
                     rng=self._retry_rng,
                     tracer=self.tracer,
                     metrics=self.metrics,
                     on_retry=lambda site, _a, _e: self.stats.record_retry(site),
                 )
+                if self.breakers is not None:
+                    self.breakers.success(site, self.sim_now)
                 return strat, backoff + outcome.backoff_seconds
             except RetriesExhausted as exc:
                 last = exc
+                if self.breakers is not None:
+                    self.breakers.failure(site, self.sim_now)
                 # The exhausted scope's backoff (un-jittered estimate; the
                 # exception does not carry the drawn delays).
                 backoff += sum(
@@ -460,7 +484,20 @@ class ModelWeightsHandler:
                         key=key,
                     ):
                         pass
-        assert last is not None
+        if last is None:
+            # Every strategy in the chain was skipped by an open breaker:
+            # fail fast with the soonest retry hint, not RetriesExhausted
+            # (nothing was actually attempted, so nothing should retry).
+            assert skipped_open and self.breakers is not None
+            raise CircuitOpenError(
+                f"all {skipped_open} staging strategies have open circuits "
+                f"for {key!r}",
+                site=f"stage.{chain[0].value}",
+                retry_after=min(
+                    self.breakers.retry_after(f"stage.{s.value}", self.sim_now)
+                    for s in chain
+                ),
+            )
         raise last
 
     def _stage_and_publish(
@@ -705,9 +742,19 @@ class ModelWeightsHandler:
             used_delta = False
             backoff = 0.0
             last_exc: Optional[RetriesExhausted] = None
+            skipped_open = 0
             for location in candidates:
                 store = self._store_for_location(location)
                 if record.path not in store:
+                    continue
+                site = f"load.{location}"
+                if self.breakers is not None and not self.breakers.allow(
+                    site, self.sim_now
+                ):
+                    # This tier's breaker is open — its last loads burned
+                    # the full retry budget and failed.  Fall through to
+                    # the next-cheapest replica without re-proving it.
+                    skipped_open += 1
                     continue
                 # Fetch + verify + deserialize is one retryable unit: a
                 # corrupted read (checksum mismatch -> IntegrityError) is
@@ -721,7 +768,7 @@ class ModelWeightsHandler:
                             s, record, loc
                         ),
                         self.retry_policy,
-                        site=f"load.{location}",
+                        site=site,
                         rng=self._retry_rng,
                         tracer=self.tracer,
                         metrics=self.metrics,
@@ -729,11 +776,15 @@ class ModelWeightsHandler:
                     )
                 except RetriesExhausted as exc:
                     last_exc = exc
+                    if self.breakers is not None:
+                        self.breakers.failure(site, self.sim_now)
                     backoff += sum(
                         self.retry_policy.delay_for(a)
                         for a in range(1, self.retry_policy.max_attempts)
                     )
                     continue
+                if self.breakers is not None:
+                    self.breakers.success(site, self.sim_now)
                 state, used_delta = outcome.value
                 backoff += outcome.backoff_seconds
                 chosen = location
@@ -741,6 +792,21 @@ class ModelWeightsHandler:
             if chosen is None or state is None:
                 if last_exc is not None:
                     raise last_exc
+                if skipped_open:
+                    # Replicas exist but every holding tier's circuit is
+                    # open: fail fast, and distinctly — the caller can
+                    # serve last-known-good and retry after the hint.
+                    raise CircuitOpenError(
+                        f"all {skipped_open} replica tiers of "
+                        f"{record.path!r} have open circuits",
+                        site=f"load.{candidates[0]}",
+                        retry_after=min(
+                            self.breakers.retry_after(
+                                f"load.{loc}", self.sim_now
+                            )
+                            for loc in candidates
+                        ),
+                    )
                 self.stats.record_miss()
                 raise ObjectNotFoundError(
                     f"no replica of {record.path!r} present in any of "

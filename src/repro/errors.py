@@ -89,6 +89,23 @@ class RetriesExhausted(TransferError):
         self.attempts = int(attempts)
 
 
+class CircuitOpenError(ViperError):
+    """A circuit breaker is open: the call was refused without attempting.
+
+    Deliberately *not* a :class:`TransferError`: an open circuit means the
+    site has already burned through enough retry budgets to trip, so the
+    fast-fail must never be retried in place.  Callers either fail over
+    to a different site (the handler's strategy chain) or surface the
+    error to a degraded-mode policy.  ``retry_after`` hints when the
+    breaker's next half-open probe becomes possible (simulated seconds).
+    """
+
+    def __init__(self, message: str, *, site: str = "", retry_after: float = 0.0):
+        super().__init__(message)
+        self.site = site
+        self.retry_after = float(retry_after)
+
+
 class MetadataError(ViperError):
     """The metadata store rejected an operation."""
 
@@ -128,6 +145,26 @@ class ServingError(ViperError):
 
 class RolloutError(ServingError):
     """The canary rollout controller was misconfigured or misused."""
+
+
+class OverloadError(ServingError):
+    """Admission control shed a request before it was scored.
+
+    Typed and retryable-by-contract: the server is healthy but out of
+    capacity (or the request's deadline already passed), so the caller
+    should back off for ``retry_after`` seconds and resubmit — the
+    ``Retry-After`` HTTP idiom.  ``reason`` is one of ``"rate"``,
+    ``"concurrency"``, or ``"deadline"``.
+    """
+
+    retryable = True
+
+    def __init__(
+        self, message: str, *, reason: str = "", retry_after: float = 0.0
+    ):
+        super().__init__(message)
+        self.reason = reason
+        self.retry_after = float(retry_after)
 
 
 class WorkflowError(ViperError):

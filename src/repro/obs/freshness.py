@@ -87,6 +87,7 @@ class _ConsumerState:
     __slots__ = (
         "current_version", "stale_since", "stale_seconds", "updates",
         "serves", "stale_serves", "slo_burns", "latency",
+        "degraded_since", "degraded_seconds", "degraded_entries",
     )
 
     def __init__(self, buckets: Sequence[float]):
@@ -98,6 +99,9 @@ class _ConsumerState:
         self.stale_serves = 0
         self.slo_burns = 0
         self.latency = Histogram("update_latency", buckets=buckets)
+        self.degraded_since: Optional[float] = None
+        self.degraded_seconds = 0.0
+        self.degraded_entries = 0
 
 
 class FreshnessTracker:
@@ -258,6 +262,42 @@ class FreshnessTracker:
             consumer=consumer, model=model_name,
         ).inc()
 
+    def record_degraded_enter(
+        self, consumer: str, model_name: str, sim_time: float
+    ) -> None:
+        """``consumer`` lost its update path and is serving last-known-good.
+
+        Idempotent while already degraded — the open interval keeps
+        accruing from its original start.
+        """
+        with self._lock:
+            state = self._state_locked(model_name, consumer)
+            if state.degraded_since is not None:
+                return
+            state.degraded_since = float(sim_time)
+            state.degraded_entries += 1
+        self.metrics.counter(
+            "viper_degraded_mode_entries_total",
+            consumer=consumer, model=model_name,
+        ).inc()
+
+    def record_degraded_exit(
+        self, consumer: str, model_name: str, sim_time: float
+    ) -> float:
+        """``consumer``'s update path healed; returns the interval length."""
+        with self._lock:
+            state = self._state_locked(model_name, consumer)
+            if state.degraded_since is None:
+                return 0.0
+            delta = max(0.0, float(sim_time) - state.degraded_since)
+            state.degraded_seconds += delta
+            state.degraded_since = None
+        self.metrics.counter(
+            "viper_degraded_seconds_total",
+            consumer=consumer, model=model_name,
+        ).inc(delta)
+        return delta
+
     def record_quarantine(
         self, model_name: str, version: int, sim_time: float
     ) -> None:
@@ -340,6 +380,24 @@ class FreshnessTracker:
             if state.stale_since is not None and now is not None:
                 total += max(0.0, float(now) - state.stale_since)
             return total
+
+    def degraded_seconds(
+        self, consumer: str, model_name: str, now: Optional[float] = None
+    ) -> float:
+        """Closed degraded intervals plus the open one up to ``now``."""
+        with self._lock:
+            state = self._states.get((model_name, consumer))
+            if state is None:
+                return 0.0
+            total = state.degraded_seconds
+            if state.degraded_since is not None and now is not None:
+                total += max(0.0, float(now) - state.degraded_since)
+            return total
+
+    def is_degraded(self, consumer: str, model_name: str) -> bool:
+        with self._lock:
+            state = self._states.get((model_name, consumer))
+            return state is not None and state.degraded_since is not None
 
     def update_latency_quantiles(
         self,
@@ -442,6 +500,12 @@ class NullFreshness(FreshnessTracker):
 
     def record_quarantine(self, model_name, version, sim_time):  # type: ignore[override]
         pass
+
+    def record_degraded_enter(self, consumer, model_name, sim_time):  # type: ignore[override]
+        pass
+
+    def record_degraded_exit(self, consumer, model_name, sim_time):  # type: ignore[override]
+        return 0.0
 
     def fleet(self, model_name, now=None, quantiles=DEFAULT_QUANTILES):  # type: ignore[override]
         return ()

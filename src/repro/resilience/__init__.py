@@ -21,6 +21,16 @@ citizen:
   :class:`SimulatedCrash` kill points that the crash-restart chaos
   harness uses to die mid-publish, mid-flush, or mid-notify.
 
+- :mod:`repro.resilience.health` — fleet liveness: the
+  :class:`LeaseRegistry` lease/heartbeat membership table the
+  notification broker uses to evict dead subscribers and reclaim
+  their queues.
+- :mod:`repro.resilience.breaker` — :class:`CircuitBreaker` /
+  :class:`BreakerBoard`: closed/open/half-open failure latches (with
+  seeded probe jitter) in front of the handler's retry sites, so a
+  persistently failing tier fails fast instead of burning the retry
+  budget on every call.
+
 Strategy failover down the paper's GPU -> HOST -> PFS chain and
 checksum-verified deserialization live in the transfer layer
 (:mod:`repro.core.transfer.handler`, :mod:`repro.dnn.serialization`);
@@ -48,6 +58,13 @@ from repro.resilience.retry import (
     RetryPolicy,
     execute_with_retry,
 )
+from repro.resilience.health import Lease, LeaseRegistry
+from repro.resilience.breaker import (
+    BreakerBoard,
+    BreakerConfig,
+    BreakerState,
+    CircuitBreaker,
+)
 
 __all__ = [
     "FAULT_SEED_ENV",
@@ -64,4 +81,10 @@ __all__ = [
     "RetryOutcome",
     "RetryPolicy",
     "execute_with_retry",
+    "Lease",
+    "LeaseRegistry",
+    "BreakerBoard",
+    "BreakerConfig",
+    "BreakerState",
+    "CircuitBreaker",
 ]

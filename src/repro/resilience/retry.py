@@ -71,6 +71,12 @@ class RetryPolicy:
         attempt_deadline: per-attempt budget in simulated seconds; an
             attempt whose simulated cost exceeds it counts as a timeout
             and is retried (None disables the check).
+        total_deadline: whole-operation budget in simulated seconds
+            across *all* attempts — successful attempt costs plus the
+            backoff between attempts.  Once the accumulated elapsed time
+            exceeds it, :class:`~repro.errors.RetriesExhausted` is
+            raised with the attempts made and seconds elapsed, even if
+            attempt budget remains (None disables the check).
     """
 
     max_attempts: int = 3
@@ -79,6 +85,7 @@ class RetryPolicy:
     max_delay: float = 1.0
     jitter: float = 0.25
     attempt_deadline: Optional[float] = None
+    total_deadline: Optional[float] = None
 
     def __post_init__(self):
         if self.max_attempts < 1:
@@ -91,6 +98,16 @@ class RetryPolicy:
             raise ConfigurationError("retry jitter must be in [0, 1]")
         if self.attempt_deadline is not None and self.attempt_deadline <= 0:
             raise ConfigurationError("attempt_deadline must be positive")
+        if self.total_deadline is not None and self.total_deadline <= 0:
+            raise ConfigurationError("total_deadline must be positive")
+        if (
+            self.total_deadline is not None
+            and self.attempt_deadline is not None
+            and self.total_deadline < self.attempt_deadline
+        ):
+            raise ConfigurationError(
+                "total_deadline must be >= attempt_deadline"
+            )
 
     def delay_for(self, attempt: int, rng: Optional[random.Random] = None) -> float:
         """Backoff before retry number ``attempt`` (1-based), jittered."""
@@ -140,6 +157,25 @@ def execute_with_retry(
     metrics = metrics if metrics is not None else NULL_METRICS
     errors: list = []
     backoff_total = 0.0
+    # Whole-operation budget: backoff between attempts plus the simulated
+    # cost of attempts whose cost is observable (a failed attempt raises
+    # before its cost is known, so only successful costs accumulate).
+    elapsed_total = 0.0
+
+    def _exhaust_total(attempts: int) -> RetriesExhausted:
+        metrics.counter(
+            "resilience_retries_exhausted_total", site=site
+        ).inc()
+        exc = RetriesExhausted(
+            f"{site}: total deadline {policy.total_deadline:.6f}s exceeded "
+            f"after {attempts} attempt(s), {elapsed_total:.6f}s elapsed",
+            site=site,
+            attempts=attempts,
+        )
+        if errors:
+            exc.__cause__ = errors[-1]
+        return exc
+
     for attempt in range(1, policy.max_attempts + 1):
         failure: Optional[BaseException] = None
         with tracer.span(
@@ -173,6 +209,16 @@ def execute_with_retry(
                     )
                     span.set(error="deadline", sim_seconds=sim_seconds)
                 else:
+                    elapsed_total = backoff_total + (
+                        float(sim_seconds) if sim_seconds is not None else 0.0
+                    )
+                    if (
+                        policy.total_deadline is not None
+                        and elapsed_total > policy.total_deadline
+                    ):
+                        # The operation succeeded, but past its whole-run
+                        # budget — the caller already gave up on it.
+                        raise _exhaust_total(attempt)
                     return RetryOutcome(
                         value=value,
                         attempts=attempt,
@@ -183,6 +229,14 @@ def execute_with_retry(
         errors.append(failure)
         if attempt < policy.max_attempts:
             backoff_total += policy.delay_for(attempt, rng)
+            elapsed_total = backoff_total
+            if (
+                policy.total_deadline is not None
+                and elapsed_total > policy.total_deadline
+            ):
+                # Backoff alone has burned the whole-operation budget:
+                # stop early instead of sleeping past the deadline.
+                raise _exhaust_total(attempt)
             metrics.counter("resilience_retries_total", site=site).inc()
             if on_retry is not None:
                 on_retry(site, attempt, failure)

@@ -8,11 +8,19 @@
 - :mod:`repro.serving.polling` — the Triton / TensorFlow-Serving style
   repository poller baseline, plus the analytic discovery-delay model
   used by the notification-vs-polling ablation.
+- :mod:`repro.serving.admission` — admission control in front of the
+  server: token-bucket rate limiting, a concurrency cap, and deadline
+  shedding with typed retryable overload errors.
 """
 
 from repro.serving.server import InferenceServer, ServedRequest
 from repro.serving.client import RequestGenerator
 from repro.serving.polling import RepositoryPoller, expected_discovery_delay
+from repro.serving.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    TokenBucket,
+)
 
 __all__ = [
     "InferenceServer",
@@ -20,4 +28,7 @@ __all__ = [
     "RequestGenerator",
     "RepositoryPoller",
     "expected_discovery_delay",
+    "AdmissionConfig",
+    "AdmissionController",
+    "TokenBucket",
 ]

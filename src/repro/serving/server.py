@@ -41,7 +41,13 @@ from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import ServingError
+from repro.errors import (
+    CircuitOpenError,
+    NotificationError,
+    OverloadError,
+    RetriesExhausted,
+    ServingError,
+)
 from repro.dnn.losses import Loss
 from repro.obs.metrics import NULL_METRICS
 from repro.obs.tracer import NULL_TRACER
@@ -49,8 +55,15 @@ from repro.core.api import ViperConsumer
 from repro.core.notification import is_quarantine
 from repro.rollout.controller import RolloutController
 from repro.rollout.policy import RolloutPolicy
+from repro.serving.admission import AdmissionConfig, AdmissionController
 
 __all__ = ["ServedRequest", "InferenceServer"]
+
+#: Update-path failures a degraded-capable server absorbs instead of
+#: propagating: an open circuit, an exhausted retry budget, a dead
+#: broker subscription.  Everything else (corruption, programming
+#: errors) still raises.
+_DEGRADABLE = (CircuitOpenError, RetriesExhausted, NotificationError)
 
 
 @dataclass(frozen=True)
@@ -84,6 +97,8 @@ class InferenceServer:
         name: Optional[str] = None,
         rollout: Optional[RolloutPolicy] = None,
         max_request_log: Optional[int] = None,
+        admission=None,
+        degraded_ok: bool = False,
     ):
         if t_infer <= 0:
             raise ServingError("t_infer must be positive")
@@ -146,6 +161,29 @@ class InferenceServer:
         # poll_updates(); a request served with an older primary is a
         # "stale serve" (updates pending but not yet swapped in).
         self._latest_known = self.consumer.current_version
+        #: Admission control in front of :meth:`handle` (None = admit
+        #: everything, the historical behavior).  Accepts an
+        #: AdmissionConfig or a pre-built AdmissionController.
+        if admission is None:
+            self.admission: Optional[AdmissionController] = None
+        elif isinstance(admission, AdmissionController):
+            self.admission = admission
+        else:
+            self.admission = AdmissionController(
+                admission if isinstance(admission, AdmissionConfig)
+                else AdmissionConfig(),
+                metrics=self.metrics,
+                stats=consumer.viper.handler.stats,
+                name=self.name,
+            )
+        #: Graceful degradation: with ``degraded_ok`` the server absorbs
+        #: update-path failures (open circuit, exhausted retries, dead
+        #: subscription) and keeps serving the last-known-good weights
+        #: instead of raising out of :meth:`poll_updates`.
+        self.degraded_ok = degraded_ok
+        self.degraded = False
+        self.degraded_entries = 0
+        self.last_degraded_error: Optional[BaseException] = None
 
     # ------------------------------------------------------------------
     # Model updates (the "model updating thread" of §4.3)
@@ -161,9 +199,32 @@ class InferenceServer:
         With a rollout policy armed the same discovery signals feed the
         canary pipeline instead: new versions stage (never swap) and the
         return value reports health-gate *promotions*.
+
+        Every poll heartbeats the consumer's broker lease — a serving
+        loop that keeps polling keeps its membership for free.  With
+        ``degraded_ok`` an update-path failure (open circuit, exhausted
+        retries, closed subscription) flips the server into **degraded
+        mode**: it keeps serving the last-known-good weights and the
+        next *successful* poll — the existing catch-up read — exits
+        degraded mode cleanly.
         """
-        if self.rollout is not None:
-            return self._poll_updates_rollout()
+        if self.consumer._sub is not None:
+            self.consumer.heartbeat(self._sim_time)
+        try:
+            if self.rollout is not None:
+                swapped = self._poll_updates_rollout()
+            else:
+                swapped = self._poll_updates_plain()
+        except _DEGRADABLE as exc:
+            if not self.degraded_ok:
+                raise
+            self._enter_degraded(exc)
+            return False
+        if self.degraded:
+            self._exit_degraded()
+        return swapped
+
+    def _poll_updates_plain(self) -> bool:
         if self.consumer._sub is None or self.staleness_deadline is None:
             result = self.consumer.refresh(self.model_name)
         else:
@@ -177,6 +238,34 @@ class InferenceServer:
             self._after_swap()
         self._advance_watermark()
         return result is not None
+
+    def _enter_degraded(self, exc: BaseException) -> None:
+        self.last_degraded_error = exc
+        sub = self.consumer._sub
+        if sub is not None and not sub.evicted:
+            # The absorbed failure may have consumed the notification
+            # announcing the update: flag one catch-up read so the next
+            # poll re-attempts it — a no-op poll must not exit degraded
+            # mode while an update is still missing.
+            sub.needs_catchup = True
+        if self.degraded:
+            return
+        self.degraded = True
+        self.degraded_entries += 1
+        self.freshness.record_degraded_enter(
+            self.name, self.model_name, self._sim_time
+        )
+        self.consumer.viper.handler.stats.record_degraded_entry()
+        self.metrics.counter(
+            "server_degraded_entries_total", model=self.model_name
+        ).inc()
+
+    def _exit_degraded(self) -> None:
+        self.degraded = False
+        self.last_degraded_error = None
+        self.freshness.record_degraded_exit(
+            self.name, self.model_name, self._sim_time
+        )
 
     def _record_stale_fallback(self) -> None:
         """Account one staleness-watchdog fallback poll (and re-arm)."""
@@ -254,13 +343,59 @@ class InferenceServer:
     # ------------------------------------------------------------------
     # Serving (the "inference serving thread")
     # ------------------------------------------------------------------
+    def advance_clock(self, now: float) -> float:
+        """Advance the serving clock to ``now`` (monotone; never rewinds).
+
+        Open-loop drivers use this to mark request *arrival* instants, so
+        admission's token bucket refills on arrival time and the served
+        completion times model a single-server queue.  Returns the clock
+        after the advance.
+        """
+        with self._lock:
+            self._sim_time = max(self._sim_time, float(now))
+            return self._sim_time
+
     def handle(
         self,
         x: np.ndarray,
         y_true: Optional[np.ndarray] = None,
+        *,
+        deadline: Optional[float] = None,
+        arrival: Optional[float] = None,
     ) -> Tuple[np.ndarray, ServedRequest]:
         """Serve one request batch with the current primary model (or,
-        under an active rollout, the canary for its routed fraction)."""
+        under an active rollout, the canary for its routed fraction).
+
+        ``deadline`` is an absolute simulated instant the response must
+        land by; with admission control armed, a request that cannot make
+        it (or that exceeds the rate/concurrency envelope) is shed with a
+        retryable :class:`~repro.errors.OverloadError` *before* any
+        scoring work.  ``arrival`` advances the serving clock to the
+        request's arrival instant first (see :meth:`advance_clock`).
+        """
+        if arrival is not None:
+            self.advance_clock(arrival)
+        admitted = False
+        if self.admission is not None:
+            with self._lock:
+                now = self._sim_time
+            # Raises OverloadError on shed; the shed is counted by the
+            # controller before the request touches the model.
+            self.admission.admit(
+                now, deadline=deadline, service_time=self.t_infer
+            )
+            admitted = True
+        try:
+            return self._handle_admitted(x, y_true)
+        finally:
+            if admitted:
+                self.admission.release()
+
+    def _handle_admitted(
+        self,
+        x: np.ndarray,
+        y_true: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, ServedRequest]:
         wall_start = time.perf_counter()
         canary = self.rollout.route() if self.rollout is not None else None
         snapshot = canary if canary is not None else self.consumer._buffer.acquire()
@@ -334,15 +469,35 @@ class InferenceServer:
         xs: Sequence[np.ndarray],
         ys: Optional[Sequence[np.ndarray]] = None,
         refresh_between: bool = True,
+        *,
+        budget: Optional[float] = None,
+        arrivals: Optional[Sequence[float]] = None,
     ) -> List[ServedRequest]:
         """Serve a sequence of requests, optionally applying updates
-        between requests (as the segregated update thread would)."""
+        between requests (as the segregated update thread would).
+
+        ``budget`` gives each request a relative deadline (arrival +
+        budget, resolved against the serving clock); ``arrivals`` marks
+        per-request arrival instants for open-loop replay.  Requests shed
+        by admission control are skipped — the controller counts them —
+        so the returned list holds only requests actually served.
+        """
         served = []
         for i, x in enumerate(xs):
             if refresh_between:
                 self.poll_updates()
             y = ys[i] if ys is not None else None
-            _, req = self.handle(x, y)
+            arrival = float(arrivals[i]) if arrivals is not None else None
+            if arrival is not None:
+                self.advance_clock(arrival)
+            deadline = None
+            if budget is not None:
+                with self._lock:
+                    deadline = self._sim_time + float(budget)
+            try:
+                _, req = self.handle(x, y, deadline=deadline, arrival=arrival)
+            except OverloadError:
+                continue
             served.append(req)
         return served
 

@@ -5,7 +5,12 @@ import threading
 import pytest
 
 from repro.errors import NotificationError
-from repro.core.notification import PUSH_LATENCY, NotificationBroker
+from repro.core.notification import (
+    PUSH_LATENCY,
+    QUARANTINE_EVENT,
+    NotificationBroker,
+    is_quarantine,
+)
 
 
 def publish(broker, version=1, topic="t", now=10.0):
@@ -233,3 +238,52 @@ class TestResubscribe:
         sub = broker.resubscribe("t", since=7)
         assert sub.needs_catchup
         assert sub.last_seq == 0  # reconciled downward, never invented
+
+
+def publish_quarantine(broker, version, topic="t", now=10.0):
+    return broker.publish(
+        topic,
+        model_name="m",
+        version=version,
+        location="gpu",
+        now=now,
+        payload={"event": QUARANTINE_EVENT, "reason": "rollback"},
+    )
+
+
+class TestQuarantineSafeCoalescing:
+    """Bounded-queue overflow must never lose a quarantine order."""
+
+    def test_overflow_drops_oldest_ordinary_never_quarantine(self):
+        broker = NotificationBroker(queue_max=2)
+        sub = broker.subscribe("t")
+        publish(broker, 1)
+        publish_quarantine(broker, 1)
+        publish(broker, 2)           # overflow: v1 (ordinary) is dropped
+        notes = sub.drain()
+        assert [n.version for n in notes] == [1, 2]
+        assert is_quarantine(notes[0])
+        assert sub.coalesced == 1
+
+    def test_all_quarantine_queue_exceeds_maxlen(self):
+        # When everything queued is a condemnation there is nothing safe
+        # to drop: the queue stretches past maxlen rather than lose one.
+        broker = NotificationBroker(queue_max=2)
+        sub = broker.subscribe("t")
+        for v in (1, 2, 3):
+            publish_quarantine(broker, v)
+        assert sub.pending == 3
+        assert sub.coalesced == 0
+        assert all(is_quarantine(n) for n in sub.drain())
+
+    def test_ordinary_traffic_still_coalesces_around_quarantine(self):
+        broker = NotificationBroker(queue_max=3)
+        sub = broker.subscribe("t")
+        publish_quarantine(broker, 1)
+        for v in (2, 3, 4, 5):
+            publish(broker, v)
+        notes = sub.drain()
+        assert is_quarantine(notes[0])
+        # Ordinary survivors are the newest — the coalescing contract.
+        assert [n.version for n in notes[1:]] == [4, 5]
+        assert sub.coalesced == 2

@@ -1,0 +1,203 @@
+"""Circuit breakers: the state machine, the board, and the handler wiring.
+
+A persistently failing tier must start failing *fast* — after the
+threshold of retry-exhaustions, the breaker refuses calls up front and
+the failover chain skips the tier without re-burning its retry budget.
+Probes are jittered from a seeded stream, so trip/probe sequences are
+reproducible and a fleet tripped by one outage does not probe in
+lockstep.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro import CaptureMode, FaultKind, FaultPlan, FaultRule, TransferStrategy, Viper
+from repro.errors import CircuitOpenError, ConfigurationError
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience.breaker import (
+    BreakerBoard,
+    BreakerConfig,
+    BreakerState,
+    CircuitBreaker,
+)
+from repro.resilience.retry import RETRYABLE_ERRORS
+
+STATE = {"w": np.arange(256, dtype=np.float32).reshape(16, 16)}
+
+GPU_HOST_DOWN = [
+    FaultRule(site="store.put:*hbm*", kind=FaultKind.WRITE_FAIL, probability=1.0),
+    FaultRule(site="store.put:*ddr*", kind=FaultKind.WRITE_FAIL, probability=1.0),
+]
+
+
+class TestBreakerConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BreakerConfig(failure_threshold=0)
+        with pytest.raises(ConfigurationError):
+            BreakerConfig(reset_timeout=0.0)
+        with pytest.raises(ConfigurationError):
+            BreakerConfig(probe_jitter=1.5)
+        with pytest.raises(ConfigurationError):
+            BreakerConfig(half_open_probes=0)
+
+
+class TestCircuitBreaker:
+    def make(self, **kwargs):
+        cfg = BreakerConfig(
+            failure_threshold=kwargs.pop("failure_threshold", 2),
+            reset_timeout=kwargs.pop("reset_timeout", 1.0),
+            probe_jitter=kwargs.pop("probe_jitter", 0.0),
+            half_open_probes=kwargs.pop("half_open_probes", 1),
+        )
+        return CircuitBreaker("s", cfg, **kwargs)
+
+    def test_trips_after_threshold(self):
+        b = self.make()
+        b.record_failure(0.0)
+        assert b.state is BreakerState.CLOSED
+        b.record_failure(0.0)
+        assert b.state is BreakerState.OPEN
+        assert b.trips == 1
+        assert not b.allow(0.5)
+        assert b.fast_fails == 1
+        assert b.retry_after(0.5) == pytest.approx(0.5)
+
+    def test_check_raises_typed_error(self):
+        b = self.make()
+        b.record_failure(0.0)
+        b.record_failure(0.0)
+        with pytest.raises(CircuitOpenError) as exc_info:
+            b.check(0.1)
+        assert exc_info.value.site == "s"
+        assert exc_info.value.retry_after == pytest.approx(0.9)
+
+    def test_circuit_open_error_is_not_retryable(self):
+        # Deliberate: CircuitOpenError is not a TransferError, so the
+        # retry executor never burns attempts against an open circuit.
+        assert not issubclass(CircuitOpenError, RETRYABLE_ERRORS)
+
+    def test_success_resets_the_failure_streak(self):
+        b = self.make()
+        b.record_failure(0.0)
+        b.record_success(0.0)
+        b.record_failure(0.0)
+        assert b.state is BreakerState.CLOSED  # streak broken, no trip
+
+    def test_half_open_probe_closes_on_success(self):
+        b = self.make()
+        b.record_failure(0.0)
+        b.record_failure(0.0)
+        assert b.allow(1.0)                  # delay elapsed: probe admitted
+        assert b.state is BreakerState.HALF_OPEN
+        b.record_success(1.0)
+        assert b.state is BreakerState.CLOSED
+
+    def test_half_open_probe_failure_reopens(self):
+        b = self.make()
+        b.record_failure(0.0)
+        b.record_failure(0.0)
+        assert b.allow(1.0)
+        b.record_failure(1.0)
+        assert b.state is BreakerState.OPEN
+        assert b.trips == 2
+        assert not b.allow(1.5)              # a fresh full delay applies
+
+    def test_half_open_admits_bounded_probes(self):
+        b = self.make(half_open_probes=2)
+        b.record_failure(0.0)
+        b.record_failure(0.0)
+        assert b.allow(1.0)
+        assert b.allow(1.0)
+        assert not b.allow(1.0)              # both probe slots taken
+        b.record_success(1.0)
+        assert b.state is BreakerState.HALF_OPEN  # 1 of 2 successes
+        b.record_success(1.0)
+        assert b.state is BreakerState.CLOSED
+
+    def test_probe_jitter_is_seeded(self):
+        def open_until(seed):
+            b = CircuitBreaker(
+                "s",
+                BreakerConfig(failure_threshold=1, reset_timeout=1.0,
+                              probe_jitter=0.5),
+                rng=random.Random(seed),
+            )
+            b.record_failure(0.0)
+            return b.retry_after(0.0)
+
+        assert open_until("a") == open_until("a")
+        assert open_until("a") != open_until("b")
+        assert 0.5 <= open_until("a") <= 1.5
+
+
+class TestBreakerBoard:
+    def test_lazily_creates_per_site(self):
+        board = BreakerBoard(BreakerConfig(failure_threshold=1), seed=7)
+        assert board.states() == {}
+        board.failure("stage.gpu", 0.0)
+        assert board.states() == {"stage.gpu": BreakerState.OPEN}
+        assert board.allow("stage.pfs", 0.0)   # other sites unaffected
+        assert board.trips == 1
+
+    def test_same_seed_same_probe_schedule(self):
+        def schedule(seed):
+            board = BreakerBoard(BreakerConfig(failure_threshold=1), seed=seed)
+            board.failure("stage.gpu", 0.0)
+            return board.retry_after("stage.gpu", 0.0)
+
+        assert schedule(7) == schedule(7)
+
+
+class TestHandlerIntegration:
+    def make_viper(self, rules, **kwargs):
+        kwargs.setdefault("breaker", BreakerConfig(failure_threshold=2,
+                                                   reset_timeout=1e9))
+        return Viper(
+            fault_plan=FaultPlan(rules, seed=7),
+            metrics=MetricsRegistry(),
+            **kwargs,
+        )
+
+    def test_failing_tier_trips_and_stops_burning_retries(self):
+        with self.make_viper(GPU_HOST_DOWN) as viper:
+            # Each save exhausts gpu + host retries (2 each with the
+            # default policy) until both breakers trip at 2 failures.
+            for _ in range(2):
+                viper.save_weights("m", STATE, mode=CaptureMode.SYNC)
+            tripped = viper.handler.stats.snapshot().retries
+            states = viper.breakers.states()
+            assert states["stage.gpu"] is BreakerState.OPEN
+            assert states["stage.host"] is BreakerState.OPEN
+            # Post-trip saves go straight to the PFS: zero new retries.
+            result = viper.save_weights("m", STATE, mode=CaptureMode.SYNC)
+            assert result.strategy is TransferStrategy.PFS
+            assert viper.handler.stats.snapshot().retries == tripped
+            assert viper.stats.breaker_trips == 2
+
+    def test_all_sites_open_raises_circuit_open(self):
+        rules = GPU_HOST_DOWN + [
+            FaultRule(site="store.put:*lustre*", kind=FaultKind.WRITE_FAIL,
+                      probability=1.0),
+        ]
+        with self.make_viper(rules) as viper:
+            for _ in range(2):
+                with pytest.raises(Exception):
+                    viper.save_weights("m", STATE, mode=CaptureMode.SYNC)
+            with pytest.raises(CircuitOpenError) as exc_info:
+                viper.save_weights("m", STATE, mode=CaptureMode.SYNC)
+            assert exc_info.value.retry_after > 0
+
+    def test_breakers_off_by_default(self):
+        with Viper() as viper:
+            assert viper.breakers is None
+            assert viper.handler.breakers is None
+
+    def test_breaker_true_uses_defaults(self):
+        with Viper(breaker=True) as viper:
+            assert viper.breakers is not None
+            assert viper.breakers.config == BreakerConfig()

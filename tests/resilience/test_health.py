@@ -1,0 +1,216 @@
+"""Lease/heartbeat membership: the registry and its broker integration.
+
+The registry's contract: no eviction before a full TTL of silence,
+heartbeats always renew, eviction is idempotent, and an evicted member
+re-joins only through a re-grant (resubscribe), never a silent
+heartbeat resurrection.  The broker integration adds the consequences:
+a dead subscriber's queue is reclaimed, a slow consumer is escalated
+from coalescing to eviction, and a returning member is flagged for one
+catch-up read.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.notification import NotificationBroker
+from repro.errors import ConfigurationError, NotificationError
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience.health import LeaseRegistry
+
+TTL = 1.0
+
+
+class TestLeaseRegistry:
+    def test_ttl_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            LeaseRegistry(0.0)
+
+    def test_grant_and_alive(self):
+        reg = LeaseRegistry(TTL)
+        lease = reg.grant("a", 0.0)
+        assert reg.alive("a")
+        assert lease.remaining(0.0) == TTL
+        assert reg.members() == ("a",)
+
+    def test_no_eviction_before_ttl(self):
+        reg = LeaseRegistry(TTL)
+        reg.grant("a", 0.0)
+        assert reg.expire(TTL) == []          # exactly TTL of silence: alive
+        assert reg.expire(TTL + 0.01) == ["a"]
+
+    def test_heartbeat_renews(self):
+        reg = LeaseRegistry(TTL)
+        reg.grant("a", 0.0)
+        assert reg.heartbeat("a", 0.9)
+        assert reg.expire(1.5) == []          # renewed at 0.9, good to 1.9
+        assert reg.expire(2.0) == ["a"]
+
+    def test_expire_is_idempotent(self):
+        reg = LeaseRegistry(TTL)
+        reg.grant("a", 0.0)
+        assert reg.expire(2.0) == ["a"]
+        assert reg.expire(2.0) == []
+        assert reg.expire(5.0) == []
+        assert reg.expirations == 1
+
+    def test_heartbeat_cannot_resurrect_expired_lease(self):
+        reg = LeaseRegistry(TTL)
+        reg.grant("a", 0.0)
+        reg.expire(2.0)
+        assert not reg.heartbeat("a", 2.1)
+        assert not reg.alive("a")
+
+    def test_regrant_revives_and_is_recorded(self):
+        reg = LeaseRegistry(TTL)
+        reg.grant("a", 0.0)
+        reg.expire(2.0)
+        reg.grant("a", 2.5)
+        assert reg.alive("a")
+        assert [e["event"] for e in reg.events] == ["grant", "expire", "regrant"]
+
+    def test_rewinding_clock_never_expires_early(self):
+        reg = LeaseRegistry(TTL)
+        reg.grant("a", 0.0)
+        reg.heartbeat("a", 5.0)
+        assert not reg.heartbeat("a", 1.0) or reg.lease("a").last_beat == 5.0
+        assert reg.expire(5.5) == []  # expiry measured from the *latest* beat
+
+    def test_forced_evict_and_reason(self):
+        reg = LeaseRegistry(TTL)
+        reg.grant("a", 0.0)
+        assert reg.evict("a", 0.5, "slow_consumer")
+        assert not reg.evict("a", 0.5, "slow_consumer")  # idempotent
+        assert reg.lease("a").expire_reason == "slow_consumer"
+
+    def test_release_is_not_an_expiry(self):
+        reg = LeaseRegistry(TTL)
+        reg.grant("a", 0.0)
+        assert reg.release("a", 0.5)
+        assert not reg.release("a", 0.5)
+        assert reg.expirations == 0
+        assert reg.members() == ()
+
+    def test_on_expire_callback_and_counters(self):
+        metrics = MetricsRegistry()
+        seen = []
+        reg = LeaseRegistry(
+            TTL, metrics=metrics, on_expire=lambda m, r: seen.append((m, r))
+        )
+        reg.grant("a", 0.0)
+        reg.grant("b", 0.0)
+        reg.heartbeat("b", 1.5)
+        reg.expire(1.6)
+        assert seen == [("a", "ttl")]
+        assert metrics.counter("viper_leases_expired_total", reason="ttl").value == 1
+
+    def test_event_log_is_jsonl(self, tmp_path):
+        reg = LeaseRegistry(TTL)
+        reg.grant("a", 0.0)
+        reg.expire(2.0)
+        path = tmp_path / "leases.jsonl"
+        assert reg.write_event_log(path) == 2
+        events = [json.loads(line) for line in path.read_text().splitlines()]
+        assert events[0]["event"] == "grant"
+        assert events[1]["event"] == "expire"
+        assert events[1]["reason"] == "ttl"
+
+
+class TestBrokerLeases:
+    def make_broker(self, **kwargs):
+        kwargs.setdefault("lease_ttl", TTL)
+        return NotificationBroker(metrics=MetricsRegistry(), **kwargs)
+
+    def publish(self, broker, n, start=0.0, step=0.1):
+        for i in range(n):
+            broker.publish(
+                "t", model_name="m", version=i + 1, location="gpu",
+                now=start + i * step,
+            )
+
+    def test_subscribe_grants_a_lease(self):
+        broker = self.make_broker()
+        broker.subscribe("t", member="c0", now=0.0)
+        assert broker.health.alive("c0")
+
+    def test_anonymous_subscriber_never_lease_evicted(self):
+        broker = self.make_broker()
+        sub = broker.subscribe("t")
+        self.publish(broker, 1, start=100.0)
+        assert not sub.evicted
+        assert sub.pending == 1
+
+    def test_dead_member_evicted_and_queue_reclaimed(self):
+        broker = self.make_broker(queue_max=8)
+        sub = broker.subscribe("t", member="c0", now=0.0)
+        self.publish(broker, 3)
+        assert sub.pending == 3
+        # Silence past the TTL; the next publish sweeps the table.
+        self.publish(broker, 1, start=5.0)
+        assert sub.evicted
+        assert sub.evict_reason == "ttl"
+        assert sub.needs_catchup
+        assert sub.pending == 0              # queue memory reclaimed
+        assert sub.closed
+        assert broker.subscriber_count("t") == 0
+        assert broker.evictions == 1
+        assert broker.reclaimed_messages >= 3
+        assert broker.pending_total() == 0
+
+    def test_heartbeating_member_survives(self):
+        broker = self.make_broker()
+        sub = broker.subscribe("t", member="c0", now=0.0)
+        for i in range(10):
+            t = i * 0.8
+            assert broker.heartbeat("c0", t)
+            self.publish(broker, 1, start=t)
+        assert not sub.evicted
+
+    def test_evicted_member_revives_via_resubscribe_with_catchup(self):
+        broker = self.make_broker()
+        sub = broker.subscribe("t", member="c0", now=0.0)
+        self.publish(broker, 2)
+        while sub.poll() is not None:
+            pass
+        last = sub.last_seq
+        self.publish(broker, 2, start=5.0)   # evicts c0, then publishes
+        assert sub.evicted
+        sub2 = broker.resubscribe("t", last, member="c0", now=6.0)
+        assert broker.health.alive("c0")
+        assert sub2.needs_catchup            # missed publishes -> one read
+        # The retained (newest) note is re-delivered to converge fast.
+        assert sub2.pending == 1
+
+    def test_slow_consumer_escalates_to_eviction(self):
+        broker = self.make_broker(queue_max=2, slow_consumer_cycles=3)
+        sub = broker.subscribe("t", member="c0", now=0.0)
+        stalled = broker.subscribe("t", member="c1", now=0.0)
+        for i in range(8):
+            t = i * 0.1
+            broker.heartbeat("c0", t)
+            broker.heartbeat("c1", t)        # alive, but never drains
+            self.publish(broker, 1, start=t)
+            sub.poll()                       # c0 keeps up
+        assert not sub.evicted
+        assert stalled.evicted
+        assert stalled.evict_reason == "slow_consumer"
+        assert broker.health.lease("c1").expire_reason == "slow_consumer"
+
+    def test_slow_consumer_requires_bounded_queue(self):
+        with pytest.raises(NotificationError):
+            NotificationBroker(slow_consumer_cycles=2)
+
+    def test_unsubscribe_releases_the_lease(self):
+        broker = self.make_broker()
+        sub = broker.subscribe("t", member="c0", now=0.0)
+        broker.unsubscribe(sub)
+        assert not broker.health.alive("c0")
+        assert broker.health.expirations == 0  # voluntary, not an expiry
+
+    def test_leases_off_by_default(self):
+        broker = NotificationBroker()
+        assert broker.health is None
+        assert broker.heartbeat("c0", 0.0) is False
+        assert broker.expire_leases(0.0) == []

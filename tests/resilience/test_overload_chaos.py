@@ -1,0 +1,264 @@
+"""Overload/liveness chaos: seeded fleet-health invariants under stress.
+
+Every seed runs one fleet through the full robustness gauntlet:
+
+1. an update stream over a fleet where one subscriber **dies** (stops
+   heartbeating) and one **stalls** (heartbeats but never drains) — the
+   broker must evict both, reclaim their queues, and keep its pending
+   memory bounded;
+2. a 3x open-loop request **burst** against an admission-armed server —
+   every admitted request must finish within its deadline (p99 reported),
+   every shed must be counted, and the run must be non-degenerate (some
+   served, some shed);
+3. a broken read path (every ``store.get`` dropped) while a new version
+   publishes — the **degraded** server keeps serving its last-known-good
+   weights, trips the load-tier breakers, and absorbs the failures;
+4. the bad version is quarantined and a good one publishes — the server
+   must **rejoin** cleanly: exit degraded mode through the catch-up
+   read, converge to the newest non-quarantined version, and record its
+   degraded-mode seconds.
+
+CI runs this with ``VIPER_FAULT_SEED=$GITHUB_RUN_ID`` (shifting the seed
+block) and ``VIPER_OVERLOAD_ARTIFACT_DIR`` set, in which case each seed
+uploads its shed-decision and lease-event JSONL logs as artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import numpy as np
+import pytest
+
+from repro import CaptureMode, FaultKind, FaultPlan, FaultRule, Viper
+from repro.dnn.layers import Dense
+from repro.dnn.losses import MSELoss
+from repro.dnn.models import Sequential
+from repro.dnn.optimizers import SGD
+from repro.errors import OverloadError
+from repro.obs.freshness import FreshnessTracker
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience.breaker import BreakerConfig
+from repro.resilience.faults import default_seed
+from repro.serving import InferenceServer
+from repro.serving.admission import AdmissionConfig
+
+pytestmark = pytest.mark.chaos
+
+ARTIFACT_DIR_ENV = "VIPER_OVERLOAD_ARTIFACT_DIR"
+
+N_SEEDS = 22
+
+# Fleet health knobs.
+TTL = 4.0                 # lease TTL (sim seconds)
+QUEUE_MAX = 4             # bounded notification queues
+SLOW_CYCLES = 3           # high-watermark pushes before eviction
+N_STREAM = 8              # update-stream publishes in the liveness phase
+
+# Overload knobs: service capacity 1/T_INFER = 200 req/s; the burst
+# arrives open-loop at BURST_FACTOR x that rate.
+T_INFER = 0.005
+RATE, BURST = 200.0, 8.0
+BUDGET = 0.05             # per-request deadline budget (sim seconds)
+BURST_FACTOR = 3.0
+N_BURST = 120
+
+X = np.ones((1, 2), dtype=np.float32)
+Y = np.full((1, 1), 2.0, dtype=np.float32)
+
+
+def builder():
+    model = Sequential([Dense(1, name="d")], input_shape=(2,), seed=3)
+    model.compile(SGD(0.01), MSELoss())
+    return model
+
+
+def publish_weights(viper, value):
+    state = builder().state_dict()
+    state["d/W"][...] = value
+    state["d/b"][...] = 0.0
+    return viper.save_weights("m", state, mode=CaptureMode.SYNC).version
+
+
+def make_viper():
+    """A deployment with every fleet-health subsystem armed."""
+    return Viper(
+        metrics=MetricsRegistry(),
+        freshness=FreshnessTracker(),
+        notify_queue_max=QUEUE_MAX,
+        lease_ttl=TTL,
+        slow_consumer_cycles=SLOW_CYCLES,
+        breaker=BreakerConfig(failure_threshold=2, reset_timeout=0.5),
+    )
+
+
+def run_seed(seed):
+    """One full gauntlet; returns the seed's overload measurements."""
+    rng = random.Random(seed)
+    with make_viper() as viper:
+        broker = viper.broker
+        healthy = viper.consumer(model_builder=builder, name="healthy")
+        healthy.subscribe()
+        server = InferenceServer(
+            healthy, "m", loss_fn=MSELoss(), t_infer=T_INFER, name="healthy",
+            admission=AdmissionConfig(rate=RATE, burst=BURST),
+            degraded_ok=True, metrics=viper.metrics,
+            # Push-driven updates (refresh drains the subscription); the
+            # watchdog deadline is long enough to never fire here.
+            staleness_deadline=30.0,
+        )
+        now0 = viper.handler.sim_now
+        stalled_sub = broker.subscribe(viper.topic, member="stalled", now=now0)
+        dead_sub = broker.subscribe(viper.topic, member="dead", now=now0)
+
+        # ---- Phase 1: warm-up -----------------------------------------
+        v1 = publish_weights(viper, 1.0)
+        server.poll_updates()
+        assert server.consumer.current_version == v1
+
+        # ---- Phase 2: update stream over a dying fleet ----------------
+        for i in range(N_STREAM):
+            viper.handler._advance_now(1.0)
+            broker.heartbeat("stalled", viper.handler.sim_now)  # never drains
+            publish_weights(viper, 1.0 + 0.01 * (i + 1))
+            server.advance_clock(viper.handler.sim_now)
+            server.poll_updates()                               # heartbeats
+            server.handle(X, Y)
+
+        assert dead_sub.evicted and dead_sub.evict_reason == "ttl", (
+            f"seed {seed}: dead member not ttl-evicted"
+        )
+        assert stalled_sub.evicted, f"seed {seed}: stalled member survived"
+        assert stalled_sub.evict_reason == "slow_consumer"
+        assert not healthy.evicted
+        assert broker.evictions == 2
+        # Invariant: broker memory is bounded — reclaimed queues are gone
+        # and the survivors' queues respect the configured cap.
+        pending = broker.pending_total()
+        live_subs = broker.subscriber_count(viper.topic)
+        assert live_subs == 1
+        assert pending <= QUEUE_MAX * live_subs, (
+            f"seed {seed}: broker holds {pending} pending notes "
+            f"for {live_subs} live subscriber(s)"
+        )
+        assert broker.reclaimed_messages > 0
+
+        # ---- Phase 3: 3x open-loop burst ------------------------------
+        t0 = server.advance_clock(viper.handler.sim_now)
+        window = N_BURST / (BURST_FACTOR * RATE)
+        arrivals = sorted(t0 + rng.random() * window for _ in range(N_BURST))
+        shed_before = server.admission.shed_total
+        latencies = []
+        sheds = 0
+        for arrival in arrivals:
+            try:
+                _, req = server.handle(
+                    X, Y, deadline=arrival + BUDGET, arrival=arrival
+                )
+                latencies.append(req.sim_time - arrival)
+            except OverloadError as exc:
+                assert exc.retryable and exc.retry_after >= 0.0
+                sheds += 1
+        served = len(latencies)
+        assert 0 < served < N_BURST, (
+            f"seed {seed}: degenerate burst (served {served}/{N_BURST})"
+        )
+        # Invariant: every shed is counted, in the controller and the
+        # deployment-wide stats snapshot.
+        assert server.admission.shed_total - shed_before == sheds
+        assert viper.stats.snapshot().requests_shed == sheds
+        assert sum(server.admission.shed.values()) == sheds
+        # Invariant: no admitted request ever finishes past its deadline
+        # (the p99 is what the bench reports; the max is the guarantee).
+        p99 = float(np.quantile(latencies, 0.99))
+        assert max(latencies) <= BUDGET + 1e-9, (
+            f"seed {seed}: admitted request finished {max(latencies):.4f}s "
+            f"after arrival, budget {BUDGET}s"
+        )
+
+        # ---- Phase 4: degraded mode on a broken read path -------------
+        lkg = server.consumer.current_version
+        plan = FaultPlan(
+            [FaultRule(site="store.get:*", kind=FaultKind.DROP,
+                       probability=1.0)],
+            seed=seed,
+        )
+        plan.arm(viper.cluster)
+        try:
+            viper.handler._advance_now(1.0)
+            bad = publish_weights(viper, 9.0)
+            for _ in range(3):
+                server.advance_clock(viper.handler.sim_now)
+                server.poll_updates()     # fails -> absorbed -> degraded
+                _, req = server.handle(X, Y)
+                # Serving never stops: the last-known-good version keeps
+                # answering while the update path is down.
+                assert req.model_version == lkg
+                viper.handler._advance_now(1.0)
+        finally:
+            plan.disarm()
+        assert server.degraded, f"seed {seed}: server never degraded"
+        assert server.degraded_entries == 1   # one entry, not one per poll
+        assert viper.stats.snapshot().degraded_entries == 1
+        assert viper.freshness.is_degraded("healthy", "m")
+        assert viper.stats.snapshot().breaker_trips > 0, (
+            f"seed {seed}: load-tier breakers never tripped"
+        )
+
+        # ---- Phase 5: quarantine the bad version, rejoin --------------
+        viper.metadata.quarantine_version("m", bad, "chaos_probe")
+        viper.handler._advance_now(2.0)   # past every breaker probe delay
+        good = publish_weights(viper, 2.0)
+        for _ in range(4):
+            server.advance_clock(viper.handler.sim_now)
+            server.poll_updates()
+            if not server.degraded:
+                break
+            viper.handler._advance_now(1.0)
+        assert not server.degraded, f"seed {seed}: server never rejoined"
+        # Zero missed updates: the exit path is the catch-up read, which
+        # lands on the newest *non-quarantined* version.
+        assert server.consumer.current_version == good, (
+            f"seed {seed}: rejoined on v{server.consumer.current_version}, "
+            f"newest non-quarantined is v{good}"
+        )
+        _, req = server.handle(X, Y)
+        assert req.model_version == good
+        degraded_s = viper.freshness.degraded_seconds("healthy", "m")
+        assert degraded_s > 0.0
+
+        _export_artifacts(seed, viper, server)
+
+        return {
+            "seed": seed,
+            "served": served,
+            "shed": sheds,
+            "shed_by_reason": dict(server.admission.shed),
+            "admitted_p99_s": p99,
+            "admitted_max_s": float(max(latencies)),
+            "budget_s": BUDGET,
+            "broker_pending_peak": pending,
+            "reclaimed_messages": broker.reclaimed_messages,
+            "evictions": broker.evictions,
+            "degraded_seconds": degraded_s,
+        }
+
+
+def _export_artifacts(seed, viper, server):
+    dest = os.environ.get(ARTIFACT_DIR_ENV)
+    if not dest:
+        return
+    os.makedirs(dest, exist_ok=True)
+    server.admission.write_shed_log(
+        os.path.join(dest, f"sheds-seed-{seed}-{server.name}.jsonl")
+    )
+    viper.broker.health.write_event_log(
+        os.path.join(dest, f"leases-seed-{seed}.jsonl")
+    )
+
+
+@pytest.mark.parametrize("offset", range(N_SEEDS))
+def test_fleet_survives_overload_and_deaths(offset):
+    seed = default_seed() + offset
+    run_seed(seed)

@@ -157,3 +157,62 @@ class TestExecuteWithRetry:
         )
         assert seen == [("s", 1)]
         assert metrics.counter("resilience_retries_total", site="s").value == 1
+
+
+class TestTotalDeadline:
+    """Whole-operation budget: attempts + backoff, not just one attempt."""
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(total_deadline=0.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(attempt_deadline=2.0, total_deadline=1.0)
+        RetryPolicy(attempt_deadline=1.0, total_deadline=1.0)  # equal is fine
+
+    def test_success_over_budget_still_exhausts(self):
+        # The attempt fits its own deadline but lands past the whole-run
+        # budget: the caller already gave up, so success is not returned.
+        policy = RetryPolicy(max_attempts=3, total_deadline=1.0, jitter=0.0)
+        with pytest.raises(RetriesExhausted) as exc_info:
+            execute_with_retry(lambda: Cost.of("x", 2.0), policy, site="s")
+        assert exc_info.value.attempts == 1
+        assert "total deadline" in str(exc_info.value)
+        assert "1 attempt(s)" in str(exc_info.value)
+        assert "2.0" in str(exc_info.value)  # elapsed seconds in the detail
+
+    def test_backoff_burn_stops_early(self):
+        calls = []
+
+        def always_fails():
+            calls.append(1)
+            raise TransferError("down")
+
+        # base_delay=1.0 means the first backoff alone exceeds the 0.5s
+        # budget: stop after attempt 1 instead of sleeping past it.
+        policy = RetryPolicy(
+            max_attempts=5, base_delay=1.0, jitter=0.0, total_deadline=0.5
+        )
+        with pytest.raises(RetriesExhausted) as exc_info:
+            execute_with_retry(always_fails, policy, site="s")
+        assert len(calls) == 1
+        assert exc_info.value.attempts == 1
+        assert isinstance(exc_info.value.__cause__, TransferError)
+
+    def test_within_budget_is_untouched(self):
+        policy = RetryPolicy(max_attempts=2, total_deadline=100.0, jitter=0.0)
+        outcome = execute_with_retry(lambda: Cost.of("x", 1.0), policy)
+        assert outcome.attempts == 1
+        assert outcome.value.total == pytest.approx(1.0)
+
+    def test_total_exhaustion_counts_in_metrics(self):
+        metrics = MetricsRegistry()
+        policy = RetryPolicy(max_attempts=3, total_deadline=0.5, jitter=0.0)
+        with pytest.raises(RetriesExhausted):
+            execute_with_retry(
+                lambda: Cost.of("x", 2.0), policy, site="stage.gpu",
+                metrics=metrics,
+            )
+        counter = metrics.counter(
+            "resilience_retries_exhausted_total", site="stage.gpu"
+        )
+        assert counter.value == 1
